@@ -1,0 +1,117 @@
+// Command clustersim runs one simulated multi-node configuration and
+// prints the virtual-time breakdown — a direct handle on the machinery
+// behind Figures 9-11.
+//
+// Examples:
+//
+//	clustersim -ranks 64                       # 64 MPI-only optimized ranks
+//	clustersim -ranks 16 -baseline             # unoptimized kernel rates
+//	clustersim -ranks 8 -threads-per-rank 4    # hybrid MPI+threads
+//	clustersim -mesh d -ranks 256 -steps 3
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"fun3d"
+	"fun3d/internal/mesh"
+	"fun3d/internal/perfmodel"
+)
+
+func main() {
+	var (
+		meshName = flag.String("mesh", "c", "mesh preset: tiny, c, d")
+		scale    = flag.Float64("scale", 1, "mesh scale factor")
+		ranks    = flag.Int("ranks", 16, "simulated MPI ranks")
+		rpn      = flag.Int("ranks-per-node", 16, "ranks per node (network locality)")
+		tpr      = flag.Int("threads-per-rank", 1, "threads per rank (hybrid mode)")
+		baseline = flag.Bool("baseline", false, "baseline kernel rates instead of optimized")
+		natural  = flag.Bool("natural", false, "natural-block decomposition instead of multilevel")
+		steps    = flag.Int("steps", 0, "fixed pseudo-time steps (0 = run to convergence)")
+		fill     = flag.Int("fill", 0, "ILU fill level per rank")
+		cfl      = flag.Float64("cfl", 20, "initial CFL")
+	)
+	flag.Parse()
+
+	var spec fun3d.MeshSpec
+	switch *meshName {
+	case "tiny":
+		spec = fun3d.MeshTiny()
+	case "c":
+		spec = fun3d.MeshC()
+	case "d":
+		spec = fun3d.MeshD()
+	default:
+		fatal(fmt.Errorf("unknown mesh %q", *meshName))
+	}
+	if *scale != 1 {
+		spec = fun3d.ScaleMesh(spec, *scale)
+	}
+	m, err := fun3d.GenerateMesh(spec)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Println("mesh:", m.ComputeStats())
+
+	fmt.Println("calibrating kernel rates on this machine...")
+	sample, err := mesh.Generate(mesh.SpecTiny())
+	if err != nil {
+		fatal(err)
+	}
+	rates, err := perfmodel.Measure(sample, 1, false)
+	if err != nil {
+		fatal(err)
+	}
+	var vecRates *perfmodel.Rates
+	if !*baseline {
+		opt := perfmodel.DeriveOptimized(rates)
+		if *tpr > 1 {
+			threaded, err := perfmodel.Measure(sample, *tpr, false)
+			if err != nil {
+				fatal(err)
+			}
+			seqVec := opt
+			vecRates = &seqVec // hybrid: Vec* primitives stay sequential
+			opt = perfmodel.ThreadScale(opt, rates, threaded)
+		}
+		rates = opt
+	}
+	fmt.Printf("rates: flux=%.0fns/edge ilu=%.0fns/blk trsv=%.1fns/blk\n",
+		1e9*rates.FluxPerEdge, 1e9*rates.ILUPerBlock, 1e9*rates.TRSVPerBlock)
+
+	net := fun3d.StampedeNetwork()
+	net.RanksPerNode = *rpn
+	cfg := fun3d.ClusterConfig{
+		Ranks:     *ranks,
+		Natural:   *natural,
+		Rates:     rates,
+		VecRates:  vecRates,
+		Net:       net,
+		FillLevel: *fill,
+		CFL0:      *cfl,
+		Seed:      11,
+	}
+	if *steps > 0 {
+		cfg.MaxSteps = *steps
+		cfg.RelTol = 1e-30
+	}
+	res, err := fun3d.SimulateCluster(m, cfg)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("\nranks=%d nodes=%d steps=%d linear-iters=%d converged=%v\n",
+		*ranks, (*ranks+*rpn-1)/(*rpn), res.Steps, res.LinearIters, res.Converged)
+	fmt.Printf("||R|| %.3e -> %.3e\n", res.RNorm0, res.RNormFinal)
+	fmt.Printf("virtual time      %.4fs\n", res.Time)
+	fmt.Printf("  compute         %.4fs\n", res.ComputeTime)
+	fmt.Printf("  allreduce       %.4fs (%d collectives)\n", res.AllreduceTime, res.Allreduces)
+	fmt.Printf("  point-to-point  %.4fs (%d msgs, %.1f MB)\n", res.PtPTime, res.Msgs, float64(res.Bytes)/1e6)
+	fmt.Printf("communication fraction: %.1f%%\n", 100*res.CommFraction())
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "clustersim:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,74 @@
+// Command experiments regenerates the paper's tables and figures: Table I,
+// Table II, and Figures 5-11. Each experiment prints a "paper reference"
+// line followed by the measured results, so the output doubles as the raw
+// material for EXPERIMENTS.md.
+//
+// Examples:
+//
+//	experiments -exp all                      # everything, default sizes
+//	experiments -exp fig6a -threads 16        # one experiment
+//	experiments -exp fig9 -nodes 1,4,16,64,256 -large
+//	experiments -quick                        # tiny meshes (CI smoke run)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"strconv"
+	"strings"
+
+	"fun3d/internal/bench"
+	"fun3d/internal/mesh"
+)
+
+func main() {
+	var (
+		exp      = flag.String("exp", "all", "experiment: all, "+strings.Join(bench.Experiments(), ", "))
+		threads  = flag.Int("threads", runtime.NumCPU(), "max threads for sweeps")
+		quick    = flag.Bool("quick", false, "tiny meshes, short sweeps")
+		large    = flag.Bool("large", false, "use Mesh-D' for the cluster experiments (slow)")
+		nodes    = flag.String("nodes", "", "comma-separated node counts for fig9-11")
+		rpn      = flag.Int("ranks-per-node", 0, "ranks per simulated node (default 4; paper used 16)")
+		steps    = flag.Int("cluster-steps", 0, "pseudo-time steps per cluster run")
+		cfl      = flag.Float64("cfl", 10, "initial CFL for solve-based experiments")
+		scaleOpt = flag.Float64("scale", 1, "scale factor on the single-node mesh")
+	)
+	flag.Parse()
+
+	opt := bench.Options{
+		Out:          os.Stdout,
+		MaxThreads:   *threads,
+		Quick:        *quick,
+		CFL0:         *cfl,
+		RanksPerNode: *rpn,
+		ClusterSteps: *steps,
+	}
+	if !*quick {
+		opt.SingleSpec = mesh.SpecC()
+		if *scaleOpt != 1 {
+			opt.SingleSpec = mesh.ScaleSpec(opt.SingleSpec, *scaleOpt)
+		}
+		if *large {
+			opt.ClusterSpec = mesh.SpecD()
+		} else {
+			opt.ClusterSpec = mesh.SpecC()
+		}
+	}
+	if *nodes != "" {
+		for _, tok := range strings.Split(*nodes, ",") {
+			n, err := strconv.Atoi(strings.TrimSpace(tok))
+			if err != nil || n < 1 {
+				fmt.Fprintf(os.Stderr, "experiments: bad -nodes entry %q\n", tok)
+				os.Exit(1)
+			}
+			opt.NodeCounts = append(opt.NodeCounts, n)
+		}
+	}
+
+	if err := bench.Run(*exp, opt); err != nil {
+		fmt.Fprintln(os.Stderr, "experiments:", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,26 @@
+package fun3d_test
+
+import (
+	"fmt"
+
+	"fun3d"
+)
+
+// Example demonstrates the minimal generate-solve-inspect flow.
+func Example() {
+	m, err := fun3d.GenerateMesh(fun3d.MeshTiny())
+	if err != nil {
+		panic(err)
+	}
+	solver, err := fun3d.NewSolver(m, fun3d.Baseline())
+	if err != nil {
+		panic(err)
+	}
+	defer solver.Close()
+	r, err := solver.Run(fun3d.SolveOptions{MaxSteps: 50})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("converged:", r.History.Converged)
+	// Output: converged: true
+}

@@ -1,0 +1,47 @@
+// Quickstart: generate a small wing mesh, solve the incompressible Euler
+// flow with the optimized shared-memory configuration, and print the
+// convergence history — the 60-second tour of the public API.
+package main
+
+import (
+	"fmt"
+	"log"
+	"runtime"
+
+	"fun3d"
+)
+
+func main() {
+	// 1. A deterministic unstructured tetrahedral mesh around a swept wing.
+	m, err := fun3d.GenerateMesh(fun3d.MeshTiny())
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("mesh:", m.ComputeStats())
+
+	// 2. A solver in the paper's fully optimized configuration: METIS
+	//    owner-writes threading, AoS node data, SIMD edge batching,
+	//    P2P-sparsified ILU/TRSV, threaded vector primitives.
+	solver, err := fun3d.NewSolver(m, fun3d.Optimized(runtime.NumCPU()))
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer solver.Close()
+	fmt.Println("config:", solver.Describe())
+
+	// 3. Pseudo-transient Newton-Krylov to steady state.
+	result, err := solver.Run(fun3d.SolveOptions{MaxSteps: 50, CFL0: 20})
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, s := range result.History.Steps {
+		fmt.Printf("  step %2d: ||R|| = %.3e  (CFL %.0f, %d linear iters)\n",
+			s.Step, s.RNorm, s.CFL, s.LinearIters)
+	}
+	fmt.Printf("converged=%v in %v; residual dropped %.1e -> %.1e\n",
+		result.History.Converged, result.WallTime,
+		result.History.RNorm0, result.History.RNormFinal)
+
+	// 4. Where did the time go? (the paper's Fig-5 view)
+	fmt.Printf("\nkernel profile:\n%s", solver.Profile())
+}

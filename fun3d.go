@@ -1,0 +1,168 @@
+// Package fun3d is a pure-Go reproduction of the PETSc-FUN3D system studied
+// in "Exploring Shared-Memory Optimizations for an Unstructured Mesh CFD
+// Application on Modern Parallel Systems" (IPDPS 2015): a vertex-centered
+// unstructured tetrahedral mesh solver for the incompressible Euler
+// equations (artificial compressibility), driven by pseudo-transient
+// Newton-Krylov-Schwarz with matrix-free GMRES and block-ILU
+// preconditioning, plus the paper's full shared-memory optimization ladder
+// and a virtual-time multi-node simulator.
+//
+// Quick start:
+//
+//	m, _ := fun3d.GenerateMesh(fun3d.MeshC())
+//	solver, _ := fun3d.NewSolver(m, fun3d.Optimized(8))
+//	defer solver.Close()
+//	result, _ := solver.Run(fun3d.SolveOptions{MaxSteps: 50})
+//	fmt.Println(result.History.Converged, solver.Profile())
+//
+// The package is a facade over the internal packages; everything here is
+// stable API for downstream use.
+package fun3d
+
+import (
+	"io"
+
+	"fun3d/internal/core"
+	"fun3d/internal/export"
+	"fun3d/internal/mesh"
+	"fun3d/internal/mpisim"
+	"fun3d/internal/newton"
+	"fun3d/internal/perfmodel"
+	"fun3d/internal/prof"
+)
+
+// Mesh is an unstructured tetrahedral mesh with vertex-centered
+// median-dual metrics.
+type Mesh = mesh.Mesh
+
+// MeshSpec configures mesh generation (grid dimensions, wing geometry,
+// vertex shuffling).
+type MeshSpec = mesh.GenSpec
+
+// WingParams describes the carved wing planform.
+type WingParams = mesh.WingParams
+
+// GenerateMesh builds a mesh from spec. Call (*Mesh).Validate to check the
+// discrete geometric identities.
+func GenerateMesh(spec MeshSpec) (*Mesh, error) { return mesh.Generate(spec) }
+
+// MeshC returns the single-node workload spec (the paper's Mesh-C, scaled).
+func MeshC() MeshSpec { return mesh.SpecC() }
+
+// MeshD returns the multi-node workload spec (the paper's Mesh-D, scaled;
+// ~8x MeshC, preserving the paper's ratio).
+func MeshD() MeshSpec { return mesh.SpecD() }
+
+// MeshTiny returns a small spec for tests and demos.
+func MeshTiny() MeshSpec { return mesh.SpecTiny() }
+
+// ScaleMesh returns a spec with roughly f times the vertices of base.
+func ScaleMesh(base MeshSpec, f float64) MeshSpec { return mesh.ScaleSpec(base, f) }
+
+// Config selects the solver configuration and optimization level; see
+// Baseline and Optimized for the paper's two endpoints.
+type Config = core.Config
+
+// Baseline returns the paper's out-of-the-box single-threaded
+// configuration.
+func Baseline() Config { return core.BaselineConfig() }
+
+// Optimized returns the paper's fully optimized shared-memory
+// configuration on the given thread count.
+func Optimized(threads int) Config { return core.OptimizedConfig(threads) }
+
+// SolveOptions controls the pseudo-transient Newton iteration.
+type SolveOptions = newton.Options
+
+// RunResult reports a solve (history + wall time).
+type RunResult = core.RunResult
+
+// SurfaceSample is one wall-vertex pressure coefficient.
+type SurfaceSample = core.SurfaceSample
+
+// Solver is a configured solver instance bound to a mesh.
+type Solver struct {
+	app *core.App
+}
+
+// NewSolver builds a solver for mesh m under cfg.
+func NewSolver(m *Mesh, cfg Config) (*Solver, error) {
+	app, err := core.NewApp(m, cfg)
+	if err != nil {
+		return nil, err
+	}
+	return &Solver{app: app}, nil
+}
+
+// Run drives the solver to convergence (or opt.MaxSteps).
+func (s *Solver) Run(opt SolveOptions) (RunResult, error) { return s.app.Run(opt) }
+
+// Reset restores the freestream initial condition.
+func (s *Solver) Reset() { s.app.ResetState() }
+
+// State returns the current state vector in the original mesh vertex
+// numbering, 4 unknowns (p,u,v,w) per vertex.
+func (s *Solver) State() []float64 { return s.app.StateOriginalOrder() }
+
+// SurfacePressure extracts the wall-surface pressure coefficients.
+func (s *Solver) SurfacePressure() []SurfaceSample { return s.app.SurfacePressure() }
+
+// Forces holds integrated aerodynamic loads (lift/drag coefficients).
+type Forces = core.Forces
+
+// SurfaceForces integrates the wall pressure into force coefficients;
+// sref <= 0 estimates the reference area from the wing planform.
+func (s *Solver) SurfaceForces(sref float64) Forces { return s.app.SurfaceForces(sref) }
+
+// WriteVTK writes the mesh and current state as a legacy-ASCII VTK
+// unstructured grid (ParaView/VisIt).
+func (s *Solver) WriteVTK(w io.Writer) error {
+	return export.VTK(w, s.app.Mesh, s.app.Q)
+}
+
+// SaveState writes a solution checkpoint (portable across solver
+// configurations on the same mesh).
+func (s *Solver) SaveState(w io.Writer) error { return s.app.SaveState(w) }
+
+// LoadState restores a checkpoint written by SaveState.
+func (s *Solver) LoadState(r io.Reader) error { return s.app.LoadState(r) }
+
+// Profile returns the per-kernel time breakdown accumulated so far.
+func (s *Solver) Profile() *prof.Profile { return s.app.Prof }
+
+// Describe summarizes the active configuration.
+func (s *Solver) Describe() string { return s.app.Describe() }
+
+// Close releases the solver's worker pool.
+func (s *Solver) Close() { s.app.Close() }
+
+// ClusterConfig describes a simulated multi-node run (rank count, kernel
+// rates, network model).
+type ClusterConfig = mpisim.Config
+
+// ClusterResult reports a simulated multi-node run: real convergence
+// counts, modeled time, and the communication breakdown.
+type ClusterResult = mpisim.Result
+
+// Network is the LogGP-style interconnect model.
+type Network = perfmodel.Network
+
+// KernelRates are calibrated per-unit kernel costs.
+type KernelRates = perfmodel.Rates
+
+// StampedeNetwork returns fabric parameters approximating the paper's
+// TACC Stampede system.
+func StampedeNetwork() Network { return perfmodel.Stampede() }
+
+// MeasureRates calibrates kernel rates by running the real kernels on m.
+func MeasureRates(m *Mesh, threads int, optimized bool) (KernelRates, error) {
+	return perfmodel.Measure(m, threads, optimized)
+}
+
+// SimulateCluster runs the distributed NKS solver over cfg.Ranks simulated
+// ranks: the numerics (halo exchanges, rank-local ILU, Allreduce inner
+// products) execute for real; time is virtual, driven by cfg.Rates and
+// cfg.Net.
+func SimulateCluster(m *Mesh, cfg ClusterConfig) (ClusterResult, error) {
+	return mpisim.Solve(m, cfg)
+}

@@ -1,0 +1,121 @@
+package fun3d_test
+
+import (
+	"math"
+	"runtime"
+	"testing"
+
+	"fun3d"
+)
+
+// The public API end-to-end: generate, validate, solve, inspect.
+func TestPublicAPIQuickstart(t *testing.T) {
+	m, err := fun3d.GenerateMesh(fun3d.MeshTiny())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	solver, err := fun3d.NewSolver(m, fun3d.Optimized(runtime.NumCPU()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer solver.Close()
+	r, err := solver.Run(fun3d.SolveOptions{MaxSteps: 50, CFL0: 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r.History.Converged {
+		t.Fatalf("not converged: %+v", r.History)
+	}
+	if len(solver.State()) != m.NumVertices()*4 {
+		t.Fatal("state length")
+	}
+	if len(solver.SurfacePressure()) == 0 {
+		t.Fatal("no surface samples")
+	}
+	if solver.Profile().Sum() <= 0 {
+		t.Fatal("empty profile")
+	}
+	if solver.Describe() == "" {
+		t.Fatal("empty description")
+	}
+
+	// Reset and re-run must reproduce the same convergence.
+	solver.Reset()
+	r2, err := solver.Run(fun3d.SolveOptions{MaxSteps: 50, CFL0: 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r2.History.LinearIters != r.History.LinearIters {
+		t.Fatalf("non-reproducible: %d vs %d iters", r2.History.LinearIters, r.History.LinearIters)
+	}
+}
+
+func TestPublicAPICluster(t *testing.T) {
+	m, err := fun3d.GenerateMesh(fun3d.MeshTiny())
+	if err != nil {
+		t.Fatal(err)
+	}
+	sample, err := fun3d.GenerateMesh(fun3d.MeshTiny())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rates, err := fun3d.MeasureRates(sample, 1, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := fun3d.SimulateCluster(m, fun3d.ClusterConfig{
+		Ranks: 4, Rates: rates, Net: fun3d.StampedeNetwork(), MaxSteps: 40,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Converged || res.Time <= 0 {
+		t.Fatalf("cluster run: %+v", res)
+	}
+	if f := res.CommFraction(); f < 0 || f > 1 || math.IsNaN(f) {
+		t.Fatalf("comm fraction %v", f)
+	}
+}
+
+func TestBaselineVsOptimizedSamePhysics(t *testing.T) {
+	m, err := fun3d.GenerateMesh(fun3d.MeshTiny())
+	if err != nil {
+		t.Fatal(err)
+	}
+	run := func(cfg fun3d.Config) []float64 {
+		s, err := fun3d.NewSolver(m, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer s.Close()
+		if _, err := s.Run(fun3d.SolveOptions{MaxSteps: 50}); err != nil {
+			t.Fatal(err)
+		}
+		return s.State()
+	}
+	qb := run(fun3d.Baseline())
+	qo := run(fun3d.Optimized(2))
+	for i := range qb {
+		if math.Abs(qb[i]-qo[i]) > 1e-3 {
+			t.Fatalf("solutions diverge at %d: %v vs %v", i, qb[i], qo[i])
+		}
+	}
+}
+
+func TestScaleMesh(t *testing.T) {
+	small := fun3d.ScaleMesh(fun3d.MeshC(), 0.1)
+	m, err := fun3d.GenerateMesh(small)
+	if err != nil {
+		t.Fatal(err)
+	}
+	big, err := fun3d.GenerateMesh(fun3d.ScaleMesh(fun3d.MeshC(), 0.2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.NumVertices() >= big.NumVertices() {
+		t.Fatal("scaling down did not shrink the mesh")
+	}
+}

@@ -1,0 +1,3 @@
+module fun3d
+
+go 1.22

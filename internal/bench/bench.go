@@ -1,0 +1,147 @@
+// Package bench implements the experiment harness: one entry point per
+// table/figure of the paper's evaluation (Table I, Table II, Figures 5-11).
+// Each experiment runs the real code under the relevant configurations and
+// prints a "paper vs measured" report. cmd/experiments is the CLI wrapper;
+// the root-level Go benchmarks reuse the same runners.
+package bench
+
+import (
+	"fmt"
+	"io"
+	"runtime"
+	"sort"
+	"text/tabwriter"
+
+	"fun3d/internal/mesh"
+)
+
+// Options configures the harness.
+type Options struct {
+	Out io.Writer
+
+	// SingleSpec is the mesh for single-node experiments (default SpecC).
+	SingleSpec mesh.GenSpec
+	// ClusterSpec is the mesh for multi-node experiments (default SpecC in
+	// quick mode, SpecD otherwise).
+	ClusterSpec mesh.GenSpec
+
+	// MaxThreads caps thread sweeps (default: NumCPU).
+	MaxThreads int
+
+	// NodeCounts for Figures 9-11 (default quick: 1,4,16,64).
+	NodeCounts []int
+	// RanksPerNode (paper: 16; quick default: 4).
+	RanksPerNode int
+	// ThreadsPerRankHybrid for Fig 11 (paper: 8; quick default: 4).
+	ThreadsPerRankHybrid int
+
+	// ClusterSteps fixes the pseudo-time step count of cluster runs so all
+	// configurations do comparable work (default 2).
+	ClusterSteps int
+
+	// CFL0 for the solve-based experiments (default 10).
+	CFL0 float64
+
+	// Quick shrinks everything for CI-style runs.
+	Quick bool
+}
+
+func (o *Options) defaults() {
+	if o.Out == nil {
+		panic("bench: Options.Out is required")
+	}
+	if o.SingleSpec.NX == 0 {
+		if o.Quick {
+			o.SingleSpec = mesh.SpecTiny()
+		} else {
+			o.SingleSpec = mesh.SpecC()
+		}
+	}
+	if o.ClusterSpec.NX == 0 {
+		if o.Quick {
+			o.ClusterSpec = mesh.SpecTiny()
+		} else {
+			o.ClusterSpec = mesh.SpecC()
+		}
+	}
+	if o.MaxThreads <= 0 {
+		o.MaxThreads = runtime.NumCPU()
+	}
+	if len(o.NodeCounts) == 0 {
+		if o.Quick {
+			o.NodeCounts = []int{1, 2, 4}
+		} else {
+			o.NodeCounts = []int{1, 4, 16, 64}
+		}
+	}
+	if o.RanksPerNode <= 0 {
+		if o.Quick {
+			o.RanksPerNode = 2
+		} else {
+			o.RanksPerNode = 4
+		}
+	}
+	if o.ThreadsPerRankHybrid <= 0 {
+		o.ThreadsPerRankHybrid = 4 // the simulated node's threads, not this host's
+	}
+	if o.ClusterSteps <= 0 {
+		o.ClusterSteps = 2
+	}
+	if o.CFL0 <= 0 {
+		o.CFL0 = 10
+	}
+}
+
+// Experiments lists the available experiment names in paper order.
+func Experiments() []string {
+	names := make([]string, 0, len(registry))
+	for n := range registry {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+var registry = map[string]func(*Options) error{
+	"table1": table1,
+	"table2": table2,
+	"fig5":   fig5,
+	"fig6a":  fig6a,
+	"fig6b":  fig6b,
+	"fig7a":  fig7a,
+	"fig7b":  fig7b,
+	"fig8a":  fig8a,
+	"fig8b":  fig8b,
+	"fig9":   fig9,
+	"fig10":  fig10,
+	"fig11":  fig11,
+}
+
+// Run executes the named experiment ("all" runs every one in order).
+func Run(name string, opt Options) error {
+	opt.defaults()
+	if name == "all" {
+		for _, n := range []string{"table1", "table2", "fig5", "fig6a", "fig6b",
+			"fig7a", "fig7b", "fig8a", "fig8b", "fig9", "fig10", "fig11"} {
+			if err := Run(n, opt); err != nil {
+				return fmt.Errorf("%s: %w", n, err)
+			}
+		}
+		return nil
+	}
+	f, ok := registry[name]
+	if !ok {
+		return fmt.Errorf("bench: unknown experiment %q (have %v)", name, Experiments())
+	}
+	return f(&opt)
+}
+
+// header prints an experiment banner.
+func header(o *Options, title, paperRef string) {
+	fmt.Fprintf(o.Out, "\n== %s ==\n   paper reference: %s\n", title, paperRef)
+}
+
+// table returns a tabwriter on o.Out; callers must Flush.
+func table(o *Options) *tabwriter.Writer {
+	return tabwriter.NewWriter(o.Out, 2, 4, 2, ' ', 0)
+}

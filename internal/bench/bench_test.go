@@ -1,0 +1,56 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+
+	"fun3d/internal/mesh"
+)
+
+func quickOpts(buf *strings.Builder) Options {
+	return Options{
+		Out:          buf,
+		Quick:        true,
+		SingleSpec:   mesh.SpecTiny(),
+		ClusterSpec:  mesh.SpecTiny(),
+		MaxThreads:   2,
+		NodeCounts:   []int{1, 2},
+		RanksPerNode: 2,
+		ClusterSteps: 1,
+	}
+}
+
+func TestExperimentsRegistry(t *testing.T) {
+	names := Experiments()
+	if len(names) != 12 {
+		t.Fatalf("expected 12 experiments, got %v", names)
+	}
+	if err := Run("nonsense", Options{Out: &strings.Builder{}}); err == nil {
+		t.Fatal("unknown experiment accepted")
+	}
+}
+
+// Every experiment must run to completion on a tiny setup and emit its
+// header plus a non-empty table.
+func TestAllExperimentsQuick(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiments are slow")
+	}
+	for _, name := range Experiments() {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			var buf strings.Builder
+			if err := Run(name, quickOpts(&buf)); err != nil {
+				t.Fatalf("%s: %v", name, err)
+			}
+			out := buf.String()
+			if !strings.Contains(out, "paper reference:") {
+				t.Fatalf("%s: missing header:\n%s", name, out)
+			}
+			if len(strings.Split(out, "\n")) < 4 {
+				t.Fatalf("%s: suspiciously short output:\n%s", name, out)
+			}
+			t.Logf("\n%s", out)
+		})
+	}
+}

@@ -1,0 +1,263 @@
+package bench
+
+import (
+	"fmt"
+	"time"
+
+	"fun3d/internal/core"
+	"fun3d/internal/mesh"
+	"fun3d/internal/newton"
+	"fun3d/internal/partition"
+	"fun3d/internal/perfmodel"
+	"fun3d/internal/prof"
+)
+
+// solveOnce runs a full application solve and returns the app (caller
+// closes) plus the result.
+func solveOnce(m *mesh.Mesh, cfg core.Config, opt newton.Options) (*core.App, core.RunResult, error) {
+	app, err := core.NewApp(m, cfg)
+	if err != nil {
+		return nil, core.RunResult{}, err
+	}
+	r, err := app.Run(opt)
+	if err != nil {
+		app.Close()
+		return nil, core.RunResult{}, err
+	}
+	return app, r, nil
+}
+
+// table1 reproduces Table I: baseline (sequential) mesh sizes, steps,
+// linear iterations and time to convergence for Mesh-C' and Mesh-D'.
+func table1(o *Options) error {
+	header(o, "Table I: baseline performance", "Mesh-C: 3.58e5 vtx / 2.40e6 edges, 13 steps, 383 iters, 282 s; Mesh-D: 2.76e6 vtx / 1.89e7 edges, 29 steps, 1709 iters, 1.02e4 s")
+	specs := []struct {
+		name string
+		spec mesh.GenSpec
+	}{{"Mesh-C'", o.SingleSpec}}
+	if !o.Quick {
+		specs = append(specs, struct {
+			name string
+			spec mesh.GenSpec
+		}{"Mesh-D'", mesh.ScaleSpec(o.SingleSpec, 4)})
+	}
+	w := table(o)
+	fmt.Fprintln(w, "mesh\tvertices\tedges\tsteps\tlinear iters\ttime")
+	for _, s := range specs {
+		m, err := mesh.Generate(s.spec)
+		if err != nil {
+			return err
+		}
+		app, r, err := solveOnce(m, core.BaselineConfig(), newton.Options{
+			MaxSteps: 60, CFL0: o.CFL0 / 2, // gentler CFL gives a paper-like transient phase
+		})
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "%s\t%d\t%d\t%d\t%d\t%v\n",
+			s.name, m.NumVertices(), m.NumEdges(),
+			len(r.History.Steps), r.History.LinearIters, r.WallTime.Round(time.Millisecond))
+		app.Close()
+	}
+	return w.Flush()
+}
+
+// table2 reproduces Table II: ILU-0 vs ILU-1 — available parallelism,
+// linear iterations, single-core and multi-core time, speedup.
+func table2(o *Options) error {
+	header(o, "Table II: ILU-0 vs ILU-1", "parallelism 248X vs 60X; iters 777 vs 383; 10-core speedup 6.9X vs 3.5X; ILU-0 wins at 10 cores by ~1.3X")
+	m, err := mesh.Generate(o.SingleSpec)
+	if err != nil {
+		return err
+	}
+	w := table(o)
+	tm := perfmodel.PaperNode()
+	fmt.Fprintln(w, "fill\tparallelism\tlinear iters\tseq time\tpar time\tmeasured speedup\tprojected 10-core")
+	type row struct {
+		seq  float64
+		proj float64
+	}
+	rows := map[int]row{}
+	for _, fill := range []int{0, 1} {
+		cfgSeq := core.BaselineConfig()
+		cfgSeq.FillLevel = fill
+		appS, rs, err := solveOnce(m, cfgSeq, newton.Options{MaxSteps: 60, CFL0: o.CFL0})
+		if err != nil {
+			return err
+		}
+		parallelism := appS.Pre.Parallelism()
+		// Amdahl projection with this fill level's own profile and DAG
+		// parallelism (the Table II mechanism: ILU-1 converges faster but
+		// its recurrences parallelize worse).
+		fr := appS.Prof.Fractions()
+		recS := minF(float64(tm.Cores), parallelism)
+		recBW := minF(recS, perfmodel.BwSpeedup(tm, tm.Cores))
+		edgeS := 2.25 / tm.Compute(1, tm.Cores, 0.09, 1.05)
+		inv := (fr[prof.Flux]+fr[prof.Gradient]+fr[prof.Jacobian])/edgeS +
+			fr[prof.ILU]/recS + fr[prof.TRSV]/recBW +
+			fr[prof.VecOps]/float64(tm.Cores) + fr[prof.Other]
+		projTime := rs.WallTime.Seconds() * inv
+		rows[fill] = row{seq: rs.WallTime.Seconds(), proj: projTime}
+		appS.Close()
+
+		cfgPar := core.OptimizedConfig(o.MaxThreads)
+		cfgPar.FillLevel = fill
+		appP, rp, err := solveOnce(m, cfgPar, newton.Options{MaxSteps: 60, CFL0: o.CFL0})
+		if err != nil {
+			return err
+		}
+		appP.Close()
+		fmt.Fprintf(w, "ILU-%d\t%.0fX\t%d\t%v\t%v\t%.2fX\t%.1fX\n",
+			fill, parallelism, rs.History.LinearIters,
+			rs.WallTime.Round(time.Millisecond), rp.WallTime.Round(time.Millisecond),
+			rs.WallTime.Seconds()/rp.WallTime.Seconds(), 1/inv)
+	}
+	// The paper's punchline: which fill level wins at full thread count?
+	r0, r1 := rows[0], rows[1]
+	if r0.proj > 0 && r1.proj > 0 {
+		fmt.Fprintf(w, "(projected 10-core times: ILU-0 %.2fs vs ILU-1 %.2fs => ILU-%d wins by %.2fX; paper: ILU-0 by 1.3X)\n",
+			r0.proj, r1.proj, btoi(r0.proj > r1.proj), maxF(r0.proj, r1.proj)/minF(r0.proj, r1.proj))
+	}
+	return w.Flush()
+}
+
+func btoi(oneWins bool) int {
+	if oneWins {
+		return 1
+	}
+	return 0
+}
+
+func maxF(a, b float64) float64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// fig5 reproduces the baseline execution-time profile.
+func fig5(o *Options) error {
+	header(o, "Fig 5: baseline performance profile", "flux 42%, trsv 17%, ilu 16%, gradient 13%, jacobian 7%, other ~5%")
+	m, err := mesh.Generate(o.SingleSpec)
+	if err != nil {
+		return err
+	}
+	cfg := core.BaselineConfig()
+	cfg.SecondOrder = true // the paper's production discretization
+	cfg.Limiter = true
+	app, _, err := solveOnce(m, cfg, newton.Options{MaxSteps: 60, CFL0: o.CFL0})
+	if err != nil {
+		return err
+	}
+	defer app.Close()
+	paper := map[prof.Kernel]float64{
+		prof.Flux: 0.42, prof.TRSV: 0.17, prof.ILU: 0.16,
+		prof.Gradient: 0.13, prof.Jacobian: 0.07,
+	}
+	fr := app.Prof.Fractions()
+	w := table(o)
+	fmt.Fprintln(w, "kernel\tpaper\tmeasured")
+	for _, k := range prof.Kernels() {
+		p, ok := paper[k]
+		ps := "-"
+		if ok {
+			ps = fmt.Sprintf("%.0f%%", 100*p)
+		}
+		fmt.Fprintf(w, "%v\t%s\t%.1f%%\n", k, ps, 100*fr[k])
+	}
+	return w.Flush()
+}
+
+// fig8a reproduces the optimized full-application comparison; fig8b the
+// kernel-wise speedups (same data, per-kernel view).
+func fig8(o *Options, kernelView bool) error {
+	m, err := mesh.Generate(o.SingleSpec)
+	if err != nil {
+		return err
+	}
+	nopt := newton.Options{MaxSteps: 60, CFL0: o.CFL0}
+	base, rb, err := solveOnce(m, core.BaselineConfig(), nopt)
+	if err != nil {
+		return err
+	}
+	defer base.Close()
+	opt, ro, err := solveOnce(m, core.OptimizedConfig(o.MaxThreads), nopt)
+	if err != nil {
+		return err
+	}
+	defer opt.Close()
+
+	w := table(o)
+	if !kernelView {
+		fmt.Fprintln(w, "version\ttime\tsteps\tlinear iters\tspeedup")
+		fmt.Fprintf(w, "baseline (1 thread)\t%v\t%d\t%d\t1.00X\n",
+			rb.WallTime.Round(time.Millisecond), len(rb.History.Steps), rb.History.LinearIters)
+		fmt.Fprintf(w, "optimized (%d threads)\t%v\t%d\t%d\t%.2fX\n",
+			o.MaxThreads, ro.WallTime.Round(time.Millisecond), len(ro.History.Steps),
+			ro.History.LinearIters, rb.WallTime.Seconds()/ro.WallTime.Seconds())
+
+		// Amdahl projection to the paper's node: combine the baseline
+		// profile fractions with per-kernel projected speedups (edge
+		// kernels: compute model with our partition metrics + the paper's
+		// SIMD/layout factors; recurrences: DAG/bandwidth model).
+		tm := perfmodel.PaperNode()
+		g := partition.FromMesh(base.Mesh.AdjPtr, base.Mesh.Adj, true)
+		mlPart, err := partition.Multilevel(g, tm.Cores, partition.Options{Seed: 3})
+		if err != nil {
+			return err
+		}
+		q := partition.Evaluate(g, mlPart, tm.Cores)
+		edgeSpeedup := 1 / (tm.Compute(1, tm.Cores, q.Replication, q.Imbalance)) * 2.25
+		parl := base.Pre.Parallelism()
+		recSpeedup := func(bwBound bool) float64 {
+			eff := minF(float64(tm.Cores), parl)
+			if bwBound {
+				eff = minF(eff, perfmodel.BwSpeedup(tm, tm.Cores))
+			}
+			return eff
+		}
+		fr := base.Prof.Fractions()
+		inv := fr[prof.Flux]/edgeSpeedup +
+			fr[prof.Gradient]/edgeSpeedup +
+			fr[prof.Jacobian]/edgeSpeedup +
+			fr[prof.ILU]/recSpeedup(false) +
+			fr[prof.TRSV]/recSpeedup(true) +
+			fr[prof.VecOps]/float64(tm.Cores) +
+			fr[prof.Other]
+		fmt.Fprintf(w, "projected on a %d-core node\t\t\t\t%.1fX\n", tm.Cores, 1/inv)
+		fmt.Fprintf(w, "(projection inputs: edge kernels %.1fX incl. paper SIMD/layout 2.25x, ILU %.1fX, TRSV %.1fX, DAG parallelism %.0fX)\n",
+			edgeSpeedup, recSpeedup(false), recSpeedup(true), parl)
+	} else {
+		fmt.Fprintln(w, "kernel\tbaseline\toptimized\tspeedup")
+		for _, k := range prof.Kernels() {
+			tb := base.Prof.Total(k).Seconds()
+			to := opt.Prof.Total(k).Seconds()
+			if tb == 0 && to == 0 {
+				continue
+			}
+			sp := "-"
+			if to > 0 {
+				sp = fmt.Sprintf("%.2fX", tb/to)
+			}
+			fmt.Fprintf(w, "%v\t%.3fs\t%.3fs\t%s\n", k, tb, to, sp)
+		}
+	}
+	return w.Flush()
+}
+
+func fig8a(o *Options) error {
+	header(o, "Fig 8a: optimized full-application time to solution", "6.9X on 10 cores (20 threads) vs baseline")
+	return fig8(o, false)
+}
+
+func fig8b(o *Options) error {
+	header(o, "Fig 8b: kernel-wise speedups, baseline vs optimized", "flux ~20.6X, ILU ~9.4X, TRSV ~3.2X on 10 cores")
+	return fig8(o, true)
+}
+
+func minF(a, b float64) float64 {
+	if a < b {
+		return a
+	}
+	return b
+}

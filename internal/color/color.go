@@ -1,0 +1,117 @@
+// Package color implements greedy edge coloring: a partition of mesh edges
+// into conflict-free groups (no two edges in a group share a vertex), the
+// classic alternative the paper mentions for extracting edge-loop
+// concurrency — and then rejects for its poor spatial locality, a tradeoff
+// our benchmarks reproduce.
+package color
+
+import "fmt"
+
+// EdgeColoring holds edges grouped by color. Edges within one color touch
+// disjoint vertices, so a color can be processed fully in parallel without
+// atomics or replication.
+type EdgeColoring struct {
+	// Order lists edge indices grouped by color; Offsets[c]..Offsets[c+1]
+	// delimit color c.
+	Order   []int32
+	Offsets []int32
+}
+
+// NumColors returns the number of colors.
+func (c *EdgeColoring) NumColors() int { return len(c.Offsets) - 1 }
+
+// Color returns the edge indices of color c.
+func (c *EdgeColoring) Color(i int) []int32 { return c.Order[c.Offsets[i]:c.Offsets[i+1]] }
+
+// Greedy colors the edges given by endpoint arrays ev1/ev2 over nv vertices.
+// Edges are visited in index order; each takes the smallest color not used
+// by any incident edge so far. For meshes of maximum degree D this uses at
+// most 2D-1 colors.
+func Greedy(nv int, ev1, ev2 []int32) *EdgeColoring {
+	ne := len(ev1)
+	// lastColorUsed[v*stride+c] would be heavy; instead track per-vertex
+	// bitmask for up to 64 colors and fall back to a slice if exceeded.
+	const maxFast = 64
+	mask := make([]uint64, nv)
+	overflow := map[int32]map[int32]bool{} // vertex -> colors >= maxFast
+	colorOf := make([]int32, ne)
+	maxColor := int32(0)
+	for e := 0; e < ne; e++ {
+		a, b := ev1[e], ev2[e]
+		used := mask[a] | mask[b]
+		var c int32
+		for c = 0; c < maxFast; c++ {
+			if used&(1<<uint(c)) == 0 {
+				break
+			}
+		}
+		if c == maxFast {
+			// Rare: scan overflow sets.
+			for ; ; c++ {
+				if !overflow[a][c] && !overflow[b][c] {
+					break
+				}
+			}
+		}
+		colorOf[e] = c
+		if c < maxFast {
+			mask[a] |= 1 << uint(c)
+			mask[b] |= 1 << uint(c)
+		} else {
+			for _, v := range [2]int32{a, b} {
+				if overflow[v] == nil {
+					overflow[v] = map[int32]bool{}
+				}
+				overflow[v][c] = true
+			}
+		}
+		if c+1 > maxColor {
+			maxColor = c + 1
+		}
+	}
+	// Bucket edges by color.
+	counts := make([]int32, maxColor+1)
+	for _, c := range colorOf {
+		counts[c+1]++
+	}
+	for c := int32(0); c < maxColor; c++ {
+		counts[c+1] += counts[c]
+	}
+	order := make([]int32, ne)
+	fill := make([]int32, maxColor)
+	for e := 0; e < ne; e++ {
+		c := colorOf[e]
+		order[counts[c]+fill[c]] = int32(e)
+		fill[c]++
+	}
+	return &EdgeColoring{Order: order, Offsets: counts}
+}
+
+// Verify checks that no color contains two edges sharing a vertex and that
+// every edge appears exactly once.
+func (c *EdgeColoring) Verify(nv int, ev1, ev2 []int32) error {
+	seen := make([]bool, len(ev1))
+	stamp := make([]int32, nv)
+	for i := range stamp {
+		stamp[i] = -1
+	}
+	for col := 0; col < c.NumColors(); col++ {
+		for _, e := range c.Color(col) {
+			if seen[e] {
+				return fmt.Errorf("color: edge %d appears twice", e)
+			}
+			seen[e] = true
+			a, b := ev1[e], ev2[e]
+			if stamp[a] == int32(col) || stamp[b] == int32(col) {
+				return fmt.Errorf("color: conflict in color %d at edge %d", col, e)
+			}
+			stamp[a], stamp[b] = int32(col), int32(col)
+		}
+	}
+	for e, s := range seen {
+		if !s {
+			return fmt.Errorf("color: edge %d missing", e)
+		}
+	}
+	return nil
+}

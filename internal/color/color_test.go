@@ -1,0 +1,116 @@
+package color
+
+import (
+	"testing"
+	"testing/quick"
+
+	"fun3d/internal/mesh"
+)
+
+func TestGreedyOnMesh(t *testing.T) {
+	m, err := mesh.Generate(mesh.SpecTiny())
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := Greedy(m.NumVertices(), m.EV1, m.EV2)
+	if err := c.Verify(m.NumVertices(), m.EV1, m.EV2); err != nil {
+		t.Fatal(err)
+	}
+	stats := m.ComputeStats()
+	if c.NumColors() < stats.MaxDegree {
+		t.Fatalf("colors %d < max degree %d (impossible)", c.NumColors(), stats.MaxDegree)
+	}
+	if c.NumColors() > 2*stats.MaxDegree {
+		t.Fatalf("colors %d > 2*maxdeg %d (greedy bound broken)", c.NumColors(), stats.MaxDegree)
+	}
+	t.Logf("colors=%d maxdeg=%d", c.NumColors(), stats.MaxDegree)
+}
+
+func TestGreedyStar(t *testing.T) {
+	// Star graph: all edges share vertex 0, so every edge needs its own color.
+	n := 10
+	ev1 := make([]int32, n-1)
+	ev2 := make([]int32, n-1)
+	for i := 1; i < n; i++ {
+		ev1[i-1] = 0
+		ev2[i-1] = int32(i)
+	}
+	c := Greedy(n, ev1, ev2)
+	if c.NumColors() != n-1 {
+		t.Fatalf("star colors = %d, want %d", c.NumColors(), n-1)
+	}
+	if err := c.Verify(n, ev1, ev2); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGreedyMatching(t *testing.T) {
+	// Perfect matching: one color suffices.
+	ev1 := []int32{0, 2, 4}
+	ev2 := []int32{1, 3, 5}
+	c := Greedy(6, ev1, ev2)
+	if c.NumColors() != 1 {
+		t.Fatalf("matching colors = %d", c.NumColors())
+	}
+}
+
+func TestGreedyEmpty(t *testing.T) {
+	c := Greedy(5, nil, nil)
+	if c.NumColors() != 0 {
+		t.Fatalf("empty coloring has %d colors", c.NumColors())
+	}
+}
+
+func TestGreedyOverflowColors(t *testing.T) {
+	// Force more than 64 colors with a star of 70 edges.
+	n := 71
+	ev1 := make([]int32, n-1)
+	ev2 := make([]int32, n-1)
+	for i := 1; i < n; i++ {
+		ev1[i-1] = 0
+		ev2[i-1] = int32(i)
+	}
+	c := Greedy(n, ev1, ev2)
+	if c.NumColors() != 70 {
+		t.Fatalf("colors = %d, want 70", c.NumColors())
+	}
+	if err := c.Verify(n, ev1, ev2); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: greedy coloring of random graphs is always conflict-free and
+// complete.
+func TestGreedyProperty(t *testing.T) {
+	f := func(seed uint64) bool {
+		n := int(seed%30) + 4
+		var ev1, ev2 []int32
+		s := seed
+		next := func() uint64 {
+			s = s*6364136223846793005 + 1442695040888963407
+			return s >> 33
+		}
+		seen := map[[2]int32]bool{}
+		for k := 0; k < n*2; k++ {
+			a := int32(next() % uint64(n))
+			b := int32(next() % uint64(n))
+			if a == b {
+				continue
+			}
+			if a > b {
+				a, b = b, a
+			}
+			if seen[[2]int32{a, b}] {
+				continue
+			}
+			seen[[2]int32{a, b}] = true
+			ev1 = append(ev1, a)
+			ev2 = append(ev2, b)
+		}
+		c := Greedy(n, ev1, ev2)
+		return c.Verify(n, ev1, ev2) == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,250 @@
+// Package core assembles the full application the paper studies — the
+// PETSc-FUN3D equivalent: an unstructured-mesh incompressible Euler solver
+// driven by pseudo-transient Newton-Krylov-Schwarz, with every shared-memory
+// optimization switchable so the benchmark harness can walk the paper's
+// optimization ladder (baseline → +threading → +data layout → +SIMD →
+// +prefetch; level-scheduled vs P2P recurrences; ILU-0 vs ILU-1; threaded
+// vs sequential vector primitives).
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"fun3d/internal/flux"
+	"fun3d/internal/mesh"
+	"fun3d/internal/newton"
+	"fun3d/internal/par"
+	"fun3d/internal/physics"
+	"fun3d/internal/precond"
+	"fun3d/internal/prof"
+	"fun3d/internal/reorder"
+	"fun3d/internal/sparse"
+	"fun3d/internal/vecop"
+)
+
+// Config selects the solver configuration and optimization level.
+type Config struct {
+	// Threads is the worker count; <=1 runs sequentially.
+	Threads int
+	// Strategy is the edge-loop parallelization (ignored when Threads<=1).
+	Strategy flux.Strategy
+	// SoANodeData uses the baseline plane layout for the state vector in
+	// the flux kernel.
+	SoANodeData bool
+	// SIMD enables edge-batch restructuring; Prefetch the lookahead touches.
+	SIMD, Prefetch bool
+	// RCM reorders the mesh with Reverse Cuthill-McKee (the paper always
+	// does; switchable to quantify it).
+	RCM bool
+	// Sched picks the sparse-recurrence parallelization.
+	Sched precond.Scheduling
+	// FillLevel is the ILU fill (paper default 1).
+	FillLevel int
+	// Subdomains is the additive-Schwarz block count (1 = global ILU).
+	Subdomains int
+	// ParallelVecOps threads the vector primitives (the PETSc routines the
+	// paper says are NOT threaded out of the box).
+	ParallelVecOps bool
+	// SecondOrder/Limiter select the residual discretization.
+	SecondOrder, Limiter bool
+
+	// Flow setup.
+	AlphaDeg float64
+	Beta     float64
+
+	// PartitionSeed seeds the multilevel partitioner.
+	PartitionSeed uint64
+}
+
+// BaselineConfig mirrors the paper's out-of-the-box single-threaded code:
+// RCM + interlaced (AoS) node data + BCSR (the 1999 optimizations are
+// retained), but no threading, no SIMD restructuring, no prefetch,
+// sequential recurrences, ILU(1), sequential vector primitives.
+func BaselineConfig() Config {
+	return Config{
+		Threads:   1,
+		Strategy:  flux.Sequential,
+		RCM:       true,
+		Sched:     precond.SchedSequential,
+		FillLevel: 1,
+		AlphaDeg:  3.06,
+		Beta:      5,
+	}
+}
+
+// OptimizedConfig is the paper's fully optimized single-node configuration:
+// METIS-partitioned owner-writes threading, AoS node data, SIMD batching,
+// prefetch, P2P-sparsified recurrences, threaded vector primitives.
+func OptimizedConfig(threads int) Config {
+	c := BaselineConfig()
+	c.Threads = threads
+	c.Strategy = flux.ReplicateMETIS
+	c.SIMD = true
+	c.Prefetch = true
+	c.Sched = precond.SchedP2P
+	c.ParallelVecOps = true
+	return c
+}
+
+// App is a ready-to-run solver instance.
+type App struct {
+	Cfg    Config
+	Mesh   *mesh.Mesh // the (possibly reordered) mesh the solver runs on
+	Perm   []int32    // original->solver vertex permutation (nil if none)
+	Pool   *par.Pool
+	Kern   *flux.Kernels
+	Pre    *precond.ASM
+	A      *sparse.BSR
+	Step   *newton.Stepper
+	Prof   *prof.Profile
+	Q      []float64 // current state, AoS over solver numbering
+	QInf   physics.State
+	closed bool
+}
+
+// NewApp builds an application instance on mesh m (not modified; a
+// reordered copy is made when cfg.RCM).
+func NewApp(m *mesh.Mesh, cfg Config) (*App, error) {
+	if cfg.Beta <= 0 {
+		cfg.Beta = 5
+	}
+	app := &App{Cfg: cfg, Prof: &prof.Profile{}}
+	app.Mesh = m
+	if cfg.RCM {
+		perm := reorder.RCM(reorder.Graph{Ptr: m.AdjPtr, Adj: m.Adj})
+		app.Perm = perm
+		app.Mesh = m.Permute(perm)
+	}
+	if cfg.Threads > 1 {
+		app.Pool = par.NewPool(cfg.Threads)
+	}
+	nthreads := cfg.Threads
+	if nthreads < 1 {
+		nthreads = 1
+	}
+	strategy := cfg.Strategy
+	if app.Pool == nil {
+		strategy = flux.Sequential
+	}
+	part, err := flux.NewPartition(app.Mesh, nthreads, strategy, cfg.PartitionSeed)
+	if err != nil {
+		app.Close()
+		return nil, err
+	}
+	app.QInf = physics.FreeStream(cfg.AlphaDeg)
+	app.Kern = flux.NewKernels(app.Mesh, cfg.Beta, app.QInf, app.Pool, part, flux.Config{
+		Strategy:    strategy,
+		SoANodeData: cfg.SoANodeData,
+		SIMD:        cfg.SIMD,
+		Prefetch:    cfg.Prefetch,
+	})
+	app.A = sparse.NewBSRFromAdj(app.Mesh.AdjPtr, app.Mesh.Adj)
+	sched := cfg.Sched
+	if app.Pool == nil {
+		sched = precond.SchedSequential
+	}
+	nsub := cfg.Subdomains
+	if nsub <= 0 {
+		nsub = 1
+	}
+	app.Pre, err = precond.New(app.A, app.Pool, precond.Options{
+		Subdomains: nsub,
+		FillLevel:  cfg.FillLevel,
+		Sched:      sched,
+	})
+	if err != nil {
+		app.Close()
+		return nil, err
+	}
+	ops := vecop.Ops{}
+	if cfg.ParallelVecOps && app.Pool != nil {
+		ops.Pool = app.Pool
+	}
+	app.Step = newton.NewStepper(app.Kern, app.Pre, app.A, ops, app.Prof)
+	app.ResetState()
+	return app, nil
+}
+
+// ResetState reinitializes the state vector to freestream.
+func (app *App) ResetState() {
+	nv := app.Mesh.NumVertices()
+	if app.Q == nil {
+		app.Q = make([]float64, nv*4)
+	}
+	for v := 0; v < nv; v++ {
+		copy(app.Q[v*4:v*4+4], app.QInf[:])
+	}
+}
+
+// RunResult is the outcome of a full solve.
+type RunResult struct {
+	History  newton.History
+	WallTime time.Duration
+}
+
+// Run drives the solver to convergence (or opt.MaxSteps) and reports the
+// history plus wall time. The per-kernel breakdown accumulates in
+// app.Prof.
+func (app *App) Run(opt newton.Options) (RunResult, error) {
+	opt.SecondOrder = app.Cfg.SecondOrder
+	opt.Limiter = app.Cfg.Limiter
+	t0 := time.Now()
+	h, err := app.Step.Solve(app.Q, opt)
+	return RunResult{History: h, WallTime: time.Since(t0)}, err
+}
+
+// StateOriginalOrder returns a copy of the state indexed by the original
+// mesh numbering (undoing the RCM permutation).
+func (app *App) StateOriginalOrder() []float64 {
+	if app.Perm == nil {
+		return append([]float64(nil), app.Q...)
+	}
+	out := make([]float64, len(app.Q))
+	for old, nw := range app.Perm {
+		copy(out[old*4:old*4+4], app.Q[int(nw)*4:int(nw)*4+4])
+	}
+	return out
+}
+
+// SurfaceSample holds one wall vertex's pressure coefficient.
+type SurfaceSample struct {
+	X, Y, Z float64
+	Cp      float64
+}
+
+// SurfacePressure extracts Cp = 2p (unit freestream speed, zero freestream
+// gauge pressure) at every wall vertex.
+func (app *App) SurfacePressure() []SurfaceSample {
+	m := app.Mesh
+	var out []SurfaceSample
+	seen := make(map[int32]bool)
+	for _, bn := range m.BNodes {
+		if bn.Kind != mesh.PatchWall || seen[bn.V] {
+			continue
+		}
+		seen[bn.V] = true
+		c := m.Coords[bn.V]
+		out = append(out, SurfaceSample{X: c.X, Y: c.Y, Z: c.Z, Cp: 2 * app.Q[bn.V*4]})
+	}
+	return out
+}
+
+// Close releases the worker pool. The App is unusable afterwards.
+func (app *App) Close() {
+	if app.closed {
+		return
+	}
+	app.closed = true
+	if app.Pool != nil {
+		app.Pool.Close()
+	}
+}
+
+// Describe summarizes the configuration for logs and reports.
+func (app *App) Describe() string {
+	c := app.Cfg
+	return fmt.Sprintf("threads=%d strategy=%v soa=%v simd=%v prefetch=%v rcm=%v sched=%v ilu=%d sub=%d pvec=%v order2=%v",
+		c.Threads, c.Strategy, c.SoANodeData, c.SIMD, c.Prefetch, c.RCM, c.Sched,
+		c.FillLevel, max(1, c.Subdomains), c.ParallelVecOps, c.SecondOrder)
+}

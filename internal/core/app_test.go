@@ -1,0 +1,314 @@
+package core
+
+import (
+	"bytes"
+	"math"
+	"runtime"
+	"testing"
+
+	"fun3d/internal/mesh"
+	"fun3d/internal/newton"
+	"fun3d/internal/prof"
+)
+
+func tinyMesh(t testing.TB) *mesh.Mesh {
+	m, err := mesh.Generate(mesh.SpecTiny())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestBaselineConverges(t *testing.T) {
+	m := tinyMesh(t)
+	app, err := NewApp(m, BaselineConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer app.Close()
+	r, err := app.Run(newton.Options{MaxSteps: 60})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r.History.Converged {
+		t.Fatalf("baseline not converged: %+v", r.History)
+	}
+	t.Logf("baseline: %d steps, %d linear iters, %v",
+		len(r.History.Steps), r.History.LinearIters, r.WallTime)
+	t.Logf("profile:\n%s", app.Prof)
+}
+
+func TestOptimizedMatchesBaselineSolution(t *testing.T) {
+	m := tinyMesh(t)
+	base, err := NewApp(m, BaselineConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer base.Close()
+	if _, err := base.Run(newton.Options{MaxSteps: 60}); err != nil {
+		t.Fatal(err)
+	}
+
+	nThreads := min(4, runtime.NumCPU())
+	opt, err := NewApp(m, OptimizedConfig(nThreads))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer opt.Close()
+	r, err := opt.Run(newton.Options{MaxSteps: 60})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r.History.Converged {
+		t.Fatal("optimized not converged")
+	}
+
+	// Both solve the same discrete problem: compare in ORIGINAL ordering
+	// (both use RCM so orderings coincide, but go through the API).
+	qb := base.StateOriginalOrder()
+	qo := opt.StateOriginalOrder()
+	maxDiff := 0.0
+	for i := range qb {
+		if d := math.Abs(qb[i] - qo[i]); d > maxDiff {
+			maxDiff = d
+		}
+	}
+	if maxDiff > 1e-3 {
+		t.Fatalf("optimized solution differs from baseline by %g", maxDiff)
+	}
+}
+
+func TestRCMToggleSameSolution(t *testing.T) {
+	m := tinyMesh(t)
+	var states [2][]float64
+	for i, rcm := range []bool{false, true} {
+		cfg := BaselineConfig()
+		cfg.RCM = rcm
+		app, err := NewApp(m, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		r, err := app.Run(newton.Options{MaxSteps: 60})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !r.History.Converged {
+			t.Fatalf("rcm=%v not converged", rcm)
+		}
+		states[i] = app.StateOriginalOrder()
+		app.Close()
+	}
+	maxDiff := 0.0
+	for i := range states[0] {
+		if d := math.Abs(states[0][i] - states[1][i]); d > maxDiff {
+			maxDiff = d
+		}
+	}
+	if maxDiff > 1e-3 {
+		t.Fatalf("RCM changes the converged solution by %g", maxDiff)
+	}
+}
+
+func TestSurfacePressure(t *testing.T) {
+	m := tinyMesh(t)
+	app, err := NewApp(m, BaselineConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer app.Close()
+	if _, err := app.Run(newton.Options{MaxSteps: 60}); err != nil {
+		t.Fatal(err)
+	}
+	cp := app.SurfacePressure()
+	if len(cp) == 0 {
+		t.Fatal("no wall samples")
+	}
+	// Physically: somewhere on the wing the pressure deviates from
+	// freestream (stagnation/suction).
+	maxCp := 0.0
+	for _, s := range cp {
+		if a := math.Abs(s.Cp); a > maxCp {
+			maxCp = a
+		}
+	}
+	if maxCp < 1e-3 {
+		t.Fatalf("flat Cp distribution: max|Cp|=%g", maxCp)
+	}
+}
+
+func TestProfileHasFig5Categories(t *testing.T) {
+	m := tinyMesh(t)
+	cfg := BaselineConfig()
+	cfg.SecondOrder = true
+	cfg.Limiter = true
+	app, err := NewApp(m, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer app.Close()
+	if _, err := app.Run(newton.Options{MaxSteps: 20, RelTol: 1e-4}); err != nil {
+		t.Fatal(err)
+	}
+	fr := app.Prof.Fractions()
+	for _, k := range []prof.Kernel{prof.Flux, prof.Gradient, prof.Jacobian, prof.ILU, prof.TRSV} {
+		if fr[k] <= 0 {
+			t.Fatalf("kernel %v missing from profile: %v", k, fr)
+		}
+	}
+	if app.Describe() == "" {
+		t.Fatal("empty description")
+	}
+}
+
+func TestResetState(t *testing.T) {
+	m := tinyMesh(t)
+	app, err := NewApp(m, BaselineConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer app.Close()
+	if _, err := app.Run(newton.Options{MaxSteps: 30}); err != nil {
+		t.Fatal(err)
+	}
+	app.ResetState()
+	for v := 0; v < app.Mesh.NumVertices(); v++ {
+		for c := 0; c < 4; c++ {
+			if app.Q[v*4+c] != app.QInf[c] {
+				t.Fatal("reset did not restore freestream")
+			}
+		}
+	}
+}
+
+func TestConfigVariantsConverge(t *testing.T) {
+	m := tinyMesh(t)
+	nThreads := min(4, runtime.NumCPU())
+	variants := map[string]Config{}
+
+	atomic := OptimizedConfig(nThreads)
+	atomic.Strategy = 1 // flux.Atomic
+	atomic.SIMD = false
+	variants["atomic"] = atomic
+
+	lvl := OptimizedConfig(nThreads)
+	lvl.Sched = 1 // precond.SchedLevel
+	variants["level-sched"] = lvl
+
+	sub := BaselineConfig()
+	sub.Subdomains = 4
+	sub.FillLevel = 0
+	variants["schwarz-4"] = sub
+
+	for name, cfg := range variants {
+		app, err := NewApp(m, cfg)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		r, err := app.Run(newton.Options{MaxSteps: 80})
+		app.Close()
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if !r.History.Converged {
+			t.Fatalf("%s: not converged", name)
+		}
+	}
+}
+
+func TestSurfaceForces(t *testing.T) {
+	m := tinyMesh(t)
+	app, err := NewApp(m, BaselineConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer app.Close()
+	// At freestream (p = 0 everywhere) the pressure force is exactly zero.
+	f0 := app.SurfaceForces(0)
+	if f0.Fx != 0 || f0.Fz != 0 {
+		t.Fatalf("freestream force nonzero: %+v", f0)
+	}
+	if _, err := app.Run(newton.Options{MaxSteps: 60}); err != nil {
+		t.Fatal(err)
+	}
+	f := app.SurfaceForces(0)
+	if f.SRef <= 0 {
+		t.Fatalf("bad reference area: %+v", f)
+	}
+	// A lifting wing at positive alpha: CL should be positive and O(0.1).
+	if f.CL <= 0 || f.CL > 5 {
+		t.Fatalf("implausible CL: %+v", f)
+	}
+	t.Logf("forces: CL=%.4f CD=%.4f Sref=%.4f", f.CL, f.CD, f.SRef)
+	// Explicit sref is honored.
+	f2 := app.SurfaceForces(2 * f.SRef)
+	if math.Abs(f2.CL-f.CL/2) > 1e-12 {
+		t.Fatalf("sref scaling wrong: %v vs %v", f2.CL, f.CL/2)
+	}
+}
+
+func TestCheckpointRoundtrip(t *testing.T) {
+	m := tinyMesh(t)
+	app, err := NewApp(m, BaselineConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer app.Close()
+	if _, err := app.Run(newton.Options{MaxSteps: 30}); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := app.SaveState(&buf); err != nil {
+		t.Fatal(err)
+	}
+	want := app.StateOriginalOrder()
+
+	// Restore into a DIFFERENTLY configured app (no RCM => different
+	// internal ordering); original-order states must agree exactly.
+	cfg := BaselineConfig()
+	cfg.RCM = false
+	app2, err := NewApp(m, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer app2.Close()
+	if err := app2.LoadState(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got := app2.StateOriginalOrder()
+	for i := range want {
+		if want[i] != got[i] {
+			t.Fatalf("checkpoint mismatch at %d", i)
+		}
+	}
+	// Restart from the checkpoint: the initial residual must already be
+	// tiny (the loaded state is the converged one; the solver then chases
+	// its fresh relative tolerance from there).
+	r, err := app2.Run(newton.Options{MaxSteps: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.History.RNorm0 > 1e-5 {
+		t.Fatalf("restart initial residual too large: %g", r.History.RNorm0)
+	}
+	if !r.History.Converged {
+		t.Fatalf("restart did not converge: %+v", r.History)
+	}
+
+	// Size mismatch rejected.
+	var buf2 bytes.Buffer
+	if err := app.SaveState(&buf2); err != nil {
+		t.Fatal(err)
+	}
+	mBig, err := mesh.Generate(mesh.GenSpec{NX: 12, NY: 9, NZ: 9, Wing: mesh.M6Wing(), HasWing: true, Shuffle: true, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	app3, err := NewApp(mBig, BaselineConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer app3.Close()
+	if err := app3.LoadState(&buf2); err == nil {
+		t.Fatal("size mismatch accepted")
+	}
+}

@@ -1,0 +1,53 @@
+package core
+
+import (
+	"encoding/gob"
+	"fmt"
+	"io"
+)
+
+// checkpoint is the serialized solver state.
+type checkpoint struct {
+	NV       int
+	AlphaDeg float64
+	Beta     float64
+	Q        []float64 // original vertex ordering
+}
+
+// SaveState writes the current state (in original vertex ordering, so
+// checkpoints are portable across solver configurations on the same mesh).
+func (app *App) SaveState(w io.Writer) error {
+	cp := checkpoint{
+		NV:       app.Mesh.NumVertices(),
+		AlphaDeg: app.Cfg.AlphaDeg,
+		Beta:     app.Cfg.Beta,
+		Q:        app.StateOriginalOrder(),
+	}
+	return gob.NewEncoder(w).Encode(&cp)
+}
+
+// LoadState restores a state written by SaveState. The mesh sizes must
+// match; the flow parameters are informational (a warning-level mismatch
+// is tolerated since restarting at a new angle of attack is a standard
+// continuation technique).
+func (app *App) LoadState(r io.Reader) error {
+	var cp checkpoint
+	if err := gob.NewDecoder(r).Decode(&cp); err != nil {
+		return fmt.Errorf("core: checkpoint decode: %w", err)
+	}
+	if cp.NV != app.Mesh.NumVertices() {
+		return fmt.Errorf("core: checkpoint has %d vertices, mesh has %d", cp.NV, app.Mesh.NumVertices())
+	}
+	if len(cp.Q) != cp.NV*4 {
+		return fmt.Errorf("core: corrupt checkpoint state length %d", len(cp.Q))
+	}
+	// Map original ordering into the solver ordering.
+	if app.Perm == nil {
+		copy(app.Q, cp.Q)
+		return nil
+	}
+	for old, nw := range app.Perm {
+		copy(app.Q[int(nw)*4:int(nw)*4+4], cp.Q[old*4:old*4+4])
+	}
+	return nil
+}

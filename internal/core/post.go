@@ -1,0 +1,56 @@
+package core
+
+import (
+	"math"
+
+	"fun3d/internal/geom"
+	"fun3d/internal/mesh"
+)
+
+// Forces holds the integrated aerodynamic loads on the wall surface
+// (inviscid: pressure only), in the wind frame of the configured angle of
+// attack, normalized the standard way: C = 2F/(ρ V∞² S_ref) with ρ = 1 and
+// |V∞| = 1.
+type Forces struct {
+	// Raw pressure force vector ∫ p n dA over the wall.
+	Fx, Fy, Fz float64
+	// Lift and drag coefficients (wind axes in the x-z plane).
+	CL, CD float64
+	// SRef used for the normalization.
+	SRef float64
+}
+
+// SurfaceForces integrates the wall pressure into force coefficients.
+// sref <= 0 estimates the reference area from the wing planform (projected
+// wall area onto the x-y plane, halved because both wing surfaces project).
+func (app *App) SurfaceForces(sref float64) Forces {
+	var f geom.Vec3
+	projArea := 0.0
+	for _, bn := range app.Mesh.BNodes {
+		if bn.Kind != mesh.PatchWall {
+			continue
+		}
+		p := app.Q[bn.V*4]
+		// Outward normal => force on the body is +p*n (pressure pushes
+		// along the outward normal of the fluid domain boundary, which
+		// points INTO the body; the dual normals here are outward from the
+		// fluid, i.e. into the wing).
+		f = f.Add(bn.Normal.Scale(p))
+		projArea += math.Abs(bn.Normal.Z)
+	}
+	out := Forces{Fx: f.X, Fy: f.Y, Fz: f.Z}
+	out.SRef = sref
+	if out.SRef <= 0 {
+		out.SRef = projArea / 2
+	}
+	if out.SRef <= 0 {
+		return out
+	}
+	// Wind axes: drag along the freestream, lift perpendicular in x-z.
+	a := app.Cfg.AlphaDeg * math.Pi / 180
+	drag := f.X*math.Cos(a) + f.Z*math.Sin(a)
+	lift := -f.X*math.Sin(a) + f.Z*math.Cos(a)
+	out.CD = 2 * drag / out.SRef
+	out.CL = 2 * lift / out.SRef
+	return out
+}

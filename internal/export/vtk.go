@@ -1,0 +1,99 @@
+// Package export writes solutions in exchange formats: legacy-ASCII VTK
+// unstructured grids (loadable in ParaView/VisIt) and CSV tables for the
+// surface distribution and convergence histories.
+package export
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"os"
+
+	"fun3d/internal/mesh"
+)
+
+// VTK writes the mesh and the state q (AoS, nv*4: p,u,v,w) as a legacy
+// ASCII VTK unstructured grid with point data.
+func VTK(w io.Writer, m *mesh.Mesh, q []float64) error {
+	nv := m.NumVertices()
+	if q != nil && len(q) != nv*4 {
+		return fmt.Errorf("export: state length %d != %d", len(q), nv*4)
+	}
+	bw := bufio.NewWriter(w)
+	fmt.Fprintln(bw, "# vtk DataFile Version 3.0")
+	fmt.Fprintln(bw, "fun3d-go solution")
+	fmt.Fprintln(bw, "ASCII")
+	fmt.Fprintln(bw, "DATASET UNSTRUCTURED_GRID")
+	fmt.Fprintf(bw, "POINTS %d double\n", nv)
+	for _, c := range m.Coords {
+		fmt.Fprintf(bw, "%g %g %g\n", c.X, c.Y, c.Z)
+	}
+	nt := len(m.Tets)
+	fmt.Fprintf(bw, "CELLS %d %d\n", nt, nt*5)
+	for _, t := range m.Tets {
+		fmt.Fprintf(bw, "4 %d %d %d %d\n", t[0], t[1], t[2], t[3])
+	}
+	fmt.Fprintf(bw, "CELL_TYPES %d\n", nt)
+	for range m.Tets {
+		fmt.Fprintln(bw, "10") // VTK_TETRA
+	}
+	if q != nil {
+		fmt.Fprintf(bw, "POINT_DATA %d\n", nv)
+		fmt.Fprintln(bw, "SCALARS pressure double 1")
+		fmt.Fprintln(bw, "LOOKUP_TABLE default")
+		for v := 0; v < nv; v++ {
+			fmt.Fprintf(bw, "%g\n", q[v*4])
+		}
+		fmt.Fprintln(bw, "VECTORS velocity double")
+		for v := 0; v < nv; v++ {
+			fmt.Fprintf(bw, "%g %g %g\n", q[v*4+1], q[v*4+2], q[v*4+3])
+		}
+	}
+	return bw.Flush()
+}
+
+// VTKFile writes VTK output to a file path.
+func VTKFile(path string, m *mesh.Mesh, q []float64) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := VTK(f, m, q); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// SurfaceCSV writes wall-vertex samples as "x,y,z,cp" rows.
+func SurfaceCSV(w io.Writer, samples []Sample) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintln(bw, "x,y,z,cp")
+	for _, s := range samples {
+		fmt.Fprintf(bw, "%g,%g,%g,%g\n", s.X, s.Y, s.Z, s.Cp)
+	}
+	return bw.Flush()
+}
+
+// Sample mirrors core.SurfaceSample without importing core (avoids a
+// dependency cycle; core users convert trivially).
+type Sample struct {
+	X, Y, Z, Cp float64
+}
+
+// HistoryCSV writes a convergence history as "step,rnorm,cfl,iters" rows.
+func HistoryCSV(w io.Writer, steps []HistoryRow) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintln(bw, "step,rnorm,cfl,linear_iters")
+	for _, s := range steps {
+		fmt.Fprintf(bw, "%d,%g,%g,%d\n", s.Step, s.RNorm, s.CFL, s.LinearIters)
+	}
+	return bw.Flush()
+}
+
+// HistoryRow is one convergence-history record.
+type HistoryRow struct {
+	Step        int
+	RNorm, CFL  float64
+	LinearIters int
+}

@@ -1,0 +1,88 @@
+package export
+
+import (
+	"bytes"
+	"fmt"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"fun3d/internal/mesh"
+)
+
+func TestVTKOutput(t *testing.T) {
+	m, err := mesh.Generate(mesh.SpecTiny())
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := make([]float64, m.NumVertices()*4)
+	for v := 0; v < m.NumVertices(); v++ {
+		q[v*4] = float64(v)
+	}
+	var buf bytes.Buffer
+	if err := VTK(&buf, m, q); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"# vtk DataFile", "UNSTRUCTURED_GRID", "POINTS", "CELLS", "CELL_TYPES", "SCALARS pressure", "VECTORS velocity"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("missing %q in VTK output", want)
+		}
+	}
+	// Counts consistent.
+	lines := strings.Split(out, "\n")
+	nPoints := 0
+	for i, l := range lines {
+		if strings.HasPrefix(l, "POINTS") {
+			var n int
+			if _, err := fmt.Sscanf(l, "POINTS %d double", &n); err != nil {
+				t.Fatal(err)
+			}
+			nPoints = n
+			_ = i
+		}
+	}
+	if nPoints != m.NumVertices() {
+		t.Fatalf("points %d != %d", nPoints, m.NumVertices())
+	}
+	// nil state is allowed.
+	buf.Reset()
+	if err := VTK(&buf, m, nil); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(buf.String(), "POINT_DATA") {
+		t.Fatal("nil state should omit point data")
+	}
+	// wrong length rejected
+	if err := VTK(&buf, m, make([]float64, 3)); err == nil {
+		t.Fatal("bad state length accepted")
+	}
+}
+
+func TestVTKFile(t *testing.T) {
+	m, err := mesh.Generate(mesh.SpecTiny())
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "out.vtk")
+	if err := VTKFile(path, m, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCSVWriters(t *testing.T) {
+	var buf bytes.Buffer
+	if err := SurfaceCSV(&buf, []Sample{{1, 2, 3, -0.5}}); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "1,2,3,-0.5") {
+		t.Fatalf("surface csv: %q", buf.String())
+	}
+	buf.Reset()
+	if err := HistoryCSV(&buf, []HistoryRow{{1, 0.5, 10, 7}}); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "1,0.5,10,7") {
+		t.Fatalf("history csv: %q", buf.String())
+	}
+}

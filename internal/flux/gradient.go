@@ -1,0 +1,233 @@
+package flux
+
+import (
+	"math"
+
+	"fun3d/internal/geom"
+	"fun3d/internal/par"
+)
+
+// Gradient computes Green-Gauss nodal gradients of the state: grad is an
+// nv*12 array, layout [v*12 + comp*3 + dim] (the paper's AoS node-data
+// grouping: "the gradient in each of the three dimensions for these state
+// variables (nVertices × 4 × 3)"). q is AoS. Uses the configured strategy
+// (Colored falls back to the owner-writes path when a partition exists,
+// else Atomic semantics are not needed because gradient shares the edge
+// structure of Residual).
+//
+// Edge-based Green-Gauss: the face value is the endpoint average, so
+//
+//	∇q_a += n̄_e (q_a+q_b)/2 ,  ∇q_b -= n̄_e (q_a+q_b)/2
+//
+// plus boundary closure with the vertex's own value, then division by the
+// dual volume.
+func (k *Kernels) Gradient(q, grad []float64) {
+	for i := range grad {
+		grad[i] = 0
+	}
+	switch k.Cfg.Strategy {
+	case Sequential, Colored:
+		k.gradEdgesRange(q, grad, 0, k.M.NumEdges())
+		k.gradBoundaryAndScale(q, grad, 0, 1)
+	case Atomic:
+		k.gradientAtomic(q, grad)
+	case ReplicateNatural, ReplicateMETIS:
+		p := k.Part
+		k.Pool.Run(func(tid int) {
+			k.gradEdgesOwner(q, grad, p.EdgeList[tid], p.Owner, int32(tid))
+		})
+		k.Pool.Run(func(tid int) {
+			k.gradBoundaryAndScaleOwner(q, grad, p.Owner, int32(tid))
+		})
+	}
+}
+
+func (k *Kernels) gradEdgesRange(q, grad []float64, lo, hi int) {
+	m := k.M
+	for e := lo; e < hi; e++ {
+		a, b := m.EV1[e], m.EV2[e]
+		n := geom.Vec3{X: m.ENX[e], Y: m.ENY[e], Z: m.ENZ[e]}
+		ga := grad[a*12 : a*12+12]
+		gb := grad[b*12 : b*12+12]
+		for c := 0; c < 4; c++ {
+			avg := 0.5 * (q[int(a)*4+c] + q[int(b)*4+c])
+			ga[c*3] += n.X * avg
+			ga[c*3+1] += n.Y * avg
+			ga[c*3+2] += n.Z * avg
+			gb[c*3] -= n.X * avg
+			gb[c*3+1] -= n.Y * avg
+			gb[c*3+2] -= n.Z * avg
+		}
+	}
+}
+
+func (k *Kernels) gradEdgesOwner(q, grad []float64, list []int32, owner []int32, tid int32) {
+	m := k.M
+	for _, e := range list {
+		a, b := m.EV1[e], m.EV2[e]
+		n := geom.Vec3{X: m.ENX[e], Y: m.ENY[e], Z: m.ENZ[e]}
+		if owner[a] == tid {
+			ga := grad[a*12 : a*12+12]
+			for c := 0; c < 4; c++ {
+				avg := 0.5 * (q[int(a)*4+c] + q[int(b)*4+c])
+				ga[c*3] += n.X * avg
+				ga[c*3+1] += n.Y * avg
+				ga[c*3+2] += n.Z * avg
+			}
+		}
+		if owner[b] == tid {
+			gb := grad[b*12 : b*12+12]
+			for c := 0; c < 4; c++ {
+				avg := 0.5 * (q[int(a)*4+c] + q[int(b)*4+c])
+				gb[c*3] -= n.X * avg
+				gb[c*3+1] -= n.Y * avg
+				gb[c*3+2] -= n.Z * avg
+			}
+		}
+	}
+}
+
+// gradBoundaryAndScale adds boundary closure terms and divides by dual
+// volume, for vertices v with v % stride == offset (stride=1 covers all).
+func (k *Kernels) gradBoundaryAndScale(q, grad []float64, offset, stride int) {
+	m := k.M
+	for _, bn := range m.BNodes {
+		if stride > 1 && int(bn.V)%stride != offset {
+			continue
+		}
+		g := grad[bn.V*12 : bn.V*12+12]
+		n := bn.Normal
+		for c := 0; c < 4; c++ {
+			qv := q[int(bn.V)*4+c]
+			g[c*3] += n.X * qv
+			g[c*3+1] += n.Y * qv
+			g[c*3+2] += n.Z * qv
+		}
+	}
+	for v := offset; v < m.NumVertices(); v += stride {
+		inv := 1 / m.Vol[v]
+		g := grad[v*12 : v*12+12]
+		for i := 0; i < 12; i++ {
+			g[i] *= inv
+		}
+	}
+}
+
+func (k *Kernels) gradBoundaryAndScaleOwner(q, grad []float64, owner []int32, tid int32) {
+	m := k.M
+	for _, bn := range m.BNodes {
+		if owner[bn.V] != tid {
+			continue
+		}
+		g := grad[bn.V*12 : bn.V*12+12]
+		n := bn.Normal
+		for c := 0; c < 4; c++ {
+			qv := q[int(bn.V)*4+c]
+			g[c*3] += n.X * qv
+			g[c*3+1] += n.Y * qv
+			g[c*3+2] += n.Z * qv
+		}
+	}
+	for v := 0; v < m.NumVertices(); v++ {
+		if owner[v] != tid {
+			continue
+		}
+		inv := 1 / m.Vol[v]
+		g := grad[v*12 : v*12+12]
+		for i := 0; i < 12; i++ {
+			g[i] *= inv
+		}
+	}
+}
+
+func (k *Kernels) gradientAtomic(q, grad []float64) {
+	m := k.M
+	n12 := m.NumVertices() * 12
+	bits := par.NewFloat64Slice(n12)
+	k.Pool.ParallelFor(m.NumEdges(), func(_, lo, hi int) {
+		for e := lo; e < hi; e++ {
+			a, b := m.EV1[e], m.EV2[e]
+			n := geom.Vec3{X: m.ENX[e], Y: m.ENY[e], Z: m.ENZ[e]}
+			for c := 0; c < 4; c++ {
+				avg := 0.5 * (q[int(a)*4+c] + q[int(b)*4+c])
+				bits.Add(int(a)*12+c*3, n.X*avg)
+				bits.Add(int(a)*12+c*3+1, n.Y*avg)
+				bits.Add(int(a)*12+c*3+2, n.Z*avg)
+				bits.Add(int(b)*12+c*3, -n.X*avg)
+				bits.Add(int(b)*12+c*3+1, -n.Y*avg)
+				bits.Add(int(b)*12+c*3+2, -n.Z*avg)
+			}
+		}
+	})
+	bits.CopyTo(grad)
+	k.gradBoundaryAndScale(q, grad, 0, 1)
+}
+
+// Limiter fills phi (nv*4, in [0,1]) with the Venkatakrishnan limiter for
+// the reconstruction q + φ (∇q · dx). It is a vertex-based loop over the
+// CSR adjacency — no write conflicts, so it parallelizes directly (the
+// paper's kernel class 3). kVenk controls the smooth-limit threshold
+// (typical 0.3–5; larger = less limiting).
+func (k *Kernels) Limiter(q, grad, phi []float64, kVenk float64) {
+	m := k.M
+	body := func(lo, hi int) {
+		for v := lo; v < hi; v++ {
+			eps2 := math.Pow(kVenk, 3) * m.Vol[v] // (K h)^3 with h^3 ~ Vol
+			g := grad[v*12 : v*12+12]
+			xv := m.Coords[v]
+			for c := 0; c < 4; c++ {
+				qv := q[v*4+c]
+				dmax, dmin := 0.0, 0.0
+				for _, w := range m.Neighbors(v) {
+					d := q[int(w)*4+c] - qv
+					if d > dmax {
+						dmax = d
+					}
+					if d < dmin {
+						dmin = d
+					}
+				}
+				p := 1.0
+				for _, w := range m.Neighbors(v) {
+					dx := geom.Mid(xv, m.Coords[w]).Sub(xv)
+					d2 := g[c*3]*dx.X + g[c*3+1]*dx.Y + g[c*3+2]*dx.Z
+					var lim float64
+					switch {
+					case d2 > 1e-14:
+						lim = venkat(dmax, d2, eps2)
+					case d2 < -1e-14:
+						lim = venkat(dmin, d2, eps2)
+					default:
+						lim = 1
+					}
+					if lim < p {
+						p = lim
+					}
+				}
+				phi[v*4+c] = p
+			}
+		}
+	}
+	if k.Pool == nil || k.Cfg.Strategy == Sequential {
+		body(0, m.NumVertices())
+		return
+	}
+	k.Pool.ParallelFor(m.NumVertices(), func(_, lo, hi int) { body(lo, hi) })
+}
+
+// venkat is the Venkatakrishnan limiter function.
+func venkat(dm, d2, eps2 float64) float64 {
+	num := (dm*dm+eps2)*d2 + 2*d2*d2*dm
+	den := d2 * (dm*dm + 2*d2*d2 + dm*d2 + eps2)
+	if den == 0 {
+		return 1
+	}
+	v := num / den
+	if v < 0 {
+		return 0
+	}
+	if v > 1 {
+		return 1
+	}
+	return v
+}

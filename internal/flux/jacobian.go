@@ -1,0 +1,142 @@
+package flux
+
+import (
+	"fun3d/internal/blas4"
+	"fun3d/internal/geom"
+	"fun3d/internal/mesh"
+	"fun3d/internal/physics"
+	"fun3d/internal/sparse"
+)
+
+// Jacobian assembles the first-order approximate Jacobian dR/dq into the
+// BSR matrix a (pattern: mesh adjacency + diagonal, i.e. exactly
+// sparse.NewBSRFromAdj). The discretization is the paper's preconditioner
+// Jacobian: "derived from a lower-order, sparser and more diffusive
+// discretization than that used for f(u) itself" — first-order Roe with
+// frozen dissipation.
+//
+// Strategies: Sequential runs on one thread. The replication strategies
+// assemble with owner-only row writes: the thread owning vertex a writes
+// row a (its diagonal and (a,b) blocks). Off-diagonal blocks have a unique
+// writing edge, so only diagonal blocks are contended; owner-writes
+// resolves both uniformly. Atomic/Colored fall back to the owner scheme
+// when a partition exists, else sequential.
+func (k *Kernels) Jacobian(q []float64, a *sparse.BSR) {
+	k.ensureEdgeSlots(a)
+	a.Zero()
+	switch k.Cfg.Strategy {
+	case ReplicateNatural, ReplicateMETIS:
+		p := k.Part
+		k.Pool.Run(func(tid int) {
+			k.jacEdgesOwner(q, a, p.EdgeList[tid], p.Owner, int32(tid))
+			k.jacBoundaryOwner(q, a, p.Owner, int32(tid))
+		})
+	default:
+		k.jacEdgesRange(q, a, 0, k.M.NumEdges())
+		k.jacBoundarySeq(q, a)
+	}
+}
+
+// ensureEdgeSlots caches, per edge, the four BSR slots it updates:
+// (a,a), (a,b), (b,b), (b,a).
+func (k *Kernels) ensureEdgeSlots(a *sparse.BSR) {
+	if k.edgeSlots != nil {
+		return
+	}
+	m := k.M
+	k.edgeSlots = make([][4]int32, m.NumEdges())
+	for e := 0; e < m.NumEdges(); e++ {
+		va, vb := m.EV1[e], m.EV2[e]
+		k.edgeSlots[e] = [4]int32{
+			a.Diag[va],
+			a.BlockAt(va, vb),
+			a.Diag[vb],
+			a.BlockAt(vb, va),
+		}
+	}
+}
+
+func (k *Kernels) edgeJacobians(q []float64, e int32, dL, dR *[16]float64) (a, b int32) {
+	m := k.M
+	a, b = m.EV1[e], m.EV2[e]
+	n := geom.Vec3{X: m.ENX[e], Y: m.ENY[e], Z: m.ENZ[e]}
+	qa := k.loadState(q, a)
+	qb := k.loadState(q, b)
+	physics.RoeFluxJacobians(qa, qb, n, k.Beta, dL, dR)
+	return
+}
+
+func addBlock(dst []float64, src *[16]float64, sign float64) {
+	for i := 0; i < 16; i++ {
+		dst[i] += sign * src[i]
+	}
+}
+
+func (k *Kernels) jacEdgesRange(q []float64, a *sparse.BSR, lo, hi int) {
+	var dL, dR [16]float64
+	for e := lo; e < hi; e++ {
+		k.edgeJacobians(q, int32(e), &dL, &dR)
+		s := &k.edgeSlots[e]
+		// R_a += F  =>  dR_a/dqa += dL, dR_a/dqb += dR
+		addBlock(a.Block(s[0]), &dL, 1)
+		addBlock(a.Block(s[1]), &dR, 1)
+		// R_b -= F  =>  dR_b/dqb -= dR, dR_b/dqa -= dL
+		addBlock(a.Block(s[2]), &dR, -1)
+		addBlock(a.Block(s[3]), &dL, -1)
+	}
+}
+
+func (k *Kernels) jacEdgesOwner(q []float64, a *sparse.BSR, list []int32, owner []int32, tid int32) {
+	m := k.M
+	var dL, dR [16]float64
+	for _, e := range list {
+		va, vb := m.EV1[e], m.EV2[e]
+		k.edgeJacobians(q, e, &dL, &dR)
+		s := &k.edgeSlots[e]
+		if owner[va] == tid {
+			addBlock(a.Block(s[0]), &dL, 1)
+			addBlock(a.Block(s[1]), &dR, 1)
+		}
+		if owner[vb] == tid {
+			addBlock(a.Block(s[2]), &dR, -1)
+			addBlock(a.Block(s[3]), &dL, -1)
+		}
+	}
+}
+
+func (k *Kernels) boundaryJacobian(q []float64, bn mesh.BNode, d *[16]float64) {
+	switch bn.Kind {
+	case mesh.PatchWall, mesh.PatchSymmetry:
+		physics.WallFluxJacobian(bn.Normal, d)
+	default:
+		physics.FarfieldFluxJacobian(k.loadState(q, bn.V), k.QInf, bn.Normal, k.Beta, d)
+	}
+}
+
+func (k *Kernels) jacBoundarySeq(q []float64, a *sparse.BSR) {
+	var d [16]float64
+	for _, bn := range k.M.BNodes {
+		k.boundaryJacobian(q, bn, &d)
+		addBlock(a.Block(a.Diag[bn.V]), &d, 1)
+	}
+}
+
+func (k *Kernels) jacBoundaryOwner(q []float64, a *sparse.BSR, owner []int32, tid int32) {
+	var d [16]float64
+	for _, bn := range k.M.BNodes {
+		if owner[bn.V] != tid {
+			continue
+		}
+		k.boundaryJacobian(q, bn, &d)
+		addBlock(a.Block(a.Diag[bn.V]), &d, 1)
+	}
+}
+
+// AddPseudoTimeTerm adds Vol_v/dt_v to the diagonal of each block row —
+// the pseudo-transient continuation shift (Eq. 2's 1/Δt term scaled by the
+// control volume). dt is per-vertex (local time stepping).
+func AddPseudoTimeTerm(a *sparse.BSR, vol, dt []float64) {
+	for i := 0; i < a.N; i++ {
+		blas4.AddDiag(a.Block(a.Diag[i]), vol[i]/dt[i])
+	}
+}

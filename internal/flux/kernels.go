@@ -1,0 +1,392 @@
+package flux
+
+import (
+	"fun3d/internal/geom"
+	"fun3d/internal/mesh"
+	"fun3d/internal/par"
+	"fun3d/internal/physics"
+)
+
+// Config selects the code variant for the edge kernels, mirroring the
+// optimization ladder of Fig 6a.
+type Config struct {
+	Strategy Strategy
+	// SoANodeData reads vertex state from field planes (q[d*nv+v], the
+	// baseline layout) instead of interlaced AoS (q[v*4+d], the paper's
+	// optimized layout). Supported by the residual kernel.
+	SoANodeData bool
+	// SIMD enables edge batching: fluxes for W=4 edges are computed into a
+	// dependency-free temporary buffer, then written out separately — the
+	// paper's vectorization restructuring.
+	SIMD bool
+	// Prefetch enables software lookahead touches of the vertex data of
+	// edges PFDist ahead.
+	Prefetch bool
+}
+
+// W is the SIMD batch width (the paper's AVX 4-wide double).
+const W = 4
+
+// PFDist is the prefetch lookahead distance in edges.
+const PFDist = 16
+
+// Kernels bundles a mesh, flow parameters, a thread pool and a partition,
+// and exposes the edge-based kernels. Scratch buffers are owned by the
+// struct so steady-state calls do not allocate.
+type Kernels struct {
+	M    *mesh.Mesh
+	Beta float64
+	QInf physics.State
+	Pool *par.Pool
+	Part *Partition
+	Cfg  Config
+
+	atomicRes *par.Float64Slice // scratch for the Atomic strategy
+	edgeSlots [][4]int32        // per-edge BSR slots for Jacobian assembly
+	sink      []float64         // defeats dead-code elimination of prefetch touches
+}
+
+// NewKernels constructs the kernel set. pool may be nil only for
+// Sequential.
+func NewKernels(m *mesh.Mesh, beta float64, qInf physics.State, pool *par.Pool, part *Partition, cfg Config) *Kernels {
+	nw := 1
+	if pool != nil {
+		nw = pool.Size()
+	}
+	return &Kernels{
+		M: m, Beta: beta, QInf: qInf, Pool: pool, Part: part, Cfg: cfg,
+		sink: make([]float64, nw*8), // padded
+	}
+}
+
+// stateAt loads vertex v's state from AoS storage.
+func stateAt(q []float64, v int32) physics.State {
+	i := int(v) * 4
+	return physics.State{q[i], q[i+1], q[i+2], q[i+3]}
+}
+
+// stateAtSoA loads vertex v's state from plane (SoA) storage.
+func stateAtSoA(q []float64, nv int, v int32) physics.State {
+	return physics.State{q[v], q[int(v)+nv], q[int(v)+2*nv], q[int(v)+3*nv]}
+}
+
+// reconstruct applies the second-order MUSCL extrapolation toward the edge
+// midpoint: q + φ ⊙ (g · dx). grad layout is [v*12 + comp*3 + dim]; phi may
+// be nil (unlimited).
+func reconstruct(qv physics.State, grad, phi []float64, v int32, dx geom.Vec3) physics.State {
+	g := grad[int(v)*12 : int(v)*12+12]
+	var out physics.State
+	for c := 0; c < 4; c++ {
+		d := g[c*3]*dx.X + g[c*3+1]*dx.Y + g[c*3+2]*dx.Z
+		if phi != nil {
+			d *= phi[int(v)*4+c]
+		}
+		out[c] = qv[c] + d
+	}
+	return out
+}
+
+// loadState reads vertex v's state honoring the configured node layout.
+func (k *Kernels) loadState(q []float64, v int32) physics.State {
+	if k.Cfg.SoANodeData {
+		return stateAtSoA(q, k.M.NumVertices(), v)
+	}
+	return stateAt(q, v)
+}
+
+// touch returns a lightweight load address component for the prefetch
+// lookahead under the configured layout.
+func (k *Kernels) touch(q []float64, v int32) float64 {
+	if k.Cfg.SoANodeData {
+		return q[v]
+	}
+	return q[v*4]
+}
+
+// edgeStates returns the left/right states of edge e, second-order if grad
+// is non-nil.
+func (k *Kernels) edgeStates(q, grad, phi []float64, e int32) (qa, qb physics.State, a, b int32, n geom.Vec3) {
+	m := k.M
+	a, b = m.EV1[e], m.EV2[e]
+	n = geom.Vec3{X: m.ENX[e], Y: m.ENY[e], Z: m.ENZ[e]}
+	qa = k.loadState(q, a)
+	qb = k.loadState(q, b)
+	if grad != nil {
+		mid := geom.Mid(m.Coords[a], m.Coords[b])
+		qa = reconstruct(qa, grad, phi, a, mid.Sub(m.Coords[a]))
+		qb = reconstruct(qb, grad, phi, b, mid.Sub(m.Coords[b]))
+	}
+	return
+}
+
+// Residual computes res = R(q): the flux balance of every control volume
+// (interior edge fluxes plus boundary fluxes). q and res are AoS nv*4
+// vectors unless Cfg.SoANodeData (then q is plane-layout and grad must be
+// nil; res stays AoS). grad enables second-order reconstruction, phi an
+// optional limiter field.
+func (k *Kernels) Residual(q, grad, phi, res []float64) {
+	for i := range res {
+		res[i] = 0
+	}
+	switch k.Cfg.Strategy {
+	case Sequential:
+		if k.Cfg.SIMD {
+			k.resEdgesSIMDRange(q, grad, phi, res, 0, k.M.NumEdges())
+		} else {
+			k.resEdgesRange(q, grad, phi, res, 0, k.M.NumEdges(), k.Cfg.Prefetch, 0)
+		}
+		k.boundarySeq(q, res)
+	case Atomic:
+		k.residualAtomic(q, grad, phi, res)
+	case ReplicateNatural, ReplicateMETIS:
+		k.residualReplicate(q, grad, phi, res)
+	case Colored:
+		k.residualColored(q, grad, phi, res)
+	}
+}
+
+// resEdgesRange processes edges [lo,hi) writing both endpoints (plain
+// writes — caller guarantees exclusivity), with optional prefetch.
+func (k *Kernels) resEdgesRange(q, grad, phi, res []float64, lo, hi int, prefetch bool, tid int) {
+	m := k.M
+	sink := 0.0
+	for e := lo; e < hi; e++ {
+		if prefetch && e+PFDist < hi {
+			sink += k.touch(q, m.EV1[e+PFDist]) + k.touch(q, m.EV2[e+PFDist])
+		}
+		qa, qb, a, b, n := k.edgeStates(q, grad, phi, int32(e))
+		f := physics.RoeFlux(qa, qb, n, k.Beta)
+		ra := res[a*4 : a*4+4]
+		rb := res[b*4 : b*4+4]
+		for c := 0; c < 4; c++ {
+			ra[c] += f[c]
+			rb[c] -= f[c]
+		}
+	}
+	k.sink[tid*8] += sink
+}
+
+// resEdgesSIMDRange processes [lo,hi) in W-wide batches: a compute phase
+// filling a flux buffer, then a scalar write-out phase (both endpoints).
+func (k *Kernels) resEdgesSIMDRange(q, grad, phi, res []float64, lo, hi int) {
+	var fbuf [W]physics.State
+	var av, bv [W]int32
+	e := lo
+	for ; e+W <= hi; e += W {
+		for l := 0; l < W; l++ {
+			qa, qb, a, b, n := k.edgeStates(q, grad, phi, int32(e+l))
+			fbuf[l] = physics.RoeFlux(qa, qb, n, k.Beta)
+			av[l], bv[l] = a, b
+		}
+		for l := 0; l < W; l++ {
+			ra := res[av[l]*4 : av[l]*4+4]
+			rb := res[bv[l]*4 : bv[l]*4+4]
+			f := &fbuf[l]
+			for c := 0; c < 4; c++ {
+				ra[c] += f[c]
+				rb[c] -= f[c]
+			}
+		}
+	}
+	k.resEdgesRange(q, grad, phi, res, e, hi, false, 0)
+}
+
+func (k *Kernels) residualAtomic(q, grad, phi, res []float64) {
+	m := k.M
+	n4 := m.NumVertices() * 4
+	if k.atomicRes == nil || k.atomicRes.Len() != n4 {
+		k.atomicRes = par.NewFloat64Slice(n4)
+	}
+	bits := k.atomicRes
+	bits.Zero()
+	k.Pool.ParallelFor(m.NumEdges(), func(tid, lo, hi int) {
+		for e := lo; e < hi; e++ {
+			qa, qb, a, b, nrm := k.edgeStates(q, grad, phi, int32(e))
+			f := physics.RoeFlux(qa, qb, nrm, k.Beta)
+			for c := 0; c < 4; c++ {
+				bits.Add(int(a)*4+c, f[c])
+				bits.Add(int(b)*4+c, -f[c])
+			}
+		}
+	})
+	// Boundary (atomic adds; conflicts only between wall/sym pairs).
+	bn := k.M.BNodes
+	k.Pool.ParallelFor(len(bn), func(_, lo, hi int) {
+		for i := lo; i < hi; i++ {
+			f, v := k.boundaryFlux(q, bn[i])
+			for c := 0; c < 4; c++ {
+				bits.Add(int(v)*4+c, f[c])
+			}
+		}
+	})
+	bits.CopyTo(res)
+}
+
+func (k *Kernels) residualReplicate(q, grad, phi, res []float64) {
+	p := k.Part
+	k.Pool.Run(func(tid int) {
+		list := p.EdgeList[tid]
+		owner := p.Owner
+		if k.Cfg.SIMD {
+			k.repEdgesSIMD(q, grad, phi, res, list, owner, int32(tid))
+		} else {
+			k.repEdges(q, grad, phi, res, list, owner, int32(tid), k.Cfg.Prefetch, tid)
+		}
+		// Boundary: owner-filtered.
+		for _, bn := range k.M.BNodes {
+			if owner[bn.V] != int32(tid) {
+				continue
+			}
+			f, v := k.boundaryFlux(q, bn)
+			for c := 0; c < 4; c++ {
+				res[int(v)*4+c] += f[c]
+			}
+		}
+	})
+}
+
+// repEdges is the owner-only-writes edge loop over an explicit edge list.
+func (k *Kernels) repEdges(q, grad, phi, res []float64, list []int32, owner []int32, tid int32, prefetch bool, slot int) {
+	sink := 0.0
+	for idx, e := range list {
+		if prefetch && idx+PFDist < len(list) {
+			e2 := list[idx+PFDist]
+			sink += k.touch(q, k.M.EV1[e2]) + k.touch(q, k.M.EV2[e2])
+		}
+		qa, qb, a, b, n := k.edgeStates(q, grad, phi, e)
+		f := physics.RoeFlux(qa, qb, n, k.Beta)
+		if owner[a] == tid {
+			ra := res[a*4 : a*4+4]
+			for c := 0; c < 4; c++ {
+				ra[c] += f[c]
+			}
+		}
+		if owner[b] == tid {
+			rb := res[b*4 : b*4+4]
+			for c := 0; c < 4; c++ {
+				rb[c] -= f[c]
+			}
+		}
+	}
+	k.sink[slot*8] += sink
+}
+
+func (k *Kernels) repEdgesSIMD(q, grad, phi, res []float64, list []int32, owner []int32, tid int32) {
+	var fbuf [W]physics.State
+	var av, bv [W]int32
+	i := 0
+	sink := 0.0
+	for ; i+W <= len(list); i += W {
+		for l := 0; l < W; l++ {
+			if k.Cfg.Prefetch && i+l+PFDist < len(list) {
+				e2 := list[i+l+PFDist]
+				sink += k.touch(q, k.M.EV1[e2]) + k.touch(q, k.M.EV2[e2])
+			}
+			qa, qb, a, b, n := k.edgeStates(q, grad, phi, list[i+l])
+			fbuf[l] = physics.RoeFlux(qa, qb, n, k.Beta)
+			av[l], bv[l] = a, b
+		}
+		for l := 0; l < W; l++ {
+			f := &fbuf[l]
+			if owner[av[l]] == tid {
+				ra := res[av[l]*4 : av[l]*4+4]
+				for c := 0; c < 4; c++ {
+					ra[c] += f[c]
+				}
+			}
+			if owner[bv[l]] == tid {
+				rb := res[bv[l]*4 : bv[l]*4+4]
+				for c := 0; c < 4; c++ {
+					rb[c] -= f[c]
+				}
+			}
+		}
+	}
+	k.sink[int(tid)*8] += sink
+	k.repEdges(q, grad, phi, res, list[i:], owner, tid, false, int(tid))
+}
+
+func (k *Kernels) residualColored(q, grad, phi, res []float64) {
+	col := k.Part.Coloring
+	for c := 0; c < col.NumColors(); c++ {
+		edges := col.Color(c)
+		k.Pool.ParallelFor(len(edges), func(_, lo, hi int) {
+			for i := lo; i < hi; i++ {
+				qa, qb, a, b, n := k.edgeStates(q, grad, phi, edges[i])
+				f := physics.RoeFlux(qa, qb, n, k.Beta)
+				ra := res[a*4 : a*4+4]
+				rb := res[b*4 : b*4+4]
+				for cc := 0; cc < 4; cc++ {
+					ra[cc] += f[cc]
+					rb[cc] -= f[cc]
+				}
+			}
+		})
+	}
+	// Boundary with vertex-aligned chunks (same-vertex BNodes stay together).
+	k.boundaryAligned(q, res)
+}
+
+// boundaryFlux evaluates one boundary node's flux.
+func (k *Kernels) boundaryFlux(q []float64, bn mesh.BNode) (physics.State, int32) {
+	qv := k.loadState(q, bn.V)
+	switch bn.Kind {
+	case mesh.PatchWall, mesh.PatchSymmetry:
+		return physics.WallFlux(qv, bn.Normal), bn.V
+	default:
+		return physics.FarfieldFlux(qv, k.QInf, bn.Normal, k.Beta), bn.V
+	}
+}
+
+func (k *Kernels) boundarySeq(q, res []float64) {
+	for _, bn := range k.M.BNodes {
+		f, v := k.boundaryFlux(q, bn)
+		for c := 0; c < 4; c++ {
+			res[int(v)*4+c] += f[c]
+		}
+	}
+}
+
+// boundaryAligned splits BNodes into chunks that never split entries of the
+// same vertex (BNodes are sorted by vertex).
+func (k *Kernels) boundaryAligned(q, res []float64) {
+	bn := k.M.BNodes
+	k.Pool.ParallelFor(len(bn), func(_, lo, hi int) {
+		// Shift chunk boundaries forward past same-vertex runs.
+		for lo > 0 && lo < len(bn) && bn[lo].V == bn[lo-1].V {
+			lo++
+		}
+		for hi < len(bn) && hi > 0 && bn[hi].V == bn[hi-1].V {
+			hi++
+		}
+		for i := lo; i < hi; i++ {
+			f, v := k.boundaryFlux(q, bn[i])
+			for c := 0; c < 4; c++ {
+				res[int(v)*4+c] += f[c]
+			}
+		}
+	})
+}
+
+// AoSToSoA converts an AoS state vector to plane layout (for the baseline
+// data-layout benchmarks).
+func AoSToSoA(q []float64, nv int) []float64 {
+	out := make([]float64, len(q))
+	for v := 0; v < nv; v++ {
+		for c := 0; c < 4; c++ {
+			out[c*nv+v] = q[v*4+c]
+		}
+	}
+	return out
+}
+
+// SoAToAoS converts back.
+func SoAToAoS(q []float64, nv int) []float64 {
+	out := make([]float64, len(q))
+	for v := 0; v < nv; v++ {
+		for c := 0; c < 4; c++ {
+			out[v*4+c] = q[c*nv+v]
+		}
+	}
+	return out
+}

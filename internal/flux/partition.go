@@ -1,0 +1,130 @@
+// Package flux implements the edge-based "stencil op" kernels of the
+// solver — residual (flux) evaluation, Green-Gauss gradients, and
+// first-order Jacobian assembly — under every shared-memory strategy the
+// paper evaluates (§V.A):
+//
+//   - Sequential: the single-threaded baseline.
+//   - Atomic: edges split in natural order across threads; vertex updates
+//     use CAS-based atomic float adds ("basic partitioning with atomics").
+//   - ReplicateNatural: vertices split in natural index order; every thread
+//     processes all edges touching its vertices but writes only the
+//     endpoints it owns ("basic partitioning with replication" /
+//     owner-only writes). Cut edges are computed redundantly.
+//   - ReplicateMETIS: the same owner-only-writes scheme with the vertex
+//     partition produced by the multilevel partitioner, which balances
+//     work and shrinks the replication overhead.
+//   - Colored: conflict-free edge colors processed one color at a time —
+//     the coloring approach the paper rejects for locality reasons.
+//
+// plus the data-layout (SoA vs AoS node data), SIMD-style edge batching,
+// and prefetch-lookahead code variants of Fig 6a.
+package flux
+
+import (
+	"fmt"
+
+	"fun3d/internal/color"
+	"fun3d/internal/mesh"
+	"fun3d/internal/partition"
+)
+
+// Strategy selects the shared-memory parallelization of the edge loops.
+type Strategy int
+
+const (
+	// Sequential executes on one thread.
+	Sequential Strategy = iota
+	// Atomic partitions edges naturally and synchronizes with atomics.
+	Atomic
+	// ReplicateNatural uses owner-only writes over natural vertex blocks.
+	ReplicateNatural
+	// ReplicateMETIS uses owner-only writes over a multilevel partition.
+	ReplicateMETIS
+	// Colored processes conflict-free edge colors with barriers between.
+	Colored
+)
+
+func (s Strategy) String() string {
+	switch s {
+	case Sequential:
+		return "sequential"
+	case Atomic:
+		return "atomic"
+	case ReplicateNatural:
+		return "replicate-natural"
+	case ReplicateMETIS:
+		return "replicate-metis"
+	case Colored:
+		return "colored"
+	}
+	return fmt.Sprintf("Strategy(%d)", int(s))
+}
+
+// Partition holds the per-thread decomposition used by the owner-writes
+// strategies, plus the edge coloring for the Colored strategy. Build once
+// per (mesh, thread count, strategy family); reused across kernels.
+type Partition struct {
+	NW    int
+	Owner []int32 // vertex -> owning thread
+
+	// EdgeList[t] are the edges thread t processes under owner-writes:
+	// all edges with at least one endpoint owned by t. Cut edges appear in
+	// two lists (the replication overhead).
+	EdgeList [][]int32
+
+	// Coloring is non-nil for the Colored strategy.
+	Coloring *color.EdgeColoring
+
+	// Replication is the fraction of redundant edge computations:
+	// (sum of list lengths - edges) / edges.
+	Replication float64
+}
+
+// NewPartition builds the decomposition for the given strategy and thread
+// count. Sequential and Atomic need no partition and return a trivial one.
+func NewPartition(m *mesh.Mesh, nw int, s Strategy, seed uint64) (*Partition, error) {
+	p := &Partition{NW: nw}
+	switch s {
+	case Sequential, Atomic:
+		return p, nil
+	case Colored:
+		p.Coloring = color.Greedy(m.NumVertices(), m.EV1, m.EV2)
+		return p, nil
+	case ReplicateNatural, ReplicateMETIS:
+		g := partition.FromMesh(m.AdjPtr, m.Adj, true)
+		var part []int32
+		if s == ReplicateNatural {
+			part = partition.Natural(g, nw)
+		} else {
+			var err error
+			part, err = partition.Multilevel(g, nw, partition.Options{Seed: seed})
+			if err != nil {
+				return nil, err
+			}
+		}
+		p.Owner = part
+		p.EdgeList = make([][]int32, nw)
+		total := 0
+		for e := 0; e < m.NumEdges(); e++ {
+			ta := part[m.EV1[e]]
+			tb := part[m.EV2[e]]
+			p.EdgeList[ta] = append(p.EdgeList[ta], int32(e))
+			total++
+			if tb != ta {
+				p.EdgeList[tb] = append(p.EdgeList[tb], int32(e))
+				total++
+			}
+		}
+		p.Replication = float64(total-m.NumEdges()) / float64(m.NumEdges())
+		return p, nil
+	}
+	return nil, fmt.Errorf("flux: unknown strategy %v", s)
+}
+
+// OwnerOf returns the owner of vertex v (0 when unpartitioned).
+func (p *Partition) OwnerOf(v int32) int32 {
+	if p.Owner == nil {
+		return 0
+	}
+	return p.Owner[v]
+}

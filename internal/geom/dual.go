@@ -1,0 +1,71 @@
+package geom
+
+// Tetrahedron edge table: the six edges of a tet (local vertex indices),
+// plus for each edge the two local vertices that complete the two faces
+// containing that edge. For edge (p,q) the faces are (p,q,r) and (p,q,s).
+var tetEdges = [6][4]int{
+	// p, q, r, s
+	{0, 1, 2, 3},
+	{0, 2, 3, 1},
+	{0, 3, 1, 2},
+	{1, 2, 0, 3},
+	{1, 3, 2, 0},
+	{2, 3, 0, 1},
+}
+
+// TetEdge returns the local vertex pair of the i-th tet edge (0..5) plus the
+// two opposite vertices completing the adjacent faces.
+func TetEdge(i int) (p, q, r, s int) {
+	e := tetEdges[i]
+	return e[0], e[1], e[2], e[3]
+}
+
+// DualFaceContribution computes, for one tetrahedron (a,b,c,d in positive
+// orientation) and one of its edges identified by local indices, the
+// contribution of this tet to the median-dual face-area vector of the edge.
+//
+// The median-dual face associated with edge (p,q) inside a tet is the pair
+// of triangles
+//
+//	(edge midpoint, centroid of face pqr, tet centroid)
+//	(edge midpoint, tet centroid, centroid of face pqs)
+//
+// oriented so the resulting area vector points from p toward q. Summing this
+// contribution over all tets sharing the edge yields the closed dual face
+// separating the control volumes of p and q.
+func DualFaceContribution(verts *[4]Vec3, edge int) Vec3 {
+	e := tetEdges[edge]
+	p, q, r, s := verts[e[0]], verts[e[1]], verts[e[2]], verts[e[3]]
+	// Fix the handedness: with TetVolume(p,q,r,s) > 0 the winding below
+	// produces an area vector pointing from p toward q, consistently even
+	// for badly skewed tets (a dot-product flip would not be).
+	if TetVolume(p, q, r, s) < 0 {
+		r, s = s, r
+	}
+	m := Mid(p, q)
+	cT := Centroid4(p, q, r, s)
+	cPQR := Centroid3(p, q, r)
+	cPQS := Centroid3(p, q, s)
+	return TriangleAreaVec(m, cPQR, cT).Add(TriangleAreaVec(m, cT, cPQS))
+}
+
+// BoundaryDualContribution computes the contribution of one boundary
+// triangle (a,b,c) with outward area vector n = TriangleAreaVec(a,b,c) to
+// the dual boundary faces of its three vertices. For the median dual each
+// vertex of the triangle receives the sub-quadrilateral formed by the
+// vertex, the two adjacent edge midpoints, and the triangle centroid. The
+// returned areas sum exactly to the full triangle area vector.
+func BoundaryDualContribution(a, b, c Vec3) (na, nb, nc Vec3) {
+	cen := Centroid3(a, b, c)
+	mab := Mid(a, b)
+	mbc := Mid(b, c)
+	mca := Mid(c, a)
+	// Quadrilateral (v, m1, cen, m2) split into two triangles.
+	quad := func(v, m1, m2 Vec3) Vec3 {
+		return TriangleAreaVec(v, m1, cen).Add(TriangleAreaVec(v, cen, m2))
+	}
+	na = quad(a, mab, mca)
+	nb = quad(b, mbc, mab)
+	nc = quad(c, mca, mbc)
+	return
+}

@@ -1,0 +1,202 @@
+package geom
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func almostEq(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func vecAlmostEq(a, b Vec3, tol float64) bool {
+	return almostEq(a.X, b.X, tol) && almostEq(a.Y, b.Y, tol) && almostEq(a.Z, b.Z, tol)
+}
+
+func TestVecBasics(t *testing.T) {
+	v := Vec3{1, 2, 3}
+	w := Vec3{4, -5, 6}
+	if v.Add(w) != (Vec3{5, -3, 9}) {
+		t.Fatal("Add")
+	}
+	if v.Sub(w) != (Vec3{-3, 7, -3}) {
+		t.Fatal("Sub")
+	}
+	if v.Scale(2) != (Vec3{2, 4, 6}) {
+		t.Fatal("Scale")
+	}
+	if v.Dot(w) != 4-10+18 {
+		t.Fatal("Dot")
+	}
+	if !almostEq((Vec3{3, 4, 0}).Norm(), 5, 1e-15) {
+		t.Fatal("Norm")
+	}
+	n := (Vec3{0, 0, 7}).Normalized()
+	if !vecAlmostEq(n, Vec3{0, 0, 1}, 1e-15) {
+		t.Fatal("Normalized")
+	}
+	if (Vec3{}).Normalized() != (Vec3{}) {
+		t.Fatal("Normalized zero")
+	}
+}
+
+func TestCrossOrthogonality(t *testing.T) {
+	f := func(ax, ay, az, bx, by, bz float64) bool {
+		a := Vec3{clamp(ax), clamp(ay), clamp(az)}
+		b := Vec3{clamp(bx), clamp(by), clamp(bz)}
+		c := a.Cross(b)
+		scale := (a.Norm() + 1) * (b.Norm() + 1)
+		return math.Abs(c.Dot(a)) <= 1e-9*scale*scale && math.Abs(c.Dot(b)) <= 1e-9*scale*scale
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func clamp(x float64) float64 {
+	if math.IsNaN(x) || math.IsInf(x, 0) {
+		return 1
+	}
+	return math.Mod(x, 1e3)
+}
+
+func TestTetVolumeUnit(t *testing.T) {
+	// Unit right tet has volume 1/6.
+	v := TetVolume(Vec3{0, 0, 0}, Vec3{1, 0, 0}, Vec3{0, 1, 0}, Vec3{0, 0, 1})
+	if !almostEq(v, 1.0/6, 1e-15) {
+		t.Fatalf("unit tet volume %v", v)
+	}
+	// Swapping two vertices flips the sign.
+	v2 := TetVolume(Vec3{0, 0, 0}, Vec3{0, 1, 0}, Vec3{1, 0, 0}, Vec3{0, 0, 1})
+	if !almostEq(v2, -1.0/6, 1e-15) {
+		t.Fatalf("flipped tet volume %v", v2)
+	}
+}
+
+func TestTriangleAreaVec(t *testing.T) {
+	n := TriangleAreaVec(Vec3{0, 0, 0}, Vec3{1, 0, 0}, Vec3{0, 1, 0})
+	if !vecAlmostEq(n, Vec3{0, 0, 0.5}, 1e-15) {
+		t.Fatalf("area vec %v", n)
+	}
+}
+
+func randomPositiveTet(rng *rand.Rand) [4]Vec3 {
+	for {
+		var v [4]Vec3
+		for i := range v {
+			v[i] = Vec3{rng.Float64()*2 - 1, rng.Float64()*2 - 1, rng.Float64()*2 - 1}
+		}
+		vol := TetVolume(v[0], v[1], v[2], v[3])
+		if vol > 1e-3 {
+			return v
+		}
+		if vol < -1e-3 {
+			v[0], v[1] = v[1], v[0]
+			return v
+		}
+	}
+}
+
+// Property (the fundamental discrete-divergence identity): for a single tet,
+// the dual faces around each vertex together with the boundary faces close
+// — i.e. for each vertex p, sum of dual-face areas of its 3 incident edges
+// (oriented outward from p) plus its share of the 4 boundary triangle areas
+// (outward) is zero.
+func TestDualClosureSingleTet(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 100; trial++ {
+		v := randomPositiveTet(rng)
+		var acc [4]Vec3 // outward area accumulated per local vertex
+
+		for e := 0; e < 6; e++ {
+			p, q, _, _ := TetEdge(e)
+			area := DualFaceContribution(&v, e) // points p -> q
+			acc[p] = acc[p].Add(area)
+			acc[q] = acc[q].Sub(area)
+		}
+		// The four faces of tet (a,b,c,d) with outward normals (volume>0):
+		// (a,c,b), (a,b,d), (b,c,d), (a,d,c).
+		faces := [4][3]int{{0, 2, 1}, {0, 1, 3}, {1, 2, 3}, {0, 3, 2}}
+		for _, f := range faces {
+			na, nb, nc := BoundaryDualContribution(v[f[0]], v[f[1]], v[f[2]])
+			acc[f[0]] = acc[f[0]].Add(na)
+			acc[f[1]] = acc[f[1]].Add(nb)
+			acc[f[2]] = acc[f[2]].Add(nc)
+		}
+		for i, a := range acc {
+			if a.Norm() > 1e-12 {
+				t.Fatalf("trial %d vertex %d: closure defect %v", trial, i, a.Norm())
+			}
+		}
+	}
+}
+
+// The outward-face orientation assumed above must itself be consistent:
+// outward normals of a positive tet sum to zero and each points away from
+// the centroid.
+func TestTetFaceOrientation(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	for trial := 0; trial < 100; trial++ {
+		v := randomPositiveTet(rng)
+		cen := Centroid4(v[0], v[1], v[2], v[3])
+		faces := [4][3]int{{0, 2, 1}, {0, 1, 3}, {1, 2, 3}, {0, 3, 2}}
+		var sum Vec3
+		for _, f := range faces {
+			n := TriangleAreaVec(v[f[0]], v[f[1]], v[f[2]])
+			sum = sum.Add(n)
+			fc := Centroid3(v[f[0]], v[f[1]], v[f[2]])
+			if n.Dot(fc.Sub(cen)) <= 0 {
+				t.Fatalf("face %v not outward", f)
+			}
+		}
+		if sum.Norm() > 1e-12 {
+			t.Fatalf("face normals do not close: %v", sum.Norm())
+		}
+	}
+}
+
+// BoundaryDualContribution must partition the triangle area exactly.
+func TestBoundaryDualPartition(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		a := Vec3{rng.NormFloat64(), rng.NormFloat64(), rng.NormFloat64()}
+		b := Vec3{rng.NormFloat64(), rng.NormFloat64(), rng.NormFloat64()}
+		c := Vec3{rng.NormFloat64(), rng.NormFloat64(), rng.NormFloat64()}
+		na, nb, nc := BoundaryDualContribution(a, b, c)
+		total := TriangleAreaVec(a, b, c)
+		return vecAlmostEq(na.Add(nb).Add(nc), total, 1e-12*(total.Norm()+1))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// DualFaceContribution points from p to q by construction.
+func TestDualFaceOrientation(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	for trial := 0; trial < 100; trial++ {
+		v := randomPositiveTet(rng)
+		for e := 0; e < 6; e++ {
+			p, q, _, _ := TetEdge(e)
+			area := DualFaceContribution(&v, e)
+			if area.Dot(v[q].Sub(v[p])) < 0 {
+				t.Fatalf("edge %d not oriented p->q", e)
+			}
+		}
+	}
+}
+
+func TestMidCentroid(t *testing.T) {
+	a, b := Vec3{0, 0, 0}, Vec3{2, 4, 6}
+	if Mid(a, b) != (Vec3{1, 2, 3}) {
+		t.Fatal("Mid")
+	}
+	c := Centroid3(Vec3{0, 0, 0}, Vec3{3, 0, 0}, Vec3{0, 3, 0})
+	if !vecAlmostEq(c, Vec3{1, 1, 0}, 1e-15) {
+		t.Fatal("Centroid3")
+	}
+	d := Centroid4(Vec3{0, 0, 0}, Vec3{4, 0, 0}, Vec3{0, 4, 0}, Vec3{0, 0, 4})
+	if !vecAlmostEq(d, Vec3{1, 1, 1}, 1e-15) {
+		t.Fatal("Centroid4")
+	}
+}

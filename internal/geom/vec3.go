@@ -1,0 +1,70 @@
+// Package geom provides the small 3-D geometric primitives the mesh layer is
+// built on: vectors, tetrahedron measures, and the median-dual face-area
+// construction used by vertex-centered finite-volume schemes like FUN3D's.
+package geom
+
+import "math"
+
+// Vec3 is a point or vector in R^3.
+type Vec3 struct {
+	X, Y, Z float64
+}
+
+// Add returns v + w.
+func (v Vec3) Add(w Vec3) Vec3 { return Vec3{v.X + w.X, v.Y + w.Y, v.Z + w.Z} }
+
+// Sub returns v - w.
+func (v Vec3) Sub(w Vec3) Vec3 { return Vec3{v.X - w.X, v.Y - w.Y, v.Z - w.Z} }
+
+// Scale returns s*v.
+func (v Vec3) Scale(s float64) Vec3 { return Vec3{s * v.X, s * v.Y, s * v.Z} }
+
+// Dot returns the inner product of v and w.
+func (v Vec3) Dot(w Vec3) float64 { return v.X*w.X + v.Y*w.Y + v.Z*w.Z }
+
+// Cross returns the cross product v × w.
+func (v Vec3) Cross(w Vec3) Vec3 {
+	return Vec3{
+		v.Y*w.Z - v.Z*w.Y,
+		v.Z*w.X - v.X*w.Z,
+		v.X*w.Y - v.Y*w.X,
+	}
+}
+
+// Norm returns the Euclidean length of v.
+func (v Vec3) Norm() float64 { return math.Sqrt(v.Dot(v)) }
+
+// Normalized returns v/|v|; the zero vector is returned unchanged.
+func (v Vec3) Normalized() Vec3 {
+	n := v.Norm()
+	if n == 0 {
+		return v
+	}
+	return v.Scale(1 / n)
+}
+
+// Mid returns the midpoint of v and w.
+func Mid(v, w Vec3) Vec3 { return Vec3{(v.X + w.X) / 2, (v.Y + w.Y) / 2, (v.Z + w.Z) / 2} }
+
+// Centroid3 returns the centroid of a triangle.
+func Centroid3(a, b, c Vec3) Vec3 {
+	return Vec3{(a.X + b.X + c.X) / 3, (a.Y + b.Y + c.Y) / 3, (a.Z + b.Z + c.Z) / 3}
+}
+
+// Centroid4 returns the centroid of a tetrahedron.
+func Centroid4(a, b, c, d Vec3) Vec3 {
+	return Vec3{(a.X + b.X + c.X + d.X) / 4, (a.Y + b.Y + c.Y + d.Y) / 4, (a.Z + b.Z + c.Z + d.Z) / 4}
+}
+
+// TetVolume returns the signed volume of tetrahedron (a,b,c,d):
+// positive when (b-a, c-a, d-a) form a right-handed frame.
+func TetVolume(a, b, c, d Vec3) float64 {
+	return b.Sub(a).Cross(c.Sub(a)).Dot(d.Sub(a)) / 6
+}
+
+// TriangleAreaVec returns the area-weighted normal of triangle (a,b,c):
+// 0.5 * (b-a) × (c-a). Its length is the triangle area and its direction
+// follows the right-hand rule on the vertex order.
+func TriangleAreaVec(a, b, c Vec3) Vec3 {
+	return b.Sub(a).Cross(c.Sub(a)).Scale(0.5)
+}

@@ -1,0 +1,245 @@
+package krylov
+
+import (
+	"fmt"
+	"math"
+
+	"fun3d/internal/vecop"
+)
+
+// FGMRES is flexible GMRES (Saad '93): the preconditioner may change from
+// iteration to iteration, which is what the hierarchical/nested Krylov
+// methods the paper cites as future work (McInnes et al., Parallel
+// Computing 2014) require — an inner Krylov solve per subdomain used as
+// the outer method's preconditioner. The price is one extra stored vector
+// per iteration (the preconditioned basis Z).
+//
+// The zero value works; workspace grows on first use. Solve is
+// right-preconditioned like GMRES.Solve and supports the same Options
+// (FusedNorms included).
+type FGMRES struct {
+	Ops Vectors
+
+	v     [][]float64 // Arnoldi basis
+	z     [][]float64 // preconditioned basis, one per column
+	w     []float64
+	h     []float64
+	cs    []float64
+	sn    []float64
+	gamma []float64
+	y     []float64
+	dots  []float64
+}
+
+func (g *FGMRES) ensure(n, m int) {
+	if len(g.v) < m+1 || (len(g.v) > 0 && len(g.v[0]) != n) {
+		g.v = make([][]float64, m+1)
+		g.z = make([][]float64, m)
+		for i := range g.v {
+			g.v[i] = make([]float64, n)
+		}
+		for i := range g.z {
+			g.z[i] = make([]float64, n)
+		}
+		g.w = make([]float64, n)
+	}
+	if len(g.h) < (m+1)*m {
+		g.h = make([]float64, (m+1)*m)
+		g.cs = make([]float64, m)
+		g.sn = make([]float64, m)
+		g.gamma = make([]float64, m+1)
+		g.y = make([]float64, m)
+		g.dots = make([]float64, m+1)
+	}
+}
+
+// Solve runs restarted flexible GMRES on A x = b starting from the guess
+// in x (overwritten). m may be nil (then FGMRES reduces to plain GMRES)
+// or any Preconditioner — including one that runs an inner Krylov solve.
+func (g *FGMRES) Solve(a Operator, m Preconditioner, b, x []float64, opt Options) (Result, error) {
+	opt.defaults()
+	if g.Ops == nil {
+		g.Ops = vecop.Seq
+	}
+	n := len(b)
+	g.ensure(n, opt.Restart)
+	ops := g.Ops
+
+	res := Result{}
+	r := g.v[0]
+	a.Apply(x, g.w)
+	ops.WAXPY(r, -1, g.w, b)
+	rnorm := ops.Norm2(r)
+	res.RNorm0 = rnorm
+	res.RNorm = rnorm
+	target := math.Max(opt.RelTol*rnorm, opt.AbsTol)
+	if rnorm <= target || rnorm == 0 {
+		res.Converged = true
+		return res, nil
+	}
+
+	for res.Iterations < opt.MaxIters {
+		ops.Scale(1/rnorm, r)
+		g.gamma[0] = rnorm
+		for i := 1; i <= opt.Restart; i++ {
+			g.gamma[i] = 0
+		}
+		k := 0
+		for ; k < opt.Restart && res.Iterations < opt.MaxIters; k++ {
+			// z_k = M_k^{-1} v_k (M may differ per k); w = A z_k.
+			if m != nil {
+				m.Apply(g.v[k], g.z[k])
+			} else {
+				ops.Copy(g.z[k], g.v[k])
+			}
+			a.Apply(g.z[k], g.w)
+
+			basis := g.v[:k+1]
+			dots := g.dots[:k+1]
+			ops.MDot(g.w, basis, dots)
+			for j := 0; j <= k; j++ {
+				g.h[j*opt.Restart+k] = dots[j]
+				dots[j] = -dots[j]
+			}
+			ops.MAXPY(g.w, dots, basis)
+
+			var hk1 float64
+			nf, canFuse := ops.(NormFuser)
+			if opt.FusedNorms && canFuse {
+				wNorm := nf.MDotNorm(g.w, basis, dots)
+				sumsq := 0.0
+				for j := 0; j <= k; j++ {
+					g.h[j*opt.Restart+k] += dots[j]
+					sumsq += dots[j] * dots[j]
+					dots[j] = -dots[j]
+				}
+				ops.MAXPY(g.w, dots, basis)
+				rem := wNorm*wNorm - sumsq
+				if rem > 1e-4*wNorm*wNorm {
+					hk1 = math.Sqrt(rem)
+				} else {
+					hk1 = ops.Norm2(g.w)
+				}
+			} else {
+				ops.MDot(g.w, basis, dots)
+				for j := 0; j <= k; j++ {
+					g.h[j*opt.Restart+k] += dots[j]
+					dots[j] = -dots[j]
+				}
+				ops.MAXPY(g.w, dots, basis)
+				hk1 = ops.Norm2(g.w)
+			}
+			res.Iterations++
+
+			hcol := func(j int) *float64 { return &g.h[j*opt.Restart+k] }
+			for j := 0; j < k; j++ {
+				hj, hj1 := *hcol(j), *hcol(j + 1)
+				*hcol(j) = g.cs[j]*hj + g.sn[j]*hj1
+				*hcol(j + 1) = -g.sn[j]*hj + g.cs[j]*hj1
+			}
+			if hk1 <= 1e-300 {
+				k++
+				if err := g.finish(x, k, opt.Restart); err != nil {
+					return res, err
+				}
+				res.RNorm = math.Abs(g.gamma[k])
+				res.Converged = res.RNorm <= target
+				if !res.Converged {
+					return res, fmt.Errorf("%w at iteration %d", ErrBreakdown, res.Iterations)
+				}
+				return res, nil
+			}
+			ops.Copy(g.v[k+1], g.w)
+			ops.Scale(1/hk1, g.v[k+1])
+
+			hk := *hcol(k)
+			den := math.Hypot(hk, hk1)
+			g.cs[k] = hk / den
+			g.sn[k] = hk1 / den
+			*hcol(k) = den
+			g.gamma[k+1] = -g.sn[k] * g.gamma[k]
+			g.gamma[k] = g.cs[k] * g.gamma[k]
+
+			res.RNorm = math.Abs(g.gamma[k+1])
+			if res.RNorm <= target {
+				k++
+				break
+			}
+		}
+		if err := g.finish(x, k, opt.Restart); err != nil {
+			return res, err
+		}
+		if res.RNorm <= target {
+			res.Converged = true
+			return res, nil
+		}
+		a.Apply(x, g.w)
+		r = g.v[0]
+		ops.WAXPY(r, -1, g.w, b)
+		rnorm = ops.Norm2(r)
+		res.RNorm = rnorm
+		if rnorm <= target {
+			res.Converged = true
+			return res, nil
+		}
+	}
+	return res, nil
+}
+
+// finish solves the small system and updates x += Z y (flexible update:
+// the stored preconditioned vectors, not M^{-1}(V y)).
+func (g *FGMRES) finish(x []float64, k, restart int) error {
+	if k == 0 {
+		return nil
+	}
+	for i := k - 1; i >= 0; i-- {
+		s := g.gamma[i]
+		for j := i + 1; j < k; j++ {
+			s -= g.h[i*restart+j] * g.y[j]
+		}
+		d := g.h[i*restart+i]
+		if d == 0 {
+			return ErrBreakdown
+		}
+		g.y[i] = s / d
+	}
+	g.Ops.MAXPY(x, g.y[:k], g.z[:k])
+	return nil
+}
+
+// InnerPreconditioner wraps an operator and a (fixed) preconditioner into
+// a nested-Krylov preconditioner: each Apply runs a short inner GMRES.
+// Used to realize the hierarchical Krylov configuration from the paper's
+// future-work references.
+type InnerPreconditioner struct {
+	A     Operator
+	M     Preconditioner
+	Iters int // inner iteration budget (default 5)
+	Ops   Vectors
+
+	g GMRES
+}
+
+// Apply implements Preconditioner by approximately solving A z = r.
+func (p *InnerPreconditioner) Apply(r, z []float64) {
+	iters := p.Iters
+	if iters <= 0 {
+		iters = 5
+	}
+	if p.g.Ops == nil {
+		if p.Ops != nil {
+			p.g.Ops = p.Ops
+		} else {
+			p.g.Ops = vecop.Seq
+		}
+	}
+	for i := range z {
+		z[i] = 0
+	}
+	// Best effort: ignore the result (a preconditioner need not converge).
+	_, _ = p.g.Solve(p.A, p.M, r, z, Options{
+		Restart:  iters,
+		MaxIters: iters,
+		RelTol:   1e-2,
+	})
+}

@@ -1,0 +1,141 @@
+package krylov
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestFGMRESMatchesGMRESWithFixedPre(t *testing.T) {
+	n := 60
+	op := randDominant(n, 50)
+	rng := rand.New(rand.NewSource(51))
+	b := make([]float64, n)
+	for i := range b {
+		b[i] = rng.NormFloat64()
+	}
+	// Fixed diagonal preconditioner.
+	diag := make([]float64, n)
+	for i := range diag {
+		diag[i] = 1 / op.a[i*n+i]
+	}
+	pre := PreconditionerFunc(func(r, z []float64) {
+		for i := range r {
+			z[i] = diag[i] * r[i]
+		}
+	})
+
+	xg := make([]float64, n)
+	var g GMRES
+	rg, err := g.Solve(op, pre, b, xg, Options{RelTol: 1e-10, MaxIters: 300})
+	if err != nil {
+		t.Fatal(err)
+	}
+	xf := make([]float64, n)
+	var f FGMRES
+	rf, err := f.Solve(op, pre, b, xf, Options{RelTol: 1e-10, MaxIters: 300})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rg.Converged || !rf.Converged {
+		t.Fatalf("convergence: %v %v", rg.Converged, rf.Converged)
+	}
+	// With a FIXED preconditioner, FGMRES builds the same Krylov space.
+	if abs(rg.Iterations-rf.Iterations) > 1 {
+		t.Fatalf("iteration counts: gmres %d vs fgmres %d", rg.Iterations, rf.Iterations)
+	}
+	for i := range xg {
+		if math.Abs(xg[i]-xf[i]) > 1e-6 {
+			t.Fatalf("solutions differ at %d", i)
+		}
+	}
+}
+
+func abs(x int) int {
+	if x < 0 {
+		return -x
+	}
+	return x
+}
+
+// The hierarchical configuration: FGMRES outer, inner GMRES as the
+// (variable) preconditioner. Plain GMRES is NOT guaranteed to converge
+// with a variable preconditioner; FGMRES is.
+func TestFGMRESNestedKrylov(t *testing.T) {
+	n := 80
+	op := randDominant(n, 52)
+	rng := rand.New(rand.NewSource(53))
+	b := make([]float64, n)
+	for i := range b {
+		b[i] = rng.NormFloat64()
+	}
+	inner := &InnerPreconditioner{A: op, Iters: 4}
+
+	x := make([]float64, n)
+	var f FGMRES
+	res, err := f.Solve(op, inner, b, x, Options{RelTol: 1e-8, MaxIters: 200})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Converged {
+		t.Fatalf("nested krylov failed: %+v", res)
+	}
+	if r := residual(op, b, x); r > 1e-6*res.RNorm0 {
+		t.Fatalf("true residual %v", r)
+	}
+
+	// The nested preconditioner should reduce OUTER iterations versus
+	// unpreconditioned FGMRES.
+	x2 := make([]float64, n)
+	var f2 FGMRES
+	res2, err := f2.Solve(op, nil, b, x2, Options{RelTol: 1e-8, MaxIters: 400})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res2.Converged && res.Iterations >= res2.Iterations {
+		t.Fatalf("inner krylov did not reduce outer iterations: %d vs %d",
+			res.Iterations, res2.Iterations)
+	}
+	t.Logf("outer iterations: nested=%d plain=%d", res.Iterations, res2.Iterations)
+}
+
+func TestFGMRESRestartsAndFusedNorms(t *testing.T) {
+	n := 70
+	op := randDominant(n, 54)
+	rng := rand.New(rand.NewSource(55))
+	b := make([]float64, n)
+	for i := range b {
+		b[i] = rng.NormFloat64()
+	}
+	for _, fused := range []bool{false, true} {
+		x := make([]float64, n)
+		var f FGMRES
+		res, err := f.Solve(op, nil, b, x, Options{
+			Restart: 7, MaxIters: 2000, RelTol: 1e-8, FusedNorms: fused,
+		})
+		if err != nil {
+			t.Fatalf("fused=%v: %v", fused, err)
+		}
+		if !res.Converged {
+			t.Fatalf("fused=%v: not converged %+v", fused, res)
+		}
+	}
+}
+
+func TestFGMRESZeroRHSAndIdentity(t *testing.T) {
+	op := OperatorFunc(func(x, y []float64) { copy(y, x) })
+	b := make([]float64, 5)
+	x := make([]float64, 5)
+	var f FGMRES
+	res, err := f.Solve(op, nil, b, x, Options{})
+	if err != nil || !res.Converged || res.Iterations != 0 {
+		t.Fatalf("zero rhs: %+v err=%v", res, err)
+	}
+	for i := range b {
+		b[i] = float64(i + 1)
+	}
+	res, err = f.Solve(op, nil, b, x, Options{})
+	if err != nil || !res.Converged || res.Iterations > 1 {
+		t.Fatalf("identity: %+v err=%v", res, err)
+	}
+}

@@ -1,0 +1,313 @@
+package mesh
+
+import (
+	"fmt"
+	"math"
+
+	"fun3d/internal/geom"
+)
+
+// WingParams describes the swept, tapered half-wing (ONERA-M6-like planform)
+// carved out of the flow domain. The wing root sits on the y=0 symmetry
+// plane; the chordwise direction is +x, span +y, thickness ±z.
+type WingParams struct {
+	RootChord float64 // chord length at the root
+	Taper     float64 // tip chord / root chord
+	Span      float64 // semispan
+	SweepDeg  float64 // leading-edge sweep angle in degrees
+	Thickness float64 // max thickness / local chord (biconvex profile)
+	RootLE    geom.Vec3
+}
+
+// M6Wing returns planform parameters close to the ONERA M6 geometry
+// (root chord 0.805, taper 0.562, semispan 1.196, LE sweep 30 deg) with a
+// biconvex thickness distribution standing in for the real section.
+func M6Wing() WingParams {
+	return WingParams{
+		RootChord: 0.805,
+		Taper:     0.562,
+		Span:      1.196,
+		SweepDeg:  30,
+		Thickness: 0.098,
+		RootLE:    geom.Vec3{X: 0, Y: 0, Z: 0},
+	}
+}
+
+// HalfThickness returns the wing's half-thickness above/below the camber
+// plane at planform location (x, y); ok is false outside the planform.
+func (w WingParams) HalfThickness(x, y float64) (half float64, ok bool) {
+	yy := y - w.RootLE.Y
+	if yy < 0 || yy > w.Span {
+		return 0, false
+	}
+	t := yy / w.Span
+	le := w.RootLE.X + yy*math.Tan(w.SweepDeg*math.Pi/180)
+	chord := w.RootChord * (1 - (1-w.Taper)*t)
+	xi := (x - le) / chord
+	if xi <= 0 || xi >= 1 {
+		return 0, false
+	}
+	return 0.5 * w.Thickness * chord * 4 * xi * (1 - xi), true
+}
+
+// Inside reports whether point p lies strictly inside the wing solid.
+func (w WingParams) Inside(p geom.Vec3) bool {
+	half, ok := w.HalfThickness(p.X, p.Y)
+	return ok && math.Abs(p.Z-w.RootLE.Z) < half
+}
+
+// IntersectsZ reports whether the vertical segment (x, y, zlo)-(x, y, zhi)
+// intersects the wing solid. Carving cells by segment intersection rather
+// than center membership keeps the wing at least one cell thick on coarse
+// grids (a thin-plate fallback), so scaled-down meshes always carry a wall.
+func (w WingParams) IntersectsZ(x, y, zlo, zhi float64) bool {
+	half, ok := w.HalfThickness(x, y)
+	if !ok {
+		return false
+	}
+	return zlo < w.RootLE.Z+half && zhi > w.RootLE.Z-half
+}
+
+// GenSpec configures mesh generation. The grid is an (NX x NY x NZ)-vertex
+// graded box triangulated by the Kuhn (6 tets per hex) subdivision; hexes
+// whose center falls inside the wing are removed, exposing a wall boundary.
+// When Shuffle is true (the default for the presets) the vertex numbering is
+// permuted by a deterministic pseudo-random permutation so that the result
+// behaves like a genuinely unstructured mesh: natural grid order would
+// otherwise already be near-optimally banded and RCM would be a no-op.
+type GenSpec struct {
+	NX, NY, NZ int
+	Wing       WingParams
+	HasWing    bool
+	Shuffle    bool
+	Seed       uint64
+	// Box extents. Zero value picks a domain proportioned around the wing.
+	XMin, XMax, YMin, YMax, ZMin, ZMax float64
+}
+
+// DefaultBox fills in domain extents sized relative to the wing.
+func (g *GenSpec) DefaultBox() {
+	if g.XMin == 0 && g.XMax == 0 {
+		g.XMin, g.XMax = -2.5, 4.0
+	}
+	if g.YMin == 0 && g.YMax == 0 {
+		g.YMin, g.YMax = 0, 3.0
+	}
+	if g.ZMin == 0 && g.ZMax == 0 {
+		g.ZMin, g.ZMax = -2.5, 2.5
+	}
+}
+
+// grade maps a uniform parameter u in [0,1] to [0,1] with points clustered
+// around c (also in [0,1]) using a tanh stretching of strength s.
+func grade(u, c, s float64) float64 {
+	// Symmetric tanh clustering: derivative smallest at u=c.
+	f := func(x float64) float64 { return math.Tanh(s * (x - c)) }
+	lo, hi := f(0), f(1)
+	return (f(u) - lo) / (hi - lo)
+}
+
+// Generate builds the mesh described by spec. The result is validated
+// structurally (edge ordering, adjacency); call Validate for the full
+// geometric identity check.
+func Generate(spec GenSpec) (*Mesh, error) {
+	if spec.NX < 2 || spec.NY < 2 || spec.NZ < 2 {
+		return nil, fmt.Errorf("mesh: grid must be at least 2x2x2, got %dx%dx%d", spec.NX, spec.NY, spec.NZ)
+	}
+	spec.DefaultBox()
+	nx, ny, nz := spec.NX, spec.NY, spec.NZ
+
+	// Graded coordinates per axis, clustered near the wing.
+	xc := make([]float64, nx)
+	yc := make([]float64, ny)
+	zc := make([]float64, nz)
+	wing := spec.Wing
+	// Cluster x around the wing mid-chord, y around the root half, z at 0.
+	cx := 0.0
+	cz := 0.5
+	if spec.HasWing {
+		midChord := wing.RootLE.X + 0.5*wing.RootChord
+		cx = (midChord - spec.XMin) / (spec.XMax - spec.XMin)
+		cz = (wing.RootLE.Z - spec.ZMin) / (spec.ZMax - spec.ZMin)
+	}
+	for i := 0; i < nx; i++ {
+		u := float64(i) / float64(nx-1)
+		xc[i] = spec.XMin + (spec.XMax-spec.XMin)*grade(u, cx, 2.2)
+	}
+	for j := 0; j < ny; j++ {
+		u := float64(j) / float64(ny-1)
+		yc[j] = spec.YMin + (spec.YMax-spec.YMin)*grade(u, 0.15, 2.0)
+	}
+	for k := 0; k < nz; k++ {
+		u := float64(k) / float64(nz-1)
+		zc[k] = spec.ZMin + (spec.ZMax-spec.ZMin)*grade(u, cz, 2.2)
+	}
+
+	vid := func(i, j, k int) int32 { return int32((i*ny+j)*nz + k) }
+	nv := nx * ny * nz
+	coords := make([]geom.Vec3, nv)
+	for i := 0; i < nx; i++ {
+		for j := 0; j < ny; j++ {
+			for k := 0; k < nz; k++ {
+				coords[vid(i, j, k)] = geom.Vec3{X: xc[i], Y: yc[j], Z: zc[k]}
+			}
+		}
+	}
+
+	// Kuhn subdivision: 6 tets per hex, all sharing the main diagonal
+	// (i,j,k)-(i+1,j+1,k+1). Conforming across hexes because every face
+	// diagonal runs from the face's min corner to its max corner.
+	perms := [6][3]int{{0, 1, 2}, {0, 2, 1}, {1, 0, 2}, {1, 2, 0}, {2, 0, 1}, {2, 1, 0}}
+	var tets [][4]int32
+	used := make([]bool, nv)
+	skipped := 0
+	for i := 0; i < nx-1; i++ {
+		for j := 0; j < ny-1; j++ {
+			for k := 0; k < nz-1; k++ {
+				if spec.HasWing {
+					cx := (xc[i] + xc[i+1]) / 2
+					cy := (yc[j] + yc[j+1]) / 2
+					if wing.IntersectsZ(cx, cy, zc[k], zc[k+1]) {
+						skipped++
+						continue
+					}
+				}
+				var corner [3]int = [3]int{i, j, k}
+				for _, p := range perms {
+					var t [4]int32
+					c := corner
+					t[0] = vid(c[0], c[1], c[2])
+					for step := 0; step < 3; step++ {
+						c[p[step]]++
+						t[step+1] = vid(c[0], c[1], c[2])
+					}
+					tets = append(tets, t)
+					for _, v := range t {
+						used[v] = true
+					}
+				}
+			}
+		}
+	}
+	if spec.HasWing && skipped == 0 {
+		return nil, fmt.Errorf("mesh: wing carved no cells; grid too coarse for wing %+v", wing)
+	}
+
+	// Compact away unused vertices (interior of the carved wing).
+	remap := make([]int32, nv)
+	var newCoords []geom.Vec3
+	for v := 0; v < nv; v++ {
+		if used[v] {
+			remap[v] = int32(len(newCoords))
+			newCoords = append(newCoords, coords[v])
+		} else {
+			remap[v] = -1
+		}
+	}
+	for ti := range tets {
+		for c := 0; c < 4; c++ {
+			tets[ti][c] = remap[tets[ti][c]]
+		}
+	}
+	coords = newCoords
+
+	// Optional deterministic shuffle of vertex numbering.
+	if spec.Shuffle {
+		perm := pseudoPerm(len(coords), spec.Seed)
+		shuffled := make([]geom.Vec3, len(coords))
+		for v, p := range perm {
+			shuffled[p] = coords[v]
+		}
+		coords = shuffled
+		for ti := range tets {
+			for c := 0; c < 4; c++ {
+				tets[ti][c] = perm[tets[ti][c]]
+			}
+		}
+	}
+
+	// Boundary classification.
+	eps := 1e-9 * (spec.XMax - spec.XMin)
+	onBox := func(p geom.Vec3) (bool, bool) {
+		// returns (onDomainBox, onSymmetryPlane)
+		if math.Abs(p.Y-spec.YMin) < eps {
+			return true, true
+		}
+		if math.Abs(p.X-spec.XMin) < eps || math.Abs(p.X-spec.XMax) < eps ||
+			math.Abs(p.Y-spec.YMax) < eps ||
+			math.Abs(p.Z-spec.ZMin) < eps || math.Abs(p.Z-spec.ZMax) < eps {
+			return true, false
+		}
+		return false, false
+	}
+	classify := func(v [3]int32, cen geom.Vec3) PatchKind {
+		box, sym := onBox(cen)
+		if sym {
+			return PatchSymmetry
+		}
+		if box {
+			return PatchFarfield
+		}
+		return PatchWall
+	}
+
+	m, err := FromTets(coords, tets, classify)
+	if err != nil {
+		return nil, err
+	}
+	return m, nil
+}
+
+// pseudoPerm returns a deterministic pseudo-random permutation of [0,n)
+// generated by a splitmix64-seeded Fisher-Yates shuffle.
+func pseudoPerm(n int, seed uint64) []int32 {
+	perm := make([]int32, n)
+	for i := range perm {
+		perm[i] = int32(i)
+	}
+	s := seed + 0x9e3779b97f4a7c15
+	next := func() uint64 {
+		s += 0x9e3779b97f4a7c15
+		z := s
+		z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+		z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+		return z ^ (z >> 31)
+	}
+	for i := n - 1; i > 0; i-- {
+		j := int(next() % uint64(i+1))
+		perm[i], perm[j] = perm[j], perm[i]
+	}
+	return perm
+}
+
+// Preset mesh sizes. The paper's Mesh-C (358k vertices / 2.4M edges) and
+// Mesh-D (2.76M vertices / 18.9M edges) are scaled down so the benchmark
+// suite runs on one machine; the ratio D/C (~8x vertices) is preserved.
+// Benchmarks and cmd flags can request arbitrary sizes.
+
+// SpecC returns the generation spec for Mesh-C' (the single-node workload).
+func SpecC() GenSpec {
+	return GenSpec{NX: 44, NY: 34, NZ: 30, Wing: M6Wing(), HasWing: true, Shuffle: true, Seed: 42}
+}
+
+// SpecD returns the generation spec for Mesh-D' (the multi-node workload,
+// ~8x the vertices of Mesh-C', matching the paper's ratio).
+func SpecD() GenSpec {
+	return GenSpec{NX: 88, NY: 68, NZ: 60, Wing: M6Wing(), HasWing: true, Shuffle: true, Seed: 42}
+}
+
+// SpecTiny returns a small spec for tests.
+func SpecTiny() GenSpec {
+	return GenSpec{NX: 10, NY: 8, NZ: 8, Wing: M6Wing(), HasWing: true, Shuffle: true, Seed: 1}
+}
+
+// ScaleSpec returns a spec with roughly f times the vertices of base
+// (dimensions scaled by cbrt(f)).
+func ScaleSpec(base GenSpec, f float64) GenSpec {
+	s := math.Cbrt(f)
+	out := base
+	out.NX = max(2, int(math.Round(float64(base.NX)*s)))
+	out.NY = max(2, int(math.Round(float64(base.NY)*s)))
+	out.NZ = max(2, int(math.Round(float64(base.NZ)*s)))
+	return out
+}

@@ -1,0 +1,89 @@
+package mesh
+
+import (
+	"bufio"
+	"encoding/gob"
+	"fmt"
+	"fun3d/internal/geom"
+	"io"
+	"os"
+)
+
+// meshWire is the serialized form (exported mirror of Mesh's data; the
+// adjacency is rebuilt on load rather than stored).
+type meshWire struct {
+	Coords        []struct{ X, Y, Z float64 }
+	EV1, EV2      []int32
+	ENX, ENY, ENZ []float64
+	Vol           []float64
+	BFaces        []BFace
+	BNodes        []BNode
+	Tets          [][4]int32
+}
+
+// Write serializes the mesh with encoding/gob.
+func Write(w io.Writer, m *Mesh) error {
+	var wire meshWire
+	wire.Coords = make([]struct{ X, Y, Z float64 }, len(m.Coords))
+	for i, c := range m.Coords {
+		wire.Coords[i] = struct{ X, Y, Z float64 }{c.X, c.Y, c.Z}
+	}
+	wire.EV1, wire.EV2 = m.EV1, m.EV2
+	wire.ENX, wire.ENY, wire.ENZ = m.ENX, m.ENY, m.ENZ
+	wire.Vol = m.Vol
+	wire.BFaces = m.BFaces
+	wire.BNodes = m.BNodes
+	wire.Tets = m.Tets
+	return gob.NewEncoder(w).Encode(&wire)
+}
+
+// Read deserializes a mesh written by Write and rebuilds the adjacency.
+func Read(r io.Reader) (*Mesh, error) {
+	var wire meshWire
+	if err := gob.NewDecoder(r).Decode(&wire); err != nil {
+		return nil, fmt.Errorf("mesh: decode: %w", err)
+	}
+	m := &Mesh{
+		EV1: wire.EV1, EV2: wire.EV2,
+		ENX: wire.ENX, ENY: wire.ENY, ENZ: wire.ENZ,
+		Vol: wire.Vol, BFaces: wire.BFaces, BNodes: wire.BNodes,
+		Tets: wire.Tets,
+	}
+	m.Coords = make([]geom.Vec3, len(wire.Coords))
+	for i, c := range wire.Coords {
+		m.Coords[i] = geom.Vec3{X: c.X, Y: c.Y, Z: c.Z}
+	}
+	if len(m.EV1) != len(m.EV2) || len(m.EV1) != len(m.ENX) {
+		return nil, fmt.Errorf("mesh: inconsistent edge arrays")
+	}
+	m.buildAdjacency()
+	return m, nil
+}
+
+// WriteFile writes the mesh to path.
+func WriteFile(path string, m *Mesh) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	w := bufio.NewWriter(f)
+	if err := Write(w, m); err != nil {
+		f.Close()
+		return err
+	}
+	if err := w.Flush(); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// ReadFile loads a mesh from path.
+func ReadFile(path string) (*Mesh, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return Read(bufio.NewReader(f))
+}

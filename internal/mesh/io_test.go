@@ -1,0 +1,66 @@
+package mesh
+
+import (
+	"bytes"
+	"path/filepath"
+	"testing"
+)
+
+func TestWriteReadRoundtrip(t *testing.T) {
+	m, err := Generate(SpecTiny())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := Write(&buf, m); err != nil {
+		t.Fatal(err)
+	}
+	m2, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m2.NumVertices() != m.NumVertices() || m2.NumEdges() != m.NumEdges() {
+		t.Fatal("size mismatch after roundtrip")
+	}
+	for e := 0; e < m.NumEdges(); e++ {
+		if m.EV1[e] != m2.EV1[e] || m.ENX[e] != m2.ENX[e] {
+			t.Fatalf("edge %d differs", e)
+		}
+	}
+	if err := m2.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Adjacency rebuilt identically.
+	for v := 0; v < m.NumVertices(); v++ {
+		if m.AdjPtr[v] != m2.AdjPtr[v] {
+			t.Fatal("adjacency differs")
+		}
+	}
+}
+
+func TestReadGarbage(t *testing.T) {
+	if _, err := Read(bytes.NewReader([]byte("not a mesh"))); err == nil {
+		t.Fatal("garbage accepted")
+	}
+}
+
+func TestFileRoundtrip(t *testing.T) {
+	m, err := Generate(SpecTiny())
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "mesh.bin")
+	if err := WriteFile(path, m); err != nil {
+		t.Fatal(err)
+	}
+	m2, err := ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m2.NumEdges() != m.NumEdges() {
+		t.Fatal("file roundtrip mismatch")
+	}
+	if _, err := ReadFile(filepath.Join(t.TempDir(), "missing.bin")); err == nil {
+		t.Fatal("missing file accepted")
+	}
+}

@@ -1,0 +1,418 @@
+// Package mesh defines the unstructured tetrahedral, vertex-centered mesh
+// representation used throughout the repository, together with a
+// deterministic generator for ONERA-M6-like wing meshes (see gen.go).
+//
+// The representation mirrors what the paper's edge-based kernels consume:
+//   - vertex coordinates and median-dual control volumes,
+//   - an edge list with dual-face area vectors (SoA layout for the edge
+//     data, per the paper's data-structure optimization),
+//   - aggregated boundary-condition data per boundary vertex,
+//   - CSR vertex adjacency for reordering/partitioning/matrix symbolics.
+//
+// The unstructured mesh "requires explicit storage of neighborhood
+// information" (paper §IV.B): nothing below assumes any structured origin.
+package mesh
+
+import (
+	"fmt"
+	"math"
+
+	"fun3d/internal/geom"
+)
+
+// PatchKind classifies boundary patches.
+type PatchKind uint8
+
+const (
+	// PatchWall is an inviscid slip wall (the wing surface).
+	PatchWall PatchKind = iota
+	// PatchSymmetry is the y=0 symmetry plane (identical treatment to a
+	// slip wall for inviscid flow, kept distinct for post-processing).
+	PatchSymmetry
+	// PatchFarfield is the outer boundary with freestream conditions.
+	PatchFarfield
+)
+
+func (k PatchKind) String() string {
+	switch k {
+	case PatchWall:
+		return "wall"
+	case PatchSymmetry:
+		return "symmetry"
+	case PatchFarfield:
+		return "farfield"
+	}
+	return fmt.Sprintf("PatchKind(%d)", uint8(k))
+}
+
+// BFace is a boundary triangle with an outward area vector.
+type BFace struct {
+	V    [3]int32
+	Kind PatchKind
+}
+
+// BNode aggregates the dual boundary faces of one vertex on one patch kind:
+// Normal is the outward area vector of the vertex's share of that patch.
+type BNode struct {
+	V      int32
+	Kind   PatchKind
+	Normal geom.Vec3
+}
+
+// Mesh is an immutable unstructured tetrahedral mesh with vertex-centered
+// median-dual metrics. Construct with Generate or FromTets.
+type Mesh struct {
+	// Coords[v] is the position of vertex v.
+	Coords []geom.Vec3
+
+	// Edge data in SoA layout. Edge e connects EV1[e] < EV2[e]; the dual
+	// face area vector (ENX,ENY,ENZ)[e] points from EV1 toward EV2 and its
+	// magnitude is the dual face area.
+	EV1, EV2      []int32
+	ENX, ENY, ENZ []float64
+
+	// Vol[v] is the median-dual control volume of vertex v.
+	Vol []float64
+
+	// BFaces are the boundary triangles; BNodes the per-vertex aggregated
+	// boundary metrics (one entry per (vertex, patch kind) pair).
+	BFaces []BFace
+	BNodes []BNode
+
+	// CSR vertex-to-vertex adjacency (symmetric, no self loops), and the
+	// parallel vertex-to-edge incidence: AdjEdge[i] is the edge realizing
+	// the adjacency Adj[i].
+	AdjPtr  []int32
+	Adj     []int32
+	AdjEdge []int32
+
+	// Tets is retained for validation and post-processing; kernels never
+	// touch it.
+	Tets [][4]int32
+}
+
+// NumVertices returns the vertex count.
+func (m *Mesh) NumVertices() int { return len(m.Coords) }
+
+// NumEdges returns the edge count.
+func (m *Mesh) NumEdges() int { return len(m.EV1) }
+
+// EdgeNormal returns the dual face area vector of edge e, oriented from
+// EV1[e] to EV2[e].
+func (m *Mesh) EdgeNormal(e int) geom.Vec3 {
+	return geom.Vec3{X: m.ENX[e], Y: m.ENY[e], Z: m.ENZ[e]}
+}
+
+// Degree returns the number of neighbors of vertex v.
+func (m *Mesh) Degree(v int) int { return int(m.AdjPtr[v+1] - m.AdjPtr[v]) }
+
+// Neighbors returns the adjacency slice of vertex v (do not modify).
+func (m *Mesh) Neighbors(v int) []int32 { return m.Adj[m.AdjPtr[v]:m.AdjPtr[v+1]] }
+
+// FromTets builds the full edge-based representation from a tet soup.
+// coords are vertex positions; tets index into coords and may have either
+// orientation (they are reoriented to positive volume); bfaceKind, if
+// non-nil, classifies a boundary triangle given its (unsorted) vertex ids
+// and outward centroid. Boundary faces are discovered as triangles incident
+// to exactly one tet.
+func FromTets(coords []geom.Vec3, tets [][4]int32, bfaceKind func(v [3]int32, centroid geom.Vec3) PatchKind) (*Mesh, error) {
+	nv := len(coords)
+	m := &Mesh{Coords: coords, Tets: tets}
+
+	// Reorient tets to positive volume.
+	for ti := range tets {
+		t := &tets[ti]
+		vol := geom.TetVolume(coords[t[0]], coords[t[1]], coords[t[2]], coords[t[3]])
+		if vol == 0 {
+			return nil, fmt.Errorf("mesh: tet %d is degenerate", ti)
+		}
+		if vol < 0 {
+			t[0], t[1] = t[1], t[0]
+		}
+	}
+
+	// Pass 1: count edges via a map keyed by the vertex pair.
+	type accum struct {
+		n geom.Vec3
+	}
+	edgeIdx := make(map[uint64]int32, len(tets)*3)
+	key := func(a, b int32) uint64 {
+		if a > b {
+			a, b = b, a
+		}
+		return uint64(a)<<32 | uint64(uint32(b))
+	}
+	var ev1, ev2 []int32
+	var eacc []accum
+	m.Vol = make([]float64, nv)
+
+	var verts [4]geom.Vec3
+	for _, t := range tets {
+		for i := 0; i < 4; i++ {
+			verts[i] = coords[t[i]]
+		}
+		vol := geom.TetVolume(verts[0], verts[1], verts[2], verts[3])
+		for i := 0; i < 4; i++ {
+			m.Vol[t[i]] += vol / 4
+		}
+		for e := 0; e < 6; e++ {
+			lp, lq, _, _ := geom.TetEdge(e)
+			gp, gq := t[lp], t[lq]
+			area := geom.DualFaceContribution(&verts, e) // points gp -> gq
+			a, b := gp, gq
+			sign := 1.0
+			if a > b {
+				a, b, sign = b, a, -1.0
+			}
+			k := key(a, b)
+			idx, ok := edgeIdx[k]
+			if !ok {
+				idx = int32(len(ev1))
+				edgeIdx[k] = idx
+				ev1 = append(ev1, a)
+				ev2 = append(ev2, b)
+				eacc = append(eacc, accum{})
+			}
+			eacc[idx].n = eacc[idx].n.Add(area.Scale(sign))
+		}
+	}
+	ne := len(ev1)
+	m.EV1, m.EV2 = ev1, ev2
+	m.ENX = make([]float64, ne)
+	m.ENY = make([]float64, ne)
+	m.ENZ = make([]float64, ne)
+	for e := 0; e < ne; e++ {
+		m.ENX[e] = eacc[e].n.X
+		m.ENY[e] = eacc[e].n.Y
+		m.ENZ[e] = eacc[e].n.Z
+	}
+
+	// Boundary faces: triangles incident to exactly one tet.
+	if err := m.buildBoundary(bfaceKind); err != nil {
+		return nil, err
+	}
+	m.buildAdjacency()
+	return m, nil
+}
+
+// tet faces with outward orientation for a positively oriented tet.
+var tetFaces = [4][3]int{{0, 2, 1}, {0, 1, 3}, {1, 2, 3}, {0, 3, 2}}
+
+func (m *Mesh) buildBoundary(bfaceKind func(v [3]int32, centroid geom.Vec3) PatchKind) error {
+	type faceRec struct {
+		v     [3]int32 // outward winding
+		count int
+	}
+	faces := make(map[[3]int32]*faceRec, len(m.Tets)*2)
+	fkey := func(v [3]int32) [3]int32 {
+		// sorted copy
+		a, b, c := v[0], v[1], v[2]
+		if a > b {
+			a, b = b, a
+		}
+		if b > c {
+			b, c = c, b
+		}
+		if a > b {
+			a, b = b, a
+		}
+		return [3]int32{a, b, c}
+	}
+	for _, t := range m.Tets {
+		for _, f := range tetFaces {
+			v := [3]int32{t[f[0]], t[f[1]], t[f[2]]}
+			k := fkey(v)
+			if r, ok := faces[k]; ok {
+				r.count++
+			} else {
+				faces[k] = &faceRec{v: v, count: 1}
+			}
+		}
+	}
+	keys := make([][3]int32, 0, len(faces))
+	for k := range faces {
+		keys = append(keys, k)
+	}
+	sortFaceKeys(keys) // map iteration order is random; results must be deterministic
+	for _, k := range keys {
+		r := faces[k]
+		switch r.count {
+		case 1:
+			a, b, c := m.Coords[r.v[0]], m.Coords[r.v[1]], m.Coords[r.v[2]]
+			kind := PatchFarfield
+			if bfaceKind != nil {
+				kind = bfaceKind(r.v, geom.Centroid3(a, b, c))
+			}
+			m.BFaces = append(m.BFaces, BFace{V: r.v, Kind: kind})
+		case 2:
+			// interior face, fine
+		default:
+			return fmt.Errorf("mesh: non-manifold face %v shared by %d tets", r.v, r.count)
+		}
+	}
+
+	// Aggregate per-vertex boundary normals by patch kind.
+	type bkey struct {
+		v    int32
+		kind PatchKind
+	}
+	agg := make(map[bkey]geom.Vec3)
+	for _, bf := range m.BFaces {
+		a, b, c := m.Coords[bf.V[0]], m.Coords[bf.V[1]], m.Coords[bf.V[2]]
+		na, nb, nc := geom.BoundaryDualContribution(a, b, c)
+		for i, n := range []geom.Vec3{na, nb, nc} {
+			k := bkey{bf.V[i], bf.Kind}
+			agg[k] = agg[k].Add(n)
+		}
+	}
+	m.BNodes = m.BNodes[:0]
+	for k, n := range agg {
+		m.BNodes = append(m.BNodes, BNode{V: k.v, Kind: k.kind, Normal: n})
+	}
+	sortBNodes(m.BNodes)
+	return nil
+}
+
+func sortBNodes(b []BNode) {
+	// Deterministic order: by vertex then kind (map iteration is random).
+	sortSlice(b, func(i, j int) bool {
+		if b[i].V != b[j].V {
+			return b[i].V < b[j].V
+		}
+		return b[i].Kind < b[j].Kind
+	})
+}
+
+func (m *Mesh) buildAdjacency() {
+	nv := m.NumVertices()
+	ne := m.NumEdges()
+	deg := make([]int32, nv+1)
+	for e := 0; e < ne; e++ {
+		deg[m.EV1[e]+1]++
+		deg[m.EV2[e]+1]++
+	}
+	for v := 0; v < nv; v++ {
+		deg[v+1] += deg[v]
+	}
+	m.AdjPtr = deg
+	m.Adj = make([]int32, 2*ne)
+	m.AdjEdge = make([]int32, 2*ne)
+	fill := make([]int32, nv)
+	for e := 0; e < ne; e++ {
+		a, b := m.EV1[e], m.EV2[e]
+		pa := m.AdjPtr[a] + fill[a]
+		m.Adj[pa], m.AdjEdge[pa] = b, int32(e)
+		fill[a]++
+		pb := m.AdjPtr[b] + fill[b]
+		m.Adj[pb], m.AdjEdge[pb] = a, int32(e)
+		fill[b]++
+	}
+	// Sort each adjacency run (deterministic, helps locality analysis).
+	for v := 0; v < nv; v++ {
+		lo, hi := m.AdjPtr[v], m.AdjPtr[v+1]
+		adj, ae := m.Adj[lo:hi], m.AdjEdge[lo:hi]
+		sortPairs(adj, ae)
+	}
+}
+
+// Validate checks the fundamental discrete identities of the mesh:
+//
+//  1. closure: for every vertex, the signed sum of incident dual-face area
+//     vectors plus the vertex's boundary normals is (numerically) zero;
+//  2. the dual volumes are positive and sum to the total tet volume;
+//  3. edge endpoints are ordered and in range.
+//
+// These identities are what guarantee freestream preservation of the
+// finite-volume scheme, so Validate failing means the solver is unusable.
+func (m *Mesh) Validate() error {
+	nv := m.NumVertices()
+	closure := make([]geom.Vec3, nv)
+	scale := make([]float64, nv) // running magnitude for a relative tolerance
+	for e := 0; e < m.NumEdges(); e++ {
+		a, b := m.EV1[e], m.EV2[e]
+		if a >= b || b >= int32(nv) || a < 0 {
+			return fmt.Errorf("mesh: bad edge %d: (%d,%d)", e, a, b)
+		}
+		n := m.EdgeNormal(e)
+		closure[a] = closure[a].Add(n)
+		closure[b] = closure[b].Sub(n)
+		scale[a] += n.Norm()
+		scale[b] += n.Norm()
+	}
+	for _, bn := range m.BNodes {
+		closure[bn.V] = closure[bn.V].Add(bn.Normal)
+		scale[bn.V] += bn.Normal.Norm()
+	}
+	for v := 0; v < nv; v++ {
+		if closure[v].Norm() > 1e-10*(scale[v]+1e-30) {
+			return fmt.Errorf("mesh: closure defect %.3e at vertex %d (scale %.3e)",
+				closure[v].Norm(), v, scale[v])
+		}
+	}
+	totalDual, totalTet := 0.0, 0.0
+	for v := 0; v < nv; v++ {
+		if m.Vol[v] <= 0 {
+			return fmt.Errorf("mesh: nonpositive dual volume %g at vertex %d", m.Vol[v], v)
+		}
+		totalDual += m.Vol[v]
+	}
+	for _, t := range m.Tets {
+		totalTet += geom.TetVolume(m.Coords[t[0]], m.Coords[t[1]], m.Coords[t[2]], m.Coords[t[3]])
+	}
+	if math.Abs(totalDual-totalTet) > 1e-9*totalTet {
+		return fmt.Errorf("mesh: dual volume %g != tet volume %g", totalDual, totalTet)
+	}
+	return nil
+}
+
+// Stats summarizes a mesh for Table-I style reporting.
+type Stats struct {
+	Vertices, Edges, Tets, BoundaryFaces int
+	WallFaces, FarfieldFaces, SymFaces   int
+	MinDegree, MaxDegree                 int
+	AvgDegree                            float64
+	TotalVolume                          float64
+}
+
+// Stats computes summary statistics.
+func (m *Mesh) ComputeStats() Stats {
+	s := Stats{
+		Vertices:      m.NumVertices(),
+		Edges:         m.NumEdges(),
+		Tets:          len(m.Tets),
+		BoundaryFaces: len(m.BFaces),
+		MinDegree:     math.MaxInt,
+	}
+	for _, bf := range m.BFaces {
+		switch bf.Kind {
+		case PatchWall:
+			s.WallFaces++
+		case PatchFarfield:
+			s.FarfieldFaces++
+		case PatchSymmetry:
+			s.SymFaces++
+		}
+	}
+	for v := 0; v < m.NumVertices(); v++ {
+		d := m.Degree(v)
+		if d < s.MinDegree {
+			s.MinDegree = d
+		}
+		if d > s.MaxDegree {
+			s.MaxDegree = d
+		}
+		s.TotalVolume += m.Vol[v]
+	}
+	if m.NumVertices() > 0 {
+		s.AvgDegree = 2 * float64(m.NumEdges()) / float64(m.NumVertices())
+	} else {
+		s.MinDegree = 0
+	}
+	return s
+}
+
+func (s Stats) String() string {
+	return fmt.Sprintf("vertices=%d edges=%d tets=%d bfaces=%d (wall=%d sym=%d far=%d) degree=[%d..%d] avg=%.2f vol=%.4g",
+		s.Vertices, s.Edges, s.Tets, s.BoundaryFaces, s.WallFaces, s.SymFaces, s.FarfieldFaces,
+		s.MinDegree, s.MaxDegree, s.AvgDegree, s.TotalVolume)
+}

@@ -1,0 +1,358 @@
+package mesh
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"fun3d/internal/geom"
+)
+
+// singleTetMesh builds a mesh from one unit tetrahedron.
+func singleTetMesh(t *testing.T) *Mesh {
+	coords := []geom.Vec3{{}, {X: 1}, {Y: 1}, {Z: 1}}
+	tets := [][4]int32{{0, 1, 2, 3}}
+	m, err := FromTets(coords, tets, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestFromTetsSingle(t *testing.T) {
+	m := singleTetMesh(t)
+	if m.NumVertices() != 4 || m.NumEdges() != 6 {
+		t.Fatalf("nv=%d ne=%d", m.NumVertices(), m.NumEdges())
+	}
+	if len(m.BFaces) != 4 {
+		t.Fatalf("bfaces=%d", len(m.BFaces))
+	}
+	if err := m.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	total := 0.0
+	for _, v := range m.Vol {
+		total += v
+	}
+	if math.Abs(total-1.0/6) > 1e-14 {
+		t.Fatalf("total dual volume %v", total)
+	}
+	// Each vertex gets exactly a quarter of the tet.
+	for v, vol := range m.Vol {
+		if math.Abs(vol-1.0/24) > 1e-14 {
+			t.Fatalf("vertex %d volume %v", v, vol)
+		}
+	}
+}
+
+func TestFromTetsNegativeOrientation(t *testing.T) {
+	coords := []geom.Vec3{{}, {X: 1}, {Y: 1}, {Z: 1}}
+	tets := [][4]int32{{1, 0, 2, 3}} // negative volume ordering
+	m, err := FromTets(coords, tets, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFromTetsDegenerate(t *testing.T) {
+	coords := []geom.Vec3{{}, {X: 1}, {Y: 1}, {X: 0.5, Y: 0.5}} // coplanar
+	if _, err := FromTets(coords, [][4]int32{{0, 1, 2, 3}}, nil); err == nil {
+		t.Fatal("expected error for degenerate tet")
+	}
+}
+
+func TestGenerateTinyValid(t *testing.T) {
+	m, err := Generate(SpecTiny())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	s := m.ComputeStats()
+	if s.WallFaces == 0 {
+		t.Fatal("wing carved no wall faces")
+	}
+	if s.SymFaces == 0 || s.FarfieldFaces == 0 {
+		t.Fatalf("missing boundary kinds: %v", s)
+	}
+	t.Logf("tiny mesh: %v", s)
+}
+
+func TestGenerateNoWingBoxVolume(t *testing.T) {
+	spec := GenSpec{NX: 6, NY: 5, NZ: 4, XMin: -1, XMax: 1, YMin: 0.1, YMax: 2.1, ZMin: -1, ZMax: 1}
+	m, err := Generate(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	s := m.ComputeStats()
+	wantVol := 2.0 * 2.0 * 2.0
+	if math.Abs(s.TotalVolume-wantVol) > 1e-10 {
+		t.Fatalf("box volume %v, want %v", s.TotalVolume, wantVol)
+	}
+	if s.WallFaces != 0 {
+		t.Fatalf("no wing but %d wall faces", s.WallFaces)
+	}
+	// Structured box of (nx-1)(ny-1)(nz-1) hexes, 6 tets each.
+	if s.Tets != 5*4*3*6 {
+		t.Fatalf("tets=%d", s.Tets)
+	}
+}
+
+func TestGenerateErrors(t *testing.T) {
+	if _, err := Generate(GenSpec{NX: 1, NY: 5, NZ: 5}); err == nil {
+		t.Fatal("expected error for degenerate grid")
+	}
+	// Wing too small for the grid to carve any cell.
+	spec := GenSpec{NX: 3, NY: 3, NZ: 3, HasWing: true,
+		Wing: WingParams{RootChord: 1e-6, Taper: 1, Span: 1e-6, Thickness: 1e-6}}
+	if _, err := Generate(spec); err == nil {
+		t.Fatal("expected error when wing carves nothing")
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	a, err := Generate(SpecTiny())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Generate(SpecTiny())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.NumVertices() != b.NumVertices() || a.NumEdges() != b.NumEdges() {
+		t.Fatal("size mismatch")
+	}
+	for e := 0; e < a.NumEdges(); e++ {
+		if a.EV1[e] != b.EV1[e] || a.EV2[e] != b.EV2[e] || a.ENX[e] != b.ENX[e] {
+			t.Fatalf("edge %d differs", e)
+		}
+	}
+	for i := range a.BNodes {
+		if a.BNodes[i] != b.BNodes[i] {
+			t.Fatalf("bnode %d differs", i)
+		}
+	}
+}
+
+func TestAdjacencySymmetric(t *testing.T) {
+	m, err := Generate(SpecTiny())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v := 0; v < m.NumVertices(); v++ {
+		for _, w := range m.Neighbors(v) {
+			found := false
+			for _, back := range m.Neighbors(int(w)) {
+				if back == int32(v) {
+					found = true
+					break
+				}
+			}
+			if !found {
+				t.Fatalf("adjacency not symmetric: %d->%d", v, w)
+			}
+		}
+	}
+}
+
+func TestAdjacencyMatchesEdges(t *testing.T) {
+	m, err := Generate(SpecTiny())
+	if err != nil {
+		t.Fatal(err)
+	}
+	count := 0
+	for v := 0; v < m.NumVertices(); v++ {
+		lo, hi := m.AdjPtr[v], m.AdjPtr[v+1]
+		for i := lo; i < hi; i++ {
+			w, e := m.Adj[i], m.AdjEdge[i]
+			if !((m.EV1[e] == int32(v) && m.EV2[e] == w) || (m.EV2[e] == int32(v) && m.EV1[e] == w)) {
+				t.Fatalf("AdjEdge mismatch at vertex %d", v)
+			}
+			count++
+		}
+	}
+	if count != 2*m.NumEdges() {
+		t.Fatalf("adjacency entries %d != 2*edges %d", count, 2*m.NumEdges())
+	}
+}
+
+func TestPermuteIdentityPreserves(t *testing.T) {
+	m, err := Generate(SpecTiny())
+	if err != nil {
+		t.Fatal(err)
+	}
+	perm := make([]int32, m.NumVertices())
+	for i := range perm {
+		perm[i] = int32(i)
+	}
+	p := m.Permute(perm)
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if p.NumEdges() != m.NumEdges() {
+		t.Fatal("edge count changed")
+	}
+	// After Permute the edges are sorted by (EV1,EV2).
+	for e := 1; e < p.NumEdges(); e++ {
+		if p.EV1[e] < p.EV1[e-1] ||
+			(p.EV1[e] == p.EV1[e-1] && p.EV2[e] < p.EV2[e-1]) {
+			t.Fatal("edges not sorted")
+		}
+	}
+}
+
+// Property: permuting by a random permutation preserves every geometric
+// invariant (Validate) and the multiset of dual volumes.
+func TestPermuteRandomProperty(t *testing.T) {
+	m, err := Generate(SpecTiny())
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := func(seed uint64) bool {
+		perm := pseudoPerm(m.NumVertices(), seed)
+		p := m.Permute(perm)
+		if err := p.Validate(); err != nil {
+			t.Logf("validate: %v", err)
+			return false
+		}
+		totA, totB := 0.0, 0.0
+		for v := 0; v < m.NumVertices(); v++ {
+			totA += m.Vol[v]
+			totB += p.Vol[v]
+			if p.Vol[perm[v]] != m.Vol[v] {
+				return false
+			}
+		}
+		return math.Abs(totA-totB) < 1e-12*totA
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 10}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPseudoPermIsPermutation(t *testing.T) {
+	f := func(n16 uint16, seed uint64) bool {
+		n := int(n16%500) + 1
+		perm := pseudoPerm(n, seed)
+		seen := make([]bool, n)
+		for _, p := range perm {
+			if p < 0 || int(p) >= n || seen[p] {
+				return false
+			}
+			seen[p] = true
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWingInside(t *testing.T) {
+	w := M6Wing()
+	// A point at mid-chord, mid-span, on the camber plane is inside.
+	y := w.Span / 2
+	le := y * math.Tan(w.SweepDeg*math.Pi/180)
+	chord := w.RootChord * (1 - (1-w.Taper)*y/w.Span)
+	mid := geom.Vec3{X: le + chord/2, Y: y, Z: 0}
+	if !w.Inside(mid) {
+		t.Fatal("mid-wing point should be inside")
+	}
+	if w.Inside(geom.Vec3{X: -1, Y: y, Z: 0}) {
+		t.Fatal("upstream point inside")
+	}
+	if w.Inside(geom.Vec3{X: le + chord/2, Y: -0.1, Z: 0}) {
+		t.Fatal("below-root point inside")
+	}
+	if w.Inside(geom.Vec3{X: le + chord/2, Y: y, Z: 1}) {
+		t.Fatal("far-above point inside")
+	}
+}
+
+func TestScaleSpec(t *testing.T) {
+	base := SpecC()
+	double := ScaleSpec(base, 2)
+	ratio := float64(double.NX*double.NY*double.NZ) / float64(base.NX*base.NY*base.NZ)
+	if ratio < 1.6 || ratio > 2.5 {
+		t.Fatalf("scale ratio %v", ratio)
+	}
+}
+
+func TestStatsString(t *testing.T) {
+	m := singleTetMesh(t)
+	s := m.ComputeStats()
+	if s.String() == "" {
+		t.Fatal("empty stats string")
+	}
+	if s.MinDegree != 3 || s.MaxDegree != 3 {
+		t.Fatalf("degree %d..%d", s.MinDegree, s.MaxDegree)
+	}
+}
+
+func TestPatchKindString(t *testing.T) {
+	if PatchWall.String() != "wall" || PatchSymmetry.String() != "symmetry" ||
+		PatchFarfield.String() != "farfield" || PatchKind(9).String() == "" {
+		t.Fatal("PatchKind.String")
+	}
+}
+
+func BenchmarkGenerateTiny(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := Generate(SpecTiny()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func TestComputeQualityRegularTet(t *testing.T) {
+	// Regular tetrahedron: all dihedral angles ~70.53 degrees.
+	a := 1.0
+	coords := []geom.Vec3{
+		{X: a, Y: a, Z: a}, {X: a, Y: -a, Z: -a}, {X: -a, Y: a, Z: -a}, {X: -a, Y: -a, Z: a},
+	}
+	m, err := FromTets(coords, [][4]int32{{0, 1, 2, 3}}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := m.ComputeQuality()
+	want := math.Acos(1.0/3.0) * 180 / math.Pi // 70.5288
+	if math.Abs(q.MinDihedralDeg-want) > 0.01 || math.Abs(q.MaxDihedralDeg-want) > 0.01 {
+		t.Fatalf("regular tet dihedrals [%v, %v], want %v", q.MinDihedralDeg, q.MaxDihedralDeg, want)
+	}
+	if q.MinVolume <= 0 {
+		t.Fatal("volume")
+	}
+	if q.String() == "" {
+		t.Fatal("string")
+	}
+}
+
+func TestComputeQualityGeneratedMesh(t *testing.T) {
+	m, err := Generate(SpecTiny())
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := m.ComputeQuality()
+	if q.MinDihedralDeg <= 0 || q.MaxDihedralDeg >= 180 {
+		t.Fatalf("degenerate dihedrals: %v", q)
+	}
+	if q.MaxAspect < 1 || q.MaxAspect > 100 {
+		t.Fatalf("implausible aspect: %v", q)
+	}
+	if q.MinVolume <= 0 {
+		t.Fatalf("nonpositive volume: %v", q)
+	}
+	t.Logf("quality: %v", q)
+	// Empty mesh is the zero value.
+	var empty Mesh
+	if got := empty.ComputeQuality(); got != (Quality{}) {
+		t.Fatalf("empty quality: %v", got)
+	}
+}

@@ -1,0 +1,95 @@
+package mesh
+
+import (
+	"fmt"
+	"math"
+
+	"fun3d/internal/geom"
+)
+
+// Quality summarizes element quality over the tetrahedra — the standard
+// diagnostics a mesh-dependent solver study reports alongside Table-I
+// sizes (badly shaped cells degrade both the discretization and the
+// ILU conditioning).
+type Quality struct {
+	// MinDihedralDeg / MaxDihedralDeg bound the dihedral angles (degrees);
+	// the regular tetrahedron has ~70.5° everywhere.
+	MinDihedralDeg, MaxDihedralDeg float64
+	// MaxAspect is the worst circumradius-to-shortest-edge style ratio
+	// (longest edge / shortest altitude).
+	MaxAspect float64
+	// MinVolume is the smallest tet volume.
+	MinVolume float64
+}
+
+// ComputeQuality scans all tetrahedra. An empty mesh returns the zero
+// value.
+func (m *Mesh) ComputeQuality() Quality {
+	q := Quality{MinDihedralDeg: 180, MaxDihedralDeg: 0, MaxAspect: 0, MinVolume: math.Inf(1)}
+	if len(m.Tets) == 0 {
+		return Quality{}
+	}
+	for _, t := range m.Tets {
+		var v [4]geom.Vec3
+		for i := 0; i < 4; i++ {
+			v[i] = m.Coords[t[i]]
+		}
+		vol := geom.TetVolume(v[0], v[1], v[2], v[3])
+		if vol < 0 {
+			vol = -vol
+		}
+		if vol < q.MinVolume {
+			q.MinVolume = vol
+		}
+		// Face normals (outward for positive orientation).
+		faces := [4][3]int{{0, 2, 1}, {0, 1, 3}, {1, 2, 3}, {0, 3, 2}}
+		var n [4]geom.Vec3
+		var area [4]float64
+		for fi, f := range faces {
+			nv := geom.TriangleAreaVec(v[f[0]], v[f[1]], v[f[2]])
+			area[fi] = nv.Norm()
+			n[fi] = nv.Normalized()
+		}
+		// Dihedral angle along the shared edge of every face pair:
+		// angle = pi - angle between outward normals.
+		for a := 0; a < 4; a++ {
+			for b := a + 1; b < 4; b++ {
+				c := n[a].Dot(n[b])
+				c = math.Max(-1, math.Min(1, c))
+				d := (math.Pi - math.Acos(c)) * 180 / math.Pi
+				if d < q.MinDihedralDeg {
+					q.MinDihedralDeg = d
+				}
+				if d > q.MaxDihedralDeg {
+					q.MaxDihedralDeg = d
+				}
+			}
+		}
+		// Aspect: longest edge over shortest altitude (3V/maxArea).
+		longest := 0.0
+		for e := 0; e < 6; e++ {
+			p, qq, _, _ := geom.TetEdge(e)
+			if l := v[qq].Sub(v[p]).Norm(); l > longest {
+				longest = l
+			}
+		}
+		maxArea := 0.0
+		for _, a := range area {
+			if a > maxArea {
+				maxArea = a
+			}
+		}
+		if vol > 0 && maxArea > 0 {
+			altitude := 3 * vol / maxArea
+			if asp := longest / altitude; asp > q.MaxAspect {
+				q.MaxAspect = asp
+			}
+		}
+	}
+	return q
+}
+
+func (q Quality) String() string {
+	return fmt.Sprintf("dihedral=[%.1f°..%.1f°] maxAspect=%.2f minVol=%.3g",
+		q.MinDihedralDeg, q.MaxDihedralDeg, q.MaxAspect, q.MinVolume)
+}

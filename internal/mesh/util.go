@@ -1,0 +1,39 @@
+package mesh
+
+import "sort"
+
+// sortSlice sorts b with the provided less function (tiny wrapper so call
+// sites read naturally).
+func sortSlice(b []BNode, less func(i, j int) bool) {
+	sort.Slice(b, less)
+}
+
+type pairSorter struct {
+	a, b []int32
+}
+
+func (p pairSorter) Len() int           { return len(p.a) }
+func (p pairSorter) Less(i, j int) bool { return p.a[i] < p.a[j] }
+func (p pairSorter) Swap(i, j int) {
+	p.a[i], p.a[j] = p.a[j], p.a[i]
+	p.b[i], p.b[j] = p.b[j], p.b[i]
+}
+
+// sortFaceKeys sorts sorted-vertex-triple face keys lexicographically.
+func sortFaceKeys(keys [][3]int32) {
+	sort.Slice(keys, func(i, j int) bool {
+		a, b := keys[i], keys[j]
+		if a[0] != b[0] {
+			return a[0] < b[0]
+		}
+		if a[1] != b[1] {
+			return a[1] < b[1]
+		}
+		return a[2] < b[2]
+	})
+}
+
+// sortPairs sorts parallel slices a and b by a.
+func sortPairs(a, b []int32) {
+	sort.Sort(pairSorter{a, b})
+}

@@ -1,0 +1,213 @@
+package mpisim
+
+import (
+	"fmt"
+	"sort"
+
+	"fun3d/internal/geom"
+	"fun3d/internal/mesh"
+	"fun3d/internal/partition"
+)
+
+// Subdomain is one rank's share of the global mesh: owned vertices first
+// (local indices [0,NOwned)), ghost copies of cross-edge neighbors after.
+// Every edge with at least one owned endpoint is present, so each owned
+// vertex sees all of its incident dual faces (cut edges are replicated on
+// both sides — the distributed analogue of owner-only writes).
+type Subdomain struct {
+	Rank   int
+	NOwned int
+	NLocal int
+	Global []int32 // local -> global
+
+	// Edge data in local numbering (SoA, like mesh.Mesh).
+	EV1, EV2      []int32
+	ENX, ENY, ENZ []float64
+
+	Vol    []float64 // per local vertex (owned + ghost)
+	Coords []geom.Vec3
+	BNodes []mesh.BNode // with local V (owned vertices only)
+
+	// Halo plan: Neighbors lists peer ranks (sorted); SendIdx[i] are owned
+	// local indices whose values go to Neighbors[i]; RecvIdx[i] are ghost
+	// local indices filled from Neighbors[i]. Matching order on both sides.
+	Neighbors []int
+	SendIdx   [][]int32
+	RecvIdx   [][]int32
+
+	// Owned-rows Jacobian pattern (local owned indices only; ghost
+	// couplings dropped — the Schwarz restriction).
+	JacRows [][]int32
+}
+
+// Decompose partitions m into nranks subdomains with the multilevel
+// partitioner (or natural blocks when natural is true, the paper's
+// pre-METIS baseline).
+func Decompose(m *mesh.Mesh, nranks int, natural bool, seed uint64) ([]*Subdomain, error) {
+	if nranks < 1 {
+		return nil, fmt.Errorf("mpisim: nranks %d < 1", nranks)
+	}
+	g := partition.FromMesh(m.AdjPtr, m.Adj, true)
+	var part []int32
+	if natural || nranks == 1 {
+		part = partition.Natural(g, nranks)
+	} else {
+		var err error
+		part, err = partition.Multilevel(g, nranks, partition.Options{Seed: seed})
+		if err != nil {
+			return nil, err
+		}
+	}
+	return buildSubdomains(m, part, nranks)
+}
+
+func buildSubdomains(m *mesh.Mesh, part []int32, nranks int) ([]*Subdomain, error) {
+	nv := m.NumVertices()
+	subs := make([]*Subdomain, nranks)
+	for r := 0; r < nranks; r++ {
+		subs[r] = &Subdomain{Rank: r}
+	}
+
+	// Owned vertices in ascending global order.
+	localOf := make([]int32, nv) // global -> local within its OWNED rank
+	for v := 0; v < nv; v++ {
+		s := subs[part[v]]
+		localOf[v] = int32(len(s.Global))
+		s.Global = append(s.Global, int32(v))
+	}
+	for _, s := range subs {
+		s.NOwned = len(s.Global)
+	}
+
+	// Ghosts: discovered through edges; per rank, map global -> local.
+	ghostOf := make([]map[int32]int32, nranks)
+	for r := range ghostOf {
+		ghostOf[r] = map[int32]int32{}
+	}
+	localIdx := func(r int, gv int32) int32 {
+		if part[gv] == int32(r) {
+			return localOf[gv]
+		}
+		s := subs[r]
+		if l, ok := ghostOf[r][gv]; ok {
+			return l
+		}
+		l := int32(len(s.Global))
+		s.Global = append(s.Global, gv)
+		ghostOf[r][gv] = l
+		return l
+	}
+
+	// Distribute edges: to the owner of each endpoint (cut edges to both).
+	for e := 0; e < m.NumEdges(); e++ {
+		a, b := m.EV1[e], m.EV2[e]
+		ra, rb := int(part[a]), int(part[b])
+		add := func(r int) {
+			s := subs[r]
+			s.EV1 = append(s.EV1, localIdx(r, a))
+			s.EV2 = append(s.EV2, localIdx(r, b))
+			s.ENX = append(s.ENX, m.ENX[e])
+			s.ENY = append(s.ENY, m.ENY[e])
+			s.ENZ = append(s.ENZ, m.ENZ[e])
+		}
+		add(ra)
+		if rb != ra {
+			add(rb)
+		}
+	}
+
+	// Per-vertex data and boundary nodes.
+	for _, s := range subs {
+		s.NLocal = len(s.Global)
+		s.Vol = make([]float64, s.NLocal)
+		s.Coords = make([]geom.Vec3, s.NLocal)
+		for l, gv := range s.Global {
+			s.Vol[l] = m.Vol[gv]
+			s.Coords[l] = m.Coords[gv]
+		}
+	}
+	for _, bn := range m.BNodes {
+		r := int(part[bn.V])
+		subs[r].BNodes = append(subs[r].BNodes, mesh.BNode{
+			V: localOf[bn.V], Kind: bn.Kind, Normal: bn.Normal,
+		})
+	}
+
+	// Halo plan: rank r receives ghost gv from part[gv]; symmetric sends.
+	// Build per-rank peer maps first, then emit sorted, aligned lists.
+	sendMap := make([]map[int][]int32, nranks) // rank -> peer -> owned locals
+	recvMap := make([]map[int][]int32, nranks) // rank -> peer -> ghost locals
+	for r := 0; r < nranks; r++ {
+		sendMap[r] = map[int][]int32{}
+		recvMap[r] = map[int][]int32{}
+	}
+	for r := 0; r < nranks; r++ {
+		// Sorted global ids per owner for deterministic matching order.
+		byOwner := map[int][]int32{}
+		for gv := range ghostOf[r] {
+			owner := int(part[gv])
+			byOwner[owner] = append(byOwner[owner], gv)
+		}
+		for owner, ids := range byOwner {
+			sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+			for _, gv := range ids {
+				recvMap[r][owner] = append(recvMap[r][owner], ghostOf[r][gv])
+				sendMap[owner][r] = append(sendMap[owner][r], localOf[gv])
+			}
+		}
+	}
+	for r := 0; r < nranks; r++ {
+		s := subs[r]
+		peerSet := map[int]bool{}
+		for p := range sendMap[r] {
+			peerSet[p] = true
+		}
+		for p := range recvMap[r] {
+			peerSet[p] = true
+		}
+		for p := range peerSet {
+			s.Neighbors = append(s.Neighbors, p)
+		}
+		sort.Ints(s.Neighbors)
+		s.SendIdx = make([][]int32, len(s.Neighbors))
+		s.RecvIdx = make([][]int32, len(s.Neighbors))
+		for i, p := range s.Neighbors {
+			s.SendIdx[i] = sendMap[r][p]
+			s.RecvIdx[i] = recvMap[r][p]
+		}
+	}
+
+	// Owned-rows Jacobian pattern: local adjacency restricted to owned.
+	for r := 0; r < nranks; r++ {
+		s := subs[r]
+		rows := make([][]int32, s.NOwned)
+		for i := range rows {
+			rows[i] = []int32{int32(i)}
+		}
+		for e := range s.EV1 {
+			a, b := s.EV1[e], s.EV2[e]
+			if int(a) < s.NOwned && int(b) < s.NOwned {
+				rows[a] = append(rows[a], b)
+				rows[b] = append(rows[b], a)
+			}
+		}
+		// Cut edges appear twice in the local list (never: each local list
+		// has each global edge once). Dedup anyway for safety.
+		for i := range rows {
+			rows[i] = dedupSorted(rows[i])
+		}
+		s.JacRows = rows
+	}
+	return subs, nil
+}
+
+func dedupSorted(a []int32) []int32 {
+	sort.Slice(a, func(i, j int) bool { return a[i] < a[j] })
+	out := a[:0]
+	for i, v := range a {
+		if i == 0 || v != a[i-1] {
+			out = append(out, v)
+		}
+	}
+	return out
+}

@@ -1,0 +1,512 @@
+package mpisim
+
+import (
+	"fmt"
+	"math"
+	"sync"
+
+	"fun3d/internal/blas4"
+	"fun3d/internal/geom"
+	"fun3d/internal/krylov"
+	"fun3d/internal/mesh"
+	"fun3d/internal/perfmodel"
+	"fun3d/internal/physics"
+	"fun3d/internal/sparse"
+)
+
+// Config describes one multi-node run.
+type Config struct {
+	Ranks   int
+	Natural bool // natural-block decomposition instead of multilevel
+
+	Rates    perfmodel.Rates  // per-rank kernel rates (reflect threads/rank)
+	VecRates *perfmodel.Rates // optional override for vector primitives
+	// (the paper's hybrid case: kernels threaded, PETSc Vec* sequential)
+	Net perfmodel.Network
+
+	FillLevel int
+	// FusedNorms enables communication-reducing GMRES (one fewer
+	// Allreduce per iteration); see krylov.Options.FusedNorms.
+	FusedNorms bool
+	AlphaDeg   float64
+	Beta       float64
+
+	CFL0           float64
+	RelTol         float64
+	MaxSteps       int
+	LinearRelTol   float64
+	Restart        int
+	MaxLinearIters int
+
+	Seed uint64
+}
+
+func (c *Config) defaults() {
+	if c.Beta <= 0 {
+		c.Beta = 5
+	}
+	if c.AlphaDeg == 0 {
+		c.AlphaDeg = 3.06
+	}
+	if c.CFL0 <= 0 {
+		c.CFL0 = 50
+	}
+	if c.RelTol <= 0 {
+		c.RelTol = 1e-6
+	}
+	if c.MaxSteps <= 0 {
+		c.MaxSteps = 30
+	}
+	if c.LinearRelTol <= 0 {
+		c.LinearRelTol = 1e-3
+	}
+	if c.Restart <= 0 {
+		c.Restart = 30
+	}
+	if c.MaxLinearIters <= 0 {
+		c.MaxLinearIters = 300
+	}
+}
+
+// Result aggregates a distributed run.
+type Result struct {
+	Steps       int
+	LinearIters int
+	Converged   bool
+	RNorm0      float64
+	RNormFinal  float64
+
+	// Virtual time (seconds): Time is the slowest rank's clock; the
+	// breakdown averages across ranks (clocks stay synchronized by the
+	// Allreduce-heavy algorithm).
+	Time          float64
+	ComputeTime   float64
+	PtPTime       float64
+	AllreduceTime float64
+
+	Msgs       int
+	Bytes      int
+	Allreduces int
+}
+
+// CommFraction returns the share of virtual time spent communicating —
+// the Fig 10 metric.
+func (r Result) CommFraction() float64 {
+	if r.Time == 0 {
+		return 0
+	}
+	return (r.PtPTime + r.AllreduceTime) / (r.ComputeTime + r.PtPTime + r.AllreduceTime)
+}
+
+// Solve runs the distributed pseudo-transient NKS solver over cfg.Ranks
+// simulated ranks and reports real convergence plus modeled time.
+func Solve(m *mesh.Mesh, cfg Config) (Result, error) {
+	cfg.defaults()
+	subs, err := Decompose(m, cfg.Ranks, cfg.Natural, cfg.Seed)
+	if err != nil {
+		return Result{}, err
+	}
+	comm := NewComm(cfg.Ranks, cfg.Net)
+	workers := make([]*worker, cfg.Ranks)
+	results := make([]rankResult, cfg.Ranks)
+	var wg sync.WaitGroup
+	for r := 0; r < cfg.Ranks; r++ {
+		w, err := newWorker(comm.NewRank(r), subs[r], &cfg)
+		if err != nil {
+			return Result{}, err
+		}
+		workers[r] = w
+	}
+	for r := 0; r < cfg.Ranks; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			results[r] = workers[r].run()
+		}(r)
+	}
+	wg.Wait()
+
+	out := Result{
+		Steps:       results[0].steps,
+		LinearIters: results[0].linIters,
+		Converged:   results[0].converged,
+		RNorm0:      results[0].rnorm0,
+		RNormFinal:  results[0].rnorm,
+	}
+	for r := 0; r < cfg.Ranks; r++ {
+		if results[r].err != nil {
+			return out, fmt.Errorf("rank %d: %w", r, results[r].err)
+		}
+		rk := workers[r].rank
+		if rk.Clock > out.Time {
+			out.Time = rk.Clock
+		}
+		out.ComputeTime += rk.ComputeTime
+		out.PtPTime += rk.PtPTime
+		out.AllreduceTime += rk.AllreduceTime
+		out.Msgs += rk.MsgsSent
+		out.Bytes += rk.BytesSent
+	}
+	out.Allreduces = workers[0].rank.Allreduces
+	n := float64(cfg.Ranks)
+	out.ComputeTime /= n
+	out.PtPTime /= n
+	out.AllreduceTime /= n
+	return out, nil
+}
+
+type rankResult struct {
+	steps, linIters int
+	converged       bool
+	rnorm0, rnorm   float64
+	err             error
+}
+
+const (
+	tagHalo = 1
+)
+
+// worker is one rank's solver state.
+type worker struct {
+	rank *Rank
+	sub  *Subdomain
+	cfg  *Config
+	qInf physics.State
+
+	rates    perfmodel.Rates
+	vecRates perfmodel.Rates
+
+	q, res, rp, qp []float64 // NLocal*4
+	dt             []float64 // NOwned
+	jac            *sparse.BSR
+	factor         *sparse.Factor
+	gmres          krylov.GMRES
+
+	// per-step cache for the matrix-free operator
+	qnorm float64
+}
+
+func newWorker(rank *Rank, sub *Subdomain, cfg *Config) (*worker, error) {
+	w := &worker{rank: rank, sub: sub, cfg: cfg, rates: cfg.Rates}
+	w.vecRates = cfg.Rates
+	if cfg.VecRates != nil {
+		w.vecRates = *cfg.VecRates
+	}
+	w.qInf = physics.FreeStream(cfg.AlphaDeg)
+	nl := sub.NLocal * 4
+	w.q = make([]float64, nl)
+	w.res = make([]float64, nl)
+	w.rp = make([]float64, nl)
+	w.qp = make([]float64, nl)
+	w.dt = make([]float64, sub.NOwned)
+	var err error
+	w.jac, err = sparse.NewBSRFromPattern(sub.JacRows)
+	if err != nil {
+		return nil, err
+	}
+	pat, err := sparse.SymbolicILU(w.jac, cfg.FillLevel)
+	if err != nil {
+		return nil, err
+	}
+	w.factor, err = sparse.NewFactorPattern(pat)
+	if err != nil {
+		return nil, err
+	}
+	for v := 0; v < sub.NLocal; v++ {
+		copy(w.q[v*4:v*4+4], w.qInf[:])
+	}
+	w.gmres = krylov.GMRES{Ops: &distOps{w: w}}
+	return w, nil
+}
+
+// exchange refreshes ghost entries of x (length NLocal*4) from the owners.
+func (w *worker) exchange(x []float64) {
+	s := w.sub
+	for i, peer := range s.Neighbors {
+		idx := s.SendIdx[i]
+		if len(idx) == 0 {
+			continue
+		}
+		buf := make([]float64, len(idx)*4)
+		for j, l := range idx {
+			copy(buf[j*4:j*4+4], x[l*4:l*4+4])
+		}
+		w.rank.Send(peer, tagHalo, buf)
+	}
+	for i, peer := range s.Neighbors {
+		idx := s.RecvIdx[i]
+		if len(idx) == 0 {
+			continue
+		}
+		buf := w.rank.Recv(peer, tagHalo)
+		for j, l := range idx {
+			copy(x[l*4:l*4+4], buf[j*4:j*4+4])
+		}
+	}
+}
+
+// residual evaluates the local residual; ghosts of q must be current.
+// Owned entries of res are meaningful; ghost entries are scratch.
+func (w *worker) residual(q, res []float64) {
+	s := w.sub
+	for i := range res {
+		res[i] = 0
+	}
+	beta := w.cfg.Beta
+	for e := range s.EV1 {
+		a, b := s.EV1[e], s.EV2[e]
+		n := geom.Vec3{X: s.ENX[e], Y: s.ENY[e], Z: s.ENZ[e]}
+		var qa, qb physics.State
+		copy(qa[:], q[a*4:a*4+4])
+		copy(qb[:], q[b*4:b*4+4])
+		f := physics.RoeFlux(qa, qb, n, beta)
+		for c := 0; c < 4; c++ {
+			res[int(a)*4+c] += f[c]
+			res[int(b)*4+c] -= f[c]
+		}
+	}
+	for _, bn := range s.BNodes {
+		var qv physics.State
+		copy(qv[:], q[int(bn.V)*4:int(bn.V)*4+4])
+		var f physics.State
+		switch bn.Kind {
+		case mesh.PatchWall, mesh.PatchSymmetry:
+			f = physics.WallFlux(qv, bn.Normal)
+		default:
+			f = physics.FarfieldFlux(qv, w.qInf, bn.Normal, beta)
+		}
+		for c := 0; c < 4; c++ {
+			res[int(bn.V)*4+c] += f[c]
+		}
+	}
+	w.rank.Compute(float64(len(s.EV1)) * w.rates.FluxPerEdge)
+}
+
+// assembleJacobian fills the owned-rows first-order Jacobian with the
+// pseudo-time shift.
+func (w *worker) assembleJacobian(q []float64) {
+	s := w.sub
+	a := w.jac
+	a.Zero()
+	beta := w.cfg.Beta
+	var dL, dR [16]float64
+	for e := range s.EV1 {
+		va, vb := s.EV1[e], s.EV2[e]
+		n := geom.Vec3{X: s.ENX[e], Y: s.ENY[e], Z: s.ENZ[e]}
+		var qa, qb physics.State
+		copy(qa[:], q[va*4:va*4+4])
+		copy(qb[:], q[vb*4:vb*4+4])
+		physics.RoeFluxJacobians(qa, qb, n, beta, &dL, &dR)
+		aOwned := int(va) < s.NOwned
+		bOwned := int(vb) < s.NOwned
+		if aOwned {
+			addTo(a, va, va, &dL, 1)
+			if bOwned {
+				addTo(a, va, vb, &dR, 1)
+			}
+		}
+		if bOwned {
+			addTo(a, vb, vb, &dR, -1)
+			if aOwned {
+				addTo(a, vb, va, &dL, -1)
+			}
+		}
+	}
+	var d [16]float64
+	for _, bn := range s.BNodes {
+		switch bn.Kind {
+		case mesh.PatchWall, mesh.PatchSymmetry:
+			physics.WallFluxJacobian(bn.Normal, &d)
+		default:
+			var qv physics.State
+			copy(qv[:], q[int(bn.V)*4:int(bn.V)*4+4])
+			physics.FarfieldFluxJacobian(qv, w.qInf, bn.Normal, beta, &d)
+		}
+		addTo(a, bn.V, bn.V, &d, 1)
+	}
+	for i := 0; i < s.NOwned; i++ {
+		blas4.AddDiag(a.Block(a.Diag[i]), s.Vol[i]/w.dt[i])
+	}
+	w.rank.Compute(float64(len(s.EV1)) * w.rates.JacPerEdge)
+}
+
+func addTo(a *sparse.BSR, i, j int32, blk *[16]float64, sign float64) {
+	slot := a.BlockAt(i, j)
+	dst := a.Block(slot)
+	for t := 0; t < 16; t++ {
+		dst[t] += sign * blk[t]
+	}
+}
+
+// localTimeSteps fills w.dt for owned vertices.
+func (w *worker) localTimeSteps(q []float64, cfl float64) {
+	s := w.sub
+	lam := make([]float64, s.NOwned)
+	beta := w.cfg.Beta
+	for e := range s.EV1 {
+		a, b := s.EV1[e], s.EV2[e]
+		n := geom.Vec3{X: s.ENX[e], Y: s.ENY[e], Z: s.ENZ[e]}
+		area := n.Norm()
+		if int(a) < s.NOwned {
+			var qa physics.State
+			copy(qa[:], q[a*4:a*4+4])
+			lam[a] += physics.SpectralRadius(qa, n, beta) * area
+		}
+		if int(b) < s.NOwned {
+			var qb physics.State
+			copy(qb[:], q[b*4:b*4+4])
+			lam[b] += physics.SpectralRadius(qb, n, beta) * area
+		}
+	}
+	for v := 0; v < s.NOwned; v++ {
+		if lam[v] == 0 {
+			lam[v] = math.Sqrt(beta)
+		}
+		w.dt[v] = cfl * s.Vol[v] / lam[v]
+	}
+	w.rank.Compute(float64(len(s.EV1)) * w.vecRates.VecPerElem)
+}
+
+// run executes the pseudo-transient NKS loop and returns this rank's view.
+func (w *worker) run() (rr rankResult) {
+	defer func() {
+		if p := recover(); p != nil {
+			if err, ok := p.(error); ok && err == errAborted {
+				rr.err = err
+			} else {
+				rr.err = fmt.Errorf("mpisim worker panic: %v", p)
+			}
+		}
+		// A failing rank aborts the communicator so peers blocked on
+		// receives or collectives error out instead of deadlocking
+		// (MPI_Abort semantics). Harmless when the error was reached
+		// collectively — nobody is left waiting.
+		if rr.err != nil && rr.err != errAborted {
+			w.rank.comm.Abort()
+		}
+	}()
+	cfg := w.cfg
+	s := w.sub
+	nOwn := s.NOwned * 4
+	ops := &distOps{w: w}
+
+	w.exchange(w.q)
+	w.residual(w.q, w.res)
+	rnorm := ops.Norm2(w.res[:nOwn])
+	rr.rnorm0 = rnorm
+	rr.rnorm = rnorm
+	if rnorm <= 1e-14 {
+		rr.converged = true
+		return rr
+	}
+
+	op := &distOp{w: w, ops: ops}
+	pre := &distPre{w: w}
+	rhs := make([]float64, nOwn)
+	dq := make([]float64, nOwn)
+
+	for step := 1; step <= cfg.MaxSteps; step++ {
+		cfl := cfg.CFL0 * rr.rnorm0 / rnorm
+		if cfl > 1e7 {
+			cfl = 1e7
+		}
+		w.localTimeSteps(w.q, cfl)
+		w.assembleJacobian(w.q)
+		errFlag := 0.0
+		ferr := w.factor.FactorizeILU(w.jac)
+		w.rank.Compute(float64(w.factor.M.NNZBlocks()) * w.rates.ILUPerBlock)
+		if ferr != nil {
+			errFlag = 1
+		}
+		if g := ops.w.rank.Allreduce([]float64{errFlag}); g[0] != 0 {
+			rr.err = fmt.Errorf("step %d: ILU factorization failed on some rank (%v)", step, ferr)
+			return rr
+		}
+
+		for i := 0; i < nOwn; i++ {
+			rhs[i] = -w.res[i]
+			dq[i] = 0
+		}
+		w.qnorm = ops.Norm2(w.q[:nOwn])
+		lres, lerr := w.gmres.Solve(op, pre, rhs, dq, krylov.Options{
+			Restart:    cfg.Restart,
+			MaxIters:   cfg.MaxLinearIters,
+			RelTol:     cfg.LinearRelTol,
+			FusedNorms: cfg.FusedNorms,
+		})
+		if lerr != nil {
+			rr.err = fmt.Errorf("step %d: %w", step, lerr)
+			return rr
+		}
+		rr.linIters += lres.Iterations
+
+		for i := 0; i < nOwn; i++ {
+			w.q[i] += dq[i]
+		}
+		w.rank.Compute(float64(nOwn) * w.vecRates.VecPerElem)
+		w.exchange(w.q)
+		w.residual(w.q, w.res)
+		rnorm = ops.Norm2(w.res[:nOwn])
+		rr.rnorm = rnorm
+		rr.steps = step
+		if math.IsNaN(rnorm) || rnorm > 1e8*rr.rnorm0 {
+			rr.err = fmt.Errorf("diverged at step %d: ||R||=%g", step, rnorm)
+			return rr
+		}
+		if rnorm <= cfg.RelTol*rr.rnorm0 {
+			rr.converged = true
+			return rr
+		}
+	}
+	return rr
+}
+
+// distOp is the matrix-free Jacobian operator over owned dofs.
+type distOp struct {
+	w   *worker
+	ops *distOps
+}
+
+// Apply computes y = (V/Δt) v + (R(q+hv) − R(q))/h with a fresh halo
+// exchange of the perturbed state — one point-to-point round per matvec,
+// as in a real distributed JFNK.
+func (o *distOp) Apply(v, y []float64) {
+	w := o.w
+	s := w.sub
+	nOwn := s.NOwned * 4
+	vnorm := o.ops.Norm2(v)
+	if vnorm == 0 {
+		for i := range y {
+			y[i] = 0
+		}
+		return
+	}
+	h := math.Sqrt(2.2e-16) * (1 + w.qnorm) / vnorm
+	copy(w.qp, w.q)
+	for i := 0; i < nOwn; i++ {
+		w.qp[i] += h * v[i]
+	}
+	w.rank.Compute(float64(nOwn) * w.vecRates.VecPerElem)
+	w.exchange(w.qp)
+	w.residual(w.qp, w.rp)
+	invH := 1 / h
+	for vtx := 0; vtx < s.NOwned; vtx++ {
+		shift := s.Vol[vtx] / w.dt[vtx]
+		for c := 0; c < 4; c++ {
+			i := vtx*4 + c
+			y[i] = shift*v[i] + (w.rp[i]-w.res[i])*invH
+		}
+	}
+	w.rank.Compute(float64(nOwn) * w.vecRates.VecPerElem)
+}
+
+// distPre is the rank-local ILU solve (block-Jacobi Schwarz).
+type distPre struct {
+	w *worker
+}
+
+// Apply implements krylov.Preconditioner over owned dofs.
+func (p *distPre) Apply(r, z []float64) {
+	p.w.factor.Solve(r, z)
+	p.w.rank.Compute(float64(p.w.factor.M.NNZBlocks()) * p.w.rates.TRSVPerBlock)
+}

@@ -1,0 +1,338 @@
+// Package newton implements the pseudo-transient Newton-Krylov driver (the
+// paper's Eq. 2-3): at each pseudo-time step the linearized system
+//
+//	(V/Δt + ∂R/∂q) δq = −R(q)
+//
+// is solved inexactly with preconditioned matrix-free GMRES, the state is
+// updated, and the time step grows by switched evolution relaxation (SER)
+// so that Δt → ∞ and the iteration converges to Newton's method on the
+// steady equations.
+package newton
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"time"
+
+	"fun3d/internal/flux"
+	"fun3d/internal/geom"
+	"fun3d/internal/krylov"
+	"fun3d/internal/physics"
+	"fun3d/internal/precond"
+	"fun3d/internal/prof"
+	"fun3d/internal/sparse"
+	"fun3d/internal/vecop"
+)
+
+// Options configures the nonlinear solve.
+type Options struct {
+	CFL0     float64 // initial CFL number (default 50)
+	CFLMax   float64 // SER cap (default 1e7)
+	MaxSteps int     // pseudo-time step cap (default 200)
+	RelTol   float64 // nonlinear convergence: ||R|| <= RelTol*||R0|| (default 1e-6)
+	AbsTol   float64 // absolute residual floor (default 1e-12)
+
+	LinearRelTol   float64 // inexact-Newton forcing term (default 1e-3)
+	Restart        int     // GMRES restart (default 30)
+	MaxLinearIters int     // per-step linear iteration cap (default 300)
+	FusedNorms     bool    // communication-reducing GMRES orthogonalization
+
+	// RefactorEvery rebuilds the Jacobian/ILU preconditioner only every
+	// k-th step (default 1 = every step). The paper calls factor reuse
+	// "a problem-dependent optimization that is worth pursuing": the
+	// preconditioner goes stale but each skipped step saves the Jacobian
+	// assembly and ILU factorization entirely.
+	RefactorEvery int
+
+	SecondOrder bool    // MUSCL reconstruction in the residual
+	Limiter     bool    // Venkatakrishnan limiter on the reconstruction
+	VenkK       float64 // limiter constant (default 5)
+}
+
+func (o *Options) defaults() {
+	if o.CFL0 <= 0 {
+		o.CFL0 = 50
+	}
+	if o.CFLMax <= 0 {
+		o.CFLMax = 1e7
+	}
+	if o.MaxSteps <= 0 {
+		o.MaxSteps = 200
+	}
+	if o.RelTol <= 0 {
+		o.RelTol = 1e-6
+	}
+	if o.AbsTol <= 0 {
+		o.AbsTol = 1e-12
+	}
+	if o.LinearRelTol <= 0 {
+		o.LinearRelTol = 1e-3
+	}
+	if o.Restart <= 0 {
+		o.Restart = 30
+	}
+	if o.MaxLinearIters <= 0 {
+		o.MaxLinearIters = 300
+	}
+	if o.VenkK <= 0 {
+		o.VenkK = 5
+	}
+}
+
+// StepStats records one pseudo-time step.
+type StepStats struct {
+	Step        int
+	RNorm       float64
+	CFL         float64
+	LinearIters int
+	LinearConv  bool
+}
+
+// History is the outcome of a nonlinear solve.
+type History struct {
+	Steps       []StepStats
+	RNorm0      float64
+	RNormFinal  float64
+	LinearIters int // total
+	Converged   bool
+}
+
+// Stepper owns the solver state and scratch for one mesh/configuration.
+type Stepper struct {
+	K    *flux.Kernels
+	Pre  *precond.ASM
+	A    *sparse.BSR
+	Ops  vecop.Ops
+	Prof *prof.Profile
+
+	gmres krylov.GMRES
+
+	// scratch
+	res, rhs, dq, qp, rp []float64
+	grad, phi            []float64
+	dt, lambda           []float64
+}
+
+// NewStepper wires a stepper from its parts. a must have the mesh
+// adjacency pattern; pre must be built on a's pattern.
+func NewStepper(k *flux.Kernels, pre *precond.ASM, a *sparse.BSR, ops vecop.Ops, p *prof.Profile) *Stepper {
+	nv := k.M.NumVertices()
+	n := nv * 4
+	return &Stepper{
+		K: k, Pre: pre, A: a, Ops: ops, Prof: p,
+		res: make([]float64, n), rhs: make([]float64, n),
+		dq: make([]float64, n), qp: make([]float64, n), rp: make([]float64, n),
+		grad: make([]float64, nv*12), phi: make([]float64, n),
+		dt: make([]float64, nv), lambda: make([]float64, nv),
+		gmres: krylov.GMRES{Ops: ops},
+	}
+}
+
+// ErrDiverged reports a failed nonlinear solve.
+var ErrDiverged = errors.New("newton: diverged")
+
+// residual evaluates R(q) into out, with second-order machinery per opt.
+// phi must already be current when frozen is true (linear-solve mode).
+func (st *Stepper) residual(q, out []float64, opt *Options, frozenLimiter bool) {
+	var gr, ph []float64
+	if opt.SecondOrder {
+		st.Prof.Time(prof.Gradient, func() { st.K.Gradient(q, st.grad) })
+		gr = st.grad
+		if opt.Limiter {
+			if !frozenLimiter {
+				st.Prof.Time(prof.Gradient, func() { st.K.Limiter(q, st.grad, st.phi, opt.VenkK) })
+			}
+			ph = st.phi
+		}
+	}
+	st.Prof.Time(prof.Flux, func() { st.K.Residual(q, gr, ph, out) })
+}
+
+// localTimeSteps fills st.dt with CFL*Vol/λ where λ sums the spectral radii
+// of the incident dual faces (a vertex-based loop).
+func (st *Stepper) localTimeSteps(q []float64, cfl float64) {
+	m := st.K.M
+	beta := st.K.Beta
+	body := func(lo, hi int) {
+		for v := lo; v < hi; v++ {
+			lam := 0.0
+			for idx := m.AdjPtr[v]; idx < m.AdjPtr[v+1]; idx++ {
+				e := m.AdjEdge[idx]
+				n := geom.Vec3{X: m.ENX[e], Y: m.ENY[e], Z: m.ENZ[e]}
+				area := n.Norm()
+				var qv physics.State
+				copy(qv[:], q[v*4:v*4+4])
+				lam += physics.SpectralRadius(qv, n, beta) * area
+			}
+			if lam == 0 {
+				lam = math.Sqrt(beta) // isolated vertex safeguard
+			}
+			st.lambda[v] = lam
+			st.dt[v] = cfl * m.Vol[v] / lam
+		}
+	}
+	if st.K.Pool != nil {
+		st.K.Pool.ParallelFor(m.NumVertices(), func(_, lo, hi int) { body(lo, hi) })
+	} else {
+		body(0, m.NumVertices())
+	}
+}
+
+// Solve drives q (AoS nv*4, initialized by the caller, typically to
+// freestream) to the steady state. Returns the convergence history.
+func (st *Stepper) Solve(q []float64, opt Options) (History, error) {
+	opt.defaults()
+	h := History{}
+	m := st.K.M
+	nv := m.NumVertices()
+	n := nv * 4
+
+	st.residual(q, st.res, &opt, false)
+	rnorm0 := st.Ops.Norm2(st.res)
+	h.RNorm0 = rnorm0
+	h.RNormFinal = rnorm0
+	if rnorm0 <= opt.AbsTol {
+		h.Converged = true
+		return h, nil
+	}
+
+	jvOp := st.matrixFreeOperator(q, &opt)
+	prePre := &timedPre{pre: st.Pre, p: st.Prof}
+
+	rnorm := rnorm0
+	for step := 1; step <= opt.MaxSteps; step++ {
+		// SER time step growth.
+		cfl := opt.CFL0 * rnorm0 / rnorm
+		if cfl > opt.CFLMax {
+			cfl = opt.CFLMax
+		}
+		st.Prof.Time(prof.Other, func() { st.localTimeSteps(q, cfl) })
+
+		// Assemble and factor the first-order preconditioning Jacobian
+		// (reused across steps when RefactorEvery > 1).
+		refactor := step == 1
+		if opt.RefactorEvery <= 1 || (step-1)%opt.RefactorEvery == 0 {
+			refactor = true
+		}
+		if refactor {
+			st.Prof.Time(prof.Jacobian, func() {
+				st.K.Jacobian(q, st.A)
+				flux.AddPseudoTimeTerm(st.A, m.Vol, st.dt)
+			})
+			var ferr error
+			st.Prof.Time(prof.ILU, func() { ferr = st.Pre.Factorize(st.A) })
+			if ferr != nil {
+				return h, fmt.Errorf("newton step %d: %w", step, ferr)
+			}
+		}
+
+		// rhs = -R(q); solve J dq = rhs.
+		st.Ops.Copy(st.rhs, st.res)
+		st.Ops.Scale(-1, st.rhs)
+		for i := 0; i < n; i++ {
+			st.dq[i] = 0
+		}
+		t0 := time.Now()
+		opBefore := jvOp.elapsed
+		preBefore := prePre.elapsed
+		lres, lerr := st.gmres.Solve(jvOp, prePre, st.rhs, st.dq, krylov.Options{
+			Restart:    opt.Restart,
+			MaxIters:   opt.MaxLinearIters,
+			RelTol:     opt.LinearRelTol,
+			FusedNorms: opt.FusedNorms,
+		})
+		gmresWall := time.Since(t0)
+		st.Prof.Add(prof.VecOps, gmresWall-(jvOp.elapsed-opBefore)-(prePre.elapsed-preBefore))
+		if lerr != nil {
+			return h, fmt.Errorf("newton step %d: linear solve: %w", step, lerr)
+		}
+		h.LinearIters += lres.Iterations
+
+		// Update and re-evaluate.
+		st.Prof.Time(prof.VecOps, func() { st.Ops.AXPY(1, st.dq, q) })
+		st.residual(q, st.res, &opt, false)
+		rnorm = st.Ops.Norm2(st.res)
+		h.RNormFinal = rnorm
+		h.Steps = append(h.Steps, StepStats{
+			Step: step, RNorm: rnorm, CFL: cfl,
+			LinearIters: lres.Iterations, LinearConv: lres.Converged,
+		})
+		if math.IsNaN(rnorm) || rnorm > 1e6*rnorm0 {
+			return h, fmt.Errorf("%w at step %d: ||R||=%g", ErrDiverged, step, rnorm)
+		}
+		if rnorm <= opt.RelTol*rnorm0 || rnorm <= opt.AbsTol {
+			h.Converged = true
+			return h, nil
+		}
+	}
+	return h, nil
+}
+
+// matrixFreeOperator builds the JFNK operator for the current outer state:
+//
+//	J v = (V/Δt) ⊙ v + (R(q + h v) − R(q)) / h
+//
+// with the conventional differencing parameter. It reads st.res (the
+// residual at q) and st.dt, which Solve keeps current.
+type mfOp struct {
+	st      *Stepper
+	q       []float64
+	opt     *Options
+	elapsed time.Duration
+}
+
+func (st *Stepper) matrixFreeOperator(q []float64, opt *Options) *mfOp {
+	return &mfOp{st: st, q: q, opt: opt}
+}
+
+// Apply implements krylov.Operator.
+func (o *mfOp) Apply(v, y []float64) {
+	t0 := time.Now()
+	st := o.st
+	vnorm := st.Ops.Norm2(v)
+	if vnorm == 0 {
+		for i := range y {
+			y[i] = 0
+		}
+		o.elapsed += time.Since(t0)
+		return
+	}
+	qnorm := st.Ops.Norm2(o.q)
+	h := math.Sqrt(2.2e-16) * (1 + qnorm) / vnorm
+	st.Ops.WAXPY(st.qp, h, v, o.q)
+	st.residual(st.qp, st.rp, o.opt, true)
+	invH := 1 / h
+	m := st.K.M
+	body := func(lo, hi int) {
+		for vtx := lo; vtx < hi; vtx++ {
+			shift := m.Vol[vtx] / st.dt[vtx]
+			for c := 0; c < 4; c++ {
+				i := vtx*4 + c
+				y[i] = shift*v[i] + (st.rp[i]-st.res[i])*invH
+			}
+		}
+	}
+	if st.K.Pool != nil {
+		st.K.Pool.ParallelFor(m.NumVertices(), func(_, lo, hi int) { body(lo, hi) })
+	} else {
+		body(0, m.NumVertices())
+	}
+	o.elapsed += time.Since(t0)
+}
+
+// timedPre wraps the preconditioner with the TRSV stopwatch.
+type timedPre struct {
+	pre     *precond.ASM
+	p       *prof.Profile
+	elapsed time.Duration
+}
+
+// Apply implements krylov.Preconditioner.
+func (t *timedPre) Apply(r, z []float64) {
+	t0 := time.Now()
+	t.pre.Apply(r, z)
+	d := time.Since(t0)
+	t.elapsed += d
+	t.p.Add(prof.TRSV, d)
+}

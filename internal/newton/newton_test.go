@@ -1,0 +1,271 @@
+package newton
+
+import (
+	"math"
+	"testing"
+
+	"fun3d/internal/flux"
+	"fun3d/internal/mesh"
+	"fun3d/internal/par"
+	"fun3d/internal/physics"
+	"fun3d/internal/precond"
+	"fun3d/internal/prof"
+	"fun3d/internal/sparse"
+	"fun3d/internal/vecop"
+)
+
+const beta = 5.0
+
+func buildStepper(t testing.TB, m *mesh.Mesh, pool *par.Pool, strategy flux.Strategy, fill int) *Stepper {
+	qInf := physics.FreeStream(3.06) // the M6 validation angle of attack
+	part, err := flux.NewPartition(m, poolSize(pool), strategy, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	k := flux.NewKernels(m, beta, qInf, pool, part, flux.Config{Strategy: strategy})
+	a := sparse.NewBSRFromAdj(m.AdjPtr, m.Adj)
+	sched := precond.SchedSequential
+	if pool != nil {
+		sched = precond.SchedP2P
+	}
+	pre, err := precond.New(a, pool, precond.Options{FillLevel: fill, Sched: sched})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ops := vecop.Ops{Pool: pool}
+	return NewStepper(k, pre, a, ops, &prof.Profile{})
+}
+
+func poolSize(p *par.Pool) int {
+	if p == nil {
+		return 1
+	}
+	return p.Size()
+}
+
+func freestreamVec(m *mesh.Mesh, q physics.State) []float64 {
+	out := make([]float64, m.NumVertices()*4)
+	for v := 0; v < m.NumVertices(); v++ {
+		copy(out[v*4:v*4+4], q[:])
+	}
+	return out
+}
+
+// The flagship integration test: starting from freestream, the implicit
+// solver converges the wing flow by orders of magnitude.
+func TestSolveWingFirstOrder(t *testing.T) {
+	m, err := mesh.Generate(mesh.SpecTiny())
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := buildStepper(t, m, nil, flux.Sequential, 0)
+	q := freestreamVec(m, physics.FreeStream(3.06))
+	h, err := st.Solve(q, Options{MaxSteps: 60, RelTol: 1e-6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !h.Converged {
+		t.Fatalf("not converged: ||R|| %g -> %g in %d steps",
+			h.RNorm0, h.RNormFinal, len(h.Steps))
+	}
+	if h.RNormFinal > 1e-6*h.RNorm0 {
+		t.Fatalf("weak convergence: %g -> %g", h.RNorm0, h.RNormFinal)
+	}
+	t.Logf("converged in %d steps, %d linear iters, ||R|| %.3e -> %.3e",
+		len(h.Steps), h.LinearIters, h.RNorm0, h.RNormFinal)
+	// The solution must deviate from freestream near the wing (a wall
+	// exists), i.e. pressure is non-trivial somewhere.
+	maxP := 0.0
+	for v := 0; v < m.NumVertices(); v++ {
+		if p := math.Abs(q[v*4]); p > maxP {
+			maxP = p
+		}
+	}
+	if maxP < 1e-4 {
+		t.Fatalf("solution suspiciously close to freestream: max|p|=%g", maxP)
+	}
+}
+
+// On a wing-less box the freestream IS the steady state: the solver must
+// report immediate convergence.
+func TestSolveBoxImmediate(t *testing.T) {
+	m, err := mesh.Generate(mesh.GenSpec{NX: 6, NY: 5, NZ: 5, Shuffle: true, Seed: 2,
+		XMin: -1, XMax: 1, YMin: 0.1, YMax: 1.9, ZMin: -1, ZMax: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := buildStepper(t, m, nil, flux.Sequential, 0)
+	q := freestreamVec(m, physics.FreeStream(3.06))
+	h, err := st.Solve(q, Options{MaxSteps: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !h.Converged || len(h.Steps) != 0 {
+		t.Fatalf("box should converge immediately: %+v", h)
+	}
+}
+
+// The threaded solver must produce the same convergence history shape and
+// a converged solution close to the sequential one.
+func TestSolveParallelMatches(t *testing.T) {
+	m, err := mesh.Generate(mesh.SpecTiny())
+	if err != nil {
+		t.Fatal(err)
+	}
+	stSeq := buildStepper(t, m, nil, flux.Sequential, 0)
+	qSeq := freestreamVec(m, physics.FreeStream(3.06))
+	hSeq, err := stSeq.Solve(qSeq, Options{MaxSteps: 60})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	pool := par.NewPool(4)
+	defer pool.Close()
+	stPar := buildStepper(t, m, pool, flux.ReplicateMETIS, 0)
+	qPar := freestreamVec(m, physics.FreeStream(3.06))
+	hPar, err := stPar.Solve(qPar, Options{MaxSteps: 60})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !hSeq.Converged || !hPar.Converged {
+		t.Fatalf("seq conv=%v par conv=%v", hSeq.Converged, hPar.Converged)
+	}
+	// Same physics: solutions agree to solver tolerance.
+	maxDiff := 0.0
+	for i := range qSeq {
+		if d := math.Abs(qSeq[i] - qPar[i]); d > maxDiff {
+			maxDiff = d
+		}
+	}
+	if maxDiff > 1e-3 {
+		t.Fatalf("parallel solution differs by %g", maxDiff)
+	}
+	// Step counts should be similar (identical algorithm, FP noise only).
+	if absInt(len(hSeq.Steps)-len(hPar.Steps)) > 3 {
+		t.Fatalf("step counts diverge: %d vs %d", len(hSeq.Steps), len(hPar.Steps))
+	}
+}
+
+func absInt(x int) int {
+	if x < 0 {
+		return -x
+	}
+	return x
+}
+
+// Second-order with limiter converges too.
+func TestSolveSecondOrder(t *testing.T) {
+	m, err := mesh.Generate(mesh.SpecTiny())
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := buildStepper(t, m, nil, flux.Sequential, 0)
+	q := freestreamVec(m, physics.FreeStream(3.06))
+	h, err := st.Solve(q, Options{MaxSteps: 100, SecondOrder: true, Limiter: true, RelTol: 1e-5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !h.Converged {
+		t.Fatalf("second-order not converged: %g -> %g (%d steps)",
+			h.RNorm0, h.RNormFinal, len(h.Steps))
+	}
+	t.Logf("second-order: %d steps, %d linear iters", len(h.Steps), h.LinearIters)
+}
+
+// ILU-1 preconditioning must reduce linear iterations versus ILU-0 — the
+// convergence half of Table II.
+func TestILU1FewerIterations(t *testing.T) {
+	m, err := mesh.Generate(mesh.SpecTiny())
+	if err != nil {
+		t.Fatal(err)
+	}
+	iters := map[int]int{}
+	for _, fill := range []int{0, 1} {
+		st := buildStepper(t, m, nil, flux.Sequential, fill)
+		q := freestreamVec(m, physics.FreeStream(3.06))
+		h, err := st.Solve(q, Options{MaxSteps: 60})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !h.Converged {
+			t.Fatalf("fill=%d not converged", fill)
+		}
+		iters[fill] = h.LinearIters
+	}
+	if iters[1] >= iters[0] {
+		t.Fatalf("ILU-1 (%d iters) should beat ILU-0 (%d iters)", iters[1], iters[0])
+	}
+	t.Logf("linear iterations: ILU-0=%d ILU-1=%d", iters[0], iters[1])
+}
+
+// Profile must attribute time to all major kernels during a solve.
+func TestProfileCoverage(t *testing.T) {
+	m, err := mesh.Generate(mesh.SpecTiny())
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := buildStepper(t, m, nil, flux.Sequential, 0)
+	q := freestreamVec(m, physics.FreeStream(3.06))
+	if _, err := st.Solve(q, Options{MaxSteps: 10, RelTol: 1e-3}); err != nil {
+		t.Fatal(err)
+	}
+	p := st.Prof
+	for _, k := range []prof.Kernel{prof.Flux, prof.Jacobian, prof.ILU, prof.TRSV} {
+		if p.Total(k) <= 0 {
+			t.Fatalf("kernel %v has no recorded time", k)
+		}
+	}
+	if p.Sum() <= 0 {
+		t.Fatal("empty profile")
+	}
+	if p.String() == "" {
+		t.Fatal("empty profile string")
+	}
+}
+
+// RefactorEvery reuses the ILU factor across steps: fewer factorizations,
+// still converges (possibly with a few more iterations).
+func TestRefactorEveryReusesFactors(t *testing.T) {
+	m, err := mesh.Generate(mesh.SpecTiny())
+	if err != nil {
+		t.Fatal(err)
+	}
+	st1 := buildStepper(t, m, nil, flux.Sequential, 0)
+	q1 := freestreamVec(m, physics.FreeStream(3.06))
+	h1, err := st1.Solve(q1, Options{MaxSteps: 80})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st3 := buildStepper(t, m, nil, flux.Sequential, 0)
+	q3 := freestreamVec(m, physics.FreeStream(3.06))
+	h3, err := st3.Solve(q3, Options{MaxSteps: 80, RefactorEvery: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !h1.Converged || !h3.Converged {
+		t.Fatalf("convergence: %v %v", h1.Converged, h3.Converged)
+	}
+	if st3.Prof.Count(prof.ILU) >= st1.Prof.Count(prof.ILU) {
+		t.Fatalf("factorizations not reduced: %d vs %d",
+			st3.Prof.Count(prof.ILU), st1.Prof.Count(prof.ILU))
+	}
+	t.Logf("ILU factorizations: every-step=%d, every-3rd=%d; iters %d vs %d",
+		st1.Prof.Count(prof.ILU), st3.Prof.Count(prof.ILU), h1.LinearIters, h3.LinearIters)
+}
+
+// FusedNorms converges identically in the shared-memory solver.
+func TestNewtonFusedNorms(t *testing.T) {
+	m, err := mesh.Generate(mesh.SpecTiny())
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := buildStepper(t, m, nil, flux.Sequential, 0)
+	q := freestreamVec(m, physics.FreeStream(3.06))
+	h, err := st.Solve(q, Options{MaxSteps: 60, FusedNorms: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !h.Converged {
+		t.Fatalf("fused norms solve failed: %+v", h)
+	}
+}

@@ -1,0 +1,64 @@
+package par
+
+import (
+	"math"
+	"sync/atomic"
+)
+
+// AtomicAddFloat64 atomically adds delta to *addr using a CAS loop on the
+// float's bit pattern. This is the Go equivalent of the paper's
+// "basic partitioning with atomics" update for vertices shared by edges
+// processed on different threads.
+func AtomicAddFloat64(addr *uint64, delta float64) {
+	for {
+		old := atomic.LoadUint64(addr)
+		nw := math.Float64bits(math.Float64frombits(old) + delta)
+		if atomic.CompareAndSwapUint64(addr, old, nw) {
+			return
+		}
+	}
+}
+
+// Float64Slice is a slice of float64 values that supports atomic adds.
+// The backing store is []uint64 so the CAS loop can operate directly.
+type Float64Slice struct {
+	bits []uint64
+}
+
+// NewFloat64Slice returns a zeroed atomic float slice of length n.
+func NewFloat64Slice(n int) *Float64Slice {
+	return &Float64Slice{bits: make([]uint64, n)}
+}
+
+// Len returns the number of elements.
+func (s *Float64Slice) Len() int { return len(s.bits) }
+
+// Add atomically adds delta to element i.
+func (s *Float64Slice) Add(i int, delta float64) {
+	AtomicAddFloat64(&s.bits[i], delta)
+}
+
+// Get returns element i (atomically loaded).
+func (s *Float64Slice) Get(i int) float64 {
+	return math.Float64frombits(atomic.LoadUint64(&s.bits[i]))
+}
+
+// Set stores v into element i (atomically).
+func (s *Float64Slice) Set(i int, v float64) {
+	atomic.StoreUint64(&s.bits[i], math.Float64bits(v))
+}
+
+// Zero resets all elements to 0. Not atomic with respect to concurrent Adds.
+func (s *Float64Slice) Zero() {
+	for i := range s.bits {
+		s.bits[i] = 0
+	}
+}
+
+// CopyTo copies the current values into dst (plain, non-atomic reads are
+// fine once the writers have joined).
+func (s *Float64Slice) CopyTo(dst []float64) {
+	for i := range dst {
+		dst[i] = math.Float64frombits(s.bits[i])
+	}
+}

@@ -1,0 +1,72 @@
+package par
+
+import (
+	"runtime"
+	"sync/atomic"
+)
+
+// Barrier is a reusable sense-reversing spin barrier for a fixed number of
+// participants. It is the synchronization primitive behind level-scheduled
+// triangular solves, where per-level work is far too small for channel-based
+// rendezvous. Participants must all call Wait the same number of times.
+type Barrier struct {
+	n      int32
+	count  atomic.Int32
+	sense  atomic.Uint32
+	_      [40]byte // pad to keep hot words off shared cache lines with user data
+	spins  int
+	yields bool
+}
+
+// NewBarrier creates a barrier for n participants. n must be >= 1.
+func NewBarrier(n int) *Barrier {
+	return &Barrier{n: int32(n), spins: 64, yields: true}
+}
+
+// Wait blocks until all n participants have called Wait. Each participant
+// keeps a local sense; the barrier flips a global sense when the last
+// participant arrives.
+func (b *Barrier) Wait(localSense *uint32) {
+	*localSense ^= 1
+	if b.count.Add(1) == b.n {
+		b.count.Store(0)
+		b.sense.Store(*localSense)
+		return
+	}
+	spin := 0
+	for b.sense.Load() != *localSense {
+		spin++
+		if b.yields && spin%b.spins == 0 {
+			runtime.Gosched()
+		}
+	}
+}
+
+// Flag is a point-to-point completion flag: one writer publishes progress
+// (a monotonically increasing counter), many readers spin until the counter
+// reaches a threshold. This is the synchronization used by the P2P-sparsified
+// triangular solve: "row j is done" is Set(j+1) on the owning thread's flag.
+type Flag struct {
+	v atomic.Int64
+	_ [56]byte // own cache line
+}
+
+// Set publishes the new value. Values must be monotonically increasing.
+func (f *Flag) Set(v int64) { f.v.Store(v) }
+
+// Get returns the current value.
+func (f *Flag) Get() int64 { return f.v.Load() }
+
+// WaitAtLeast spins until the flag reaches at least v.
+func (f *Flag) WaitAtLeast(v int64) {
+	spin := 0
+	for f.v.Load() < v {
+		spin++
+		if spin%64 == 0 {
+			runtime.Gosched()
+		}
+	}
+}
+
+// Reset sets the flag back to zero (between solves; no concurrent readers).
+func (f *Flag) Reset() { f.v.Store(0) }

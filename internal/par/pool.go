@@ -1,0 +1,112 @@
+// Package par provides the shared-memory parallel runtime used by every
+// threaded kernel in this repository: a persistent worker pool with a
+// fork-join ParallelFor, reusable barriers, and atomic float64 accumulation.
+//
+// The pool plays the role OpenMP plays in the paper: a fixed team of
+// "threads" (goroutines pinned to the pool for its lifetime) that execute
+// statically partitioned loop ranges. Creating goroutines per loop would
+// swamp the fine-grained kernels (a TRSV level can be a few microseconds),
+// so workers park on a channel between parallel regions.
+package par
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+)
+
+// Pool is a fixed-size team of worker goroutines. The zero value is not
+// usable; construct with NewPool. A Pool must be closed with Close when no
+// longer needed, though leaking one only leaks parked goroutines.
+type Pool struct {
+	n       int
+	work    []chan func(tid int)
+	done    chan int
+	closing bool
+	mu      sync.Mutex
+}
+
+// NewPool creates a pool with n workers. n <= 0 selects runtime.NumCPU().
+func NewPool(n int) *Pool {
+	if n <= 0 {
+		n = runtime.NumCPU()
+	}
+	p := &Pool{
+		n:    n,
+		work: make([]chan func(tid int), n),
+		done: make(chan int, n),
+	}
+	for i := 0; i < n; i++ {
+		p.work[i] = make(chan func(tid int), 1)
+		go p.worker(i)
+	}
+	return p
+}
+
+func (p *Pool) worker(tid int) {
+	for f := range p.work[tid] {
+		f(tid)
+		p.done <- tid
+	}
+}
+
+// Size returns the number of workers in the pool.
+func (p *Pool) Size() int { return p.n }
+
+// Close shuts the pool down. It must not be called concurrently with Run or
+// ParallelFor. Close is idempotent.
+func (p *Pool) Close() {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.closing {
+		return
+	}
+	p.closing = true
+	for i := range p.work {
+		close(p.work[i])
+	}
+}
+
+// Run executes f(tid) on every worker concurrently and waits for all of
+// them. tid ranges over [0, Size()). Run is the primitive that ParallelFor
+// and the kernel drivers build on. It must not be called reentrantly from
+// inside a running region.
+func (p *Pool) Run(f func(tid int)) {
+	for i := 0; i < p.n; i++ {
+		p.work[i] <- f
+	}
+	for i := 0; i < p.n; i++ {
+		<-p.done
+	}
+}
+
+// ParallelFor splits [0, n) into Size() near-equal contiguous chunks and
+// executes body(tid, lo, hi) on each worker. Chunks are contiguous so that
+// kernels retain streaming access within a thread, matching the paper's
+// static scheduling.
+func (p *Pool) ParallelFor(n int, body func(tid, lo, hi int)) {
+	if n <= 0 {
+		return
+	}
+	p.Run(func(tid int) {
+		lo, hi := Chunk(n, p.n, tid)
+		if lo < hi {
+			body(tid, lo, hi)
+		}
+	})
+}
+
+// Chunk returns the half-open range [lo, hi) of the tid-th of nw near-equal
+// contiguous chunks of [0, n). The first n%nw chunks are one element longer.
+func Chunk(n, nw, tid int) (lo, hi int) {
+	q, r := n/nw, n%nw
+	lo = tid*q + min(tid, r)
+	hi = lo + q
+	if tid < r {
+		hi++
+	}
+	return lo, hi
+}
+
+// String implements fmt.Stringer for diagnostics.
+func (p *Pool) String() string { return fmt.Sprintf("par.Pool(%d)", p.n) }

@@ -1,0 +1,205 @@
+package par
+
+import (
+	"sync/atomic"
+	"testing"
+	"testing/quick"
+)
+
+func TestChunkCoversRange(t *testing.T) {
+	f := func(n16 uint16, nw8 uint8) bool {
+		n := int(n16)
+		nw := int(nw8)%16 + 1
+		covered := 0
+		prevHi := 0
+		for tid := 0; tid < nw; tid++ {
+			lo, hi := Chunk(n, nw, tid)
+			if lo != prevHi || hi < lo {
+				return false
+			}
+			covered += hi - lo
+			prevHi = hi
+		}
+		return covered == n && prevHi == n
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestChunkBalance(t *testing.T) {
+	n, nw := 1003, 7
+	minSz, maxSz := n, 0
+	for tid := 0; tid < nw; tid++ {
+		lo, hi := Chunk(n, nw, tid)
+		sz := hi - lo
+		if sz < minSz {
+			minSz = sz
+		}
+		if sz > maxSz {
+			maxSz = sz
+		}
+	}
+	if maxSz-minSz > 1 {
+		t.Fatalf("chunk imbalance: min=%d max=%d", minSz, maxSz)
+	}
+}
+
+func TestParallelForSum(t *testing.T) {
+	p := NewPool(4)
+	defer p.Close()
+	const n = 100000
+	data := make([]float64, n)
+	for i := range data {
+		data[i] = float64(i)
+	}
+	partial := make([]float64, p.Size())
+	p.ParallelFor(n, func(tid, lo, hi int) {
+		s := 0.0
+		for i := lo; i < hi; i++ {
+			s += data[i]
+		}
+		partial[tid] = s
+	})
+	total := 0.0
+	for _, v := range partial {
+		total += v
+	}
+	want := float64(n-1) * float64(n) / 2
+	if total != want {
+		t.Fatalf("sum = %v, want %v", total, want)
+	}
+}
+
+func TestParallelForEmpty(t *testing.T) {
+	p := NewPool(3)
+	defer p.Close()
+	called := atomic.Int32{}
+	p.ParallelFor(0, func(tid, lo, hi int) { called.Add(1) })
+	if called.Load() != 0 {
+		t.Fatal("body called for empty range")
+	}
+	// n < workers: only some workers get non-empty chunks.
+	p.ParallelFor(2, func(tid, lo, hi int) {
+		if hi-lo != 1 {
+			t.Errorf("tid %d got [%d,%d)", tid, lo, hi)
+		}
+		called.Add(1)
+	})
+	if called.Load() != 2 {
+		t.Fatalf("called = %d, want 2", called.Load())
+	}
+}
+
+func TestRunAllWorkersDistinct(t *testing.T) {
+	p := NewPool(8)
+	defer p.Close()
+	seen := make([]atomic.Int32, 8)
+	for iter := 0; iter < 100; iter++ {
+		p.Run(func(tid int) { seen[tid].Add(1) })
+	}
+	for i := range seen {
+		if seen[i].Load() != 100 {
+			t.Fatalf("worker %d ran %d times, want 100", i, seen[i].Load())
+		}
+	}
+}
+
+func TestPoolCloseIdempotent(t *testing.T) {
+	p := NewPool(2)
+	p.Close()
+	p.Close() // must not panic
+}
+
+func TestPoolDefaultSize(t *testing.T) {
+	p := NewPool(0)
+	defer p.Close()
+	if p.Size() < 1 {
+		t.Fatalf("default pool size %d", p.Size())
+	}
+}
+
+func TestAtomicAddFloat64Concurrent(t *testing.T) {
+	p := NewPool(8)
+	defer p.Close()
+	var cell uint64
+	const perWorker = 10000
+	p.Run(func(tid int) {
+		for i := 0; i < perWorker; i++ {
+			AtomicAddFloat64(&cell, 1.0)
+		}
+	})
+	got := atomicFloat(&cell)
+	if got != float64(8*perWorker) {
+		t.Fatalf("got %v, want %v", got, 8*perWorker)
+	}
+}
+
+func atomicFloat(addr *uint64) float64 {
+	s := Float64Slice{bits: []uint64{*addr}}
+	return s.Get(0)
+}
+
+func TestFloat64Slice(t *testing.T) {
+	s := NewFloat64Slice(4)
+	s.Set(2, 3.5)
+	s.Add(2, 1.5)
+	if s.Get(2) != 5.0 {
+		t.Fatalf("got %v", s.Get(2))
+	}
+	dst := make([]float64, 4)
+	s.CopyTo(dst)
+	if dst[2] != 5.0 || dst[0] != 0 {
+		t.Fatalf("copy %v", dst)
+	}
+	s.Zero()
+	if s.Get(2) != 0 {
+		t.Fatal("zero failed")
+	}
+	if s.Len() != 4 {
+		t.Fatal("len")
+	}
+}
+
+func TestBarrier(t *testing.T) {
+	const nw = 6
+	p := NewPool(nw)
+	defer p.Close()
+	b := NewBarrier(nw)
+	const rounds = 200
+	counts := make([]atomic.Int64, rounds)
+	p.Run(func(tid int) {
+		var sense uint32
+		for r := 0; r < rounds; r++ {
+			counts[r].Add(1)
+			b.Wait(&sense)
+			// After the barrier every participant must observe all arrivals.
+			if c := counts[r].Load(); c != nw {
+				t.Errorf("round %d: count %d after barrier", r, c)
+			}
+			b.Wait(&sense)
+		}
+	})
+}
+
+func TestFlagPointToPoint(t *testing.T) {
+	p := NewPool(2)
+	defer p.Close()
+	var f Flag
+	val := 0
+	p.Run(func(tid int) {
+		if tid == 0 {
+			val = 42
+			f.Set(1)
+		} else {
+			f.WaitAtLeast(1)
+			if val != 42 {
+				t.Error("flag did not order the write")
+			}
+		}
+	})
+	f.Reset()
+	if f.Get() != 0 {
+		t.Fatal("reset")
+	}
+}

@@ -1,0 +1,194 @@
+package partition
+
+import (
+	"testing"
+	"testing/quick"
+
+	"fun3d/internal/mesh"
+)
+
+func meshGraph(t testing.TB) *Graph {
+	m, err := mesh.Generate(mesh.SpecTiny())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return FromMesh(m.AdjPtr, m.Adj, true)
+}
+
+func validPartition(part []int32, nparts int) bool {
+	counts := make([]int, nparts)
+	for _, p := range part {
+		if p < 0 || int(p) >= nparts {
+			return false
+		}
+		counts[p]++
+	}
+	for _, c := range counts {
+		if c == 0 {
+			return false
+		}
+	}
+	return true
+}
+
+func TestNaturalBalanced(t *testing.T) {
+	g := meshGraph(t)
+	for _, k := range []int{2, 4, 7, 16} {
+		part := Natural(g, k)
+		if !validPartition(part, k) {
+			t.Fatalf("k=%d: invalid partition", k)
+		}
+		q := Evaluate(g, part, k)
+		if q.Imbalance > 1.30 {
+			t.Fatalf("k=%d: natural imbalance %v", k, q.Imbalance)
+		}
+	}
+}
+
+func TestMultilevelBeatsNaturalOnShuffledMesh(t *testing.T) {
+	g := meshGraph(t)
+	for _, k := range []int{4, 8} {
+		nat := Evaluate(g, Natural(g, k), k)
+		part, err := Multilevel(g, k, Options{Seed: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !validPartition(part, k) {
+			t.Fatalf("k=%d: invalid multilevel partition", k)
+		}
+		ml := Evaluate(g, part, k)
+		if ml.EdgeCut >= nat.EdgeCut {
+			t.Fatalf("k=%d: multilevel cut %d >= natural %d", k, ml.EdgeCut, nat.EdgeCut)
+		}
+		if ml.Imbalance > 1.15 {
+			t.Fatalf("k=%d: multilevel imbalance %v", k, ml.Imbalance)
+		}
+		t.Logf("k=%d natural: %v | multilevel: %v", k, nat, ml)
+	}
+}
+
+func TestMultilevelEdgeCases(t *testing.T) {
+	g := meshGraph(t)
+	// One part: all zeros.
+	part, err := Multilevel(g, 1, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range part {
+		if p != 0 {
+			t.Fatal("k=1 should be all zero")
+		}
+	}
+	if _, err := Multilevel(g, 0, Options{}); err == nil {
+		t.Fatal("k=0 accepted")
+	}
+	if _, err := Multilevel(g, g.NumVertices()+1, Options{}); err == nil {
+		t.Fatal("k>n accepted")
+	}
+}
+
+func TestMultilevelSmallGraphs(t *testing.T) {
+	// A path of 6 vertices into 2 and 3 parts.
+	ptr := []int32{0, 1, 3, 5, 7, 9, 10}
+	adj := []int32{1, 0, 2, 1, 3, 2, 4, 3, 5, 4}
+	g := &Graph{Ptr: ptr, Adj: adj}
+	for _, k := range []int{2, 3} {
+		part, err := Multilevel(g, k, Options{Seed: 7})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !validPartition(part, k) {
+			t.Fatalf("k=%d invalid on path: %v", k, part)
+		}
+	}
+}
+
+// Property: for random small graphs, Multilevel returns a valid partition
+// with every part nonempty and bounded imbalance when k divides work evenly.
+func TestMultilevelProperty(t *testing.T) {
+	f := func(seed uint64) bool {
+		// random connected graph on n vertices
+		n := int(seed%40) + 10
+		ptr := make([]int32, 1, n+1)
+		type edge struct{ a, b int32 }
+		var edges []edge
+		for i := 1; i < n; i++ {
+			edges = append(edges, edge{int32(i), int32((seed >> 3) % uint64(i))})
+			seed = seed*6364136223846793005 + 1442695040888963407
+		}
+		deg := make([]int32, n+1)
+		for _, e := range edges {
+			deg[e.a+1]++
+			deg[e.b+1]++
+		}
+		for v := 0; v < n; v++ {
+			deg[v+1] += deg[v]
+		}
+		adj := make([]int32, deg[n])
+		fill := make([]int32, n)
+		for _, e := range edges {
+			adj[deg[e.a]+fill[e.a]] = e.b
+			fill[e.a]++
+			adj[deg[e.b]+fill[e.b]] = e.a
+			fill[e.b]++
+		}
+		_ = ptr
+		g := &Graph{Ptr: deg, Adj: adj}
+		part, err := Multilevel(g, 3, Options{Seed: seed})
+		if err != nil {
+			return false
+		}
+		return validPartition(part, 3)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEvaluateReplication(t *testing.T) {
+	// Two triangles joined by one edge, split between them: replication =
+	// 1 cut edge / 7 edges.
+	ptr := []int32{0, 2, 4, 7, 10, 12, 14}
+	adj := []int32{1, 2, 0, 2, 0, 1, 3, 2, 4, 5, 3, 5, 3, 4}
+	g := &Graph{Ptr: ptr, Adj: adj}
+	part := []int32{0, 0, 0, 1, 1, 1}
+	q := Evaluate(g, part, 2)
+	if q.EdgeCut != 1 {
+		t.Fatalf("cut=%d", q.EdgeCut)
+	}
+	if q.Replication <= 0.13 || q.Replication >= 0.15 {
+		t.Fatalf("replication=%v", q.Replication)
+	}
+	if q.String() == "" {
+		t.Fatal("empty string")
+	}
+}
+
+func TestNaturalVsMultilevelReplicationGap(t *testing.T) {
+	// The paper's headline partitioning claim: on a shuffled unstructured
+	// mesh, natural-order splitting has a large replication overhead while
+	// the multilevel partitioner keeps it small.
+	g := meshGraph(t)
+	k := 8
+	nat := Evaluate(g, Natural(g, k), k)
+	part, err := Multilevel(g, k, Options{Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ml := Evaluate(g, part, k)
+	if ml.Replication >= nat.Replication/2 {
+		t.Fatalf("expected >=2x replication reduction: natural %.1f%% multilevel %.1f%%",
+			100*nat.Replication, 100*ml.Replication)
+	}
+}
+
+func BenchmarkMultilevelTiny(b *testing.B) {
+	g := meshGraph(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Multilevel(g, 8, Options{Seed: uint64(i)}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,194 @@
+package perfmodel
+
+import (
+	"testing"
+
+	"fun3d/internal/mesh"
+	"fun3d/internal/par"
+)
+
+func TestMeasureProducesPositiveRates(t *testing.T) {
+	m, err := mesh.Generate(mesh.SpecTiny())
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := Measure(m, 1, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for name, v := range map[string]float64{
+		"flux": r.FluxPerEdge, "grad": r.GradPerEdge, "jac": r.JacPerEdge,
+		"ilu": r.ILUPerBlock, "trsv": r.TRSVPerBlock, "vec": r.VecPerElem,
+	} {
+		if v <= 0 || v > 1e-3 {
+			t.Fatalf("%s rate out of range: %v", name, v)
+		}
+	}
+	if r.Threads != 1 || r.Optimized {
+		t.Fatalf("rate metadata wrong: %+v", r)
+	}
+}
+
+func TestMeasureThreadedOptimized(t *testing.T) {
+	m, err := mesh.Generate(mesh.SpecTiny())
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := Measure(m, 2, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.FluxPerEdge <= 0 || r.ILUPerBlock <= 0 {
+		t.Fatalf("threaded rates: %+v", r)
+	}
+}
+
+func TestStreamTriad(t *testing.T) {
+	bw := StreamTriad(nil, 1<<18)
+	// Any machine this runs on moves more than 100 MB/s and less than 10 TB/s.
+	if bw < 1e8 || bw > 1e13 {
+		t.Fatalf("implausible bandwidth %v", bw)
+	}
+	p := par.NewPool(2)
+	defer p.Close()
+	bw2 := StreamTriad(p, 1<<18)
+	if bw2 < 1e8 || bw2 > 1e13 {
+		t.Fatalf("implausible threaded bandwidth %v", bw2)
+	}
+}
+
+func TestNetworkPtP(t *testing.T) {
+	n := Stampede()
+	intra := n.PtP(0, 1, 1000)  // same node
+	inter := n.PtP(0, 16, 1000) // different node
+	if intra >= inter {
+		t.Fatalf("intra-node %v should be cheaper than inter-node %v", intra, inter)
+	}
+	if big, small := n.PtP(0, 16, 1<<20), n.PtP(0, 16, 1); big <= small {
+		t.Fatal("bandwidth term missing")
+	}
+}
+
+func TestNetworkAllreduce(t *testing.T) {
+	n := Stampede()
+	if n.Allreduce(1, 8) != 0 {
+		t.Fatal("single-rank allreduce should be free")
+	}
+	prev := 0.0
+	for _, p := range []int{2, 16, 64, 256, 4096} {
+		c := n.Allreduce(p, 8)
+		if c <= prev {
+			t.Fatalf("allreduce cost not increasing at p=%d: %v <= %v", p, c, prev)
+		}
+		prev = c
+	}
+	// Logarithmic growth: 4096 ranks should cost far less than 2048x the
+	// 2-rank cost.
+	if n.Allreduce(4096, 8) > 100*n.Allreduce(2, 8) {
+		t.Fatal("allreduce growth not logarithmic")
+	}
+}
+
+func TestDeriveOptimized(t *testing.T) {
+	base := Rates{FluxPerEdge: 100e-9, GradPerEdge: 50e-9, JacPerEdge: 200e-9,
+		ILUPerBlock: 30e-9, TRSVPerBlock: 10e-9, VecPerElem: 1e-9}
+	opt := DeriveOptimized(base)
+	if !opt.Optimized {
+		t.Fatal("flag not set")
+	}
+	if opt.FluxPerEdge >= base.FluxPerEdge || opt.ILUPerBlock >= base.ILUPerBlock {
+		t.Fatalf("optimized not faster: %+v", opt)
+	}
+	// Flux gains the most (the paper's 2.25x), recurrences the least.
+	if base.FluxPerEdge/opt.FluxPerEdge <= base.TRSVPerBlock/opt.TRSVPerBlock {
+		t.Fatal("gain ordering wrong")
+	}
+	// Vec rate unchanged (bandwidth-bound, no SIMD win claimed).
+	if opt.VecPerElem != base.VecPerElem {
+		t.Fatal("vec rate changed")
+	}
+}
+
+func TestThreadScale(t *testing.T) {
+	base := Rates{FluxPerEdge: 100e-9, GradPerEdge: 50e-9, JacPerEdge: 200e-9,
+		ILUPerBlock: 30e-9, TRSVPerBlock: 10e-9, VecPerElem: 1e-9}
+	seq := base
+	threaded := base
+	threaded.Threads = 4
+	threaded.FluxPerEdge = base.FluxPerEdge / 3 // measured 3x threading speedup
+	out := ThreadScale(base, seq, threaded)
+	if out.Threads != 4 {
+		t.Fatal("threads not propagated")
+	}
+	if diff := out.FluxPerEdge - base.FluxPerEdge/3; diff > 1e-18 || diff < -1e-18 {
+		t.Fatalf("flux scale wrong: %v", out.FluxPerEdge)
+	}
+	// Degenerate inputs leave rates unchanged.
+	zero := Rates{}
+	out2 := ThreadScale(base, zero, zero)
+	if out2.FluxPerEdge != base.FluxPerEdge {
+		t.Fatal("degenerate scaling changed rate")
+	}
+}
+
+func TestThreadModelCompute(t *testing.T) {
+	tm := PaperNode()
+	// Perfect scaling with no overheads.
+	if got := tm.Compute(10, 10, 0, 1); got != 1 {
+		t.Fatalf("ideal compute projection %v", got)
+	}
+	// Replication and imbalance inflate the time.
+	if tm.Compute(10, 10, 0.5, 1.1) <= tm.Compute(10, 10, 0, 1) {
+		t.Fatal("overheads ignored")
+	}
+	// Degenerate thread counts clamp.
+	if tm.Compute(10, 0, 0, 0) != 10 {
+		t.Fatal("clamping failed")
+	}
+}
+
+func TestThreadModelBandwidth(t *testing.T) {
+	tm := PaperNode()
+	// Linear until saturation, shallow tail beyond.
+	if tm.Bandwidth(8, 2) != 4 {
+		t.Fatalf("2-thread bandwidth %v", tm.Bandwidth(8, 2))
+	}
+	s8 := 8 / tm.Bandwidth(8, 8)
+	s4 := 8 / tm.Bandwidth(8, 4)
+	if s8 <= s4 || s8 > 5 {
+		t.Fatalf("saturation shape wrong: s4=%v s8=%v", s4, s8)
+	}
+	if BwSpeedup(tm, 4) != 4 {
+		t.Fatal("BwSpeedup at saturation point")
+	}
+}
+
+func TestThreadModelRecurrence(t *testing.T) {
+	tm := PaperNode()
+	// Parallelism-limited: 10 threads but DAG parallelism 2.
+	tPar := tm.Recurrence(10, 0, 0, 10, 2, 0)
+	if tPar != 5 {
+		t.Fatalf("critical path bound %v", tPar)
+	}
+	// Bandwidth-limited: huge byte volume.
+	tBW := tm.Recurrence(1, 100e9, 1e9, 10, 1000, 0)
+	if tBW <= 1 {
+		t.Fatalf("bandwidth bound ignored: %v", tBW)
+	}
+	// Barriers add cost.
+	if tm.Recurrence(10, 0, 0, 10, 100, 1000) <= tm.Recurrence(10, 0, 0, 10, 100, 0) {
+		t.Fatal("barrier cost ignored")
+	}
+}
+
+func TestAtomicPenalty(t *testing.T) {
+	if AtomicPenalty(1.5, 1) != 1.5 {
+		t.Fatal("1-thread penalty")
+	}
+	if AtomicPenalty(1.5, 10) <= 1.5 {
+		t.Fatal("contention growth missing")
+	}
+	if AtomicPenalty(0.5, 1) < 1 {
+		t.Fatal("sub-unity penalty not clamped")
+	}
+}

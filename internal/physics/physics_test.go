@@ -1,0 +1,341 @@
+package physics
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"fun3d/internal/geom"
+)
+
+const beta = 5.0
+
+func randState(rng *rand.Rand) State {
+	return State{rng.NormFloat64(), rng.NormFloat64(), rng.NormFloat64(), rng.NormFloat64()}
+}
+
+func randNormal(rng *rand.Rand) geom.Vec3 {
+	for {
+		n := geom.Vec3{X: rng.NormFloat64(), Y: rng.NormFloat64(), Z: rng.NormFloat64()}
+		if n.Norm() > 0.1 {
+			return n
+		}
+	}
+}
+
+// Consistency: F_num(q, q, n) == F_phys(q, n).
+func TestRoeConsistency(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 200; trial++ {
+		q := randState(rng)
+		n := randNormal(rng)
+		fn := RoeFlux(q, q, n, beta)
+		fp := PhysFlux(q, n, beta)
+		for i := 0; i < N; i++ {
+			if math.Abs(fn[i]-fp[i]) > 1e-12*(1+math.Abs(fp[i])) {
+				t.Fatalf("trial %d comp %d: %v vs %v", trial, i, fn[i], fp[i])
+			}
+		}
+	}
+}
+
+// Conservation: F(qL,qR,n) == -F(qR,qL,-n).
+func TestRoeConservation(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for trial := 0; trial < 200; trial++ {
+		qL, qR := randState(rng), randState(rng)
+		n := randNormal(rng)
+		f1 := RoeFlux(qL, qR, n, beta)
+		f2 := RoeFlux(qR, qL, n.Scale(-1), beta)
+		for i := 0; i < N; i++ {
+			if math.Abs(f1[i]+f2[i]) > 1e-11*(1+math.Abs(f1[i])) {
+				t.Fatalf("trial %d comp %d: %v vs %v", trial, i, f1[i], f2[i])
+			}
+		}
+	}
+}
+
+// Jacobian matches finite differences of PhysFlux.
+func TestJacobianFD(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 100; trial++ {
+		q := randState(rng)
+		n := randNormal(rng)
+		var a [16]float64
+		Jacobian(q, n, beta, &a)
+		const h = 1e-6
+		for j := 0; j < N; j++ {
+			qp, qm := q, q
+			qp[j] += h
+			qm[j] -= h
+			fp := PhysFlux(qp, n, beta)
+			fm := PhysFlux(qm, n, beta)
+			for i := 0; i < N; i++ {
+				fd := (fp[i] - fm[i]) / (2 * h)
+				if math.Abs(a[i*4+j]-fd) > 1e-5*(1+math.Abs(fd)) {
+					t.Fatalf("dF%d/dq%d = %v, FD %v", i, j, a[i*4+j], fd)
+				}
+			}
+		}
+	}
+}
+
+// |A|² == A² for the diagonalizable artificial-compressibility Jacobian —
+// an exact algebraic identity that validates the polynomial construction.
+func TestAbsJacobianSquareIdentity(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	for trial := 0; trial < 200; trial++ {
+		q := randState(rng)
+		n := randNormal(rng)
+		var a, absA [16]float64
+		Jacobian(q, n, beta, &a)
+		AbsJacobian(q, n, beta, &absA)
+		var a2, abs2 [16]float64
+		mul4(&a, &a, &a2)
+		mul4(&absA, &absA, &abs2)
+		scale := 0.0
+		for i := range a2 {
+			if s := math.Abs(a2[i]); s > scale {
+				scale = s
+			}
+		}
+		for i := range a2 {
+			if math.Abs(a2[i]-abs2[i]) > 1e-9*(scale+1) {
+				t.Fatalf("trial %d: |A|^2 != A^2 at %d: %v vs %v", trial, i, abs2[i], a2[i])
+			}
+		}
+	}
+}
+
+// |A| is positive semidefinite in the A-eigenbasis: check that the
+// dissipation never anti-diffuses along the flux direction, via the scalar
+// test vᵀ|A|v >= 0 for symmetrized probes... |A| is not symmetric, so test
+// instead that |A| has nonnegative eigenvalue sum (trace >= 0).
+func TestAbsJacobianTraceNonnegative(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 200; trial++ {
+		q := randState(rng)
+		n := randNormal(rng)
+		var absA [16]float64
+		AbsJacobian(q, n, beta, &absA)
+		tr := absA[0] + absA[5] + absA[10] + absA[15]
+		if tr < -1e-12 {
+			t.Fatalf("trace(|A|) = %v < 0", tr)
+		}
+	}
+}
+
+func TestAbsJacobianZeroArea(t *testing.T) {
+	var m [16]float64
+	m[3] = 7 // must be cleared
+	AbsJacobian(State{1, 1, 0, 0}, geom.Vec3{}, beta, &m)
+	for i, v := range m {
+		if v != 0 {
+			t.Fatalf("m[%d]=%v for zero area", i, v)
+		}
+	}
+}
+
+// Rusanov is at least as dissipative as Roe in the sense of the jump
+// magnitude: check the scalar bound |λ_max| I dominates the interpolated
+// |λ| polynomial on the spectrum (spot check via consistency + symmetry
+// instead of matrix norms: Rusanov equals Roe for equal states).
+func TestRusanovConsistencyAndConservation(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	for trial := 0; trial < 100; trial++ {
+		q := randState(rng)
+		n := randNormal(rng)
+		fn := RusanovFlux(q, q, n, beta)
+		fp := PhysFlux(q, n, beta)
+		for i := 0; i < N; i++ {
+			if math.Abs(fn[i]-fp[i]) > 1e-12*(1+math.Abs(fp[i])) {
+				t.Fatal("rusanov inconsistent")
+			}
+		}
+		qR := randState(rng)
+		f1 := RusanovFlux(q, qR, n, beta)
+		f2 := RusanovFlux(qR, q, n.Scale(-1), beta)
+		for i := 0; i < N; i++ {
+			if math.Abs(f1[i]+f2[i]) > 1e-11*(1+math.Abs(f1[i])) {
+				t.Fatal("rusanov not conservative")
+			}
+		}
+	}
+}
+
+// The frozen-coefficient Roe Jacobians approximate finite differences of
+// RoeFlux away from eigenvalue kinks: test at gentle states.
+func TestRoeFluxJacobiansFD(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 50; trial++ {
+		qL := State{0.1 * rng.NormFloat64(), 1 + 0.1*rng.NormFloat64(), 0.1 * rng.NormFloat64(), 0.1 * rng.NormFloat64()}
+		qR := State{0.1 * rng.NormFloat64(), 1 + 0.1*rng.NormFloat64(), 0.1 * rng.NormFloat64(), 0.1 * rng.NormFloat64()}
+		n := randNormal(rng)
+		var dL, dR [16]float64
+		RoeFluxJacobians(qL, qR, n, beta, &dL, &dR)
+		const h = 1e-5
+		for j := 0; j < N; j++ {
+			qp, qm := qL, qL
+			qp[j] += h
+			qm[j] -= h
+			fp := RoeFlux(qp, qR, n, beta)
+			fm := RoeFlux(qm, qR, n, beta)
+			for i := 0; i < N; i++ {
+				fd := (fp[i] - fm[i]) / (2 * h)
+				// frozen |A| drops the dissipation derivative: allow slack
+				if math.Abs(dL[i*4+j]-fd) > 0.25*(1+math.Abs(fd)) {
+					t.Fatalf("dL(%d,%d)=%v fd=%v", i, j, dL[i*4+j], fd)
+				}
+			}
+		}
+	}
+}
+
+// Consistency of the approximate Jacobians: dL + dR == A(q̄) + O(jump) —
+// exact when qL == qR.
+func TestRoeFluxJacobiansSumEqualState(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	for trial := 0; trial < 100; trial++ {
+		q := randState(rng)
+		n := randNormal(rng)
+		var dL, dR, a [16]float64
+		RoeFluxJacobians(q, q, n, beta, &dL, &dR)
+		Jacobian(q, n, beta, &a)
+		for i := range a {
+			if math.Abs(dL[i]+dR[i]-a[i]) > 1e-10*(1+math.Abs(a[i])) {
+				t.Fatalf("dL+dR != A at %d", i)
+			}
+		}
+	}
+}
+
+func TestWallFlux(t *testing.T) {
+	q := State{2.5, 9, 9, 9} // velocity must not matter
+	n := geom.Vec3{X: 1, Y: 2, Z: -1}
+	f := WallFlux(q, n)
+	want := State{0, 2.5, 5.0, -2.5}
+	if f != want {
+		t.Fatalf("wall flux %v, want %v", f, want)
+	}
+	var a [16]float64
+	WallFluxJacobian(n, &a)
+	const h = 1e-6
+	for j := 0; j < N; j++ {
+		qp, qm := q, q
+		qp[j] += h
+		qm[j] -= h
+		fp := WallFlux(qp, n)
+		fm := WallFlux(qm, n)
+		for i := 0; i < N; i++ {
+			fd := (fp[i] - fm[i]) / (2 * h)
+			if math.Abs(a[i*4+j]-fd) > 1e-6 {
+				t.Fatalf("wall jac (%d,%d)", i, j)
+			}
+		}
+	}
+}
+
+func TestFreeStream(t *testing.T) {
+	q := FreeStream(0)
+	if q != (State{0, 1, 0, 0}) {
+		t.Fatalf("aoa 0: %v", q)
+	}
+	q = FreeStream(90)
+	if math.Abs(q[1]) > 1e-15 || math.Abs(q[3]-1) > 1e-15 {
+		t.Fatalf("aoa 90: %v", q)
+	}
+	// unit speed at any angle
+	f := func(a float64) bool {
+		if math.IsNaN(a) || math.IsInf(a, 0) {
+			a = 1
+		}
+		a = math.Mod(a, 360)
+		q := FreeStream(a)
+		v := math.Sqrt(q[1]*q[1] + q[2]*q[2] + q[3]*q[3])
+		return math.Abs(v-1) < 1e-12
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSpectralRadius(t *testing.T) {
+	q := State{0, 1, 0, 0}
+	n := geom.Vec3{X: 2, Y: 0, Z: 0} // area 2
+	got := SpectralRadius(q, n, beta)
+	want := 1 + math.Sqrt(1+beta)
+	if math.Abs(got-want) > 1e-14 {
+		t.Fatalf("spectral radius %v want %v", got, want)
+	}
+	if SpectralRadius(q, geom.Vec3{}, beta) != math.Sqrt(beta) {
+		t.Fatal("zero-area spectral radius")
+	}
+}
+
+func TestFarfieldFluxFreestreamPassthrough(t *testing.T) {
+	qInf := FreeStream(3)
+	n := geom.Vec3{X: 0.3, Y: -0.2, Z: 0.9}
+	f := FarfieldFlux(qInf, qInf, n, beta)
+	fp := PhysFlux(qInf, n, beta)
+	for i := 0; i < N; i++ {
+		if math.Abs(f[i]-fp[i]) > 1e-12 {
+			t.Fatal("farfield flux at freestream should be physical flux")
+		}
+	}
+	var a [16]float64
+	FarfieldFluxJacobian(qInf, qInf, n, beta, &a)
+	// must be finite
+	for _, v := range a {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			t.Fatal("farfield jacobian not finite")
+		}
+	}
+}
+
+func BenchmarkRoeFlux(b *testing.B) {
+	rng := rand.New(rand.NewSource(9))
+	qL, qR := randState(rng), randState(rng)
+	n := randNormal(rng)
+	for i := 0; i < b.N; i++ {
+		_ = RoeFlux(qL, qR, n, beta)
+	}
+}
+
+func BenchmarkRoeFluxJacobians(b *testing.B) {
+	rng := rand.New(rand.NewSource(10))
+	qL, qR := randState(rng), randState(rng)
+	n := randNormal(rng)
+	var dL, dR [16]float64
+	for i := 0; i < b.N; i++ {
+		RoeFluxJacobians(qL, qR, n, beta, &dL, &dR)
+	}
+}
+
+// Rotational invariance: rotating the normal and the velocity components
+// by the same rotation R satisfies F(Rq, Rn) = R F(q, n) (pressure and
+// mass components unchanged, momentum components rotated).
+func TestRoeFluxRotationalInvariance(t *testing.T) {
+	rng := rand.New(rand.NewSource(40))
+	rotZ := func(th float64, v geom.Vec3) geom.Vec3 {
+		c, s := math.Cos(th), math.Sin(th)
+		return geom.Vec3{X: c*v.X - s*v.Y, Y: s*v.X + c*v.Y, Z: v.Z}
+	}
+	rotState := func(th float64, q State) State {
+		v := rotZ(th, geom.Vec3{X: q[1], Y: q[2], Z: q[3]})
+		return State{q[0], v.X, v.Y, v.Z}
+	}
+	for trial := 0; trial < 100; trial++ {
+		qL, qR := randState(rng), randState(rng)
+		n := randNormal(rng)
+		th := rng.Float64() * 2 * math.Pi
+		f := RoeFlux(qL, qR, n, beta)
+		fRot := RoeFlux(rotState(th, qL), rotState(th, qR), rotZ(th, n), beta)
+		want := rotState(th, f)
+		for i := 0; i < N; i++ {
+			if math.Abs(fRot[i]-want[i]) > 1e-10*(1+math.Abs(want[i])) {
+				t.Fatalf("trial %d comp %d: %v vs %v", trial, i, fRot[i], want[i])
+			}
+		}
+	}
+}

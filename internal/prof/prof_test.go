@@ -1,0 +1,73 @@
+package prof
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestProfileBasics(t *testing.T) {
+	var p Profile
+	p.Time(Flux, func() { time.Sleep(2 * time.Millisecond) })
+	p.Add(TRSV, 3*time.Millisecond)
+	p.Add(TRSV, time.Millisecond)
+	if p.Count(Flux) != 1 || p.Count(TRSV) != 2 {
+		t.Fatalf("counts %d %d", p.Count(Flux), p.Count(TRSV))
+	}
+	if p.Total(Flux) < 2*time.Millisecond {
+		t.Fatal("flux total too small")
+	}
+	if p.Total(TRSV) != 4*time.Millisecond {
+		t.Fatal("trsv total")
+	}
+	if p.Sum() < 6*time.Millisecond {
+		t.Fatal("sum")
+	}
+	fr := p.Fractions()
+	total := 0.0
+	for _, v := range fr {
+		total += v
+	}
+	if total < 0.999 || total > 1.001 {
+		t.Fatalf("fractions sum %v", total)
+	}
+	s := p.String()
+	if !strings.Contains(s, "flux") || !strings.Contains(s, "trsv") {
+		t.Fatalf("string output: %q", s)
+	}
+	p.Reset()
+	if p.Sum() != 0 {
+		t.Fatal("reset")
+	}
+}
+
+func TestNilProfileSafe(t *testing.T) {
+	var p *Profile
+	ran := false
+	p.Time(Flux, func() { ran = true })
+	p.Add(ILU, time.Second)
+	if !ran {
+		t.Fatal("nil profile must still run the function")
+	}
+}
+
+func TestKernelNames(t *testing.T) {
+	for _, k := range Kernels() {
+		if k.String() == "" {
+			t.Fatal("empty kernel name")
+		}
+	}
+	if Kernel(99).String() == "" {
+		t.Fatal("unknown kernel name")
+	}
+}
+
+func TestEmptyProfile(t *testing.T) {
+	var p Profile
+	if len(p.Fractions()) != 0 {
+		t.Fatal("empty profile fractions")
+	}
+	if p.String() != "" {
+		t.Fatal("empty profile string should be empty")
+	}
+}

@@ -1,0 +1,159 @@
+package reorder
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"fun3d/internal/mesh"
+)
+
+// buildCSR creates a Graph from an edge list over n vertices.
+func buildCSR(n int, edges [][2]int32) Graph {
+	deg := make([]int32, n+1)
+	for _, e := range edges {
+		deg[e[0]+1]++
+		deg[e[1]+1]++
+	}
+	for v := 0; v < n; v++ {
+		deg[v+1] += deg[v]
+	}
+	adj := make([]int32, deg[n])
+	fill := make([]int32, n)
+	for _, e := range edges {
+		a, b := e[0], e[1]
+		adj[deg[a]+fill[a]] = b
+		fill[a]++
+		adj[deg[b]+fill[b]] = a
+		fill[b]++
+	}
+	return Graph{Ptr: deg, Adj: adj}
+}
+
+// pathGraph returns a path 0-1-2-...-n-1 with shuffled labels.
+func shuffledPath(n int, rng *rand.Rand) (Graph, []int32) {
+	labels := rng.Perm(n)
+	edges := make([][2]int32, n-1)
+	for i := 0; i < n-1; i++ {
+		edges[i] = [2]int32{int32(labels[i]), int32(labels[i+1])}
+	}
+	lab32 := make([]int32, n)
+	for i, l := range labels {
+		lab32[i] = int32(l)
+	}
+	return buildCSR(n, edges), lab32
+}
+
+func TestRCMPathOptimal(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 20; trial++ {
+		g, _ := shuffledPath(50, rng)
+		perm := RCM(g)
+		if !IsPermutation(perm) {
+			t.Fatal("not a permutation")
+		}
+		if bw := Bandwidth(g, perm); bw != 1 {
+			t.Fatalf("path bandwidth after RCM = %d, want 1", bw)
+		}
+	}
+}
+
+func TestRCMImprovesShuffledMesh(t *testing.T) {
+	m, err := mesh.Generate(mesh.SpecTiny())
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := Graph{Ptr: m.AdjPtr, Adj: m.Adj}
+	bwNat := Bandwidth(g, nil)
+	perm := RCM(g)
+	bwRCM := Bandwidth(g, perm)
+	if bwRCM >= bwNat {
+		t.Fatalf("RCM bandwidth %d >= natural %d on shuffled mesh", bwRCM, bwNat)
+	}
+	if p := Profile(g, perm); p >= Profile(g, nil) {
+		t.Fatalf("RCM profile %d not improved", p)
+	}
+	t.Logf("bandwidth natural=%d rcm=%d", bwNat, bwRCM)
+}
+
+func TestRCMDisconnected(t *testing.T) {
+	// Two triangles, no connection.
+	g := buildCSR(6, [][2]int32{{0, 1}, {1, 2}, {2, 0}, {3, 4}, {4, 5}, {5, 3}})
+	perm := RCM(g)
+	if !IsPermutation(perm) {
+		t.Fatal("not a permutation on disconnected graph")
+	}
+}
+
+func TestRCMSingletonAndEmpty(t *testing.T) {
+	g := buildCSR(3, nil) // three isolated vertices
+	perm := RCM(g)
+	if !IsPermutation(perm) {
+		t.Fatal("isolated vertices")
+	}
+	g0 := buildCSR(0, nil)
+	if len(RCM(g0)) != 0 {
+		t.Fatal("empty graph")
+	}
+}
+
+// Property: RCM always yields a valid permutation and never increases
+// bandwidth versus a random labeling of a random graph.
+func TestRCMProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := rng.Intn(60) + 5
+		var edges [][2]int32
+		for i := 1; i < n; i++ {
+			// random tree plus extra edges
+			j := rng.Intn(i)
+			edges = append(edges, [2]int32{int32(i), int32(j)})
+		}
+		for k := 0; k < n/2; k++ {
+			a, b := rng.Intn(n), rng.Intn(n)
+			if a != b {
+				edges = append(edges, [2]int32{int32(a), int32(b)})
+			}
+		}
+		g := buildCSR(n, edges)
+		perm := RCM(g)
+		return IsPermutation(perm)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestInvert(t *testing.T) {
+	perm := []int32{2, 0, 1, 3}
+	inv := Invert(perm)
+	for old, nw := range perm {
+		if inv[nw] != int32(old) {
+			t.Fatal("inverse wrong")
+		}
+	}
+}
+
+func TestIsPermutation(t *testing.T) {
+	if !IsPermutation([]int32{1, 0, 2}) {
+		t.Fatal("valid rejected")
+	}
+	if IsPermutation([]int32{0, 0, 2}) {
+		t.Fatal("duplicate accepted")
+	}
+	if IsPermutation([]int32{0, 3, 1}) {
+		t.Fatal("out of range accepted")
+	}
+}
+
+func TestNatural(t *testing.T) {
+	p := Natural(4)
+	for i, v := range p {
+		if v != int32(i) {
+			t.Fatal("not identity")
+		}
+	}
+	if Bandwidth(buildCSR(2, [][2]int32{{0, 1}}), Natural(2)) != 1 {
+		t.Fatal("bandwidth identity")
+	}
+}

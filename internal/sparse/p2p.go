@@ -1,0 +1,242 @@
+package sparse
+
+import (
+	"fun3d/internal/blas4"
+	"fun3d/internal/par"
+)
+
+// P2PSchedule implements the sparsified point-to-point synchronization of
+// Park et al. (ISC'14), the paper's strategy (2) for the sparse
+// recurrences. Rows are divided into contiguous per-thread chunks
+// (nnz-balanced); each thread processes its rows in order and publishes a
+// progress counter. A row's cross-thread dependencies are *sparsified* by
+// approximate transitive reduction:
+//
+//   - within one foreign thread, only the largest dependency row matters
+//     (that thread completes its rows in order), and
+//   - a wait already implied by an earlier wait of the same thread (its
+//     running high-water mark per foreign thread) is dropped.
+//
+// What remains is typically a handful of point-to-point waits per row
+// instead of a global barrier per wavefront.
+type P2PSchedule struct {
+	nw    int
+	start []int32 // per-thread chunk start rows, len nw+1
+
+	// Per-row wait lists, flattened. A wait (t, c) means: spin until
+	// thread t's progress counter reaches c.
+	fwdPtr, bwdPtr     []int32
+	fwdWaits, bwdWaits []waitReq
+
+	fwdFlags, bwdFlags []par.Flag
+}
+
+type waitReq struct {
+	thread int32
+	count  int64
+}
+
+// NewP2PSchedule builds the schedule for factor pattern m and nw threads.
+func NewP2PSchedule(m *BSR, nw int) *P2PSchedule {
+	s := &P2PSchedule{nw: nw}
+	s.start = nnzBalancedChunks(m, nw)
+	s.fwdFlags = make([]par.Flag, nw)
+	s.bwdFlags = make([]par.Flag, nw)
+
+	owner := make([]int32, m.N)
+	for t := 0; t < nw; t++ {
+		for i := s.start[t]; i < s.start[t+1]; i++ {
+			owner[i] = int32(t)
+		}
+	}
+
+	// Forward: thread t processes rows start[t]..start[t+1] ascending;
+	// progress counter = number of completed rows. Dependency on row j
+	// owned by t' != t requires progress[t'] >= j - start[t'] + 1.
+	s.fwdPtr = make([]int32, m.N+1)
+	highWater := make([]int64, nw)
+	reqs := make([]int64, nw) // per-row scratch, indexed by thread
+	maxReq := func(i int32, forward bool) []waitReq {
+		me := owner[i]
+		for t := range reqs {
+			reqs[t] = 0
+		}
+		if forward {
+			for k := m.Ptr[i]; k < m.Diag[i]; k++ {
+				j := m.Col[k]
+				t := owner[j]
+				if t == me {
+					continue
+				}
+				need := int64(j - s.start[t] + 1)
+				if need > reqs[t] {
+					reqs[t] = need
+				}
+			}
+		} else {
+			for k := m.Diag[i] + 1; k < m.Ptr[i+1]; k++ {
+				j := m.Col[k]
+				t := owner[j]
+				if t == me {
+					continue
+				}
+				need := int64(s.start[t+1] - j) // rows done counting from the top
+				if need > reqs[t] {
+					reqs[t] = need
+				}
+			}
+		}
+		var out []waitReq
+		for t := 0; t < nw; t++ {
+			if reqs[t] > highWater[t] {
+				out = append(out, waitReq{int32(t), reqs[t]})
+				highWater[t] = reqs[t]
+			}
+		}
+		return out
+	}
+
+	for t := 0; t < nw; t++ {
+		for hw := range highWater {
+			highWater[hw] = 0
+		}
+		for i := s.start[t]; i < s.start[t+1]; i++ {
+			w := maxReq(i, true)
+			s.fwdWaits = append(s.fwdWaits, w...)
+			s.fwdPtr[i+1] = int32(len(s.fwdWaits))
+		}
+	}
+	// Backward: thread t processes its rows descending, so build the wait
+	// lists per thread in that order (for the high-water reduction) and
+	// flatten ascending afterwards.
+	bwdTmp := make([][]waitReq, m.N)
+	for t := 0; t < nw; t++ {
+		for hw := range highWater {
+			highWater[hw] = 0
+		}
+		for i := s.start[t+1] - 1; i >= s.start[t]; i-- {
+			bwdTmp[i] = maxReq(i, false)
+		}
+	}
+	s.bwdPtr = make([]int32, m.N+1)
+	for i := 0; i < m.N; i++ {
+		s.bwdWaits = append(s.bwdWaits, bwdTmp[i]...)
+		s.bwdPtr[i+1] = int32(len(s.bwdWaits))
+	}
+	return s
+}
+
+// nnzBalancedChunks splits rows into nw contiguous chunks with roughly
+// equal block-nnz (the recurrences' work metric).
+func nnzBalancedChunks(m *BSR, nw int) []int32 {
+	start := make([]int32, nw+1)
+	total := int64(m.NNZBlocks())
+	target := float64(total) / float64(nw)
+	acc := int64(0)
+	t := 1
+	for i := 0; i < m.N && t < nw; i++ {
+		acc += int64(m.Ptr[i+1] - m.Ptr[i])
+		if float64(acc) >= target*float64(t) {
+			start[t] = int32(i + 1)
+			t++
+		}
+	}
+	for ; t < nw; t++ {
+		start[t] = int32(m.N)
+	}
+	start[nw] = int32(m.N)
+	return start
+}
+
+// NumWaits returns the total forward+backward wait count — the schedule's
+// synchronization cost, compared against the barrier count of level
+// scheduling in the benches.
+func (s *P2PSchedule) NumWaits() int { return len(s.fwdWaits) + len(s.bwdWaits) }
+
+// resetFlags must run with no concurrent solver threads.
+func (s *P2PSchedule) resetFlags() {
+	for t := range s.fwdFlags {
+		s.fwdFlags[t].Reset()
+		s.bwdFlags[t].Reset()
+	}
+}
+
+// SolveP2P performs x = U^{-1} L^{-1} b with point-to-point synchronized
+// sweeps. There is no barrier between the forward and backward sweep: a
+// thread's backward pass only reads x values it owns (produced by its own
+// forward pass) and backward results of other threads, which are guarded by
+// the backward progress flags.
+func (f *Factor) SolveP2P(p *par.Pool, s *P2PSchedule, b, x []float64) {
+	m := f.M
+	n := m.N
+	if n == 0 {
+		return
+	}
+	if &b[0] != &x[0] {
+		copy(x[:n*B], b[:n*B])
+	}
+	s.resetFlags()
+	p.Run(func(tid int) {
+		lo, hi := s.start[tid], s.start[tid+1]
+		done := int64(0)
+		for i := lo; i < hi; i++ {
+			for _, w := range s.fwdWaits[s.fwdPtr[i]:s.fwdPtr[i+1]] {
+				s.fwdFlags[w.thread].WaitAtLeast(w.count)
+			}
+			xi := x[int(i)*B : int(i)*B+B]
+			for k := m.Ptr[i]; k < m.Diag[i]; k++ {
+				j := int(m.Col[k])
+				blas4.GemvSub(m.Block(k), x[j*B:j*B+B], xi)
+			}
+			done++
+			s.fwdFlags[tid].Set(done)
+		}
+		done = 0
+		for i := hi - 1; i >= lo; i-- {
+			for _, w := range s.bwdWaits[s.bwdPtr[i]:s.bwdPtr[i+1]] {
+				s.bwdFlags[w.thread].WaitAtLeast(w.count)
+			}
+			xi := x[int(i)*B : int(i)*B+B]
+			for k := m.Diag[i] + 1; k < m.Ptr[i+1]; k++ {
+				j := int(m.Col[k])
+				blas4.GemvSub(m.Block(k), x[j*B:j*B+B], xi)
+			}
+			var tmp [B]float64
+			blas4.Gemv(m.Block(m.Diag[i]), xi, tmp[:])
+			copy(xi, tmp[:])
+			done++
+			s.bwdFlags[tid].Set(done)
+		}
+	})
+}
+
+// FactorizeILUP2P computes the ILU factorization with point-to-point
+// synchronization: row i's elimination waits only on its sparsified
+// cross-thread dependency set.
+func (f *Factor) FactorizeILUP2P(p *par.Pool, s *P2PSchedule, a *BSR) error {
+	if err := f.copyValues(a); err != nil {
+		return err
+	}
+	s.resetFlags()
+	errs := make([]error, p.Size())
+	p.Run(func(tid int) {
+		lo, hi := s.start[tid], s.start[tid+1]
+		done := int64(0)
+		for i := lo; i < hi; i++ {
+			for _, w := range s.fwdWaits[s.fwdPtr[i]:s.fwdPtr[i+1]] {
+				s.fwdFlags[w.thread].WaitAtLeast(w.count)
+			}
+			if err := f.factorRow(i); err != nil && errs[tid] == nil {
+				errs[tid] = err
+			}
+			done++
+			s.fwdFlags[tid].Set(done)
+		}
+	})
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,239 @@
+// Package vecop provides the dense vector primitives of the Krylov solver —
+// the PETSc-native operations (VecDot, VecNorm, VecAXPY, VecWAXPY,
+// VecMAXPY, VecMDot) the paper identifies as an Amdahl bottleneck when left
+// unthreaded. Every primitive has a sequential and a pool-parallel form;
+// the Ops struct bundles one choice so callers (GMRES, Newton) are agnostic.
+package vecop
+
+import (
+	"math"
+
+	"fun3d/internal/par"
+)
+
+// Ops executes vector primitives either sequentially or on a worker pool.
+// The zero value is sequential. This switch is how the benchmarks reproduce
+// the paper's hybrid-vs-MPI-only Amdahl analysis: the "unoptimized PETSc"
+// configuration runs these sequentially even when kernels are threaded.
+type Ops struct {
+	Pool *par.Pool // nil => sequential
+}
+
+// Seq is the sequential Ops.
+var Seq = Ops{}
+
+// Dot returns x·y.
+func (o Ops) Dot(x, y []float64) float64 {
+	if o.Pool == nil {
+		return DotSeq(x, y)
+	}
+	partial := make([]float64, o.Pool.Size())
+	o.Pool.ParallelFor(len(x), func(tid, lo, hi int) {
+		s := 0.0
+		for i := lo; i < hi; i++ {
+			s += x[i] * y[i]
+		}
+		partial[tid] = s
+	})
+	s := 0.0
+	for _, v := range partial {
+		s += v
+	}
+	return s
+}
+
+// DotSeq is the sequential dot product.
+func DotSeq(x, y []float64) float64 {
+	s := 0.0
+	for i := range x {
+		s += x[i] * y[i]
+	}
+	return s
+}
+
+// Norm2 returns the Euclidean norm of x.
+func (o Ops) Norm2(x []float64) float64 { return math.Sqrt(o.Dot(x, x)) }
+
+// AXPY computes y += a*x.
+func (o Ops) AXPY(a float64, x, y []float64) {
+	if o.Pool == nil {
+		for i := range x {
+			y[i] += a * x[i]
+		}
+		return
+	}
+	o.Pool.ParallelFor(len(x), func(_, lo, hi int) {
+		for i := lo; i < hi; i++ {
+			y[i] += a * x[i]
+		}
+	})
+}
+
+// AYPX computes y = x + a*y.
+func (o Ops) AYPX(a float64, x, y []float64) {
+	if o.Pool == nil {
+		for i := range x {
+			y[i] = x[i] + a*y[i]
+		}
+		return
+	}
+	o.Pool.ParallelFor(len(x), func(_, lo, hi int) {
+		for i := lo; i < hi; i++ {
+			y[i] = x[i] + a*y[i]
+		}
+	})
+}
+
+// WAXPY computes w = a*x + y.
+func (o Ops) WAXPY(w []float64, a float64, x, y []float64) {
+	if o.Pool == nil {
+		for i := range w {
+			w[i] = a*x[i] + y[i]
+		}
+		return
+	}
+	o.Pool.ParallelFor(len(w), func(_, lo, hi int) {
+		for i := lo; i < hi; i++ {
+			w[i] = a*x[i] + y[i]
+		}
+	})
+}
+
+// Scale computes x *= a.
+func (o Ops) Scale(a float64, x []float64) {
+	if o.Pool == nil {
+		for i := range x {
+			x[i] *= a
+		}
+		return
+	}
+	o.Pool.ParallelFor(len(x), func(_, lo, hi int) {
+		for i := lo; i < hi; i++ {
+			x[i] *= a
+		}
+	})
+}
+
+// Copy copies src into dst.
+func (o Ops) Copy(dst, src []float64) {
+	if o.Pool == nil {
+		copy(dst, src)
+		return
+	}
+	o.Pool.ParallelFor(len(dst), func(_, lo, hi int) {
+		copy(dst[lo:hi], src[lo:hi])
+	})
+}
+
+// Set fills x with the scalar a.
+func (o Ops) Set(a float64, x []float64) {
+	if o.Pool == nil {
+		for i := range x {
+			x[i] = a
+		}
+		return
+	}
+	o.Pool.ParallelFor(len(x), func(_, lo, hi int) {
+		for i := lo; i < hi; i++ {
+			x[i] = a
+		}
+	})
+}
+
+// MAXPY computes y += sum_k alphas[k]*xs[k] (PETSc VecMAXPY). The fused
+// loop reads y once instead of len(xs) times — the memory-traffic saving
+// that makes this a distinct primitive.
+func (o Ops) MAXPY(y []float64, alphas []float64, xs [][]float64) {
+	body := func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			s := y[i]
+			for k := range xs {
+				s += alphas[k] * xs[k][i]
+			}
+			y[i] = s
+		}
+	}
+	if o.Pool == nil {
+		body(0, len(y))
+		return
+	}
+	o.Pool.ParallelFor(len(y), func(_, lo, hi int) { body(lo, hi) })
+}
+
+// MDotNorm computes dots[k] = x·ys[k] for all k and returns ||x||₂, all in
+// one sweep — the fused reduction behind communication-reducing GMRES
+// (krylov.NormFuser).
+func (o Ops) MDotNorm(x []float64, ys [][]float64, dots []float64) float64 {
+	if o.Pool == nil {
+		s := 0.0
+		for i := range x {
+			s += x[i] * x[i]
+		}
+		for k := range ys {
+			dots[k] = DotSeq(x, ys[k])
+		}
+		return math.Sqrt(s)
+	}
+	nw := o.Pool.Size()
+	stride := len(ys) + 1
+	partial := make([]float64, nw*stride)
+	o.Pool.ParallelFor(len(x), func(tid, lo, hi int) {
+		base := tid * stride
+		for k := range ys {
+			s := 0.0
+			yk := ys[k]
+			for i := lo; i < hi; i++ {
+				s += x[i] * yk[i]
+			}
+			partial[base+k] = s
+		}
+		s := 0.0
+		for i := lo; i < hi; i++ {
+			s += x[i] * x[i]
+		}
+		partial[base+len(ys)] = s
+	})
+	norm2 := 0.0
+	for k := range ys {
+		s := 0.0
+		for t := 0; t < nw; t++ {
+			s += partial[t*stride+k]
+		}
+		dots[k] = s
+	}
+	for t := 0; t < nw; t++ {
+		norm2 += partial[t*stride+len(ys)]
+	}
+	return math.Sqrt(norm2)
+}
+
+// MDot computes dots[k] = x·ys[k] for all k in one sweep (PETSc VecMDot),
+// the Gram-Schmidt inner kernel of GMRES.
+func (o Ops) MDot(x []float64, ys [][]float64, dots []float64) {
+	if o.Pool == nil {
+		for k := range ys {
+			dots[k] = DotSeq(x, ys[k])
+		}
+		return
+	}
+	nw := o.Pool.Size()
+	partial := make([]float64, nw*len(ys))
+	o.Pool.ParallelFor(len(x), func(tid, lo, hi int) {
+		base := tid * len(ys)
+		for k := range ys {
+			s := 0.0
+			yk := ys[k]
+			for i := lo; i < hi; i++ {
+				s += x[i] * yk[i]
+			}
+			partial[base+k] = s
+		}
+	})
+	for k := range dots {
+		s := 0.0
+		for t := 0; t < nw; t++ {
+			s += partial[t*len(ys)+k]
+		}
+		dots[k] = s
+	}
+}

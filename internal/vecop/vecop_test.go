@@ -1,0 +1,201 @@
+package vecop
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"fun3d/internal/par"
+)
+
+func randVec(n int, seed int64) []float64 {
+	rng := rand.New(rand.NewSource(seed))
+	v := make([]float64, n)
+	for i := range v {
+		v[i] = rng.NormFloat64()
+	}
+	return v
+}
+
+func withOps(t *testing.T, f func(o Ops, name string)) {
+	f(Seq, "seq")
+	p := par.NewPool(4)
+	defer p.Close()
+	f(Ops{Pool: p}, "par")
+}
+
+func TestDotNorm(t *testing.T) {
+	withOps(t, func(o Ops, name string) {
+		x := []float64{1, 2, 3}
+		y := []float64{4, 5, 6}
+		if d := o.Dot(x, y); d != 32 {
+			t.Fatalf("%s: dot=%v", name, d)
+		}
+		if n := o.Norm2([]float64{3, 4}); math.Abs(n-5) > 1e-15 {
+			t.Fatalf("%s: norm=%v", name, n)
+		}
+	})
+}
+
+func TestAXPYFamily(t *testing.T) {
+	withOps(t, func(o Ops, name string) {
+		n := 1001
+		x := randVec(n, 1)
+		y0 := randVec(n, 2)
+
+		y := append([]float64(nil), y0...)
+		o.AXPY(2.5, x, y)
+		for i := range y {
+			if math.Abs(y[i]-(y0[i]+2.5*x[i])) > 1e-14 {
+				t.Fatalf("%s: AXPY at %d", name, i)
+			}
+		}
+
+		y = append([]float64(nil), y0...)
+		o.AYPX(-0.5, x, y)
+		for i := range y {
+			if math.Abs(y[i]-(x[i]-0.5*y0[i])) > 1e-14 {
+				t.Fatalf("%s: AYPX at %d", name, i)
+			}
+		}
+
+		w := make([]float64, n)
+		o.WAXPY(w, 3, x, y0)
+		for i := range w {
+			if math.Abs(w[i]-(3*x[i]+y0[i])) > 1e-14 {
+				t.Fatalf("%s: WAXPY at %d", name, i)
+			}
+		}
+
+		s := append([]float64(nil), x...)
+		o.Scale(-2, s)
+		for i := range s {
+			if s[i] != -2*x[i] {
+				t.Fatalf("%s: Scale at %d", name, i)
+			}
+		}
+
+		d := make([]float64, n)
+		o.Copy(d, x)
+		for i := range d {
+			if d[i] != x[i] {
+				t.Fatalf("%s: Copy at %d", name, i)
+			}
+		}
+
+		o.Set(7, d)
+		for i := range d {
+			if d[i] != 7 {
+				t.Fatalf("%s: Set at %d", name, i)
+			}
+		}
+	})
+}
+
+func TestMAXPYAndMDot(t *testing.T) {
+	withOps(t, func(o Ops, name string) {
+		n := 503
+		y0 := randVec(n, 3)
+		xs := [][]float64{randVec(n, 4), randVec(n, 5), randVec(n, 6)}
+		alphas := []float64{0.5, -1.5, 2.0}
+
+		y := append([]float64(nil), y0...)
+		o.MAXPY(y, alphas, xs)
+		for i := range y {
+			want := y0[i]
+			for k := range xs {
+				want += alphas[k] * xs[k][i]
+			}
+			if math.Abs(y[i]-want) > 1e-13 {
+				t.Fatalf("%s: MAXPY at %d", name, i)
+			}
+		}
+
+		dots := make([]float64, len(xs))
+		x := randVec(n, 7)
+		o.MDot(x, xs, dots)
+		for k := range xs {
+			want := DotSeq(x, xs[k])
+			if math.Abs(dots[k]-want) > 1e-11 {
+				t.Fatalf("%s: MDot[%d] = %v want %v", name, k, dots[k], want)
+			}
+		}
+	})
+}
+
+// Property: parallel and sequential dot agree to rounding for random sizes
+// (different summation order, so tolerance-based).
+func TestDotParMatchesSeqProperty(t *testing.T) {
+	p := par.NewPool(5)
+	defer p.Close()
+	o := Ops{Pool: p}
+	f := func(n16 uint16, seed int64) bool {
+		n := int(n16%2000) + 1
+		x := randVec(n, seed)
+		y := randVec(n, seed+1)
+		a := o.Dot(x, y)
+		b := DotSeq(x, y)
+		scale := math.Sqrt(DotSeq(x, x)*DotSeq(y, y)) + 1
+		return math.Abs(a-b) <= 1e-12*scale
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEmptyVectors(t *testing.T) {
+	withOps(t, func(o Ops, name string) {
+		if o.Dot(nil, nil) != 0 {
+			t.Fatalf("%s: empty dot", name)
+		}
+		o.AXPY(1, nil, nil) // must not panic
+		o.MAXPY(nil, nil, nil)
+		o.MDot(nil, nil, nil)
+	})
+}
+
+func BenchmarkDotSeq(b *testing.B) {
+	x := randVec(1<<16, 1)
+	y := randVec(1<<16, 2)
+	b.SetBytes(2 * 8 << 16)
+	for i := 0; i < b.N; i++ {
+		DotSeq(x, y)
+	}
+}
+
+func BenchmarkDotPar(b *testing.B) {
+	p := par.NewPool(0)
+	defer p.Close()
+	o := Ops{Pool: p}
+	x := randVec(1<<16, 1)
+	y := randVec(1<<16, 2)
+	b.SetBytes(2 * 8 << 16)
+	for i := 0; i < b.N; i++ {
+		o.Dot(x, y)
+	}
+}
+
+func TestMDotNorm(t *testing.T) {
+	withOps(t, func(o Ops, name string) {
+		n := 777
+		x := randVec(n, 31)
+		ys := [][]float64{randVec(n, 32), randVec(n, 33)}
+		dots := make([]float64, 2)
+		norm := o.MDotNorm(x, ys, dots)
+		if math.Abs(norm-o.Norm2(x)) > 1e-10*(norm+1) {
+			t.Fatalf("%s: fused norm %v vs %v", name, norm, o.Norm2(x))
+		}
+		for k := range ys {
+			want := DotSeq(x, ys[k])
+			if math.Abs(dots[k]-want) > 1e-10*(math.Abs(want)+1) {
+				t.Fatalf("%s: fused dot[%d] %v vs %v", name, k, dots[k], want)
+			}
+		}
+		// Zero basis vectors: norm still correct.
+		norm2 := o.MDotNorm(x, nil, nil)
+		if math.Abs(norm2-norm) > 1e-12*(norm+1) {
+			t.Fatalf("%s: empty-basis norm %v", name, norm2)
+		}
+	})
+}
