@@ -7,6 +7,8 @@
 //	clustersim -ranks 64                       # 64 MPI-only optimized ranks
 //	clustersim -ranks 16 -baseline             # unoptimized kernel rates
 //	clustersim -ranks 8 -threads-per-rank 4    # hybrid MPI+threads
+//	clustersim -ranks 16 -overlap              # nonblocking halo, interior overlap
+//	clustersim -ranks 64 -allreduce flat       # linear collective cost model
 //	clustersim -mesh d -ranks 256 -steps 3
 package main
 
@@ -26,7 +28,9 @@ func main() {
 		scale    = flag.Float64("scale", 1, "mesh scale factor")
 		ranks    = flag.Int("ranks", 16, "simulated MPI ranks")
 		rpn      = flag.Int("ranks-per-node", 16, "ranks per node (network locality)")
-		tpr      = flag.Int("threads-per-rank", 1, "threads per rank (hybrid mode)")
+		tpr      = flag.Int("threads-per-rank", 1, "threads per rank (hybrid mode: real pool-threaded kernels)")
+		overlap  = flag.Bool("overlap", false, "overlap halo exchange with interior-edge compute")
+		allred   = flag.String("allreduce", "tree", "Allreduce cost model: tree, flat")
 		baseline = flag.Bool("baseline", false, "baseline kernel rates instead of optimized")
 		natural  = flag.Bool("natural", false, "natural-block decomposition instead of multilevel")
 		steps    = flag.Int("steps", 0, "fixed pseudo-time steps (0 = run to convergence)")
@@ -83,15 +87,25 @@ func main() {
 
 	net := fun3d.StampedeNetwork()
 	net.RanksPerNode = *rpn
+	switch *allred {
+	case "tree":
+		net.Algo = fun3d.AllreduceTree
+	case "flat":
+		net.Algo = fun3d.AllreduceFlat
+	default:
+		fatal(fmt.Errorf("unknown allreduce algorithm %q", *allred))
+	}
 	cfg := fun3d.ClusterConfig{
-		Ranks:     *ranks,
-		Natural:   *natural,
-		Rates:     rates,
-		VecRates:  vecRates,
-		Net:       net,
-		FillLevel: *fill,
-		CFL0:      *cfl,
-		Seed:      11,
+		Ranks:          *ranks,
+		ThreadsPerRank: *tpr,
+		Overlap:        *overlap,
+		Natural:        *natural,
+		Rates:          rates,
+		VecRates:       vecRates,
+		Net:            net,
+		FillLevel:      *fill,
+		CFL0:           *cfl,
+		Seed:           11,
 	}
 	if *steps > 0 {
 		cfg.MaxSteps = *steps

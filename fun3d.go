@@ -147,6 +147,16 @@ type ClusterResult = mpisim.Result
 // Network is the LogGP-style interconnect model.
 type Network = perfmodel.Network
 
+// AllreduceAlgo selects the collective cost model of a Network.
+type AllreduceAlgo = perfmodel.AllreduceAlgo
+
+// Allreduce cost models: recursive-doubling tree (the MPI default) and the
+// flat linear gather+broadcast the paper's scaling discussion warns about.
+const (
+	AllreduceTree = perfmodel.AllreduceTree
+	AllreduceFlat = perfmodel.AllreduceFlat
+)
+
 // KernelRates are calibrated per-unit kernel costs.
 type KernelRates = perfmodel.Rates
 

@@ -1,0 +1,82 @@
+package fun3d_test
+
+import (
+	"math"
+	"testing"
+
+	"fun3d"
+)
+
+// goldenStep is one pinned Newton step of the seed wing case.
+type goldenStep struct {
+	step        int
+	rnorm       float64
+	linearIters int
+}
+
+// The golden values were produced by the sequential baseline on the tiny
+// wing mesh (the seed case every example and benchmark starts from). The
+// iteration counts are exact integers and must not drift at all; the
+// residual norms get a tight relative tolerance so legitimate
+// floating-point-neutral refactors (e.g. new strategies defaulting off)
+// don't trip it, while any change to the numerics does.
+var (
+	goldenRNorm0 = 2.5402294033894131
+	goldenSteps  = []goldenStep{
+		{1, 0.28278892427075142, 2},
+		{2, 0.0072461420795148493, 3},
+		{3, 2.7874380704732287e-05, 4},
+		{4, 6.741405576618596e-09, 5},
+	}
+)
+
+// TestGoldenSeedWingCase pins the Newton residual history and GMRES
+// iteration counts of the seed wing case. It is the regression tripwire
+// for the whole numerical stack: flux discretization, Jacobian assembly,
+// ILU preconditioning, GMRES, and the SER CFL schedule all feed these
+// numbers. If this fails after a refactor that was supposed to be
+// numerics-neutral, the refactor was not numerics-neutral.
+func TestGoldenSeedWingCase(t *testing.T) {
+	m, err := fun3d.GenerateMesh(fun3d.MeshTiny())
+	if err != nil {
+		t.Fatal(err)
+	}
+	solver, err := fun3d.NewSolver(m, fun3d.Baseline())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer solver.Close()
+	r, err := solver.Run(fun3d.SolveOptions{MaxSteps: 50, CFL0: 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := r.History
+
+	if !h.Converged {
+		t.Fatalf("seed case no longer converges: %+v", h)
+	}
+	const relTol = 1e-9
+	if d := math.Abs(h.RNorm0-goldenRNorm0) / goldenRNorm0; d > relTol {
+		t.Errorf("RNorm0 drifted: got %.17g want %.17g (rel %g)", h.RNorm0, goldenRNorm0, d)
+	}
+	if len(h.Steps) != len(goldenSteps) {
+		t.Fatalf("step count changed: got %d want %d (history %+v)", len(h.Steps), len(goldenSteps), h.Steps)
+	}
+	total := 0
+	for i, want := range goldenSteps {
+		got := h.Steps[i]
+		if got.Step != want.step {
+			t.Errorf("step %d: numbered %d", i, got.Step)
+		}
+		if got.LinearIters != want.linearIters {
+			t.Errorf("step %d: GMRES iters %d, golden %d", want.step, got.LinearIters, want.linearIters)
+		}
+		if d := math.Abs(got.RNorm-want.rnorm) / want.rnorm; d > relTol {
+			t.Errorf("step %d: ||R|| %.17g, golden %.17g (rel %g)", want.step, got.RNorm, want.rnorm, d)
+		}
+		total += got.LinearIters
+	}
+	if h.LinearIters != total || total != 14 {
+		t.Errorf("total GMRES iters %d (sum %d), golden 14", h.LinearIters, total)
+	}
+}

@@ -103,18 +103,19 @@ func Experiments() []string {
 }
 
 var registry = map[string]func(*Options) error{
-	"table1": table1,
-	"table2": table2,
-	"fig5":   fig5,
-	"fig6a":  fig6a,
-	"fig6b":  fig6b,
-	"fig7a":  fig7a,
-	"fig7b":  fig7b,
-	"fig8a":  fig8a,
-	"fig8b":  fig8b,
-	"fig9":   fig9,
-	"fig10":  fig10,
-	"fig11":  fig11,
+	"table1":  table1,
+	"table2":  table2,
+	"fig5":    fig5,
+	"fig6a":   fig6a,
+	"fig6b":   fig6b,
+	"fig7a":   fig7a,
+	"fig7b":   fig7b,
+	"fig8a":   fig8a,
+	"fig8b":   fig8b,
+	"fig9":    fig9,
+	"fig10":   fig10,
+	"fig11":   fig11,
+	"overlap": overlap,
 }
 
 // Run executes the named experiment ("all" runs every one in order).
@@ -122,7 +123,7 @@ func Run(name string, opt Options) error {
 	opt.defaults()
 	if name == "all" {
 		for _, n := range []string{"table1", "table2", "fig5", "fig6a", "fig6b",
-			"fig7a", "fig7b", "fig8a", "fig8b", "fig9", "fig10", "fig11"} {
+			"fig7a", "fig7b", "fig8a", "fig8b", "fig9", "fig10", "fig11", "overlap"} {
 			if err := Run(n, opt); err != nil {
 				return fmt.Errorf("%s: %w", n, err)
 			}

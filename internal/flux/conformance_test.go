@@ -1,0 +1,164 @@
+package flux
+
+import (
+	"fmt"
+	"testing"
+
+	"fun3d/internal/par"
+	"fun3d/internal/physics"
+	"fun3d/internal/sparse"
+)
+
+// poolSizes are the thread counts the conformance suite sweeps, including a
+// non-power-of-two (7) to catch chunking/ownership edge cases.
+var poolSizes = []int{1, 2, 4, 7}
+
+// conformanceStrategies are every parallel strategy measured against the
+// sequential reference.
+var conformanceStrategies = []Strategy{Atomic, ReplicateNatural, ReplicateMETIS, Colored}
+
+// TestConformanceAllStrategiesAllPoolSizes is the cross-strategy
+// conformance matrix: on a seeded wing mesh, every strategy at every pool
+// size must agree with the sequential reference within 1e-12 (relative)
+// for the residual, gradient, and Jacobian kernels. The deterministic
+// strategies (Replicate*, Colored for the residual's edge part) must agree
+// exactly where the accumulation-order argument guarantees it; Atomic gets
+// the tolerance because hardware add order is scheduling-dependent.
+func TestConformanceAllStrategiesAllPoolSizes(t *testing.T) {
+	m := wingMesh(t)
+	nv := m.NumVertices()
+	qInf := physics.FreeStream(3)
+	q := perturbedState(nv, qInf, 0.1, 42)
+
+	seq := NewKernels(m, beta, qInf, nil, &Partition{NW: 1}, Config{Strategy: Sequential})
+	wantRes := make([]float64, nv*4)
+	seq.Residual(q, nil, nil, wantRes)
+	wantGrad := make([]float64, nv*12)
+	seq.Gradient(q, wantGrad)
+	wantJac := sparse.NewBSRFromAdj(m.AdjPtr, m.Adj)
+	seq.Jacobian(q, wantJac)
+
+	resScale := maxAbs(wantRes) + 1
+	gradScale := maxAbs(wantGrad) + 1
+	jacScale := maxAbs(wantJac.Val) + 1
+
+	for _, nw := range poolSizes {
+		pool := par.NewPool(nw)
+		for _, s := range conformanceStrategies {
+			t.Run(fmt.Sprintf("%v-nw%d", s, nw), func(t *testing.T) {
+				part, err := NewPartition(m, nw, s, 17)
+				if err != nil {
+					t.Fatal(err)
+				}
+				k := NewKernels(m, beta, qInf, pool, part, Config{Strategy: s})
+
+				res := make([]float64, nv*4)
+				k.Residual(q, nil, nil, res)
+				if d := maxAbsDiff(res, wantRes); d > 1e-12*resScale {
+					t.Errorf("residual differs by %.3e (tol %.3e)", d, 1e-12*resScale)
+				}
+
+				grad := make([]float64, nv*12)
+				k.Gradient(q, grad)
+				if d := maxAbsDiff(grad, wantGrad); d > 1e-12*gradScale {
+					t.Errorf("gradient differs by %.3e (tol %.3e)", d, 1e-12*gradScale)
+				}
+
+				// The colored strategy has no Jacobian path; the others do.
+				if s != Colored {
+					jac := sparse.NewBSRFromAdj(m.AdjPtr, m.Adj)
+					k.Jacobian(q, jac)
+					if d := maxAbsDiff(jac.Val, wantJac.Val); d > 1e-12*jacScale {
+						t.Errorf("jacobian differs by %.3e (tol %.3e)", d, 1e-12*jacScale)
+					}
+				}
+			})
+		}
+		pool.Close()
+	}
+}
+
+// TestConformanceSplitResidual checks the interior/boundary split kernels:
+// for every strategy and pool size, evaluating the residual as
+// Begin + EdgeRange(0,cut) + EdgeRange(cut,ne) + Boundary + End must match
+// the one-shot Residual — exactly for Sequential and Replicate (the split
+// preserves per-vertex accumulation order), within 1e-12 relative for
+// Atomic (scheduling-dependent add order) and Colored (color-major
+// traversal: a split interleaves color sub-lists in a different order).
+// Cut points include the degenerate 0 and ne.
+func TestConformanceSplitResidual(t *testing.T) {
+	m := wingMesh(t)
+	nv := m.NumVertices()
+	ne := m.NumEdges()
+	qInf := physics.FreeStream(3)
+	q := perturbedState(nv, qInf, 0.1, 43)
+	cuts := []int{0, 1, ne / 3, ne / 2, ne - 1, ne}
+
+	strategies := append([]Strategy{Sequential}, conformanceStrategies...)
+	for _, nw := range poolSizes {
+		pool := par.NewPool(nw)
+		for _, s := range strategies {
+			if s == Sequential && nw > 1 {
+				continue
+			}
+			t.Run(fmt.Sprintf("%v-nw%d", s, nw), func(t *testing.T) {
+				part, err := NewPartition(m, nw, s, 23)
+				if err != nil {
+					t.Fatal(err)
+				}
+				p := pool
+				if s == Sequential {
+					p = nil
+				}
+				k := NewKernels(m, beta, qInf, p, part, Config{Strategy: s})
+				want := make([]float64, nv*4)
+				k.Residual(q, nil, nil, want)
+				scale := maxAbs(want) + 1
+
+				for _, cut := range cuts {
+					got := make([]float64, nv*4)
+					k.ResidualBegin(got)
+					k.ResidualEdgeRange(q, nil, nil, got, 0, cut)
+					k.ResidualEdgeRange(q, nil, nil, got, cut, ne)
+					k.ResidualBoundary(q, got)
+					k.ResidualEnd(got)
+					d := maxAbsDiff(got, want)
+					tol := 0.0
+					if s == Atomic || s == Colored {
+						tol = 1e-12 * scale
+					}
+					if d > tol {
+						t.Errorf("cut %d: split residual differs by %.3e (tol %.3e)", cut, d, tol)
+					}
+				}
+			})
+		}
+		pool.Close()
+	}
+}
+
+// TestEdgeSubRange pins the binary-search range filter the split kernels
+// rely on: sub-lists of ascending edge lists, order preserved, exhaustive
+// over a small list.
+func TestEdgeSubRange(t *testing.T) {
+	list := []int32{2, 3, 5, 8, 9, 13}
+	for lo := 0; lo <= 14; lo++ {
+		for hi := lo; hi <= 14; hi++ {
+			got := edgeSubRange(list, lo, hi)
+			var want []int32
+			for _, e := range list {
+				if int(e) >= lo && int(e) < hi {
+					want = append(want, e)
+				}
+			}
+			if len(got) != len(want) {
+				t.Fatalf("[%d,%d): got %v want %v", lo, hi, got, want)
+			}
+			for i := range got {
+				if got[i] != want[i] {
+					t.Fatalf("[%d,%d): got %v want %v", lo, hi, got, want)
+				}
+			}
+		}
+	}
+}

@@ -1,6 +1,8 @@
 package flux
 
 import (
+	"sort"
+
 	"fun3d/internal/geom"
 	"fun3d/internal/mesh"
 	"fun3d/internal/par"
@@ -124,25 +126,148 @@ func (k *Kernels) edgeStates(q, grad, phi []float64, e int32) (qa, qb physics.St
 // vectors unless Cfg.SoANodeData (then q is plane-layout and grad must be
 // nil; res stays AoS). grad enables second-order reconstruction, phi an
 // optional limiter field.
+//
+// Residual is the one-shot composition of the split API below; callers that
+// want to interleave other work (a halo exchange in flight) between edge
+// sets use Begin / EdgeRange / Boundary / End directly.
 func (k *Kernels) Residual(q, grad, phi, res []float64) {
+	k.ResidualBegin(res)
+	k.ResidualEdgeRange(q, grad, phi, res, 0, k.M.NumEdges())
+	k.ResidualBoundary(q, res)
+	k.ResidualEnd(res)
+}
+
+// ResidualBegin starts a split residual evaluation: it zeroes the
+// accumulators. Follow with any sequence of ResidualEdgeRange calls whose
+// half-open ranges tile [0, NumEdges) in ascending order, a
+// ResidualBoundary, and a final ResidualEnd. Sequential and Replicate
+// process each sub-range in the same per-vertex order they would inside a
+// full-range call, so their split evaluation is bit-identical to Residual;
+// Colored traverses color-major, so a split reorders across colors
+// (deterministic, but only equal to within rounding).
+func (k *Kernels) ResidualBegin(res []float64) {
 	for i := range res {
 		res[i] = 0
+	}
+	if k.Cfg.Strategy == Atomic {
+		n4 := k.M.NumVertices() * 4
+		if k.atomicRes == nil || k.atomicRes.Len() != n4 {
+			k.atomicRes = par.NewFloat64Slice(n4)
+		}
+		k.atomicRes.Zero()
+	}
+}
+
+// ResidualEdgeRange accumulates the fluxes of edges [lo,hi) into the
+// residual, using the configured strategy. For list-driven strategies
+// (Replicate, Colored) the per-thread lists are ascending by edge id, so
+// the sub-list for [lo,hi) is found by binary search and processed in the
+// same order as within a full-range call.
+func (k *Kernels) ResidualEdgeRange(q, grad, phi, res []float64, lo, hi int) {
+	if lo >= hi {
+		return
 	}
 	switch k.Cfg.Strategy {
 	case Sequential:
 		if k.Cfg.SIMD {
-			k.resEdgesSIMDRange(q, grad, phi, res, 0, k.M.NumEdges())
+			k.resEdgesSIMDRange(q, grad, phi, res, lo, hi)
 		} else {
-			k.resEdgesRange(q, grad, phi, res, 0, k.M.NumEdges(), k.Cfg.Prefetch, 0)
+			k.resEdgesRange(q, grad, phi, res, lo, hi, k.Cfg.Prefetch, 0)
 		}
+	case Atomic:
+		bits := k.atomicRes
+		k.Pool.ParallelFor(hi-lo, func(tid, clo, chi int) {
+			for e := lo + clo; e < lo+chi; e++ {
+				qa, qb, a, b, nrm := k.edgeStates(q, grad, phi, int32(e))
+				f := physics.RoeFlux(qa, qb, nrm, k.Beta)
+				for c := 0; c < 4; c++ {
+					bits.Add(int(a)*4+c, f[c])
+					bits.Add(int(b)*4+c, -f[c])
+				}
+			}
+		})
+	case ReplicateNatural, ReplicateMETIS:
+		p := k.Part
+		k.Pool.Run(func(tid int) {
+			list := edgeSubRange(p.EdgeList[tid], lo, hi)
+			if k.Cfg.SIMD {
+				k.repEdgesSIMD(q, grad, phi, res, list, p.Owner, int32(tid))
+			} else {
+				k.repEdges(q, grad, phi, res, list, p.Owner, int32(tid), k.Cfg.Prefetch, tid)
+			}
+		})
+	case Colored:
+		col := k.Part.Coloring
+		for c := 0; c < col.NumColors(); c++ {
+			edges := edgeSubRange(col.Color(c), lo, hi)
+			k.Pool.ParallelFor(len(edges), func(_, clo, chi int) {
+				for i := clo; i < chi; i++ {
+					qa, qb, a, b, n := k.edgeStates(q, grad, phi, edges[i])
+					f := physics.RoeFlux(qa, qb, n, k.Beta)
+					ra := res[a*4 : a*4+4]
+					rb := res[b*4 : b*4+4]
+					for cc := 0; cc < 4; cc++ {
+						ra[cc] += f[cc]
+						rb[cc] -= f[cc]
+					}
+				}
+			})
+		}
+	}
+}
+
+// ResidualBoundary accumulates the boundary-node closure fluxes. BNodes
+// reference owned vertices only, so it never reads halo data and may run
+// while an exchange is in flight.
+func (k *Kernels) ResidualBoundary(q, res []float64) {
+	switch k.Cfg.Strategy {
+	case Sequential:
 		k.boundarySeq(q, res)
 	case Atomic:
-		k.residualAtomic(q, grad, phi, res)
+		bits := k.atomicRes
+		bn := k.M.BNodes
+		k.Pool.ParallelFor(len(bn), func(_, lo, hi int) {
+			for i := lo; i < hi; i++ {
+				f, v := k.boundaryFlux(q, bn[i])
+				for c := 0; c < 4; c++ {
+					bits.Add(int(v)*4+c, f[c])
+				}
+			}
+		})
 	case ReplicateNatural, ReplicateMETIS:
-		k.residualReplicate(q, grad, phi, res)
+		owner := k.Part.Owner
+		k.Pool.Run(func(tid int) {
+			for _, bn := range k.M.BNodes {
+				if owner[bn.V] != int32(tid) {
+					continue
+				}
+				f, v := k.boundaryFlux(q, bn)
+				for c := 0; c < 4; c++ {
+					res[int(v)*4+c] += f[c]
+				}
+			}
+		})
 	case Colored:
-		k.residualColored(q, grad, phi, res)
+		k.boundaryAligned(q, res)
 	}
+}
+
+// ResidualEnd finishes a split evaluation (for Atomic it publishes the
+// atomic accumulators into res; a no-op for the other strategies).
+func (k *Kernels) ResidualEnd(res []float64) {
+	if k.Cfg.Strategy == Atomic {
+		k.atomicRes.CopyTo(res)
+	}
+}
+
+// edgeSubRange returns the sub-slice of an ascending edge-id list whose
+// ids fall in [lo,hi). Thread edge lists and color buckets are built in
+// ascending edge order, so two binary searches suffice and the relative
+// order — hence the floating-point accumulation order — is preserved.
+func edgeSubRange(list []int32, lo, hi int) []int32 {
+	a := sort.Search(len(list), func(i int) bool { return int(list[i]) >= lo })
+	b := sort.Search(len(list), func(i int) bool { return int(list[i]) >= hi })
+	return list[a:b]
 }
 
 // resEdgesRange processes edges [lo,hi) writing both endpoints (plain
@@ -189,60 +314,6 @@ func (k *Kernels) resEdgesSIMDRange(q, grad, phi, res []float64, lo, hi int) {
 		}
 	}
 	k.resEdgesRange(q, grad, phi, res, e, hi, false, 0)
-}
-
-func (k *Kernels) residualAtomic(q, grad, phi, res []float64) {
-	m := k.M
-	n4 := m.NumVertices() * 4
-	if k.atomicRes == nil || k.atomicRes.Len() != n4 {
-		k.atomicRes = par.NewFloat64Slice(n4)
-	}
-	bits := k.atomicRes
-	bits.Zero()
-	k.Pool.ParallelFor(m.NumEdges(), func(tid, lo, hi int) {
-		for e := lo; e < hi; e++ {
-			qa, qb, a, b, nrm := k.edgeStates(q, grad, phi, int32(e))
-			f := physics.RoeFlux(qa, qb, nrm, k.Beta)
-			for c := 0; c < 4; c++ {
-				bits.Add(int(a)*4+c, f[c])
-				bits.Add(int(b)*4+c, -f[c])
-			}
-		}
-	})
-	// Boundary (atomic adds; conflicts only between wall/sym pairs).
-	bn := k.M.BNodes
-	k.Pool.ParallelFor(len(bn), func(_, lo, hi int) {
-		for i := lo; i < hi; i++ {
-			f, v := k.boundaryFlux(q, bn[i])
-			for c := 0; c < 4; c++ {
-				bits.Add(int(v)*4+c, f[c])
-			}
-		}
-	})
-	bits.CopyTo(res)
-}
-
-func (k *Kernels) residualReplicate(q, grad, phi, res []float64) {
-	p := k.Part
-	k.Pool.Run(func(tid int) {
-		list := p.EdgeList[tid]
-		owner := p.Owner
-		if k.Cfg.SIMD {
-			k.repEdgesSIMD(q, grad, phi, res, list, owner, int32(tid))
-		} else {
-			k.repEdges(q, grad, phi, res, list, owner, int32(tid), k.Cfg.Prefetch, tid)
-		}
-		// Boundary: owner-filtered.
-		for _, bn := range k.M.BNodes {
-			if owner[bn.V] != int32(tid) {
-				continue
-			}
-			f, v := k.boundaryFlux(q, bn)
-			for c := 0; c < 4; c++ {
-				res[int(v)*4+c] += f[c]
-			}
-		}
-	})
 }
 
 // repEdges is the owner-only-writes edge loop over an explicit edge list.
@@ -304,27 +375,6 @@ func (k *Kernels) repEdgesSIMD(q, grad, phi, res []float64, list []int32, owner 
 	}
 	k.sink[int(tid)*8] += sink
 	k.repEdges(q, grad, phi, res, list[i:], owner, tid, false, int(tid))
-}
-
-func (k *Kernels) residualColored(q, grad, phi, res []float64) {
-	col := k.Part.Coloring
-	for c := 0; c < col.NumColors(); c++ {
-		edges := col.Color(c)
-		k.Pool.ParallelFor(len(edges), func(_, lo, hi int) {
-			for i := lo; i < hi; i++ {
-				qa, qb, a, b, n := k.edgeStates(q, grad, phi, edges[i])
-				f := physics.RoeFlux(qa, qb, n, k.Beta)
-				ra := res[a*4 : a*4+4]
-				rb := res[b*4 : b*4+4]
-				for cc := 0; cc < 4; cc++ {
-					ra[cc] += f[cc]
-					rb[cc] -= f[cc]
-				}
-			}
-		})
-	}
-	// Boundary with vertex-aligned chunks (same-vertex BNodes stay together).
-	k.boundaryAligned(q, res)
 }
 
 // boundaryFlux evaluates one boundary node's flux.

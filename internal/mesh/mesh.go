@@ -283,6 +283,26 @@ func sortBNodes(b []BNode) {
 	})
 }
 
+// FromEdges assembles a Mesh directly from edge-based data, bypassing the
+// tet pipeline. It exists for subdomain views: a rank's share of a
+// decomposed mesh is itself a valid edge-based mesh (owned vertices plus
+// ghosts), and materializing it this way lets the shared-memory flux
+// kernels and their thread partitions run unchanged on one rank's piece.
+// The slices are referenced, not copied; edge order is preserved. Unlike
+// FromTets output, EV1 < EV2 is not guaranteed (subdomain-local numbering
+// may flip an edge), which the kernels do not require. Tets and BFaces are
+// left empty.
+func FromEdges(coords []geom.Vec3, vol []float64, ev1, ev2 []int32, enx, eny, enz []float64, bnodes []BNode) *Mesh {
+	m := &Mesh{
+		Coords: coords, Vol: vol,
+		EV1: ev1, EV2: ev2,
+		ENX: enx, ENY: eny, ENZ: enz,
+		BNodes: bnodes,
+	}
+	m.buildAdjacency()
+	return m
+}
+
 func (m *Mesh) buildAdjacency() {
 	nv := m.NumVertices()
 	ne := m.NumEdges()

@@ -152,18 +152,55 @@ func (r *Rank) Send(to, tag int, data []float64) {
 	r.BytesSent += 8 * len(data)
 }
 
-// Recv blocks until a message from `from` with `tag` arrives and returns
-// its payload. The virtual clock advances to the modeled arrival time
-// (sender's send clock + network time), never backwards; the waiting gap is
-// attributed to point-to-point communication.
-func (r *Rank) Recv(from, tag int) []float64 {
-	e := r.comm.boxes[r.id].get(from, tag)
-	arrive := e.sendClock + r.comm.net.PtP(from, r.id, 8*len(e.data))
+// Isend is the nonblocking send. Sends in this simulator never block (the
+// mailbox is unbounded), so Isend is Send under MPI's nonblocking name; it
+// exists so overlapped halo code reads like the MPI it models.
+func (r *Rank) Isend(to, tag int, data []float64) {
+	r.Send(to, tag, data)
+}
+
+// Request is a posted nonblocking receive (the MPI_Irecv handle). Complete
+// it with Rank.Wait.
+type Request struct {
+	from, tag int
+	done      bool
+	data      []float64
+}
+
+// Irecv posts a nonblocking receive for a message from `from` with `tag`.
+// Posting costs no virtual time; the message transit happens "in the
+// background" while the rank keeps computing. Complete with Wait.
+func (r *Rank) Irecv(from, tag int) *Request {
+	return &Request{from: from, tag: tag}
+}
+
+// Wait completes a posted receive and returns its payload. The virtual
+// clock advances only by the *uncovered* remainder of the transfer: the
+// message arrives at sendClock + network time, and any compute the rank did
+// between Irecv and Wait counts against that — if the clock already passed
+// the arrival time, Wait is free. The residual waiting gap is attributed to
+// point-to-point communication. Wait is idempotent.
+func (r *Rank) Wait(req *Request) []float64 {
+	if req.done {
+		return req.data
+	}
+	e := r.comm.boxes[r.id].get(req.from, req.tag)
+	arrive := e.sendClock + r.comm.net.PtP(req.from, r.id, 8*len(e.data))
 	if arrive > r.Clock {
 		r.PtPTime += arrive - r.Clock
 		r.Clock = arrive
 	}
+	req.done = true
+	req.data = e.data
 	return e.data
+}
+
+// Recv blocks until a message from `from` with `tag` arrives and returns
+// its payload. The virtual clock advances to the modeled arrival time
+// (sender's send clock + network time), never backwards; the waiting gap is
+// attributed to point-to-point communication. Equivalent to Wait(Irecv(...)).
+func (r *Rank) Recv(from, tag int) []float64 {
+	return r.Wait(r.Irecv(from, tag))
 }
 
 // reducer implements a deterministic, reusable Allreduce rendezvous. Two

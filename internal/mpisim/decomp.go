@@ -20,9 +20,17 @@ type Subdomain struct {
 	NLocal int
 	Global []int32 // local -> global
 
-	// Edge data in local numbering (SoA, like mesh.Mesh).
+	// Edge data in local numbering (SoA, like mesh.Mesh), ordered
+	// interior-first: edges [0, NEdgeInterior) have both endpoints owned
+	// (no ghost reads), edges [NEdgeInterior, len(EV1)) touch a ghost.
+	// Interior edges can therefore be processed while a halo exchange is
+	// still in flight; the boundary set must wait for it. Within each set
+	// the original ascending edge order is preserved (stable split), so
+	// per-vertex accumulation order — and thus floating-point results — is
+	// identical whether or not the split is exploited.
 	EV1, EV2      []int32
 	ENX, ENY, ENZ []float64
+	NEdgeInterior int
 
 	Vol    []float64 // per local vertex (owned + ghost)
 	Coords []geom.Vec3
@@ -116,6 +124,11 @@ func buildSubdomains(m *mesh.Mesh, part []int32, nranks int) ([]*Subdomain, erro
 		}
 	}
 
+	// Stable interior-first edge reorder (see Subdomain doc).
+	for _, s := range subs {
+		s.splitEdges()
+	}
+
 	// Per-vertex data and boundary nodes.
 	for _, s := range subs {
 		s.NLocal = len(s.Global)
@@ -199,6 +212,52 @@ func buildSubdomains(m *mesh.Mesh, part []int32, nranks int) ([]*Subdomain, erro
 		s.JacRows = rows
 	}
 	return subs, nil
+}
+
+// splitEdges stably reorders the subdomain's edge arrays interior-first
+// (both endpoints owned) and records the split point in NEdgeInterior.
+// Ghost locals sit at indices >= NOwned, so the test is a pair of index
+// compares. The split is applied unconditionally at decomposition time —
+// not only when overlap is requested — so overlapped and non-overlapped
+// runs traverse edges in the same order and produce bit-identical residuals.
+func (s *Subdomain) splitEdges() {
+	ne := len(s.EV1)
+	owned := int32(s.NOwned)
+	perm := make([]int32, 0, ne)
+	for e := 0; e < ne; e++ {
+		if s.EV1[e] < owned && s.EV2[e] < owned {
+			perm = append(perm, int32(e))
+		}
+	}
+	s.NEdgeInterior = len(perm)
+	for e := 0; e < ne; e++ {
+		if s.EV1[e] >= owned || s.EV2[e] >= owned {
+			perm = append(perm, int32(e))
+		}
+	}
+	ev1 := make([]int32, ne)
+	ev2 := make([]int32, ne)
+	enx := make([]float64, ne)
+	eny := make([]float64, ne)
+	enz := make([]float64, ne)
+	for to, from := range perm {
+		ev1[to] = s.EV1[from]
+		ev2[to] = s.EV2[from]
+		enx[to] = s.ENX[from]
+		eny[to] = s.ENY[from]
+		enz[to] = s.ENZ[from]
+	}
+	s.EV1, s.EV2 = ev1, ev2
+	s.ENX, s.ENY, s.ENZ = enx, eny, enz
+}
+
+// LocalMesh materializes the subdomain as a standalone mesh.Mesh (owned
+// vertices plus ghosts, interior-first edge order preserved) so the
+// shared-memory flux/gradient/Jacobian kernels — and the thread
+// partitioner feeding them — run unchanged on a rank's piece. BNodes carry
+// owned vertices only, which is exactly the closure the rank should apply.
+func (s *Subdomain) LocalMesh() *mesh.Mesh {
+	return mesh.FromEdges(s.Coords, s.Vol, s.EV1, s.EV2, s.ENX, s.ENY, s.ENZ, s.BNodes)
 }
 
 func dedupSorted(a []int32) []int32 {

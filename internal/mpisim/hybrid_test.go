@@ -1,0 +1,312 @@
+package mpisim
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"fun3d/internal/mesh"
+	"fun3d/internal/perfmodel"
+)
+
+// TestDecomposeInteriorSplit checks the interior-first edge reorder: edges
+// before NEdgeInterior touch only owned vertices, edges after touch at
+// least one ghost, and the ascending-id order is preserved within each set
+// via the local mesh adjacency staying consistent.
+func TestDecomposeInteriorSplit(t *testing.T) {
+	m, err := mesh.Generate(mesh.SpecTiny())
+	if err != nil {
+		t.Fatal(err)
+	}
+	subs, err := Decompose(m, 6, false, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	totalInterior := 0
+	for _, s := range subs {
+		owned := int32(s.NOwned)
+		if s.NEdgeInterior < 0 || s.NEdgeInterior > len(s.EV1) {
+			t.Fatalf("rank %d: NEdgeInterior %d out of range [0,%d]", s.Rank, s.NEdgeInterior, len(s.EV1))
+		}
+		for e := 0; e < len(s.EV1); e++ {
+			interior := s.EV1[e] < owned && s.EV2[e] < owned
+			if e < s.NEdgeInterior && !interior {
+				t.Fatalf("rank %d: edge %d in interior set touches ghost", s.Rank, e)
+			}
+			if e >= s.NEdgeInterior && interior {
+				t.Fatalf("rank %d: edge %d in boundary set is interior", s.Rank, e)
+			}
+		}
+		totalInterior += s.NEdgeInterior
+
+		// LocalMesh must present the same edge arrays and a consistent
+		// adjacency for the kernels and partitioner.
+		lm := s.LocalMesh()
+		if lm.NumVertices() != s.NLocal || lm.NumEdges() != len(s.EV1) {
+			t.Fatalf("rank %d: local mesh %dx%d, want %dx%d",
+				s.Rank, lm.NumVertices(), lm.NumEdges(), s.NLocal, len(s.EV1))
+		}
+		if len(lm.AdjPtr) != s.NLocal+1 {
+			t.Fatalf("rank %d: adjacency not built", s.Rank)
+		}
+	}
+	if totalInterior == 0 {
+		t.Fatal("no interior edges anywhere — split is degenerate")
+	}
+}
+
+// fixedStepCfg returns a config that runs an exact number of pseudo-time
+// steps (unreachable tolerance), so runs are comparable step-for-step.
+func fixedStepCfg(ranks, threads int, overlap bool) Config {
+	return Config{
+		Ranks:          ranks,
+		ThreadsPerRank: threads,
+		Overlap:        overlap,
+		Rates:          testRates(),
+		Net:            testNet(),
+		CFL0:           10,
+		RelTol:         1e-30,
+		MaxSteps:       3,
+		Seed:           1,
+	}
+}
+
+// TestHybridMatchesMPIOnly is the tentpole invariant: a hybrid run (real
+// par.Pool-threaded kernels, P2P ILU/TRSV, overlapped halo) on R ranks is
+// numerically identical — bit for bit — to the MPI-only run on the same R
+// ranks, because owner-writes and P2P scheduling preserve the sequential
+// accumulation order exactly.
+func TestHybridMatchesMPIOnly(t *testing.T) {
+	m, err := mesh.Generate(mesh.SpecTiny())
+	if err != nil {
+		t.Fatal(err)
+	}
+	base, err := Solve(m, fixedStepCfg(4, 1, false))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tc := range []struct {
+		name    string
+		threads int
+		overlap bool
+	}{
+		{"threads3", 3, false},
+		{"threads3-overlap", 3, true},
+		{"threads7-overlap", 7, true},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			got, err := Solve(m, fixedStepCfg(4, tc.threads, tc.overlap))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got.RNorm0 != base.RNorm0 {
+				t.Fatalf("RNorm0 %v != %v", got.RNorm0, base.RNorm0)
+			}
+			if got.LinearIters != base.LinearIters {
+				t.Fatalf("LinearIters %d != %d", got.LinearIters, base.LinearIters)
+			}
+			if len(got.History) != len(base.History) {
+				t.Fatalf("history length %d != %d", len(got.History), len(base.History))
+			}
+			for i := range got.History {
+				if got.History[i] != base.History[i] {
+					t.Fatalf("step %d: ||R|| %v != %v (threading changed the numerics)",
+						i+1, got.History[i], base.History[i])
+				}
+			}
+		})
+	}
+}
+
+// TestHybridEqualTotalParallelism compares R*T decompositions at equal
+// total parallelism (8x1 vs 2x4): iteration counts legitimately differ
+// (different Schwarz decompositions), but both must make real progress.
+func TestHybridEqualTotalParallelism(t *testing.T) {
+	m, err := mesh.Generate(mesh.SpecTiny())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tc := range []struct {
+		name           string
+		ranks, threads int
+	}{
+		{"mpi-8x1", 8, 1},
+		{"hybrid-2x4", 2, 4},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			cfg := fixedStepCfg(tc.ranks, tc.threads, true)
+			cfg.MaxSteps = 8
+			r, err := Solve(m, cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !(r.RNormFinal < 1e-2*r.RNorm0) {
+				t.Fatalf("%s: residual stalled: %g -> %g", tc.name, r.RNorm0, r.RNormFinal)
+			}
+		})
+	}
+}
+
+// TestOverlapReducesHaloWait is the overlap acceptance criterion: at >= 8
+// ranks, posting the halo nonblocking and computing interior edges while it
+// flies strictly reduces the modeled point-to-point wait time, while the
+// residual history is bit-identical.
+func TestOverlapReducesHaloWait(t *testing.T) {
+	m, err := mesh.Generate(mesh.SpecTiny())
+	if err != nil {
+		t.Fatal(err)
+	}
+	blocking, err := Solve(m, fixedStepCfg(8, 1, false))
+	if err != nil {
+		t.Fatal(err)
+	}
+	overlapped, err := Solve(m, fixedStepCfg(8, 1, true))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if blocking.PtPTime <= 0 {
+		t.Fatalf("blocking run shows no halo wait (%v) — nothing to overlap", blocking.PtPTime)
+	}
+	if !(overlapped.PtPTime < blocking.PtPTime) {
+		t.Fatalf("overlap did not reduce halo wait: %v >= %v",
+			overlapped.PtPTime, blocking.PtPTime)
+	}
+	if len(overlapped.History) != len(blocking.History) {
+		t.Fatalf("history length changed: %d != %d", len(overlapped.History), len(blocking.History))
+	}
+	for i := range overlapped.History {
+		if overlapped.History[i] != blocking.History[i] {
+			t.Fatalf("step %d: overlap changed the numerics: %v != %v",
+				i+1, overlapped.History[i], blocking.History[i])
+		}
+	}
+	if overlapped.Msgs != blocking.Msgs || overlapped.Allreduces != blocking.Allreduces {
+		t.Fatalf("message counts changed: msgs %d/%d allreduces %d/%d",
+			overlapped.Msgs, blocking.Msgs, overlapped.Allreduces, blocking.Allreduces)
+	}
+}
+
+// TestFlatAllreduceCostsMore pins the collective cost models: the flat
+// (linear) algorithm must charge more virtual Allreduce time than the
+// recursive-doubling tree at any p > 2, without touching the numerics.
+func TestFlatAllreduceCostsMore(t *testing.T) {
+	tree := testNet()
+	flat := testNet()
+	flat.Algo = perfmodel.AllreduceFlat
+	for _, p := range []int{4, 16, 64, 256} {
+		if !(flat.Allreduce(p, 8) > tree.Allreduce(p, 8)) {
+			t.Fatalf("p=%d: flat %v <= tree %v", p, flat.Allreduce(p, 8), tree.Allreduce(p, 8))
+		}
+	}
+
+	m, err := mesh.Generate(mesh.SpecTiny())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfgTree := fixedStepCfg(8, 1, false)
+	cfgFlat := fixedStepCfg(8, 1, false)
+	cfgFlat.Net.Algo = perfmodel.AllreduceFlat
+	rt, err := Solve(m, cfgTree)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rf, err := Solve(m, cfgFlat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !(rf.AllreduceTime > rt.AllreduceTime) {
+		t.Fatalf("flat allreduce time %v <= tree %v", rf.AllreduceTime, rt.AllreduceTime)
+	}
+	for i := range rf.History {
+		if rf.History[i] != rt.History[i] {
+			t.Fatalf("step %d: collective cost model changed the numerics", i+1)
+		}
+	}
+}
+
+// TestIrecvWaitCoversTransfer checks the uncovered-remainder semantics of
+// the nonblocking API: compute done between Irecv and Wait hides the
+// transfer, so Wait charges (almost) nothing; an immediate Wait pays the
+// full transit. Wait must be idempotent.
+func TestIrecvWaitCoversTransfer(t *testing.T) {
+	run := func(compute float64) (ptp float64, payload []float64) {
+		c := NewComm(2, testNet())
+		r0, r1 := c.NewRank(0), c.NewRank(1)
+		var wg sync.WaitGroup
+		wg.Add(2)
+		go func() {
+			defer wg.Done()
+			r0.Isend(1, 3, []float64{1, 2, 3})
+		}()
+		go func() {
+			defer wg.Done()
+			req := r1.Irecv(0, 3)
+			r1.Compute(compute)
+			payload = r1.Wait(req)
+			if again := r1.Wait(req); &again[0] != &payload[0] {
+				t.Error("Wait not idempotent")
+			}
+		}()
+		wg.Wait()
+		return r1.PtPTime, payload
+	}
+	ptpCold, data := run(0)
+	if len(data) != 3 || data[2] != 3 {
+		t.Fatalf("payload %v", data)
+	}
+	ptpWarm, _ := run(1.0) // 1 virtual second dwarfs any transfer
+	if ptpCold <= 0 {
+		t.Fatalf("immediate Wait should pay the transfer, got %v", ptpCold)
+	}
+	if ptpWarm != 0 {
+		t.Fatalf("fully covered Wait should be free, got %v", ptpWarm)
+	}
+}
+
+// TestMailboxIsendIrecvStress hammers the mailbox from many rank
+// goroutines with out-of-order selective receives; run under -race it
+// checks the nonblocking path for data races, and functionally that every
+// payload arrives intact despite tag/source interleaving.
+func TestMailboxIsendIrecvStress(t *testing.T) {
+	const n = 8
+	const iters = 60
+	c := NewComm(n, testNet())
+	var wg sync.WaitGroup
+	errs := make(chan error, n)
+	for r := 0; r < n; r++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			rk := c.NewRank(id)
+			for it := 0; it < iters; it++ {
+				for p := 0; p < n; p++ {
+					if p != id {
+						rk.Isend(p, it%5, []float64{float64(id*1000 + it)})
+					}
+				}
+				reqs := make([]*Request, 0, n-1)
+				// Post receives high-to-low to exercise selective matching.
+				for p := n - 1; p >= 0; p-- {
+					if p != id {
+						reqs = append(reqs, rk.Irecv(p, it%5))
+					}
+				}
+				rk.Compute(1e-9)
+				for _, req := range reqs {
+					got := rk.Wait(req)
+					want := float64(req.from*1000 + it)
+					if len(got) != 1 || got[0] != want {
+						errs <- fmt.Errorf("rank %d: payload %v from rank %d, want %v",
+							id, got, req.from, want)
+						return
+					}
+				}
+			}
+		}(r)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+}

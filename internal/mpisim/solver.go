@@ -6,8 +6,10 @@ import (
 	"sync"
 
 	"fun3d/internal/blas4"
+	"fun3d/internal/flux"
 	"fun3d/internal/geom"
 	"fun3d/internal/krylov"
+	"fun3d/internal/par"
 	"fun3d/internal/mesh"
 	"fun3d/internal/perfmodel"
 	"fun3d/internal/physics"
@@ -19,7 +21,24 @@ type Config struct {
 	Ranks   int
 	Natural bool // natural-block decomposition instead of multilevel
 
-	Rates    perfmodel.Rates  // per-rank kernel rates (reflect threads/rank)
+	// ThreadsPerRank makes hybrid mode real: each rank owns a par.Pool of
+	// that many workers and runs the actual threaded flux/Jacobian kernels
+	// (owner-writes partition) and P2P-scheduled ILU/triangular solves on
+	// its subdomain. 0 or 1 keeps the rank sequential. Threading never
+	// changes the numerics: the owner-writes and P2P paths are bit-identical
+	// to the sequential kernels, so a hybrid run's residual history equals
+	// the MPI-only run on the same decomposition.
+	ThreadsPerRank int
+
+	// Overlap posts the halo exchange nonblocking (Isend/Irecv) and
+	// computes the subdomain's interior edges — both endpoints owned, no
+	// ghost reads — while the messages are in flight, finishing the
+	// ghost-touching boundary edges after Wait. Edge traversal order is
+	// interior-first in both modes, so Overlap changes modeled halo wait
+	// time and nothing else.
+	Overlap bool
+
+	Rates    perfmodel.Rates  // per-rank kernel rates (calibrate at ThreadsPerRank)
 	VecRates *perfmodel.Rates // optional override for vector primitives
 	// (the paper's hybrid case: kernels threaded, PETSc Vec* sequential)
 	Net perfmodel.Network
@@ -75,6 +94,10 @@ type Result struct {
 	Converged   bool
 	RNorm0      float64
 	RNormFinal  float64
+	// History is the nonlinear residual norm after each pseudo-time step
+	// (History[0] is after step 1). Overlap and threading must not change
+	// it — the invariant the tests pin down.
+	History []float64
 
 	// Virtual time (seconds): Time is the slowest rank's clock; the
 	// breakdown averages across ranks (clocks stay synchronized by the
@@ -110,6 +133,13 @@ func Solve(m *mesh.Mesh, cfg Config) (Result, error) {
 	workers := make([]*worker, cfg.Ranks)
 	results := make([]rankResult, cfg.Ranks)
 	var wg sync.WaitGroup
+	defer func() {
+		for _, w := range workers {
+			if w != nil && w.pool != nil {
+				w.pool.Close()
+			}
+		}
+	}()
 	for r := 0; r < cfg.Ranks; r++ {
 		w, err := newWorker(comm.NewRank(r), subs[r], &cfg)
 		if err != nil {
@@ -132,6 +162,7 @@ func Solve(m *mesh.Mesh, cfg Config) (Result, error) {
 		Converged:   results[0].converged,
 		RNorm0:      results[0].rnorm0,
 		RNormFinal:  results[0].rnorm,
+		History:     results[0].history,
 	}
 	for r := 0; r < cfg.Ranks; r++ {
 		if results[r].err != nil {
@@ -159,6 +190,7 @@ type rankResult struct {
 	steps, linIters int
 	converged       bool
 	rnorm0, rnorm   float64
+	history         []float64
 	err             error
 }
 
@@ -175,6 +207,15 @@ type worker struct {
 
 	rates    perfmodel.Rates
 	vecRates perfmodel.Rates
+
+	// Shared-memory machinery: the subdomain materialized as a standalone
+	// mesh drives the real flux kernels. With ThreadsPerRank > 1 the rank
+	// owns a pool and an owner-writes thread partition; pool is nil in the
+	// sequential (MPI-only) case.
+	lm   *mesh.Mesh
+	kern *flux.Kernels
+	pool *par.Pool
+	p2p  *sparse.P2PSchedule
 
 	q, res, rp, qp []float64 // NLocal*4
 	dt             []float64 // NOwned
@@ -215,12 +256,54 @@ func newWorker(rank *Rank, sub *Subdomain, cfg *Config) (*worker, error) {
 	for v := 0; v < sub.NLocal; v++ {
 		copy(w.q[v*4:v*4+4], w.qInf[:])
 	}
+	if err := w.setupKernels(); err != nil {
+		return nil, err
+	}
 	w.gmres = krylov.GMRES{Ops: &distOps{w: w}}
 	return w, nil
 }
 
-// exchange refreshes ghost entries of x (length NLocal*4) from the owners.
-func (w *worker) exchange(x []float64) {
+// setupKernels builds the rank's view of the shared-memory stack: the
+// subdomain as a local mesh, the flux kernel set, and — for hybrid ranks —
+// the thread pool, owner-writes partition, and P2P solve schedule.
+func (w *worker) setupKernels() error {
+	w.lm = w.sub.LocalMesh()
+	nthreads := w.cfg.ThreadsPerRank
+	if nthreads < 1 {
+		nthreads = 1
+	}
+	strat := flux.Sequential
+	var part *flux.Partition
+	var err error
+	if nthreads > 1 {
+		// Owner-writes replication: deterministic, no atomics, and
+		// bit-identical to the sequential kernel (per-vertex accumulation
+		// stays in ascending edge order). METIS-quality splits where the
+		// subdomain is big enough; natural blocks otherwise (Multilevel
+		// rejects nparts > vertices — tiny subdomains at high rank counts).
+		strat = flux.ReplicateMETIS
+		if w.sub.NLocal < 4*nthreads {
+			strat = flux.ReplicateNatural
+		}
+		part, err = flux.NewPartition(w.lm, nthreads, strat, w.cfg.Seed+uint64(w.rank.id))
+		if err != nil {
+			strat = flux.ReplicateNatural
+			part, err = flux.NewPartition(w.lm, nthreads, strat, 0)
+			if err != nil {
+				return err
+			}
+		}
+		w.pool = par.NewPool(nthreads)
+		w.p2p = sparse.NewP2PSchedule(w.factor.M, nthreads)
+	}
+	w.kern = flux.NewKernels(w.lm, w.cfg.Beta, w.qInf, w.pool, part, flux.Config{Strategy: strat})
+	return nil
+}
+
+// haloBegin posts the full halo exchange of x nonblocking: pack+Isend to
+// every peer, then Irecv from every peer. Returns the receive requests for
+// haloEnd.
+func (w *worker) haloBegin(x []float64) []*Request {
 	s := w.sub
 	for i, peer := range s.Neighbors {
 		idx := s.SendIdx[i]
@@ -231,63 +314,108 @@ func (w *worker) exchange(x []float64) {
 		for j, l := range idx {
 			copy(buf[j*4:j*4+4], x[l*4:l*4+4])
 		}
-		w.rank.Send(peer, tagHalo, buf)
+		w.rank.Isend(peer, tagHalo, buf)
 	}
+	reqs := make([]*Request, len(s.Neighbors))
 	for i, peer := range s.Neighbors {
-		idx := s.RecvIdx[i]
-		if len(idx) == 0 {
+		if len(s.RecvIdx[i]) == 0 {
 			continue
 		}
-		buf := w.rank.Recv(peer, tagHalo)
-		for j, l := range idx {
+		reqs[i] = w.rank.Irecv(peer, tagHalo)
+	}
+	return reqs
+}
+
+// haloEnd completes the receives and scatters ghost values into x. Any
+// compute done since haloBegin has already advanced the clock, so Wait
+// charges only the uncovered remainder of each transfer.
+func (w *worker) haloEnd(x []float64, reqs []*Request) {
+	s := w.sub
+	for i := range reqs {
+		if reqs[i] == nil {
+			continue
+		}
+		buf := w.rank.Wait(reqs[i])
+		for j, l := range s.RecvIdx[i] {
 			copy(x[l*4:l*4+4], buf[j*4:j*4+4])
 		}
 	}
 }
 
-// residual evaluates the local residual; ghosts of q must be current.
+// exchange refreshes ghost entries of x (length NLocal*4) from the owners,
+// blocking (no compute overlapped).
+func (w *worker) exchange(x []float64) {
+	w.haloEnd(x, w.haloBegin(x))
+}
+
+// residualInterior evaluates the ghost-independent part of the residual:
+// interior edges (both endpoints owned) and the boundary-node closure. Safe
+// to run while a halo exchange of q is in flight.
+func (w *worker) residualInterior(q, res []float64) {
+	w.kern.ResidualBegin(res)
+	w.kern.ResidualEdgeRange(q, nil, nil, res, 0, w.sub.NEdgeInterior)
+	w.kern.ResidualBoundary(q, res)
+	w.rank.Compute(float64(w.sub.NEdgeInterior) * w.rates.FluxPerEdge)
+}
+
+// residualFinish evaluates the ghost-touching boundary edges; ghosts of q
+// must be current. Together with residualInterior this is the full local
+// residual, traversed in the same order regardless of overlap.
+func (w *worker) residualFinish(q, res []float64) {
+	ne := len(w.sub.EV1)
+	w.kern.ResidualEdgeRange(q, nil, nil, res, w.sub.NEdgeInterior, ne)
+	w.kern.ResidualEnd(res)
+	w.rank.Compute(float64(ne-w.sub.NEdgeInterior) * w.rates.FluxPerEdge)
+}
+
+// evalResidual refreshes the ghosts of q and evaluates the full residual.
+// With cfg.Overlap the halo is posted nonblocking and interior work hides
+// the transfer; otherwise the exchange completes up front. Both paths
+// produce bit-identical residuals — only the modeled wait time differs.
 // Owned entries of res are meaningful; ghost entries are scratch.
-func (w *worker) residual(q, res []float64) {
-	s := w.sub
-	for i := range res {
-		res[i] = 0
+func (w *worker) evalResidual(q, res []float64) {
+	if w.cfg.Overlap {
+		reqs := w.haloBegin(q)
+		w.residualInterior(q, res)
+		w.haloEnd(q, reqs)
+		w.residualFinish(q, res)
+	} else {
+		w.exchange(q)
+		w.residualInterior(q, res)
+		w.residualFinish(q, res)
 	}
-	beta := w.cfg.Beta
-	for e := range s.EV1 {
-		a, b := s.EV1[e], s.EV2[e]
-		n := geom.Vec3{X: s.ENX[e], Y: s.ENY[e], Z: s.ENZ[e]}
-		var qa, qb physics.State
-		copy(qa[:], q[a*4:a*4+4])
-		copy(qb[:], q[b*4:b*4+4])
-		f := physics.RoeFlux(qa, qb, n, beta)
-		for c := 0; c < 4; c++ {
-			res[int(a)*4+c] += f[c]
-			res[int(b)*4+c] -= f[c]
-		}
-	}
-	for _, bn := range s.BNodes {
-		var qv physics.State
-		copy(qv[:], q[int(bn.V)*4:int(bn.V)*4+4])
-		var f physics.State
-		switch bn.Kind {
-		case mesh.PatchWall, mesh.PatchSymmetry:
-			f = physics.WallFlux(qv, bn.Normal)
-		default:
-			f = physics.FarfieldFlux(qv, w.qInf, bn.Normal, beta)
-		}
-		for c := 0; c < 4; c++ {
-			res[int(bn.V)*4+c] += f[c]
-		}
-	}
-	w.rank.Compute(float64(len(s.EV1)) * w.rates.FluxPerEdge)
 }
 
 // assembleJacobian fills the owned-rows first-order Jacobian with the
-// pseudo-time shift.
+// pseudo-time shift. Hybrid ranks assemble threaded under the owner-writes
+// partition: each thread walks its (ascending) edge list and writes only
+// rows of vertices it owns, so block rows are touched by exactly one thread
+// and per-row accumulation order matches the sequential loop — the
+// assembled matrix is bit-identical.
 func (w *worker) assembleJacobian(q []float64) {
 	s := w.sub
 	a := w.jac
 	a.Zero()
+	if w.pool != nil {
+		p := w.kern.Part
+		w.pool.Run(func(tid int) {
+			w.jacEdgesOwner(q, p.EdgeList[tid], p.Owner, int32(tid))
+			w.jacClosureOwner(q, p.Owner, int32(tid))
+		})
+	} else {
+		w.jacEdgesSeq(q)
+		w.jacClosureSeq(q)
+	}
+	for i := 0; i < s.NOwned; i++ {
+		blas4.AddDiag(a.Block(a.Diag[i]), s.Vol[i]/w.dt[i])
+	}
+	w.rank.Compute(float64(len(s.EV1)) * w.rates.JacPerEdge)
+}
+
+// jacEdgesSeq is the sequential edge-loop of the Jacobian assembly.
+func (w *worker) jacEdgesSeq(q []float64) {
+	s := w.sub
+	a := w.jac
 	beta := w.cfg.Beta
 	var dL, dR [16]float64
 	for e := range s.EV1 {
@@ -312,8 +440,45 @@ func (w *worker) assembleJacobian(q []float64) {
 			}
 		}
 	}
+}
+
+// jacEdgesOwner is the owner-writes edge loop: thread `tid` walks its edge
+// list (cut edges recompute the two flux Jacobians redundantly, as in the
+// flux kernel) and adds only into rows it owns. The owned-rows Schwarz
+// gating (< NOwned) composes with the thread gating.
+func (w *worker) jacEdgesOwner(q []float64, list []int32, owner []int32, tid int32) {
+	s := w.sub
+	a := w.jac
+	beta := w.cfg.Beta
+	var dL, dR [16]float64
+	for _, e := range list {
+		va, vb := s.EV1[e], s.EV2[e]
+		n := geom.Vec3{X: s.ENX[e], Y: s.ENY[e], Z: s.ENZ[e]}
+		var qa, qb physics.State
+		copy(qa[:], q[va*4:va*4+4])
+		copy(qb[:], q[vb*4:vb*4+4])
+		physics.RoeFluxJacobians(qa, qb, n, beta, &dL, &dR)
+		if owner[va] == tid && int(va) < s.NOwned {
+			addTo(a, va, va, &dL, 1)
+			if int(vb) < s.NOwned {
+				addTo(a, va, vb, &dR, 1)
+			}
+		}
+		if owner[vb] == tid && int(vb) < s.NOwned {
+			addTo(a, vb, vb, &dR, -1)
+			if int(va) < s.NOwned {
+				addTo(a, vb, va, &dL, -1)
+			}
+		}
+	}
+}
+
+// jacClosureSeq adds the boundary-node Jacobian contributions sequentially.
+func (w *worker) jacClosureSeq(q []float64) {
+	a := w.jac
+	beta := w.cfg.Beta
 	var d [16]float64
-	for _, bn := range s.BNodes {
+	for _, bn := range w.sub.BNodes {
 		switch bn.Kind {
 		case mesh.PatchWall, mesh.PatchSymmetry:
 			physics.WallFluxJacobian(bn.Normal, &d)
@@ -324,10 +489,28 @@ func (w *worker) assembleJacobian(q []float64) {
 		}
 		addTo(a, bn.V, bn.V, &d, 1)
 	}
-	for i := 0; i < s.NOwned; i++ {
-		blas4.AddDiag(a.Block(a.Diag[i]), s.Vol[i]/w.dt[i])
+}
+
+// jacClosureOwner is the owner-filtered boundary-node loop for hybrid
+// ranks (BNodes reference owned vertices only).
+func (w *worker) jacClosureOwner(q []float64, owner []int32, tid int32) {
+	a := w.jac
+	beta := w.cfg.Beta
+	var d [16]float64
+	for _, bn := range w.sub.BNodes {
+		if owner[bn.V] != tid {
+			continue
+		}
+		switch bn.Kind {
+		case mesh.PatchWall, mesh.PatchSymmetry:
+			physics.WallFluxJacobian(bn.Normal, &d)
+		default:
+			var qv physics.State
+			copy(qv[:], q[int(bn.V)*4:int(bn.V)*4+4])
+			physics.FarfieldFluxJacobian(qv, w.qInf, bn.Normal, beta, &d)
+		}
+		addTo(a, bn.V, bn.V, &d, 1)
 	}
-	w.rank.Compute(float64(len(s.EV1)) * w.rates.JacPerEdge)
 }
 
 func addTo(a *sparse.BSR, i, j int32, blk *[16]float64, sign float64) {
@@ -390,8 +573,7 @@ func (w *worker) run() (rr rankResult) {
 	nOwn := s.NOwned * 4
 	ops := &distOps{w: w}
 
-	w.exchange(w.q)
-	w.residual(w.q, w.res)
+	w.evalResidual(w.q, w.res)
 	rnorm := ops.Norm2(w.res[:nOwn])
 	rr.rnorm0 = rnorm
 	rr.rnorm = rnorm
@@ -413,7 +595,7 @@ func (w *worker) run() (rr rankResult) {
 		w.localTimeSteps(w.q, cfl)
 		w.assembleJacobian(w.q)
 		errFlag := 0.0
-		ferr := w.factor.FactorizeILU(w.jac)
+		ferr := w.factorize()
 		w.rank.Compute(float64(w.factor.M.NNZBlocks()) * w.rates.ILUPerBlock)
 		if ferr != nil {
 			errFlag = 1
@@ -444,10 +626,10 @@ func (w *worker) run() (rr rankResult) {
 			w.q[i] += dq[i]
 		}
 		w.rank.Compute(float64(nOwn) * w.vecRates.VecPerElem)
-		w.exchange(w.q)
-		w.residual(w.q, w.res)
+		w.evalResidual(w.q, w.res)
 		rnorm = ops.Norm2(w.res[:nOwn])
 		rr.rnorm = rnorm
+		rr.history = append(rr.history, rnorm)
 		rr.steps = step
 		if math.IsNaN(rnorm) || rnorm > 1e8*rr.rnorm0 {
 			rr.err = fmt.Errorf("diverged at step %d: ||R||=%g", step, rnorm)
@@ -487,8 +669,7 @@ func (o *distOp) Apply(v, y []float64) {
 		w.qp[i] += h * v[i]
 	}
 	w.rank.Compute(float64(nOwn) * w.vecRates.VecPerElem)
-	w.exchange(w.qp)
-	w.residual(w.qp, w.rp)
+	w.evalResidual(w.qp, w.rp)
 	invH := 1 / h
 	for vtx := 0; vtx < s.NOwned; vtx++ {
 		shift := s.Vol[vtx] / w.dt[vtx]
@@ -500,13 +681,30 @@ func (o *distOp) Apply(v, y []float64) {
 	w.rank.Compute(float64(nOwn) * w.vecRates.VecPerElem)
 }
 
-// distPre is the rank-local ILU solve (block-Jacobi Schwarz).
+// factorize runs the rank-local block ILU: P2P-scheduled across the pool
+// on hybrid ranks (bit-identical to the sequential elimination), serial
+// otherwise.
+func (w *worker) factorize() error {
+	if w.pool != nil {
+		return w.factor.FactorizeILUP2P(w.pool, w.p2p, w.jac)
+	}
+	return w.factor.FactorizeILU(w.jac)
+}
+
+// distPre is the rank-local ILU solve (block-Jacobi Schwarz). Hybrid ranks
+// run the P2P-scheduled triangular solves (Park et al.'s sparsified
+// point-to-point waits) on the rank's pool.
 type distPre struct {
 	w *worker
 }
 
 // Apply implements krylov.Preconditioner over owned dofs.
 func (p *distPre) Apply(r, z []float64) {
-	p.w.factor.Solve(r, z)
-	p.w.rank.Compute(float64(p.w.factor.M.NNZBlocks()) * p.w.rates.TRSVPerBlock)
+	w := p.w
+	if w.pool != nil {
+		w.factor.SolveP2P(w.pool, w.p2p, r, z)
+	} else {
+		w.factor.Solve(r, z)
+	}
+	w.rank.Compute(float64(w.factor.M.NNZBlocks()) * w.rates.TRSVPerBlock)
 }

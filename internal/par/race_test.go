@@ -1,0 +1,195 @@
+package par
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+// These tests exist primarily for `go test -race`: they oversubscribe
+// GOMAXPROCS so the scheduler interleaves pool workers, barrier
+// participants, and flag waiters aggressively, surfacing any unsynchronized
+// access in the primitives the threaded kernels are built on. They also
+// assert functional correctness so they pull weight in non-race runs.
+
+// TestPoolOversubscribedParallelFor hammers ParallelFor with far more
+// workers than cores; chunk sums must tile the index space exactly every
+// iteration.
+func TestPoolOversubscribedParallelFor(t *testing.T) {
+	nw := 4*runtime.GOMAXPROCS(0) + 3
+	p := NewPool(nw)
+	defer p.Close()
+	iters := 40
+	if testing.Short() {
+		iters = 10
+	}
+	const n = 10007
+	marks := make([]int32, n)
+	for it := 0; it < iters; it++ {
+		var total atomic.Int64
+		p.ParallelFor(n, func(tid, lo, hi int) {
+			for i := lo; i < hi; i++ {
+				marks[i]++
+			}
+			total.Add(int64(hi - lo))
+		})
+		if total.Load() != n {
+			t.Fatalf("iter %d: chunks covered %d of %d", it, total.Load(), n)
+		}
+	}
+	for i, m := range marks {
+		if int(m) != iters {
+			t.Fatalf("index %d touched %d times, want %d", i, m, iters)
+		}
+	}
+}
+
+// TestPoolOversubscribedRun checks that Run hands every tid to exactly one
+// worker per invocation under oversubscription.
+func TestPoolOversubscribedRun(t *testing.T) {
+	nw := 3*runtime.GOMAXPROCS(0) + 1
+	p := NewPool(nw)
+	defer p.Close()
+	iters := 60
+	if testing.Short() {
+		iters = 15
+	}
+	seen := make([]int32, nw)
+	for it := 0; it < iters; it++ {
+		p.Run(func(tid int) {
+			atomic.AddInt32(&seen[tid], 1)
+		})
+	}
+	for tid, c := range seen {
+		if int(c) != iters {
+			t.Fatalf("tid %d ran %d times, want %d", tid, c, iters)
+		}
+	}
+}
+
+// TestBarrierOversubscribedLockstep runs more participants than cores
+// through many barrier rounds; after each Wait, every participant must
+// observe every other participant's round counter at (at least) the
+// current round — the ordering guarantee level-scheduled solves rely on.
+func TestBarrierOversubscribedLockstep(t *testing.T) {
+	nw := 2*runtime.GOMAXPROCS(0) + 1
+	if nw > 24 {
+		nw = 24
+	}
+	rounds := 300
+	if testing.Short() {
+		rounds = 60
+	}
+	b := NewBarrier(nw)
+	prog := make([]atomic.Int64, nw)
+	var wg sync.WaitGroup
+	fail := atomic.Bool{}
+	for w := 0; w < nw; w++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			var sense uint32
+			for r := 1; r <= rounds; r++ {
+				prog[id].Store(int64(r))
+				b.Wait(&sense)
+				for other := 0; other < nw; other++ {
+					if prog[other].Load() < int64(r) {
+						fail.Store(true)
+					}
+				}
+				b.Wait(&sense) // keep readers and next round's writers apart
+			}
+		}(w)
+	}
+	wg.Wait()
+	if fail.Load() {
+		t.Fatal("barrier released a participant before all arrived")
+	}
+}
+
+// TestFlagPublishConsume stresses the point-to-point progress flags of the
+// P2P triangular solve: one producer publishes monotone progress while
+// many oversubscribed consumers wait on increasing thresholds; each
+// consumer must never observe progress below its threshold after waking.
+func TestFlagPublishConsume(t *testing.T) {
+	nConsumers := 2*runtime.GOMAXPROCS(0) + 1
+	steps := int64(2000)
+	if testing.Short() {
+		steps = 400
+	}
+	var f Flag
+	var wg sync.WaitGroup
+	fail := atomic.Bool{}
+	for c := 0; c < nConsumers; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			for v := int64(c%7) + 1; v <= steps; v += int64(nConsumers) {
+				f.WaitAtLeast(v)
+				if f.Get() < v {
+					fail.Store(true)
+					return
+				}
+			}
+		}(c)
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for v := int64(1); v <= steps; v++ {
+			f.Set(v)
+			if v%64 == 0 {
+				runtime.Gosched()
+			}
+		}
+	}()
+	wg.Wait()
+	if fail.Load() {
+		t.Fatal("WaitAtLeast returned before the flag reached the threshold")
+	}
+}
+
+// TestPoolNestedKernelsRace mimics the hybrid-rank usage pattern: several
+// independent pools (one per simulated rank) run ParallelFor concurrently
+// from different goroutines, as mpisim does with one pool per rank
+// goroutine.
+func TestPoolNestedKernelsRace(t *testing.T) {
+	ranks := 4
+	perPool := runtime.GOMAXPROCS(0) + 1
+	var wg sync.WaitGroup
+	sums := make([]int64, ranks)
+	for r := 0; r < ranks; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			p := NewPool(perPool)
+			defer p.Close()
+			local := make([]int64, perPool*8) // padded per-tid slots
+			iters := 30
+			if testing.Short() {
+				iters = 8
+			}
+			for it := 0; it < iters; it++ {
+				p.ParallelFor(5000, func(tid, lo, hi int) {
+					for i := lo; i < hi; i++ {
+						local[tid*8]++
+					}
+				})
+			}
+			for tid := 0; tid < perPool; tid++ {
+				sums[r] += local[tid*8]
+			}
+		}(r)
+	}
+	wg.Wait()
+	iters := int64(30)
+	if testing.Short() {
+		iters = 8
+	}
+	for r, s := range sums {
+		if s != iters*5000 {
+			t.Fatalf("rank %d pool processed %d elements, want %d", r, s, iters*5000)
+		}
+	}
+}

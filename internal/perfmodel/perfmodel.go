@@ -221,6 +221,37 @@ type Network struct {
 	Bandwidth    float64 // bytes/sec per link
 	RanksPerNode int     // ranks sharing a node (intra-node messages are cheaper)
 	IntraLatency float64 // seconds for intra-node messages
+
+	// Algo selects the Allreduce cost model (default AllreduceTree).
+	Algo AllreduceAlgo
+}
+
+// AllreduceAlgo selects the collective algorithm whose cost the Allreduce
+// model charges. The numerics are unaffected (the simulator always reduces
+// deterministically in rank order); only the virtual time differs — which
+// is the point of the Fig 10/11 Allreduce-wall experiment.
+type AllreduceAlgo int
+
+const (
+	// AllreduceTree is recursive doubling: 2*ceil(log2 p) latency phases,
+	// the classic MPI implementation and the default.
+	AllreduceTree AllreduceAlgo = iota
+	// AllreduceFlat is the naive linear algorithm: every rank sends to a
+	// root which then broadcasts, costing O(p) latency phases. It models
+	// the worst-case collective the paper's Allreduce wall extrapolates
+	// from, and makes the latency term's growth with p visible at small
+	// scales.
+	AllreduceFlat
+)
+
+// String names the algorithm for reports and flag values.
+func (a AllreduceAlgo) String() string {
+	switch a {
+	case AllreduceFlat:
+		return "flat"
+	default:
+		return "tree"
+	}
 }
 
 // Stampede returns the default fabric parameters: ~2.5 us MPI latency,
@@ -247,6 +278,9 @@ func (n Network) Allreduce(p, bytes int) float64 {
 	if p <= 1 {
 		return 0
 	}
+	if n.Algo == AllreduceFlat {
+		return n.allreduceFlat(p, bytes)
+	}
 	stages := 0
 	for s := 1; s < p; s <<= 1 {
 		stages++
@@ -263,4 +297,23 @@ func (n Network) Allreduce(p, bytes int) float64 {
 	t := float64(local)*n.IntraLatency + float64(remote)*n.Latency
 	t += 2 * float64(stages) * float64(bytes) / n.Bandwidth
 	return 2 * t // reduce + broadcast phases
+}
+
+// allreduceFlat models a linear reduce-to-root followed by a linear
+// broadcast: the root handles p-1 messages each way, serialized. Peers on
+// the root's node pay intra-node latency; the rest pay the full fabric
+// latency. The O(p) latency term is what makes this algorithm collapse at
+// scale, in contrast with the tree's O(log p).
+func (n Network) allreduceFlat(p, bytes int) float64 {
+	intra := 0
+	if n.RanksPerNode > 1 {
+		intra = n.RanksPerNode - 1
+		if intra > p-1 {
+			intra = p - 1
+		}
+	}
+	remote := (p - 1) - intra
+	t := float64(intra)*n.IntraLatency + float64(remote)*n.Latency
+	t += float64(p-1) * float64(bytes) / n.Bandwidth
+	return 2 * t // gather + broadcast phases
 }
