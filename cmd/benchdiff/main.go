@@ -1,0 +1,84 @@
+// Command benchdiff compares two BENCH_*.json artifacts kernel-by-kernel
+// and exits nonzero when any kernel regressed beyond the threshold. It is
+// the CI gate behind the committed baseline artifact.
+//
+// Two comparison modes:
+//
+//   - absolute (default): ratios of per-kernel seconds. Right when both
+//     artifacts come from the same machine (a before/after check).
+//   - -shares: ratios of each kernel's share of the profiled total. Shares
+//     are machine-independent, so this is the mode for CI runners compared
+//     against a baseline recorded elsewhere.
+//
+// Examples:
+//
+//	benchdiff old.json new.json
+//	benchdiff -threshold 2.0 old.json new.json
+//	benchdiff -shares -threshold 3.0 baseline/BENCH_quick.json BENCH_quick.json
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"text/tabwriter"
+
+	"fun3d/internal/prof"
+)
+
+func main() {
+	var (
+		threshold = flag.Float64("threshold", 1.5, "new/old ratio above which a kernel counts as regressed")
+		minSec    = flag.Float64("min-seconds", 1e-3, "noise floor: ignore kernels faster than this in both artifacts")
+		shares    = flag.Bool("shares", false, "compare shares of total time (machine-independent) instead of seconds")
+	)
+	flag.Parse()
+	if flag.NArg() != 2 {
+		fmt.Fprintln(os.Stderr, "usage: benchdiff [flags] <old.json> <new.json>")
+		flag.PrintDefaults()
+		os.Exit(2)
+	}
+	oldA, err := prof.ReadArtifact(flag.Arg(0))
+	if err != nil {
+		fatal(err)
+	}
+	newA, err := prof.ReadArtifact(flag.Arg(1))
+	if err != nil {
+		fatal(err)
+	}
+	entries, regressed, err := prof.DiffArtifacts(oldA, newA, prof.DiffOptions{
+		Threshold:  *threshold,
+		MinSeconds: *minSec,
+		Shares:     *shares,
+	})
+	if err != nil {
+		fatal(err)
+	}
+
+	unit := "s"
+	if *shares {
+		unit = " share"
+	}
+	fmt.Printf("benchdiff: %s (%s) vs %s (%s), threshold %.2fx\n",
+		flag.Arg(0), oldA.Experiment, flag.Arg(1), newA.Experiment, *threshold)
+	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintf(w, "kernel\told%s\tnew%s\tratio\t\n", unit, unit)
+	for _, e := range entries {
+		flagStr := ""
+		if e.Regressed {
+			flagStr = "REGRESSED"
+		}
+		fmt.Fprintf(w, "%s\t%.4f\t%.4f\t%.2fx\t%s\n", e.Kernel, e.Old, e.New, e.Ratio, flagStr)
+	}
+	w.Flush()
+	if regressed {
+		fmt.Println("FAIL: at least one kernel regressed beyond the threshold")
+		os.Exit(1)
+	}
+	fmt.Println("OK: no kernel regressed beyond the threshold")
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "benchdiff:", err)
+	os.Exit(1)
+}

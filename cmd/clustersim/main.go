@@ -10,6 +10,7 @@
 //	clustersim -ranks 16 -overlap              # nonblocking halo, interior overlap
 //	clustersim -ranks 64 -allreduce flat       # linear collective cost model
 //	clustersim -mesh d -ranks 256 -steps 3
+//	clustersim -ranks 16 -json run.json        # machine-readable artifact
 package main
 
 import (
@@ -20,6 +21,7 @@ import (
 	"fun3d"
 	"fun3d/internal/mesh"
 	"fun3d/internal/perfmodel"
+	"fun3d/internal/prof"
 )
 
 func main() {
@@ -36,6 +38,7 @@ func main() {
 		steps    = flag.Int("steps", 0, "fixed pseudo-time steps (0 = run to convergence)")
 		fill     = flag.Int("fill", 0, "ILU fill level per rank")
 		cfl      = flag.Float64("cfl", 20, "initial CFL")
+		jsonOut  = flag.String("json", "", "write a schema-versioned JSON artifact (prof.Artifact) to this path")
 	)
 	flag.Parse()
 
@@ -123,6 +126,26 @@ func main() {
 	fmt.Printf("  allreduce       %.4fs (%d collectives)\n", res.AllreduceTime, res.Allreduces)
 	fmt.Printf("  point-to-point  %.4fs (%d msgs, %.1f MB)\n", res.PtPTime, res.Msgs, float64(res.Bytes)/1e6)
 	fmt.Printf("communication fraction: %.1f%%\n", 100*res.CommFraction())
+
+	if *jsonOut != "" {
+		art := prof.NewArtifact("clustersim", res.Metrics)
+		art.Mesh = &prof.MeshInfo{Vertices: m.NumVertices(), Edges: m.NumEdges()}
+		art.Config = map[string]any{
+			"ranks":            *ranks,
+			"ranks_per_node":   *rpn,
+			"threads_per_rank": *tpr,
+			"overlap":          *overlap,
+			"allreduce":        *allred,
+			"baseline":         *baseline,
+			"fill":             *fill,
+			"steps":            res.Steps,
+			"time_axis":        "virtual",
+		}
+		if err := art.WriteFile(*jsonOut); err != nil {
+			fatal(err)
+		}
+		fmt.Println("wrote", *jsonOut)
+	}
 }
 
 func fatal(err error) {

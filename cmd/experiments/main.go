@@ -9,13 +9,17 @@
 //	experiments -exp fig6a -threads 16        # one experiment
 //	experiments -exp fig9 -nodes 1,4,16,64,256 -large
 //	experiments -quick                        # tiny meshes (CI smoke run)
+//	experiments -quick -json                  # plus BENCH_<exp>.json artifacts
+//	experiments -exp fig5 -cpuprofile fig5.pprof
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
 	"runtime"
+	"runtime/pprof"
 	"strconv"
 	"strings"
 
@@ -34,6 +38,9 @@ func main() {
 		steps    = flag.Int("cluster-steps", 0, "pseudo-time steps per cluster run")
 		cfl      = flag.Float64("cfl", 10, "initial CFL for solve-based experiments")
 		scaleOpt = flag.Float64("scale", 1, "scale factor on the single-node mesh")
+		jsonOut  = flag.Bool("json", false, "write BENCH_<experiment>.json artifacts to the current directory")
+		jsonDir  = flag.String("json-dir", "", "directory for JSON artifacts (implies -json)")
+		cpuProf  = flag.String("cpuprofile", "", "write a CPU profile (with per-experiment pprof labels) to this file")
 	)
 	flag.Parse()
 
@@ -44,6 +51,32 @@ func main() {
 		CFL0:         *cfl,
 		RanksPerNode: *rpn,
 		ClusterSteps: *steps,
+	}
+	if *jsonDir != "" {
+		opt.JSONDir = *jsonDir
+	} else if *jsonOut {
+		opt.JSONDir = "."
+	}
+	if opt.JSONDir != "" {
+		if err := os.MkdirAll(opt.JSONDir, 0o755); err != nil {
+			fmt.Fprintln(os.Stderr, "experiments:", err)
+			os.Exit(1)
+		}
+	}
+	if *cpuProf != "" {
+		f, err := os.Create(*cpuProf)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "experiments:", err)
+			os.Exit(1)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, "experiments:", err)
+			os.Exit(1)
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			f.Close()
+		}()
 	}
 	if !*quick {
 		opt.SingleSpec = mesh.SpecC()
@@ -67,8 +100,14 @@ func main() {
 		}
 	}
 
-	if err := bench.Run(*exp, opt); err != nil {
-		fmt.Fprintln(os.Stderr, "experiments:", err)
+	// The pprof label keys each experiment's samples, so a single profile
+	// covering -exp all can be sliced per figure (go tool pprof -tagfocus).
+	var runErr error
+	pprof.Do(context.Background(), pprof.Labels("experiment", *exp), func(_ context.Context) {
+		runErr = bench.Run(*exp, opt)
+	})
+	if runErr != nil {
+		fmt.Fprintln(os.Stderr, "experiments:", runErr)
 		os.Exit(1)
 	}
 }

@@ -128,7 +128,7 @@ func (s *Solver) SaveState(w io.Writer) error { return s.app.SaveState(w) }
 func (s *Solver) LoadState(r io.Reader) error { return s.app.LoadState(r) }
 
 // Profile returns the per-kernel time breakdown accumulated so far.
-func (s *Solver) Profile() *prof.Profile { return s.app.Prof }
+func (s *Solver) Profile() *prof.Metrics { return s.app.Prof }
 
 // Describe summarizes the active configuration.
 func (s *Solver) Describe() string { return s.app.Describe() }

@@ -8,16 +8,23 @@ package bench
 import (
 	"fmt"
 	"io"
+	"path/filepath"
 	"runtime"
 	"sort"
 	"text/tabwriter"
 
 	"fun3d/internal/mesh"
+	"fun3d/internal/prof"
 )
 
 // Options configures the harness.
 type Options struct {
 	Out io.Writer
+
+	// JSONDir, when non-empty, makes every experiment write a
+	// schema-versioned BENCH_<experiment>.json artifact (see prof.Artifact)
+	// next to its text report. cmd/benchdiff compares two such artifacts.
+	JSONDir string
 
 	// SingleSpec is the mesh for single-node experiments (default SpecC).
 	SingleSpec mesh.GenSpec
@@ -116,6 +123,7 @@ var registry = map[string]func(*Options) error{
 	"fig10":   fig10,
 	"fig11":   fig11,
 	"overlap": overlap,
+	"quick":   quick,
 }
 
 // Run executes the named experiment ("all" runs every one in order).
@@ -123,7 +131,7 @@ func Run(name string, opt Options) error {
 	opt.defaults()
 	if name == "all" {
 		for _, n := range []string{"table1", "table2", "fig5", "fig6a", "fig6b",
-			"fig7a", "fig7b", "fig8a", "fig8b", "fig9", "fig10", "fig11", "overlap"} {
+			"fig7a", "fig7b", "fig8a", "fig8b", "fig9", "fig10", "fig11", "overlap", "quick"} {
 			if err := Run(n, opt); err != nil {
 				return fmt.Errorf("%s: %w", n, err)
 			}
@@ -145,4 +153,24 @@ func header(o *Options, title, paperRef string) {
 // table returns a tabwriter on o.Out; callers must Flush.
 func table(o *Options) *tabwriter.Writer {
 	return tabwriter.NewWriter(o.Out, 2, 4, 2, ' ', 0)
+}
+
+// emit writes the experiment's JSON artifact when Options.JSONDir is set.
+// m, config, and paper are optional context sections.
+func emit(o *Options, name string, met *prof.Metrics, m *mesh.Mesh, config map[string]any, paper map[string]float64) error {
+	if o.JSONDir == "" {
+		return nil
+	}
+	art := prof.NewArtifact(name, met)
+	art.Config = config
+	art.Paper = paper
+	if m != nil {
+		art.Mesh = &prof.MeshInfo{Vertices: m.NumVertices(), Edges: m.NumEdges()}
+	}
+	path := filepath.Join(o.JSONDir, "BENCH_"+name+".json")
+	if err := art.WriteFile(path); err != nil {
+		return err
+	}
+	fmt.Fprintf(o.Out, "   wrote %s\n", path)
+	return nil
 }

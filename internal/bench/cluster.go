@@ -103,6 +103,7 @@ func fig9(o *Options) error {
 	}
 	w := table(o)
 	fmt.Fprintln(w, "nodes\tranks\tbaseline time\toptimized time\tgain\titers(base/opt)")
+	var last mpisim.Result
 	for _, nodes := range o.NodeCounts {
 		ranks := nodes * o.RanksPerNode
 		rb, err := env.run(o, ranks, env.baseline, nil, o.RanksPerNode)
@@ -116,9 +117,26 @@ func fig9(o *Options) error {
 		fmt.Fprintf(w, "%d\t%d\t%.3fs\t%.3fs\t%.0f%%\t%d/%d\n",
 			nodes, ranks, rb.Time, ro.Time,
 			100*(rb.Time-ro.Time)/rb.Time, rb.LinearIters, ro.LinearIters)
+		last = ro
 	}
 	fmt.Fprintln(w, "(virtual seconds; identical numerics per column pair)")
-	return w.Flush()
+	if err := w.Flush(); err != nil {
+		return err
+	}
+	return emit(o, "fig9", last.Metrics, env.m, clusterConfig(o, "optimized, largest node count"), nil)
+}
+
+// clusterConfig is the shared config section of the multi-node artifacts:
+// the sweep parameters plus which run the kernel record belongs to (times
+// are virtual seconds — see mpisim.Result.Metrics).
+func clusterConfig(o *Options, recorded string) map[string]any {
+	return map[string]any{
+		"node_counts":    o.NodeCounts,
+		"ranks_per_node": o.RanksPerNode,
+		"cluster_steps":  o.ClusterSteps,
+		"recorded_run":   recorded,
+		"time_axis":      "virtual",
+	}
 }
 
 // fig10 reproduces the communication-overhead breakdown.
@@ -131,6 +149,7 @@ func fig10(o *Options) error {
 	}
 	w := table(o)
 	fmt.Fprintln(w, "nodes\tranks\tcompute\tallreduce\tpoint-to-point\tcomm fraction")
+	var last mpisim.Result
 	for _, nodes := range o.NodeCounts {
 		ranks := nodes * o.RanksPerNode
 		r, err := env.run(o, ranks, env.optim, nil, o.RanksPerNode)
@@ -140,8 +159,13 @@ func fig10(o *Options) error {
 		fmt.Fprintf(w, "%d\t%d\t%.3fs\t%.3fs\t%.3fs\t%.0f%%\n",
 			nodes, ranks, r.ComputeTime, r.AllreduceTime, r.PtPTime,
 			100*r.CommFraction())
+		last = r
 	}
-	return w.Flush()
+	if err := w.Flush(); err != nil {
+		return err
+	}
+	return emit(o, "fig10", last.Metrics, env.m, clusterConfig(o, "optimized, largest node count"),
+		map[string]float64{"comm_fraction_256_nodes": 0.70})
 }
 
 // fig11 compares baseline, optimized MPI-only, and hybrid MPI+threads.
@@ -155,6 +179,7 @@ func fig11(o *Options) error {
 	w := table(o)
 	fmt.Fprintln(w, "nodes\tbaseline\toptimized\thybrid\thybrid vs baseline\titers(opt/hybrid)")
 	hybridRanksPerNode := max(1, o.RanksPerNode/o.ThreadsPerRankHybrid)
+	var last mpisim.Result
 	for _, nodes := range o.NodeCounts {
 		ranks := nodes * o.RanksPerNode
 		hranks := nodes * hybridRanksPerNode
@@ -179,9 +204,15 @@ func fig11(o *Options) error {
 		fmt.Fprintf(w, "%d\t%.3fs\t%.3fs\t%.3fs\t%.0f%%\t%d/%d\n",
 			nodes, rb.Time, ro.Time, rh.Time,
 			100*(rb.Time-rh.Time)/rb.Time, ro.LinearIters, rh.LinearIters)
+		last = rh
 	}
 	fmt.Fprintf(w, "(hybrid: %d ranks/node x %d threads)\n", hybridRanksPerNode, o.ThreadsPerRankHybrid)
-	return w.Flush()
+	if err := w.Flush(); err != nil {
+		return err
+	}
+	cfg := clusterConfig(o, "hybrid, largest node count")
+	cfg["threads_per_rank"] = o.ThreadsPerRankHybrid
+	return emit(o, "fig11", last.Metrics, env.m, cfg, nil)
 }
 
 // overlap runs the comm/compute-overlap and collective-algorithm matrix the
@@ -199,6 +230,7 @@ func overlap(o *Options) error {
 	}
 	w := table(o)
 	fmt.Fprintln(w, "nodes\tranks\thalo\tallreduce\ttotal\tcompute\thalo wait\tallreduce time")
+	var last mpisim.Result
 	for _, nodes := range o.NodeCounts {
 		ranks := nodes * o.RanksPerNode
 		for _, ov := range []bool{false, true} {
@@ -217,9 +249,16 @@ func overlap(o *Options) error {
 				}
 				fmt.Fprintf(w, "%d\t%d\t%s\t%s\t%.3fs\t%.3fs\t%.3fms\t%.3fms\n",
 					nodes, ranks, halo, algo, r.Time, r.ComputeTime, 1e3*r.PtPTime, 1e3*r.AllreduceTime)
+				if ov && algo == perfmodel.AllreduceTree {
+					last = r
+				}
 			}
 		}
 	}
 	fmt.Fprintln(w, "(identical residual histories across all four combinations)")
-	return w.Flush()
+	if err := w.Flush(); err != nil {
+		return err
+	}
+	return emit(o, "overlap", last.Metrics, env.m,
+		clusterConfig(o, "overlapped halo + tree allreduce, largest node count"), nil)
 }

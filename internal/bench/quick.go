@@ -1,0 +1,79 @@
+package bench
+
+import (
+	"fmt"
+
+	"fun3d/internal/core"
+	"fun3d/internal/mesh"
+	"fun3d/internal/mpisim"
+	"fun3d/internal/newton"
+	"fun3d/internal/perfmodel"
+	"fun3d/internal/prof"
+)
+
+// quick is the CI experiment: one small second-order single-node solve
+// (real wall-clock times and work counters for flux, gradient, Jacobian,
+// ILU, TRSV, and the vector primitives) plus one tiny distributed run
+// (Allreduce and halo records on the virtual time axis), merged into a
+// single all-kernels record. Its artifact, BENCH_quick.json, is what CI
+// uploads and what cmd/benchdiff gates against the committed baseline.
+func quick(o *Options) error {
+	header(o, "Quick: combined per-kernel metrics sample",
+		"no direct paper counterpart; exercises every profiled kernel for the CI artifact")
+
+	// Always the tiny mesh — quick stays quick even inside a full run.
+	spec := mesh.SpecTiny()
+	m, err := mesh.Generate(spec)
+	if err != nil {
+		return err
+	}
+	cfg := core.OptimizedConfig(o.MaxThreads)
+	cfg.SecondOrder = true
+	cfg.Limiter = true
+	app, _, err := solveOnce(m, cfg, newton.Options{MaxSteps: 3, CFL0: o.CFL0})
+	if err != nil {
+		return err
+	}
+	agg := &prof.Metrics{}
+	agg.Merge(app.Prof)
+	app.Close()
+
+	// A two-rank distributed step contributes the communication kernels.
+	rates, err := perfmodel.Measure(m, 1, false)
+	if err != nil {
+		return err
+	}
+	r, err := mpisim.Solve(m, mpisim.Config{
+		Ranks:    2,
+		Rates:    rates,
+		Net:      perfmodel.Stampede(),
+		MaxSteps: 1,
+		RelTol:   1e-30,
+		CFL0:     o.CFL0,
+		Seed:     11,
+	})
+	if err != nil {
+		return err
+	}
+	agg.Merge(r.Metrics)
+
+	w := table(o)
+	fmt.Fprintln(w, "kernel\tseconds\tcalls\tbytes\tGB/s")
+	for _, k := range prof.Kernels() {
+		s := agg.Total(k).Seconds()
+		if s == 0 && agg.Count(k) == 0 {
+			continue
+		}
+		fmt.Fprintf(w, "%v\t%.4f\t%d\t%d\t%.2f\n",
+			k, s, agg.Count(k), agg.Bytes(k), agg.Bandwidth(k)/1e9)
+	}
+	if err := w.Flush(); err != nil {
+		return err
+	}
+	return emit(o, "quick", agg, m, map[string]any{
+		"threads":      o.MaxThreads,
+		"newton_steps": 3,
+		"ranks":        2,
+		"cfl0":         o.CFL0,
+	}, nil)
+}

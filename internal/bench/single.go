@@ -43,6 +43,8 @@ func table1(o *Options) error {
 	}
 	w := table(o)
 	fmt.Fprintln(w, "mesh\tvertices\tedges\tsteps\tlinear iters\ttime")
+	agg := &prof.Metrics{}
+	var lastMesh *mesh.Mesh
 	for _, s := range specs {
 		m, err := mesh.Generate(s.spec)
 		if err != nil {
@@ -57,9 +59,14 @@ func table1(o *Options) error {
 		fmt.Fprintf(w, "%s\t%d\t%d\t%d\t%d\t%v\n",
 			s.name, m.NumVertices(), m.NumEdges(),
 			len(r.History.Steps), r.History.LinearIters, r.WallTime.Round(time.Millisecond))
+		agg.Merge(app.Prof)
+		lastMesh = m
 		app.Close()
 	}
-	return w.Flush()
+	if err := w.Flush(); err != nil {
+		return err
+	}
+	return emit(o, "table1", agg, lastMesh, map[string]any{"cfl0": o.CFL0 / 2, "max_steps": 60}, nil)
 }
 
 // table2 reproduces Table II: ILU-0 vs ILU-1 — available parallelism,
@@ -78,6 +85,7 @@ func table2(o *Options) error {
 		proj float64
 	}
 	rows := map[int]row{}
+	agg := &prof.Metrics{}
 	for _, fill := range []int{0, 1} {
 		cfgSeq := core.BaselineConfig()
 		cfgSeq.FillLevel = fill
@@ -98,6 +106,7 @@ func table2(o *Options) error {
 			fr[prof.VecOps]/float64(tm.Cores) + fr[prof.Other]
 		projTime := rs.WallTime.Seconds() * inv
 		rows[fill] = row{seq: rs.WallTime.Seconds(), proj: projTime}
+		agg.Merge(appS.Prof)
 		appS.Close()
 
 		cfgPar := core.OptimizedConfig(o.MaxThreads)
@@ -118,7 +127,10 @@ func table2(o *Options) error {
 		fmt.Fprintf(w, "(projected 10-core times: ILU-0 %.2fs vs ILU-1 %.2fs => ILU-%d wins by %.2fX; paper: ILU-0 by 1.3X)\n",
 			r0.proj, r1.proj, btoi(r0.proj > r1.proj), maxF(r0.proj, r1.proj)/minF(r0.proj, r1.proj))
 	}
-	return w.Flush()
+	if err := w.Flush(); err != nil {
+		return err
+	}
+	return emit(o, "table2", agg, m, map[string]any{"fills": []int{0, 1}, "threads": o.MaxThreads}, nil)
 }
 
 func btoi(oneWins bool) int {
@@ -165,12 +177,19 @@ func fig5(o *Options) error {
 		}
 		fmt.Fprintf(w, "%v\t%s\t%.1f%%\n", k, ps, 100*fr[k])
 	}
-	return w.Flush()
+	if err := w.Flush(); err != nil {
+		return err
+	}
+	paperShares := make(map[string]float64, len(paper))
+	for k, v := range paper {
+		paperShares[k.String()+"_share"] = v
+	}
+	return emit(o, "fig5", app.Prof, m, map[string]any{"second_order": true, "limiter": true}, paperShares)
 }
 
 // fig8a reproduces the optimized full-application comparison; fig8b the
 // kernel-wise speedups (same data, per-kernel view).
-func fig8(o *Options, kernelView bool) error {
+func fig8(o *Options, name string, kernelView bool) error {
 	m, err := mesh.Generate(o.SingleSpec)
 	if err != nil {
 		return err
@@ -242,17 +261,26 @@ func fig8(o *Options, kernelView bool) error {
 			fmt.Fprintf(w, "%v\t%.3fs\t%.3fs\t%s\n", k, tb, to, sp)
 		}
 	}
-	return w.Flush()
+	if err := w.Flush(); err != nil {
+		return err
+	}
+	// The artifact records the optimized run; the baseline total rides in
+	// config so the speedup can be recomputed from the JSON alone.
+	return emit(o, name, opt.Prof, m, map[string]any{
+		"threads":          o.MaxThreads,
+		"baseline_seconds": rb.WallTime.Seconds(),
+		"speedup":          rb.WallTime.Seconds() / ro.WallTime.Seconds(),
+	}, nil)
 }
 
 func fig8a(o *Options) error {
 	header(o, "Fig 8a: optimized full-application time to solution", "6.9X on 10 cores (20 threads) vs baseline")
-	return fig8(o, false)
+	return fig8(o, "fig8a", false)
 }
 
 func fig8b(o *Options) error {
 	header(o, "Fig 8b: kernel-wise speedups, baseline vs optimized", "flux ~20.6X, ILU ~9.4X, TRSV ~3.2X on 10 cores")
-	return fig8(o, true)
+	return fig8(o, "fig8b", true)
 }
 
 func minF(a, b float64) float64 {

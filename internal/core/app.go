@@ -97,7 +97,7 @@ type App struct {
 	Pre    *precond.ASM
 	A      *sparse.BSR
 	Step   *newton.Stepper
-	Prof   *prof.Profile
+	Prof   *prof.Metrics
 	Q      []float64 // current state, AoS over solver numbering
 	QInf   physics.State
 	closed bool
@@ -109,7 +109,7 @@ func NewApp(m *mesh.Mesh, cfg Config) (*App, error) {
 	if cfg.Beta <= 0 {
 		cfg.Beta = 5
 	}
-	app := &App{Cfg: cfg, Prof: &prof.Profile{}}
+	app := &App{Cfg: cfg, Prof: &prof.Metrics{}}
 	app.Mesh = m
 	if cfg.RCM {
 		perm := reorder.RCM(reorder.Graph{Ptr: m.AdjPtr, Adj: m.Adj})
@@ -157,9 +157,9 @@ func NewApp(m *mesh.Mesh, cfg Config) (*App, error) {
 		app.Close()
 		return nil, err
 	}
-	ops := vecop.Ops{}
+	ops := vecop.Seq
 	if cfg.ParallelVecOps && app.Pool != nil {
-		ops.Pool = app.Pool
+		ops = vecop.New(app.Pool)
 	}
 	app.Step = newton.NewStepper(app.Kern, app.Pre, app.A, ops, app.Prof)
 	app.ResetState()

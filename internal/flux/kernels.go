@@ -97,10 +97,16 @@ func (k *Kernels) loadState(q []float64, v int32) physics.State {
 }
 
 // touch returns a lightweight load address component for the prefetch
-// lookahead under the configured layout.
+// lookahead under the configured layout. AoS keeps a vertex's 4-tuple on
+// one cache line, so a single load warms it; the SoA planes live nv apart,
+// so all four must be touched or the lookahead warms only a quarter of the
+// state the upcoming edge will read (and the layout comparison of Fig 6a
+// would flatter the baseline).
 func (k *Kernels) touch(q []float64, v int32) float64 {
 	if k.Cfg.SoANodeData {
-		return q[v]
+		nv := k.M.NumVertices()
+		i := int(v)
+		return q[i] + q[i+nv] + q[i+2*nv] + q[i+3*nv]
 	}
 	return q[v*4]
 }
@@ -170,7 +176,7 @@ func (k *Kernels) ResidualEdgeRange(q, grad, phi, res []float64, lo, hi int) {
 	switch k.Cfg.Strategy {
 	case Sequential:
 		if k.Cfg.SIMD {
-			k.resEdgesSIMDRange(q, grad, phi, res, lo, hi)
+			k.resEdgesSIMDRange(q, grad, phi, res, lo, hi, 0)
 		} else {
 			k.resEdgesRange(q, grad, phi, res, lo, hi, k.Cfg.Prefetch, 0)
 		}
@@ -293,7 +299,10 @@ func (k *Kernels) resEdgesRange(q, grad, phi, res []float64, lo, hi int, prefetc
 
 // resEdgesSIMDRange processes [lo,hi) in W-wide batches: a compute phase
 // filling a flux buffer, then a scalar write-out phase (both endpoints).
-func (k *Kernels) resEdgesSIMDRange(q, grad, phi, res []float64, lo, hi int) {
+// slot is the caller's sink slot, forwarded to the scalar tail so the
+// remainder edges accumulate into the same padded lane as the batches —
+// never a hard-coded slot another thread could share.
+func (k *Kernels) resEdgesSIMDRange(q, grad, phi, res []float64, lo, hi, slot int) {
 	var fbuf [W]physics.State
 	var av, bv [W]int32
 	e := lo
@@ -313,7 +322,7 @@ func (k *Kernels) resEdgesSIMDRange(q, grad, phi, res []float64, lo, hi int) {
 			}
 		}
 	}
-	k.resEdgesRange(q, grad, phi, res, e, hi, false, 0)
+	k.resEdgesRange(q, grad, phi, res, e, hi, false, slot)
 }
 
 // repEdges is the owner-only-writes edge loop over an explicit edge list.
@@ -416,6 +425,35 @@ func (k *Kernels) boundaryAligned(q, res []float64) {
 			}
 		}
 	})
+}
+
+// ResidualBytes estimates the memory traffic of one Residual evaluation —
+// the numerator of a Fig-7b-style achieved-bandwidth estimate. Per edge:
+// endpoint ids (8B), normal (24B), two 4-tuple state reads (64B), two
+// residual read-modify-writes (128B). Second order adds two 12-entry
+// gradient reads (192B); the limiter two 4-entry phi reads (64B).
+func (k *Kernels) ResidualBytes(secondOrder, limiter bool) int64 {
+	per := int64(8 + 24 + 64 + 128)
+	if secondOrder {
+		per += 192
+		if limiter {
+			per += 64
+		}
+	}
+	return per * int64(k.M.NumEdges())
+}
+
+// GradientBytes estimates one Gradient evaluation: per edge two state reads
+// (64B) plus two 12-entry gradient read-modify-writes (384B) and geometry
+// (32B).
+func (k *Kernels) GradientBytes() int64 {
+	return int64(64+384+32) * int64(k.M.NumEdges())
+}
+
+// JacobianBytes estimates one Jacobian assembly: per edge two state reads
+// (64B), geometry (32B), and four 4x4 block read-modify-writes (1024B).
+func (k *Kernels) JacobianBytes() int64 {
+	return int64(64+32+1024) * int64(k.M.NumEdges())
 }
 
 // AoSToSoA converts an AoS state vector to plane layout (for the baseline

@@ -14,6 +14,7 @@ import (
 	"fmt"
 	"math"
 
+	"fun3d/internal/prof"
 	"fun3d/internal/vecop"
 )
 
@@ -112,6 +113,11 @@ type GMRES struct {
 	// Ops provides the vector primitives; nil defaults to sequential
 	// shared-memory ops.
 	Ops Vectors
+
+	// Met, when non-nil, receives the GMRESIters counter and a coarse
+	// VecElems estimate per iteration (callers owning Met must not also
+	// count iterations, or they double).
+	Met *prof.Metrics
 
 	v     [][]float64 // Krylov basis, Restart+1 vectors
 	w, z  []float64
@@ -224,6 +230,10 @@ func (g *GMRES) Solve(a Operator, m Preconditioner, b, x []float64, opt Options)
 				hk1 = ops.Norm2(g.w)
 			}
 			res.Iterations++
+			g.Met.Inc(prof.GMRESIters, 1)
+			// Coarse vector-traffic estimate: CGS + refinement touch the
+			// k+1-vector basis four times (2 MDot + 2 MAXPY) plus w/norm.
+			g.Met.Inc(prof.VecElems, int64((4*(k+1)+2)*n))
 
 			// Apply accumulated Givens rotations to the new column.
 			hcol := func(j int) *float64 { return &g.h[j*opt.Restart+k] }

@@ -118,9 +118,10 @@ type Rank struct {
 	AllreduceTime float64
 
 	// Traffic statistics.
-	MsgsSent   int
-	BytesSent  int
-	Allreduces int
+	MsgsSent     int
+	BytesSent    int
+	Allreduces   int
+	BytesReduced int // Allreduce payload bytes contributed by this rank
 }
 
 // NewRank returns the handle for rank id. Call exactly once per id.
@@ -292,6 +293,7 @@ func (r *Rank) Allreduce(vals []float64) []float64 {
 		r.Clock = done
 	}
 	r.Allreduces++
+	r.BytesReduced += 8 * len(vals)
 	out := append([]float64(nil), result...)
 	return out
 }

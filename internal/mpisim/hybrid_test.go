@@ -7,6 +7,7 @@ import (
 
 	"fun3d/internal/mesh"
 	"fun3d/internal/perfmodel"
+	"fun3d/internal/prof"
 )
 
 // TestDecomposeInteriorSplit checks the interior-first edge reorder: edges
@@ -308,5 +309,69 @@ func TestMailboxIsendIrecvStress(t *testing.T) {
 	close(errs)
 	for err := range errs {
 		t.Fatal(err)
+	}
+}
+
+// TestHybridMetricsConsistent checks the Result.Metrics aggregation across
+// concurrent hybrid ranks: every exercised kernel has time booked, the
+// replicated counters match the Result fields exactly (recorded once, not
+// rank-multiplied), and the work counters are identical between MPI-only
+// and hybrid runs on the same decomposition (threading changes speed, not
+// work). Under -race this doubles as the shared-Metrics hammer: R ranks x T
+// pool threads all record into the same per-rank instances while the main
+// goroutine merges them.
+func TestHybridMetricsConsistent(t *testing.T) {
+	m, err := mesh.Generate(mesh.SpecTiny())
+	if err != nil {
+		t.Fatal(err)
+	}
+	base, err := Solve(m, fixedStepCfg(4, 1, false))
+	if err != nil {
+		t.Fatal(err)
+	}
+	hyb, err := Solve(m, fixedStepCfg(4, 3, true))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, r := range []Result{base, hyb} {
+		met := r.Metrics
+		if met == nil {
+			t.Fatal("Result.Metrics is nil")
+		}
+		kernels := []prof.Kernel{prof.Flux, prof.Jacobian, prof.ILU, prof.TRSV, prof.VecOps, prof.Allreduce}
+		if i == 0 {
+			// Blocking halo always books wait time; the overlapped run may
+			// hide it completely behind interior compute.
+			kernels = append(kernels, prof.Halo)
+		}
+		for _, k := range kernels {
+			if met.Total(k) <= 0 {
+				t.Fatalf("kernel %s has no time booked", k)
+			}
+		}
+		if got := met.Counter(prof.GMRESIters); got != int64(r.LinearIters) {
+			t.Fatalf("GMRESIters %d != LinearIters %d", got, r.LinearIters)
+		}
+		if got := met.Counter(prof.NewtonSteps); got != int64(r.Steps) {
+			t.Fatalf("NewtonSteps %d != Steps %d", got, r.Steps)
+		}
+		if got := met.Counter(prof.AllreduceCalls); got != int64(r.Allreduces) {
+			t.Fatalf("AllreduceCalls %d != Allreduces %d", got, r.Allreduces)
+		}
+		if got := met.Counter(prof.HaloMsgs); got != int64(r.Msgs) {
+			t.Fatalf("HaloMsgs %d != Msgs %d", got, r.Msgs)
+		}
+		if got := met.Counter(prof.HaloBytes); got != int64(r.Bytes) {
+			t.Fatalf("HaloBytes %d != Bytes %d", got, r.Bytes)
+		}
+	}
+	for _, c := range []prof.Counter{prof.FluxEdges, prof.JacEdges, prof.ILUBlocks, prof.TRSVBlocks, prof.VecElems} {
+		b, h := base.Metrics.Counter(c), hyb.Metrics.Counter(c)
+		if b <= 0 {
+			t.Fatalf("counter %s not recorded", c)
+		}
+		if b != h {
+			t.Fatalf("counter %s differs between MPI-only (%d) and hybrid (%d)", c, b, h)
+		}
 	}
 }

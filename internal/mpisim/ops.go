@@ -1,6 +1,10 @@
 package mpisim
 
-import "math"
+import (
+	"math"
+
+	"fun3d/internal/prof"
+)
 
 // distOps implements krylov.Vectors over rank-local shards: reductions go
 // through Allreduce (the Krylov collectives of Fig 10); element-wise ops
@@ -11,7 +15,8 @@ type distOps struct {
 }
 
 func (o *distOps) chargeVec(n, nvecs int) {
-	o.w.rank.Compute(float64(n*nvecs) * o.w.vecRates.VecPerElem)
+	o.w.compute(prof.VecOps, float64(n*nvecs)*o.w.vecRates.VecPerElem)
+	o.w.met.Inc(prof.VecElems, int64(n*nvecs))
 }
 
 // Dot returns the global inner product.

@@ -4,15 +4,17 @@ import (
 	"fmt"
 	"math"
 	"sync"
+	"time"
 
 	"fun3d/internal/blas4"
 	"fun3d/internal/flux"
 	"fun3d/internal/geom"
 	"fun3d/internal/krylov"
-	"fun3d/internal/par"
 	"fun3d/internal/mesh"
+	"fun3d/internal/par"
 	"fun3d/internal/perfmodel"
 	"fun3d/internal/physics"
+	"fun3d/internal/prof"
 	"fun3d/internal/sparse"
 )
 
@@ -110,6 +112,14 @@ type Result struct {
 	Msgs       int
 	Bytes      int
 	Allreduces int
+
+	// Metrics aggregates the per-rank kernel records: times are *virtual*
+	// seconds summed over ranks (a CPU-seconds analog — fractions are
+	// rank-weighted averages), distributed work counters (edges, blocks,
+	// vector elements, halo traffic) are global totals, and replicated
+	// counts (GMRES iterations, Newton steps, Allreduce calls/bytes) are
+	// recorded once, not multiplied by the rank count.
+	Metrics *prof.Metrics
 }
 
 // CommFraction returns the share of virtual time spent communicating —
@@ -163,6 +173,7 @@ func Solve(m *mesh.Mesh, cfg Config) (Result, error) {
 		RNorm0:      results[0].rnorm0,
 		RNormFinal:  results[0].rnorm,
 		History:     results[0].history,
+		Metrics:     &prof.Metrics{},
 	}
 	for r := 0; r < cfg.Ranks; r++ {
 		if results[r].err != nil {
@@ -177,13 +188,30 @@ func Solve(m *mesh.Mesh, cfg Config) (Result, error) {
 		out.AllreduceTime += rk.AllreduceTime
 		out.Msgs += rk.MsgsSent
 		out.Bytes += rk.BytesSent
+		// Fold this rank's kernel record plus its communication time and
+		// halo traffic into the aggregate.
+		w := workers[r]
+		w.met.Add(prof.Allreduce, vdur(rk.AllreduceTime))
+		w.met.Add(prof.Halo, vdur(rk.PtPTime))
+		w.met.Inc(prof.HaloMsgs, int64(rk.MsgsSent))
+		w.met.Inc(prof.HaloBytes, int64(rk.BytesSent))
+		out.Metrics.Merge(w.met)
 	}
 	out.Allreduces = workers[0].rank.Allreduces
+	out.Metrics.Inc(prof.AllreduceCalls, int64(workers[0].rank.Allreduces))
+	out.Metrics.Inc(prof.AllreduceBytes, int64(workers[0].rank.BytesReduced))
+	out.Metrics.Inc(prof.GMRESIters, int64(out.LinearIters))
+	out.Metrics.Inc(prof.NewtonSteps, int64(out.Steps))
 	n := float64(cfg.Ranks)
 	out.ComputeTime /= n
 	out.PtPTime /= n
 	out.AllreduceTime /= n
 	return out, nil
+}
+
+// vdur converts modeled (virtual) seconds to a time.Duration for Metrics.
+func vdur(seconds float64) time.Duration {
+	return time.Duration(seconds * float64(time.Second))
 }
 
 type rankResult struct {
@@ -217,6 +245,11 @@ type worker struct {
 	pool *par.Pool
 	p2p  *sparse.P2PSchedule
 
+	// met is this rank's kernel record on the virtual time axis; only the
+	// rank goroutine writes it (the pool's kernel threads never touch it),
+	// and Solve merges the shards after the run.
+	met *prof.Metrics
+
 	q, res, rp, qp []float64 // NLocal*4
 	dt             []float64 // NOwned
 	jac            *sparse.BSR
@@ -227,8 +260,16 @@ type worker struct {
 	qnorm float64
 }
 
+// compute advances the rank's virtual clock by a modeled duration and books
+// it to kernel k, so the distributed runs produce the same per-kernel
+// breakdown as the shared-memory stepper (on the virtual time axis).
+func (w *worker) compute(k prof.Kernel, seconds float64) {
+	w.rank.Compute(seconds)
+	w.met.Add(k, vdur(seconds))
+}
+
 func newWorker(rank *Rank, sub *Subdomain, cfg *Config) (*worker, error) {
-	w := &worker{rank: rank, sub: sub, cfg: cfg, rates: cfg.Rates}
+	w := &worker{rank: rank, sub: sub, cfg: cfg, rates: cfg.Rates, met: &prof.Metrics{}}
 	w.vecRates = cfg.Rates
 	if cfg.VecRates != nil {
 		w.vecRates = *cfg.VecRates
@@ -355,7 +396,8 @@ func (w *worker) residualInterior(q, res []float64) {
 	w.kern.ResidualBegin(res)
 	w.kern.ResidualEdgeRange(q, nil, nil, res, 0, w.sub.NEdgeInterior)
 	w.kern.ResidualBoundary(q, res)
-	w.rank.Compute(float64(w.sub.NEdgeInterior) * w.rates.FluxPerEdge)
+	w.compute(prof.Flux, float64(w.sub.NEdgeInterior)*w.rates.FluxPerEdge)
+	w.met.Inc(prof.FluxEdges, int64(w.sub.NEdgeInterior))
 }
 
 // residualFinish evaluates the ghost-touching boundary edges; ghosts of q
@@ -365,7 +407,8 @@ func (w *worker) residualFinish(q, res []float64) {
 	ne := len(w.sub.EV1)
 	w.kern.ResidualEdgeRange(q, nil, nil, res, w.sub.NEdgeInterior, ne)
 	w.kern.ResidualEnd(res)
-	w.rank.Compute(float64(ne-w.sub.NEdgeInterior) * w.rates.FluxPerEdge)
+	w.compute(prof.Flux, float64(ne-w.sub.NEdgeInterior)*w.rates.FluxPerEdge)
+	w.met.Inc(prof.FluxEdges, int64(ne-w.sub.NEdgeInterior))
 }
 
 // evalResidual refreshes the ghosts of q and evaluates the full residual.
@@ -409,7 +452,8 @@ func (w *worker) assembleJacobian(q []float64) {
 	for i := 0; i < s.NOwned; i++ {
 		blas4.AddDiag(a.Block(a.Diag[i]), s.Vol[i]/w.dt[i])
 	}
-	w.rank.Compute(float64(len(s.EV1)) * w.rates.JacPerEdge)
+	w.compute(prof.Jacobian, float64(len(s.EV1))*w.rates.JacPerEdge)
+	w.met.Inc(prof.JacEdges, int64(len(s.EV1)))
 }
 
 // jacEdgesSeq is the sequential edge-loop of the Jacobian assembly.
@@ -547,7 +591,7 @@ func (w *worker) localTimeSteps(q []float64, cfl float64) {
 		}
 		w.dt[v] = cfl * s.Vol[v] / lam[v]
 	}
-	w.rank.Compute(float64(len(s.EV1)) * w.vecRates.VecPerElem)
+	w.compute(prof.Other, float64(len(s.EV1))*w.vecRates.VecPerElem)
 }
 
 // run executes the pseudo-transient NKS loop and returns this rank's view.
@@ -596,7 +640,8 @@ func (w *worker) run() (rr rankResult) {
 		w.assembleJacobian(w.q)
 		errFlag := 0.0
 		ferr := w.factorize()
-		w.rank.Compute(float64(w.factor.M.NNZBlocks()) * w.rates.ILUPerBlock)
+		w.compute(prof.ILU, float64(w.factor.M.NNZBlocks())*w.rates.ILUPerBlock)
+		w.met.Inc(prof.ILUBlocks, int64(w.factor.M.NNZBlocks()))
 		if ferr != nil {
 			errFlag = 1
 		}
@@ -625,7 +670,8 @@ func (w *worker) run() (rr rankResult) {
 		for i := 0; i < nOwn; i++ {
 			w.q[i] += dq[i]
 		}
-		w.rank.Compute(float64(nOwn) * w.vecRates.VecPerElem)
+		w.compute(prof.VecOps, float64(nOwn)*w.vecRates.VecPerElem)
+		w.met.Inc(prof.VecElems, int64(nOwn))
 		w.evalResidual(w.q, w.res)
 		rnorm = ops.Norm2(w.res[:nOwn])
 		rr.rnorm = rnorm
@@ -668,7 +714,8 @@ func (o *distOp) Apply(v, y []float64) {
 	for i := 0; i < nOwn; i++ {
 		w.qp[i] += h * v[i]
 	}
-	w.rank.Compute(float64(nOwn) * w.vecRates.VecPerElem)
+	w.compute(prof.VecOps, float64(nOwn)*w.vecRates.VecPerElem)
+	w.met.Inc(prof.VecElems, int64(nOwn))
 	w.evalResidual(w.qp, w.rp)
 	invH := 1 / h
 	for vtx := 0; vtx < s.NOwned; vtx++ {
@@ -678,7 +725,8 @@ func (o *distOp) Apply(v, y []float64) {
 			y[i] = shift*v[i] + (w.rp[i]-w.res[i])*invH
 		}
 	}
-	w.rank.Compute(float64(nOwn) * w.vecRates.VecPerElem)
+	w.compute(prof.VecOps, float64(nOwn)*w.vecRates.VecPerElem)
+	w.met.Inc(prof.VecElems, int64(nOwn))
 }
 
 // factorize runs the rank-local block ILU: P2P-scheduled across the pool
@@ -706,5 +754,6 @@ func (p *distPre) Apply(r, z []float64) {
 	} else {
 		w.factor.Solve(r, z)
 	}
-	w.rank.Compute(float64(w.factor.M.NNZBlocks()) * w.rates.TRSVPerBlock)
+	w.compute(prof.TRSV, float64(w.factor.M.NNZBlocks())*w.rates.TRSVPerBlock)
+	w.met.Inc(prof.TRSVBlocks, int64(w.factor.M.NNZBlocks()))
 }

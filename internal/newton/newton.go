@@ -104,7 +104,7 @@ type Stepper struct {
 	Pre  *precond.ASM
 	A    *sparse.BSR
 	Ops  vecop.Ops
-	Prof *prof.Profile
+	Prof *prof.Metrics
 
 	gmres krylov.GMRES
 
@@ -116,16 +116,19 @@ type Stepper struct {
 
 // NewStepper wires a stepper from its parts. a must have the mesh
 // adjacency pattern; pre must be built on a's pattern.
-func NewStepper(k *flux.Kernels, pre *precond.ASM, a *sparse.BSR, ops vecop.Ops, p *prof.Profile) *Stepper {
+func NewStepper(k *flux.Kernels, pre *precond.ASM, a *sparse.BSR, ops vecop.Ops, p *prof.Metrics) *Stepper {
 	nv := k.M.NumVertices()
 	n := nv * 4
+	if p == nil {
+		p = &prof.Metrics{} // counters below assume a sink
+	}
 	return &Stepper{
 		K: k, Pre: pre, A: a, Ops: ops, Prof: p,
 		res: make([]float64, n), rhs: make([]float64, n),
 		dq: make([]float64, n), qp: make([]float64, n), rp: make([]float64, n),
 		grad: make([]float64, nv*12), phi: make([]float64, n),
 		dt: make([]float64, nv), lambda: make([]float64, nv),
-		gmres: krylov.GMRES{Ops: ops},
+		gmres: krylov.GMRES{Ops: ops, Met: p},
 	}
 }
 
@@ -136,17 +139,23 @@ var ErrDiverged = errors.New("newton: diverged")
 // phi must already be current when frozen is true (linear-solve mode).
 func (st *Stepper) residual(q, out []float64, opt *Options, frozenLimiter bool) {
 	var gr, ph []float64
+	ne := int64(st.K.M.NumEdges())
 	if opt.SecondOrder {
 		st.Prof.Time(prof.Gradient, func() { st.K.Gradient(q, st.grad) })
+		st.Prof.Inc(prof.GradEdges, ne)
+		st.Prof.AddBytes(prof.Gradient, st.K.GradientBytes())
 		gr = st.grad
 		if opt.Limiter {
 			if !frozenLimiter {
 				st.Prof.Time(prof.Gradient, func() { st.K.Limiter(q, st.grad, st.phi, opt.VenkK) })
+				st.Prof.Inc(prof.GradEdges, ne)
 			}
 			ph = st.phi
 		}
 	}
 	st.Prof.Time(prof.Flux, func() { st.K.Residual(q, gr, ph, out) })
+	st.Prof.Inc(prof.FluxEdges, ne)
+	st.Prof.AddBytes(prof.Flux, st.K.ResidualBytes(opt.SecondOrder, ph != nil))
 }
 
 // localTimeSteps fills st.dt with CFL*Vol/λ where λ sums the spectral radii
@@ -220,11 +229,15 @@ func (st *Stepper) Solve(q []float64, opt Options) (History, error) {
 				st.K.Jacobian(q, st.A)
 				flux.AddPseudoTimeTerm(st.A, m.Vol, st.dt)
 			})
+			st.Prof.Inc(prof.JacEdges, int64(m.NumEdges()))
+			st.Prof.AddBytes(prof.Jacobian, st.K.JacobianBytes())
 			var ferr error
 			st.Prof.Time(prof.ILU, func() { ferr = st.Pre.Factorize(st.A) })
 			if ferr != nil {
 				return h, fmt.Errorf("newton step %d: %w", step, ferr)
 			}
+			st.Prof.Inc(prof.ILUBlocks, int64(st.Pre.NNZBlocks()))
+			st.Prof.AddBytes(prof.ILU, st.Pre.FactorBytes())
 		}
 
 		// rhs = -R(q); solve J dq = rhs.
@@ -250,7 +263,9 @@ func (st *Stepper) Solve(q []float64, opt Options) (History, error) {
 		h.LinearIters += lres.Iterations
 
 		// Update and re-evaluate.
+		st.Prof.Inc(prof.NewtonSteps, 1)
 		st.Prof.Time(prof.VecOps, func() { st.Ops.AXPY(1, st.dq, q) })
+		st.Prof.Inc(prof.VecElems, int64(n))
 		st.residual(q, st.res, &opt, false)
 		rnorm = st.Ops.Norm2(st.res)
 		h.RNormFinal = rnorm
@@ -321,10 +336,11 @@ func (o *mfOp) Apply(v, y []float64) {
 	o.elapsed += time.Since(t0)
 }
 
-// timedPre wraps the preconditioner with the TRSV stopwatch.
+// timedPre wraps the preconditioner with the TRSV stopwatch and the
+// per-apply block/byte counters behind the Fig 7b bandwidth estimate.
 type timedPre struct {
 	pre     *precond.ASM
-	p       *prof.Profile
+	p       *prof.Metrics
 	elapsed time.Duration
 }
 
@@ -335,4 +351,6 @@ func (t *timedPre) Apply(r, z []float64) {
 	d := time.Since(t0)
 	t.elapsed += d
 	t.p.Add(prof.TRSV, d)
+	t.p.Inc(prof.TRSVBlocks, int64(t.pre.NNZBlocks()))
+	t.p.AddBytes(prof.TRSV, t.pre.SolveBytes())
 }

@@ -33,7 +33,7 @@ func buildStepper(t testing.TB, m *mesh.Mesh, pool *par.Pool, strategy flux.Stra
 		t.Fatal(err)
 	}
 	ops := vecop.Ops{Pool: pool}
-	return NewStepper(k, pre, a, ops, &prof.Profile{})
+	return NewStepper(k, pre, a, ops, &prof.Metrics{})
 }
 
 func poolSize(p *par.Pool) int {

@@ -24,6 +24,16 @@ type Pool struct {
 	done    chan int
 	closing bool
 	mu      sync.Mutex
+
+	// ParallelFor state: the trip count and body live in pool fields and a
+	// single runner closure (created once in NewPool) is dispatched, so a
+	// steady-state ParallelFor call allocates nothing. A per-call closure
+	// here would heap-allocate on every invocation — measurable on the
+	// fine-grained reduction kernels (vecop.Ops.Dot/MDot) that run several
+	// times per GMRES iteration.
+	forN    int
+	forBody func(tid, lo, hi int)
+	forRun  func(tid int)
 }
 
 // NewPool creates a pool with n workers. n <= 0 selects runtime.NumCPU().
@@ -35,6 +45,12 @@ func NewPool(n int) *Pool {
 		n:    n,
 		work: make([]chan func(tid int), n),
 		done: make(chan int, n),
+	}
+	p.forRun = func(tid int) {
+		lo, hi := Chunk(p.forN, p.n, tid)
+		if lo < hi {
+			p.forBody(tid, lo, hi)
+		}
 	}
 	for i := 0; i < n; i++ {
 		p.work[i] = make(chan func(tid int), 1)
@@ -83,17 +99,15 @@ func (p *Pool) Run(f func(tid int)) {
 // ParallelFor splits [0, n) into Size() near-equal contiguous chunks and
 // executes body(tid, lo, hi) on each worker. Chunks are contiguous so that
 // kernels retain streaming access within a thread, matching the paper's
-// static scheduling.
+// static scheduling. Like Run, it must not be called reentrantly or from
+// two goroutines at once; it performs no allocation.
 func (p *Pool) ParallelFor(n int, body func(tid, lo, hi int)) {
 	if n <= 0 {
 		return
 	}
-	p.Run(func(tid int) {
-		lo, hi := Chunk(n, p.n, tid)
-		if lo < hi {
-			body(tid, lo, hi)
-		}
-	})
+	p.forN, p.forBody = n, body
+	p.Run(p.forRun)
+	p.forBody = nil // don't pin the body's captures until the next call
 }
 
 // Chunk returns the half-open range [lo, hi) of the tid-th of nw near-equal

@@ -266,3 +266,17 @@ func (asm *ASM) NNZBlocks() int {
 	}
 	return n
 }
+
+// FactorBytes estimates the memory traffic of one Factorize: every factor
+// block is read and written during elimination.
+func (asm *ASM) FactorBytes() int64 {
+	return 2 * int64(asm.NNZBlocks()) * sparse.BB * 8
+}
+
+// SolveBytes estimates one Apply (the forward/backward TRSV pair): every
+// factor block read once (value + column index) plus ~3 streams over the
+// rhs/solution vectors — the formula behind the paper's Fig 7b bandwidth
+// figure.
+func (asm *ASM) SolveBytes() int64 {
+	return int64(asm.NNZBlocks())*(sparse.BB*8+4) + 3*int64(asm.n)*sparse.B*8
+}

@@ -1,0 +1,158 @@
+package prof
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"time"
+)
+
+// ArtifactSchema is the version tag every BENCH_*.json carries. Bump it when
+// a field changes meaning or a required key is added; benchdiff refuses to
+// compare artifacts whose schemas differ.
+const ArtifactSchema = "fun3d-bench/v1"
+
+// KernelRecord is one kernel's row in an artifact: accumulated time, call
+// count, estimated bytes moved (for Fig-7b-style achieved-bandwidth
+// figures), and the kernel's share of the profiled total.
+type KernelRecord struct {
+	Seconds  float64 `json:"seconds"`
+	Calls    int64   `json:"calls"`
+	Bytes    int64   `json:"bytes"`
+	GBPerSec float64 `json:"gb_per_sec"`
+	Fraction float64 `json:"fraction"`
+}
+
+// HostInfo pins the machine context an artifact was produced on, so a
+// benchdiff across machines can be recognized as such.
+type HostInfo struct {
+	GoVersion  string `json:"go_version"`
+	GOOS       string `json:"goos"`
+	GOARCH     string `json:"goarch"`
+	NumCPU     int    `json:"num_cpu"`
+	GOMAXPROCS int    `json:"gomaxprocs"`
+}
+
+// MeshInfo records the mesh an experiment ran on.
+type MeshInfo struct {
+	Vertices int `json:"vertices"`
+	Edges    int `json:"edges"`
+}
+
+// Artifact is the machine-readable result of one experiment — the JSON
+// sibling of the human-readable report. Required keys: schema, experiment,
+// kernels (with every canonical kernel present, zeros allowed), counters.
+type Artifact struct {
+	Schema     string                  `json:"schema"`
+	Experiment string                  `json:"experiment"`
+	CreatedAt  string                  `json:"created_at,omitempty"`
+	Host       HostInfo                `json:"host"`
+	Config     map[string]any          `json:"config,omitempty"`
+	Mesh       *MeshInfo               `json:"mesh,omitempty"`
+	Kernels    map[string]KernelRecord `json:"kernels"`
+	Counters   map[string]int64        `json:"counters"`
+	Rates      map[string]float64      `json:"rates,omitempty"`
+	Paper      map[string]float64      `json:"paper,omitempty"`
+}
+
+// NewArtifact builds an artifact for the named experiment from a metrics
+// record. Every canonical kernel gets a row (zeros allowed — the schema
+// promises the keys exist); counters carry the non-zero work counts; rates
+// holds the derived per-second figures the paper's tables quote.
+func NewArtifact(experiment string, m *Metrics) *Artifact {
+	a := &Artifact{
+		Schema:     ArtifactSchema,
+		Experiment: experiment,
+		CreatedAt:  time.Now().UTC().Format(time.RFC3339),
+		Host: HostInfo{
+			GoVersion:  runtime.Version(),
+			GOOS:       runtime.GOOS,
+			GOARCH:     runtime.GOARCH,
+			NumCPU:     runtime.NumCPU(),
+			GOMAXPROCS: runtime.GOMAXPROCS(0),
+		},
+		Kernels:  make(map[string]KernelRecord, int(numKernels)),
+		Counters: m.CountersMap(),
+		Rates:    make(map[string]float64),
+	}
+	total := m.Sum().Seconds()
+	for _, k := range Kernels() {
+		s := m.Total(k).Seconds()
+		r := KernelRecord{
+			Seconds: s,
+			Calls:   int64(m.Count(k)),
+			Bytes:   m.Bytes(k),
+		}
+		if s > 0 {
+			r.GBPerSec = m.Bandwidth(k) / 1e9
+			if total > 0 {
+				r.Fraction = s / total
+			}
+		}
+		a.Kernels[k.String()] = r
+	}
+	rate := func(name string, c Counter, k Kernel) {
+		if v := m.Rate(c, k); v > 0 {
+			a.Rates[name] = v
+		}
+	}
+	rate("flux_edges_per_sec", FluxEdges, Flux)
+	rate("grad_edges_per_sec", GradEdges, Gradient)
+	rate("jac_edges_per_sec", JacEdges, Jacobian)
+	rate("ilu_blocks_per_sec", ILUBlocks, ILU)
+	rate("trsv_blocks_per_sec", TRSVBlocks, TRSV)
+	rate("vec_elems_per_sec", VecElems, VecOps)
+	rate("allreduce_per_sec", AllreduceCalls, Allreduce)
+	return a
+}
+
+// Validate checks the schema version and required keys.
+func (a *Artifact) Validate() error {
+	if a.Schema != ArtifactSchema {
+		return fmt.Errorf("prof: artifact schema %q, want %q", a.Schema, ArtifactSchema)
+	}
+	if a.Experiment == "" {
+		return fmt.Errorf("prof: artifact has no experiment name")
+	}
+	if a.Kernels == nil {
+		return fmt.Errorf("prof: artifact has no kernels section")
+	}
+	for _, k := range Kernels() {
+		if _, ok := a.Kernels[k.String()]; !ok {
+			return fmt.Errorf("prof: artifact missing kernel %q", k)
+		}
+	}
+	if a.Counters == nil {
+		return fmt.Errorf("prof: artifact has no counters section")
+	}
+	return nil
+}
+
+// WriteFile validates and writes the artifact as indented JSON.
+func (a *Artifact) WriteFile(path string) error {
+	if err := a.Validate(); err != nil {
+		return err
+	}
+	data, err := json.MarshalIndent(a, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// ReadArtifact loads and validates an artifact file.
+func ReadArtifact(path string) (*Artifact, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	a := &Artifact{}
+	if err := json.Unmarshal(data, a); err != nil {
+		return nil, fmt.Errorf("prof: %s: %w", path, err)
+	}
+	if err := a.Validate(); err != nil {
+		return nil, fmt.Errorf("prof: %s: %w", path, err)
+	}
+	return a, nil
+}

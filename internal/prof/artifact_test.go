@@ -1,0 +1,210 @@
+package prof
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+// sampleMetrics builds a Metrics with every kernel and a few counters
+// populated, mimicking what a quick solve accumulates.
+func sampleMetrics() *Metrics {
+	m := &Metrics{}
+	m.Add(Flux, 42*time.Millisecond)
+	m.AddBytes(Flux, 1<<20)
+	m.Add(TRSV, 17*time.Millisecond)
+	m.AddBytes(TRSV, 1<<19)
+	m.Add(ILU, 16*time.Millisecond)
+	m.Add(Gradient, 13*time.Millisecond)
+	m.Add(Jacobian, 7*time.Millisecond)
+	m.Add(VecOps, 3*time.Millisecond)
+	m.Add(Allreduce, 2*time.Millisecond)
+	m.Add(Halo, time.Millisecond)
+	m.Add(Other, time.Millisecond)
+	m.Inc(FluxEdges, 1000)
+	m.Inc(TRSVBlocks, 5000)
+	m.Inc(GMRESIters, 30)
+	m.Inc(NewtonSteps, 4)
+	m.Inc(AllreduceCalls, 30)
+	m.Inc(AllreduceBytes, 240)
+	return m
+}
+
+func TestArtifactRoundTrip(t *testing.T) {
+	art := NewArtifact("roundtrip", sampleMetrics())
+	art.Config = map[string]any{"threads": 4}
+	art.Mesh = &MeshInfo{Vertices: 640, Edges: 3634}
+	art.Paper = map[string]float64{"flux_share": 0.42}
+
+	path := filepath.Join(t.TempDir(), "BENCH_roundtrip.json")
+	if err := art.WriteFile(path); err != nil {
+		t.Fatalf("WriteFile: %v", err)
+	}
+	got, err := ReadArtifact(path)
+	if err != nil {
+		t.Fatalf("ReadArtifact: %v", err)
+	}
+	if got.Schema != ArtifactSchema {
+		t.Fatalf("schema %q, want %q", got.Schema, ArtifactSchema)
+	}
+	if got.Experiment != "roundtrip" {
+		t.Fatalf("experiment %q", got.Experiment)
+	}
+	for _, k := range Kernels() {
+		if _, ok := got.Kernels[k.String()]; !ok {
+			t.Fatalf("round-trip lost kernel %q", k)
+		}
+	}
+	flux := got.Kernels["flux"]
+	if flux.Seconds != 0.042 || flux.Calls != 1 || flux.Bytes != 1<<20 {
+		t.Fatalf("flux record %+v", flux)
+	}
+	if flux.GBPerSec == 0 || flux.Fraction == 0 {
+		t.Fatalf("flux derived fields not filled: %+v", flux)
+	}
+	if got.Counters["gmres_iters"] != 30 || got.Counters["newton_steps"] != 4 {
+		t.Fatalf("counters %v", got.Counters)
+	}
+	if got.Rates["flux_edges_per_sec"] == 0 {
+		t.Fatalf("rates %v", got.Rates)
+	}
+	if got.Mesh == nil || got.Mesh.Edges != 3634 {
+		t.Fatalf("mesh %+v", got.Mesh)
+	}
+	if got.Paper["flux_share"] != 0.42 {
+		t.Fatalf("paper %v", got.Paper)
+	}
+}
+
+func TestArtifactValidate(t *testing.T) {
+	ok := NewArtifact("v", &Metrics{})
+	if err := ok.Validate(); err != nil {
+		t.Fatalf("fresh artifact invalid: %v", err)
+	}
+
+	bad := NewArtifact("v", &Metrics{})
+	bad.Schema = "fun3d-bench/v0"
+	if err := bad.Validate(); err == nil || !strings.Contains(err.Error(), "schema") {
+		t.Fatalf("wrong schema accepted: %v", err)
+	}
+
+	bad = NewArtifact("", &Metrics{})
+	if err := bad.Validate(); err == nil || !strings.Contains(err.Error(), "experiment") {
+		t.Fatalf("empty experiment accepted: %v", err)
+	}
+
+	bad = NewArtifact("v", &Metrics{})
+	delete(bad.Kernels, "flux")
+	if err := bad.Validate(); err == nil || !strings.Contains(err.Error(), "flux") {
+		t.Fatalf("missing kernel accepted: %v", err)
+	}
+
+	bad = NewArtifact("v", &Metrics{})
+	bad.Counters = nil
+	if err := bad.Validate(); err == nil || !strings.Contains(err.Error(), "counters") {
+		t.Fatalf("nil counters accepted: %v", err)
+	}
+
+	bad = NewArtifact("v", &Metrics{})
+	bad.Schema = "fun3d-bench/v0"
+	if err := bad.WriteFile(filepath.Join(t.TempDir(), "x.json")); err == nil {
+		t.Fatal("WriteFile accepted an invalid artifact")
+	}
+}
+
+func TestReadArtifactRejectsGarbage(t *testing.T) {
+	if _, err := ReadArtifact(filepath.Join(t.TempDir(), "missing.json")); err == nil {
+		t.Fatal("missing file accepted")
+	}
+}
+
+// TestDiffFlagsInjectedFluxSlowdown is the benchdiff acceptance check: a
+// copied artifact with flux slowed down 2x must come back regressed, in
+// both absolute-seconds and shares mode.
+func TestDiffFlagsInjectedFluxSlowdown(t *testing.T) {
+	old := NewArtifact("diff", sampleMetrics())
+	slow := NewArtifact("diff", sampleMetrics())
+	r := slow.Kernels["flux"]
+	r.Seconds *= 2
+	slow.Kernels["flux"] = r
+	// Recompute shares so the Shares-mode comparison sees the shift too.
+	total := 0.0
+	for _, rec := range slow.Kernels {
+		total += rec.Seconds
+	}
+	for name, rec := range slow.Kernels {
+		rec.Fraction = rec.Seconds / total
+		slow.Kernels[name] = rec
+	}
+
+	// In shares mode the flux share moves 0.41 -> 0.58 (a 1.4x ratio — the
+	// denominator grows too), so use a threshold both modes clear.
+	for _, shares := range []bool{false, true} {
+		entries, regressed, err := DiffArtifacts(old, slow, DiffOptions{Threshold: 1.3, Shares: shares})
+		if err != nil {
+			t.Fatalf("shares=%v: %v", shares, err)
+		}
+		if !regressed {
+			t.Fatalf("shares=%v: 2x flux slowdown not flagged", shares)
+		}
+		found := false
+		for _, e := range entries {
+			if e.Kernel == "flux" {
+				found = true
+				if !e.Regressed {
+					t.Fatalf("shares=%v: flux entry not regressed: %+v", shares, e)
+				}
+				if e.Ratio < 1.3 {
+					t.Fatalf("shares=%v: flux ratio %v too small", shares, e.Ratio)
+				}
+			} else if e.Regressed && !shares {
+				t.Fatalf("shares=%v: unrelated kernel %q flagged", shares, e.Kernel)
+			}
+		}
+		if !found {
+			t.Fatalf("shares=%v: no flux entry", shares)
+		}
+	}
+}
+
+func TestDiffWithinThresholdPasses(t *testing.T) {
+	old := NewArtifact("diff", sampleMetrics())
+	noisy := NewArtifact("diff", sampleMetrics())
+	r := noisy.Kernels["flux"]
+	r.Seconds *= 1.2 // within the default 1.5x threshold
+	noisy.Kernels["flux"] = r
+	_, regressed, err := DiffArtifacts(old, noisy, DiffOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if regressed {
+		t.Fatal("20% drift inside a 1.5x threshold flagged")
+	}
+}
+
+func TestDiffNoiseFloor(t *testing.T) {
+	// A kernel below MinSeconds in both artifacts never flags, however wild
+	// the ratio.
+	old := NewArtifact("diff", sampleMetrics())
+	noisy := NewArtifact("diff", sampleMetrics())
+	r := noisy.Kernels["halo"] // 1ms in the sample
+	r.Seconds *= 50
+	noisy.Kernels["halo"] = r
+	_, regressed, err := DiffArtifacts(old, noisy, DiffOptions{MinSeconds: 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if regressed {
+		t.Fatal("sub-noise-floor kernel flagged")
+	}
+}
+
+func TestDiffSchemaMismatch(t *testing.T) {
+	a := NewArtifact("diff", sampleMetrics())
+	b := NewArtifact("diff", sampleMetrics())
+	b.Schema = "fun3d-bench/v2"
+	if _, _, err := DiffArtifacts(a, b, DiffOptions{}); err == nil {
+		t.Fatal("schema mismatch accepted")
+	}
+}

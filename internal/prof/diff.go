@@ -1,0 +1,90 @@
+package prof
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// DiffOptions configures an artifact comparison.
+type DiffOptions struct {
+	// Threshold is the ratio (new/old) above which a kernel counts as a
+	// regression (default 1.5 — generous, so machine noise does not gate).
+	Threshold float64
+	// MinSeconds ignores kernels below this time in BOTH artifacts — a
+	// noise floor for kernels too fast to time reliably (default 1ms).
+	MinSeconds float64
+	// Shares compares each kernel's share of the profiled total instead of
+	// absolute seconds. Shares are machine-independent, so this is the mode
+	// for CI comparisons against a committed baseline from another machine.
+	Shares bool
+}
+
+func (o *DiffOptions) defaults() {
+	if o.Threshold <= 0 {
+		o.Threshold = 1.5
+	}
+	if o.MinSeconds <= 0 {
+		o.MinSeconds = 1e-3
+	}
+}
+
+// DiffEntry is one kernel's comparison.
+type DiffEntry struct {
+	Kernel    string
+	Old, New  float64 // seconds, or shares in Shares mode
+	Ratio     float64 // New/Old (Inf when Old is 0 and New is not)
+	Regressed bool
+}
+
+// DiffArtifacts compares two artifacts kernel-by-kernel and reports every
+// kernel present in either, plus whether any regressed beyond the
+// threshold. Artifacts must share a schema version.
+func DiffArtifacts(oldA, newA *Artifact, opt DiffOptions) ([]DiffEntry, bool, error) {
+	opt.defaults()
+	if oldA.Schema != newA.Schema {
+		return nil, false, fmt.Errorf("prof: schema mismatch: %q vs %q", oldA.Schema, newA.Schema)
+	}
+	names := map[string]bool{}
+	for k := range oldA.Kernels {
+		names[k] = true
+	}
+	for k := range newA.Kernels {
+		names[k] = true
+	}
+	sorted := make([]string, 0, len(names))
+	for k := range names {
+		sorted = append(sorted, k)
+	}
+	sort.Strings(sorted)
+
+	value := func(r KernelRecord) float64 {
+		if opt.Shares {
+			return r.Fraction
+		}
+		return r.Seconds
+	}
+	var out []DiffEntry
+	regressed := false
+	for _, name := range sorted {
+		ro, rn := oldA.Kernels[name], newA.Kernels[name]
+		e := DiffEntry{Kernel: name, Old: value(ro), New: value(rn)}
+		switch {
+		case e.Old > 0:
+			e.Ratio = e.New / e.Old
+		case e.New > 0:
+			e.Ratio = math.Inf(1)
+		default:
+			e.Ratio = 1
+		}
+		// Below the noise floor (absolute seconds, in either mode) the
+		// ratio is meaningless — never flag.
+		audible := ro.Seconds >= opt.MinSeconds || rn.Seconds >= opt.MinSeconds
+		if audible && e.Ratio > opt.Threshold {
+			e.Regressed = true
+			regressed = true
+		}
+		out = append(out, e)
+	}
+	return out, regressed, nil
+}

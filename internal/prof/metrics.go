@@ -1,0 +1,165 @@
+package prof
+
+import (
+	"fmt"
+	"sync/atomic"
+)
+
+// Counter identifies a monotonically increasing work counter. Where a
+// Kernel measures time, a Counter measures work done — edges swept, BSR
+// blocks eliminated, collectives issued — so derived rates (edges/s,
+// blocks/s, bytes/collective) fall out of a Metrics without re-deriving
+// them from mesh sizes at report time.
+type Counter int
+
+const (
+	// FluxEdges counts edges swept by residual evaluations.
+	FluxEdges Counter = iota
+	// GradEdges counts edges swept by gradient/limiter evaluations.
+	GradEdges
+	// JacEdges counts edges swept by Jacobian assembly.
+	JacEdges
+	// ILUBlocks counts BSR blocks processed by numeric factorization.
+	ILUBlocks
+	// TRSVBlocks counts BSR blocks processed by triangular solves.
+	TRSVBlocks
+	// VecElems counts vector elements touched by the Vec* primitives.
+	VecElems
+	// AllreduceCalls counts global collectives (the Fig 10 driver).
+	AllreduceCalls
+	// AllreduceBytes counts payload bytes reduced across ranks.
+	AllreduceBytes
+	// HaloMsgs counts point-to-point halo messages sent.
+	HaloMsgs
+	// HaloBytes counts point-to-point payload bytes sent.
+	HaloBytes
+	// GMRESIters counts linear (Krylov) iterations.
+	GMRESIters
+	// NewtonSteps counts nonlinear pseudo-time steps.
+	NewtonSteps
+	numCounters
+)
+
+func (c Counter) String() string {
+	switch c {
+	case FluxEdges:
+		return "flux_edges"
+	case GradEdges:
+		return "grad_edges"
+	case JacEdges:
+		return "jac_edges"
+	case ILUBlocks:
+		return "ilu_blocks"
+	case TRSVBlocks:
+		return "trsv_blocks"
+	case VecElems:
+		return "vec_elems"
+	case AllreduceCalls:
+		return "allreduce_calls"
+	case AllreduceBytes:
+		return "allreduce_bytes"
+	case HaloMsgs:
+		return "halo_msgs"
+	case HaloBytes:
+		return "halo_bytes"
+	case GMRESIters:
+		return "gmres_iters"
+	case NewtonSteps:
+		return "newton_steps"
+	}
+	return fmt.Sprintf("Counter(%d)", int(c))
+}
+
+// AllCounters lists every counter in declaration order.
+func AllCounters() []Counter {
+	out := make([]Counter, numCounters)
+	for i := range out {
+		out[i] = Counter(i)
+	}
+	return out
+}
+
+// Metrics is a Profile plus work counters: the full per-kernel record one
+// solver instance (or one simulated rank) accumulates. Like Profile, all
+// mutation is atomic and a Metrics must not be copied after first use.
+// All methods are nil-receiver safe.
+type Metrics struct {
+	Profile
+	counters [numCounters]atomic.Int64
+}
+
+// Inc adds n to counter c. Safe for concurrent use.
+func (m *Metrics) Inc(c Counter, n int64) {
+	if m == nil {
+		return
+	}
+	m.counters[c].Add(n)
+}
+
+// Counter returns the current value of c.
+func (m *Metrics) Counter(c Counter) int64 {
+	if m == nil {
+		return 0
+	}
+	return m.counters[c].Load()
+}
+
+// P returns the embedded Profile, or nil for a nil Metrics — the nil-safe
+// way to hand a possibly-nil *Metrics to code expecting a *Profile.
+func (m *Metrics) P() *Profile {
+	if m == nil {
+		return nil
+	}
+	return &m.Profile
+}
+
+// Merge accumulates src's timers and counters into m (per-rank shards
+// merged on read).
+func (m *Metrics) Merge(src *Metrics) {
+	if m == nil || src == nil {
+		return
+	}
+	m.Profile.Merge(&src.Profile)
+	for c := Counter(0); c < numCounters; c++ {
+		m.counters[c].Add(src.counters[c].Load())
+	}
+}
+
+// Reset zeroes timers and counters.
+func (m *Metrics) Reset() {
+	if m == nil {
+		return
+	}
+	m.Profile.Reset()
+	for c := Counter(0); c < numCounters; c++ {
+		m.counters[c].Store(0)
+	}
+}
+
+// CountersMap exports all non-zero counters keyed by name — the JSON
+// artifact's `counters` section.
+func (m *Metrics) CountersMap() map[string]int64 {
+	out := make(map[string]int64)
+	if m == nil {
+		return out
+	}
+	for c := Counter(0); c < numCounters; c++ {
+		if v := m.counters[c].Load(); v != 0 {
+			out[c.String()] = v
+		}
+	}
+	return out
+}
+
+// Rate returns counter c per second of kernel k (e.g. edges/s of the flux
+// kernel); 0 when no time was recorded.
+func (m *Metrics) Rate(c Counter, k Kernel) float64 {
+	if m == nil {
+		return 0
+	}
+	s := m.Total(k).Seconds()
+	if s == 0 {
+		return 0
+	}
+	return float64(m.Counter(c)) / s
+}

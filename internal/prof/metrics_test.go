@@ -1,0 +1,144 @@
+package prof
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestMetricsCounters(t *testing.T) {
+	m := &Metrics{}
+	m.Inc(FluxEdges, 100)
+	m.Inc(FluxEdges, 23)
+	if m.Counter(FluxEdges) != 123 {
+		t.Fatalf("FluxEdges %d", m.Counter(FluxEdges))
+	}
+	m.Add(Flux, time.Second)
+	if r := m.Rate(FluxEdges, Flux); r != 123 {
+		t.Fatalf("rate %v", r)
+	}
+	cm := m.CountersMap()
+	if cm["flux_edges"] != 123 {
+		t.Fatalf("map %v", cm)
+	}
+	if _, ok := cm["trsv_blocks"]; ok {
+		t.Fatal("zero counter exported")
+	}
+	m.Reset()
+	if m.Counter(FluxEdges) != 0 || m.Total(Flux) != 0 {
+		t.Fatal("reset")
+	}
+}
+
+func TestMetricsMerge(t *testing.T) {
+	a, b := &Metrics{}, &Metrics{}
+	a.Inc(GMRESIters, 10)
+	a.Add(TRSV, time.Millisecond)
+	b.Inc(GMRESIters, 5)
+	b.Add(TRSV, time.Millisecond)
+	b.AddBytes(TRSV, 64)
+	a.Merge(b)
+	if a.Counter(GMRESIters) != 15 {
+		t.Fatalf("merged iters %d", a.Counter(GMRESIters))
+	}
+	if a.Total(TRSV) != 2*time.Millisecond || a.Count(TRSV) != 2 || a.Bytes(TRSV) != 64 {
+		t.Fatal("merged profile")
+	}
+}
+
+func TestNilMetricsSafe(t *testing.T) {
+	var m *Metrics
+	m.Inc(FluxEdges, 1)
+	m.Merge(&Metrics{})
+	m.Reset()
+	if m.Counter(FluxEdges) != 0 || m.Rate(FluxEdges, Flux) != 0 {
+		t.Fatal("nil reads")
+	}
+	if m.P() != nil {
+		t.Fatal("nil P()")
+	}
+	if len(m.CountersMap()) != 0 {
+		t.Fatal("nil map")
+	}
+}
+
+func TestCounterNames(t *testing.T) {
+	seen := map[string]bool{}
+	for _, c := range AllCounters() {
+		s := c.String()
+		if s == "" || seen[s] {
+			t.Fatalf("bad or duplicate counter name %q", s)
+		}
+		seen[s] = true
+	}
+	if Counter(99).String() == "" {
+		t.Fatal("unknown counter name")
+	}
+}
+
+// TestMetricsConcurrentHammer drives one shared Metrics from many goroutines
+// mixing writers (Inc/Add/AddBytes/Merge), readers (CountersMap, Fractions,
+// Rate, String), and a Reset — the access pattern of hybrid mpisim ranks
+// sharing an aggregate. Run under -race this is the data-race gate for the
+// whole subsystem.
+func TestMetricsConcurrentHammer(t *testing.T) {
+	shared := &Metrics{}
+	const writers, iters = 8, 2000
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			local := &Metrics{}
+			for i := 0; i < iters; i++ {
+				k := Kernel(i % int(numKernels))
+				c := Counter(i % int(numCounters))
+				shared.Inc(c, 1)
+				shared.Add(k, time.Nanosecond)
+				shared.AddBytes(k, 8)
+				local.Inc(c, 1)
+				if i%100 == 0 {
+					shared.Merge(local)
+					local.Reset()
+				}
+			}
+			shared.Merge(local)
+		}(w)
+	}
+	// Concurrent readers: the merge-on-read path used while ranks still run.
+	for r := 0; r < 2; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < iters; i++ {
+				_ = shared.CountersMap()
+				_ = shared.Fractions()
+				_ = shared.Rate(FluxEdges, Flux)
+				_ = shared.String()
+				_ = NewArtifact("hammer", shared)
+			}
+		}()
+	}
+	wg.Wait()
+
+	// Every writer contributed iters counter increments twice (direct +
+	// merged local), writers*iters Adds, and 8 bytes per Add.
+	var gotC int64
+	for _, c := range AllCounters() {
+		gotC += shared.Counter(c)
+	}
+	if want := int64(2 * writers * iters); gotC != want {
+		t.Fatalf("counter total %d, want %d", gotC, want)
+	}
+	var gotN, gotB int64
+	for _, k := range Kernels() {
+		gotN += int64(shared.Count(k))
+		gotB += shared.Bytes(k)
+	}
+	if want := int64(writers * iters); gotN != want {
+		t.Fatalf("call total %d, want %d", gotN, want)
+	}
+	if want := int64(8 * writers * iters); gotB != want {
+		t.Fatalf("byte total %d, want %d", gotB, want)
+	}
+}

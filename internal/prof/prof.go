@@ -1,19 +1,29 @@
-// Package prof provides the per-kernel stopwatch profile used to reproduce
-// the paper's Fig 5 execution-time breakdown (flux 42%, TRSV 17%, ILU 16%,
-// gradient 13%, Jacobian 7%, other 5%).
+// Package prof provides the per-kernel metrics subsystem used to reproduce
+// the paper's measured breakdowns: the Fig 5 execution-time profile (flux
+// 42%, TRSV 17%, ILU 16%, gradient 13%, Jacobian 7%, other 5%), the Fig 7b
+// bandwidth estimates, and the Fig 10 communication accounting (Allreduce
+// growing to ~70% of runtime at 256 nodes).
+//
+// A Profile accumulates wall time, call counts, and bytes moved per kernel;
+// a Metrics adds work counters (edges, BSR blocks, Allreduce calls/bytes,
+// GMRES iterations, Newton steps). All mutation is atomic, so hybrid mpisim
+// ranks — real goroutines since PR 1 — record into a shared instance without
+// racing, and per-rank instances can be merged on read.
 package prof
 
 import (
 	"fmt"
 	"sort"
 	"strings"
+	"sync/atomic"
 	"time"
 )
 
 // Kernel identifies a profiled kernel category.
 type Kernel int
 
-// The categories of Fig 5.
+// The categories of Fig 5, plus the communication kernels of Fig 10
+// (Allreduce, Halo) that only the distributed runs exercise.
 const (
 	Flux Kernel = iota
 	Gradient
@@ -21,6 +31,8 @@ const (
 	ILU
 	TRSV
 	VecOps
+	Allreduce
+	Halo
 	Other
 	numKernels
 )
@@ -39,6 +51,10 @@ func (k Kernel) String() string {
 		return "trsv"
 	case VecOps:
 		return "vecops"
+	case Allreduce:
+		return "allreduce"
+	case Halo:
+		return "halo"
 	case Other:
 		return "other"
 	}
@@ -47,14 +63,17 @@ func (k Kernel) String() string {
 
 // Kernels lists all categories in display order.
 func Kernels() []Kernel {
-	return []Kernel{Flux, TRSV, ILU, Gradient, Jacobian, VecOps, Other}
+	return []Kernel{Flux, TRSV, ILU, Gradient, Jacobian, VecOps, Allreduce, Halo, Other}
 }
 
-// Profile accumulates wall time per kernel. Not safe for concurrent Start
-// on the same kernel; the solver drives kernels from one goroutine.
+// Profile accumulates wall time, call counts, and bytes moved per kernel.
+// All methods are safe for concurrent use: totals are atomic counters, so
+// pool workers and hybrid mpisim ranks can record into one instance. A
+// Profile must not be copied after first use.
 type Profile struct {
-	total [numKernels]time.Duration
-	count [numKernels]int
+	total [numKernels]atomic.Int64 // nanoseconds
+	count [numKernels]atomic.Int64
+	bytes [numKernels]atomic.Int64
 }
 
 // Time runs f under kernel k's stopwatch.
@@ -65,32 +84,72 @@ func (p *Profile) Time(k Kernel, f func()) {
 	}
 	t0 := time.Now()
 	f()
-	p.total[k] += time.Since(t0)
-	p.count[k]++
+	p.total[k].Add(int64(time.Since(t0)))
+	p.count[k].Add(1)
 }
 
-// Add records an externally measured duration.
+// Add records an externally measured duration. Safe for concurrent use.
 func (p *Profile) Add(k Kernel, d time.Duration) {
 	if p == nil {
 		return
 	}
-	p.total[k] += d
-	p.count[k]++
+	p.total[k].Add(int64(d))
+	p.count[k].Add(1)
+}
+
+// AddBytes attributes an estimated memory traffic volume to kernel k —
+// the input to the Fig-7b-style achieved-bandwidth estimate.
+func (p *Profile) AddBytes(k Kernel, n int64) {
+	if p == nil {
+		return
+	}
+	p.bytes[k].Add(n)
 }
 
 // Total returns the accumulated time of kernel k.
-func (p *Profile) Total(k Kernel) time.Duration { return p.total[k] }
+func (p *Profile) Total(k Kernel) time.Duration {
+	if p == nil {
+		return 0
+	}
+	return time.Duration(p.total[k].Load())
+}
 
 // Count returns the number of invocations of kernel k.
-func (p *Profile) Count(k Kernel) int { return p.count[k] }
+func (p *Profile) Count(k Kernel) int {
+	if p == nil {
+		return 0
+	}
+	return int(p.count[k].Load())
+}
+
+// Bytes returns the memory traffic attributed to kernel k.
+func (p *Profile) Bytes(k Kernel) int64 {
+	if p == nil {
+		return 0
+	}
+	return p.bytes[k].Load()
+}
+
+// Bandwidth returns kernel k's achieved bandwidth estimate in bytes/second
+// (0 when no time or no bytes were recorded).
+func (p *Profile) Bandwidth(k Kernel) float64 {
+	s := p.Total(k).Seconds()
+	if s == 0 {
+		return 0
+	}
+	return float64(p.Bytes(k)) / s
+}
 
 // Sum returns the total across all kernels.
 func (p *Profile) Sum() time.Duration {
-	var s time.Duration
-	for k := Kernel(0); k < numKernels; k++ {
-		s += p.total[k]
+	if p == nil {
+		return 0
 	}
-	return s
+	var s int64
+	for k := Kernel(0); k < numKernels; k++ {
+		s += p.total[k].Load()
+	}
+	return time.Duration(s)
 }
 
 // Fractions returns each kernel's share of the total, mapping to Fig 5.
@@ -101,16 +160,30 @@ func (p *Profile) Fractions() map[Kernel]float64 {
 		return out
 	}
 	for k := Kernel(0); k < numKernels; k++ {
-		out[k] = p.total[k].Seconds() / sum
+		out[k] = p.Total(k).Seconds() / sum
 	}
 	return out
+}
+
+// Merge accumulates src into p (per-rank shards merged on read). src may be
+// mutated concurrently; Merge folds in a consistent-enough snapshot.
+func (p *Profile) Merge(src *Profile) {
+	if p == nil || src == nil {
+		return
+	}
+	for k := Kernel(0); k < numKernels; k++ {
+		p.total[k].Add(src.total[k].Load())
+		p.count[k].Add(src.count[k].Load())
+		p.bytes[k].Add(src.bytes[k].Load())
+	}
 }
 
 // Reset zeroes the profile.
 func (p *Profile) Reset() {
 	for k := Kernel(0); k < numKernels; k++ {
-		p.total[k] = 0
-		p.count[k] = 0
+		p.total[k].Store(0)
+		p.count[k].Store(0)
+		p.bytes[k].Store(0)
 	}
 }
 
@@ -122,7 +195,7 @@ func (p *Profile) String() string {
 	}
 	rows := make([]row, 0, numKernels)
 	for k := Kernel(0); k < numKernels; k++ {
-		rows = append(rows, row{k, p.total[k]})
+		rows = append(rows, row{k, p.Total(k)})
 	}
 	sort.Slice(rows, func(i, j int) bool { return rows[i].d > rows[j].d })
 	sum := p.Sum().Seconds()
@@ -135,7 +208,7 @@ func (p *Profile) String() string {
 		if sum > 0 {
 			pct = 100 * r.d.Seconds() / sum
 		}
-		fmt.Fprintf(&b, "%-9s %8.3fs %5.1f%% (%d calls)\n", r.k, r.d.Seconds(), pct, p.count[r.k])
+		fmt.Fprintf(&b, "%-9s %8.3fs %5.1f%% (%d calls)\n", r.k, r.d.Seconds(), pct, p.Count(r.k))
 	}
 	return b.String()
 }

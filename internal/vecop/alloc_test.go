@@ -1,0 +1,68 @@
+package vecop
+
+import (
+	"testing"
+
+	"fun3d/internal/par"
+)
+
+// The reductions are the Amdahl term of the paper's hybrid analysis; they
+// run several times per GMRES iteration, so a steady-state call must not
+// allocate (ISSUE 2 acceptance criterion). AllocsPerRun counts mallocs
+// across all goroutines, so this also pins down the pool's dispatch path.
+func TestPooledReductionsZeroAlloc(t *testing.T) {
+	p := par.NewPool(4)
+	defer p.Close()
+	o := New(p)
+	const n = 4096
+	x := randVec(n, 1)
+	y := randVec(n, 2)
+	ys := make([][]float64, 30) // a full GMRES(30) Gram-Schmidt sweep
+	for k := range ys {
+		ys[k] = randVec(n, int64(3+k))
+	}
+	dots := make([]float64, len(ys))
+
+	cases := []struct {
+		name string
+		f    func()
+	}{
+		{"Dot", func() { _ = o.Dot(x, y) }},
+		{"MDot", func() { o.MDot(x, ys, dots) }},
+		{"MDotNorm", func() { _ = o.MDotNorm(x, ys, dots) }},
+	}
+	for _, c := range cases {
+		c.f() // warm up: grows the padded scratch once
+		if avg := testing.AllocsPerRun(20, c.f); avg != 0 {
+			t.Errorf("%s: %v allocs per steady-state call, want 0", c.name, avg)
+		}
+	}
+}
+
+// A literal Ops (no constructor) must still be correct, merely not
+// allocation-free.
+func TestLiteralOpsStillCorrect(t *testing.T) {
+	p := par.NewPool(3)
+	defer p.Close()
+	lit := Ops{Pool: p}
+	x := randVec(100, 7)
+	y := randVec(100, 8)
+	if got, want := lit.Dot(x, y), DotSeq(x, y); !close2(got, want) {
+		t.Fatalf("literal Dot=%v want %v", got, want)
+	}
+}
+
+func close2(a, b float64) bool {
+	d := a - b
+	if d < 0 {
+		d = -d
+	}
+	return d <= 1e-9*(1+abs(a)+abs(b))
+}
+
+func abs(a float64) float64 {
+	if a < 0 {
+		return -a
+	}
+	return a
+}

@@ -15,31 +15,129 @@ import (
 // The zero value is sequential. This switch is how the benchmarks reproduce
 // the paper's hybrid-vs-MPI-only Amdahl analysis: the "unoptimized PETSc"
 // configuration runs these sequentially even when kernels are threaded.
+//
+// Construct pooled Ops with New: copies share one cache-line-padded
+// reduction scratch, so steady-state Dot/MDot/MDotNorm calls perform zero
+// allocations and per-thread partial sums never share a cache line. A
+// hand-built Ops{Pool: p} still works but allocates its scratch per call.
+// Reductions mutate the shared scratch, so a pooled Ops must not be used
+// from two goroutines at once (the Pool forbids that anyway).
 type Ops struct {
 	Pool *par.Pool // nil => sequential
+	s    *scratch  // shared reduction scratch; nil => allocate per call
+}
+
+// New returns an Ops running on pool (nil yields the sequential Ops) with a
+// persistent reduction scratch.
+func New(pool *par.Pool) Ops {
+	if pool == nil {
+		return Ops{}
+	}
+	return Ops{Pool: pool, s: newScratch(pool.Size())}
 }
 
 // Seq is the sequential Ops.
 var Seq = Ops{}
+
+// pad is the slot granularity of the reduction scratch in float64 lanes: a
+// 64-byte cache line holds 8 float64s. Per-thread slots are strided by a
+// multiple of pad PLUS one extra pad, so two threads' partials are at least
+// a full line apart whatever the slice's base alignment — the false-sharing
+// fix for the VecMDot kernel the paper's Amdahl analysis singles out.
+const pad = 8
+
+// scratch owns the reduction buffer and the persistent parallel-loop bodies
+// (built once, so pooled reductions don't allocate closures per call).
+type scratch struct {
+	nw     int
+	buf    []float64
+	stride int // current slot stride, multiple of pad
+
+	// arguments of the in-flight reduction, read by the bodies
+	x, y []float64
+	ys   [][]float64
+
+	dotBody  func(tid, lo, hi int)
+	mdotBody func(tid, lo, hi int) // also computes ||x||² when withNorm
+	withNorm bool
+}
+
+func newScratch(nw int) *scratch {
+	s := &scratch{nw: nw}
+	s.dotBody = func(tid, lo, hi int) {
+		x, y := s.x, s.y
+		acc := 0.0
+		for i := lo; i < hi; i++ {
+			acc += x[i] * y[i]
+		}
+		s.buf[tid*s.stride] = acc
+	}
+	s.mdotBody = func(tid, lo, hi int) {
+		x := s.x
+		base := tid * s.stride
+		for k := range s.ys {
+			acc := 0.0
+			yk := s.ys[k]
+			for i := lo; i < hi; i++ {
+				acc += x[i] * yk[i]
+			}
+			s.buf[base+k] = acc
+		}
+		if s.withNorm {
+			acc := 0.0
+			for i := lo; i < hi; i++ {
+				acc += x[i] * x[i]
+			}
+			s.buf[base+len(s.ys)] = acc
+		}
+	}
+	return s
+}
+
+// begin sizes the scratch for nvals partial values per thread and zeroes
+// the active region (threads with an empty chunk never write their slot).
+func (s *scratch) begin(nvals int) {
+	stride := (nvals+pad-1)/pad*pad + pad
+	n := s.nw * stride
+	if cap(s.buf) < n {
+		s.buf = make([]float64, n)
+	}
+	s.buf = s.buf[:n]
+	s.stride = stride
+	for i := range s.buf {
+		s.buf[i] = 0
+	}
+}
+
+// end releases the argument references so they are not pinned between calls.
+func (s *scratch) end() {
+	s.x, s.y, s.ys = nil, nil, nil
+}
+
+// scratchFor returns the persistent scratch, or a fresh one for a
+// literal-constructed Ops (correct, just not allocation-free).
+func (o Ops) scratchFor() *scratch {
+	if o.s != nil {
+		return o.s
+	}
+	return newScratch(o.Pool.Size())
+}
 
 // Dot returns x·y.
 func (o Ops) Dot(x, y []float64) float64 {
 	if o.Pool == nil {
 		return DotSeq(x, y)
 	}
-	partial := make([]float64, o.Pool.Size())
-	o.Pool.ParallelFor(len(x), func(tid, lo, hi int) {
-		s := 0.0
-		for i := lo; i < hi; i++ {
-			s += x[i] * y[i]
-		}
-		partial[tid] = s
-	})
-	s := 0.0
-	for _, v := range partial {
-		s += v
+	s := o.scratchFor()
+	s.x, s.y = x, y
+	s.begin(1)
+	o.Pool.ParallelFor(len(x), s.dotBody)
+	sum := 0.0
+	for t := 0; t < s.nw; t++ {
+		sum += s.buf[t*s.stride]
 	}
-	return s
+	s.end()
+	return sum
 }
 
 // DotSeq is the sequential dot product.
@@ -174,36 +272,22 @@ func (o Ops) MDotNorm(x []float64, ys [][]float64, dots []float64) float64 {
 		}
 		return math.Sqrt(s)
 	}
-	nw := o.Pool.Size()
-	stride := len(ys) + 1
-	partial := make([]float64, nw*stride)
-	o.Pool.ParallelFor(len(x), func(tid, lo, hi int) {
-		base := tid * stride
-		for k := range ys {
-			s := 0.0
-			yk := ys[k]
-			for i := lo; i < hi; i++ {
-				s += x[i] * yk[i]
-			}
-			partial[base+k] = s
-		}
-		s := 0.0
-		for i := lo; i < hi; i++ {
-			s += x[i] * x[i]
-		}
-		partial[base+len(ys)] = s
-	})
+	s := o.scratchFor()
+	s.x, s.ys, s.withNorm = x, ys, true
+	s.begin(len(ys) + 1)
+	o.Pool.ParallelFor(len(x), s.mdotBody)
 	norm2 := 0.0
 	for k := range ys {
-		s := 0.0
-		for t := 0; t < nw; t++ {
-			s += partial[t*stride+k]
+		acc := 0.0
+		for t := 0; t < s.nw; t++ {
+			acc += s.buf[t*s.stride+k]
 		}
-		dots[k] = s
+		dots[k] = acc
 	}
-	for t := 0; t < nw; t++ {
-		norm2 += partial[t*stride+len(ys)]
+	for t := 0; t < s.nw; t++ {
+		norm2 += s.buf[t*s.stride+len(ys)]
 	}
+	s.end()
 	return math.Sqrt(norm2)
 }
 
@@ -216,24 +300,16 @@ func (o Ops) MDot(x []float64, ys [][]float64, dots []float64) {
 		}
 		return
 	}
-	nw := o.Pool.Size()
-	partial := make([]float64, nw*len(ys))
-	o.Pool.ParallelFor(len(x), func(tid, lo, hi int) {
-		base := tid * len(ys)
-		for k := range ys {
-			s := 0.0
-			yk := ys[k]
-			for i := lo; i < hi; i++ {
-				s += x[i] * yk[i]
-			}
-			partial[base+k] = s
-		}
-	})
+	s := o.scratchFor()
+	s.x, s.ys, s.withNorm = x, ys, false
+	s.begin(len(ys))
+	o.Pool.ParallelFor(len(x), s.mdotBody)
 	for k := range dots {
-		s := 0.0
-		for t := 0; t < nw; t++ {
-			s += partial[t*len(ys)+k]
+		acc := 0.0
+		for t := 0; t < s.nw; t++ {
+			acc += s.buf[t*s.stride+k]
 		}
-		dots[k] = s
+		dots[k] = acc
 	}
+	s.end()
 }

@@ -22,7 +22,8 @@ func withOps(t *testing.T, f func(o Ops, name string)) {
 	f(Seq, "seq")
 	p := par.NewPool(4)
 	defer p.Close()
-	f(Ops{Pool: p}, "par")
+	f(Ops{Pool: p}, "par")   // literal form: per-call scratch
+	f(New(p), "par-scratch") // constructor form: persistent scratch
 }
 
 func TestDotNorm(t *testing.T) {
