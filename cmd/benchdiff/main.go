@@ -10,17 +10,29 @@
 //     are machine-independent, so this is the mode for CI runners compared
 //     against a baseline recorded elsewhere.
 //
+// -gate-rates adds derived rates (Artifact.Rates keys) to the gate: a named
+// rate that grows past threshold×old — or disappears from the new artifact —
+// fails the diff. Rates are counts per unit of work, so they gate behaviour
+// (e.g. collectives per Krylov iteration) independent of machine speed.
+//
+// -update-baseline is the one sanctioned way to refresh a committed
+// baseline: it validates the fresh artifact and rewrites the baseline file
+// in place.
+//
 // Examples:
 //
 //	benchdiff old.json new.json
 //	benchdiff -threshold 2.0 old.json new.json
 //	benchdiff -shares -threshold 3.0 baseline/BENCH_quick.json BENCH_quick.json
+//	benchdiff -shares -gate-rates krylov_allreduce_per_gmres_iter old.json new.json
+//	benchdiff -update-baseline bench-out/BENCH_quick.json internal/bench/testdata/BENCH_quick_baseline.json
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 	"text/tabwriter"
 
 	"fun3d/internal/prof"
@@ -31,12 +43,23 @@ func main() {
 		threshold = flag.Float64("threshold", 1.5, "new/old ratio above which a kernel counts as regressed")
 		minSec    = flag.Float64("min-seconds", 1e-3, "noise floor: ignore kernels faster than this in both artifacts")
 		shares    = flag.Bool("shares", false, "compare shares of total time (machine-independent) instead of seconds")
+		gateRates = flag.String("gate-rates", "", "comma-separated derived rates that must not regress (e.g. krylov_allreduce_per_gmres_iter)")
+		update    = flag.Bool("update-baseline", false, "rewrite <baseline.json> from <fresh.json> instead of diffing; usage: benchdiff -update-baseline <fresh.json> <baseline.json>")
 	)
 	flag.Parse()
 	if flag.NArg() != 2 {
 		fmt.Fprintln(os.Stderr, "usage: benchdiff [flags] <old.json> <new.json>")
+		fmt.Fprintln(os.Stderr, "       benchdiff -update-baseline <fresh.json> <baseline.json>")
 		flag.PrintDefaults()
 		os.Exit(2)
+	}
+	if *update {
+		fresh, baseline := flag.Arg(0), flag.Arg(1)
+		if err := prof.UpdateBaseline(fresh, baseline); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("benchdiff: baseline %s updated from %s\n", baseline, fresh)
+		return
 	}
 	oldA, err := prof.ReadArtifact(flag.Arg(0))
 	if err != nil {
@@ -46,10 +69,19 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
+	var rates []string
+	if *gateRates != "" {
+		for _, r := range strings.Split(*gateRates, ",") {
+			if r = strings.TrimSpace(r); r != "" {
+				rates = append(rates, r)
+			}
+		}
+	}
 	entries, regressed, err := prof.DiffArtifacts(oldA, newA, prof.DiffOptions{
 		Threshold:  *threshold,
 		MinSeconds: *minSec,
 		Shares:     *shares,
+		GateRates:  rates,
 	})
 	if err != nil {
 		fatal(err)
@@ -72,10 +104,10 @@ func main() {
 	}
 	w.Flush()
 	if regressed {
-		fmt.Println("FAIL: at least one kernel regressed beyond the threshold")
+		fmt.Println("FAIL: at least one kernel or gated rate regressed beyond the threshold")
 		os.Exit(1)
 	}
-	fmt.Println("OK: no kernel regressed beyond the threshold")
+	fmt.Println("OK: no kernel or gated rate regressed beyond the threshold")
 }
 
 func fatal(err error) {

@@ -33,6 +33,7 @@ func main() {
 		tpr      = flag.Int("threads-per-rank", 1, "threads per rank (hybrid mode: real pool-threaded kernels)")
 		overlap  = flag.Bool("overlap", false, "overlap halo exchange with interior-edge compute")
 		allred   = flag.String("allreduce", "tree", "Allreduce cost model: tree, flat")
+		gmres    = flag.String("gmres", "classical", "GMRES variant: classical, pipelined (one Allreduce per iteration)")
 		baseline = flag.Bool("baseline", false, "baseline kernel rates instead of optimized")
 		natural  = flag.Bool("natural", false, "natural-block decomposition instead of multilevel")
 		steps    = flag.Int("steps", 0, "fixed pseudo-time steps (0 = run to convergence)")
@@ -98,6 +99,11 @@ func main() {
 	default:
 		fatal(fmt.Errorf("unknown allreduce algorithm %q", *allred))
 	}
+	switch *gmres {
+	case "classical", "pipelined":
+	default:
+		fatal(fmt.Errorf("unknown -gmres %q (want classical or pipelined)", *gmres))
+	}
 	cfg := fun3d.ClusterConfig{
 		Ranks:          *ranks,
 		ThreadsPerRank: *tpr,
@@ -109,6 +115,7 @@ func main() {
 		FillLevel:      *fill,
 		CFL0:           *cfl,
 		Seed:           11,
+		Pipelined:      *gmres == "pipelined",
 	}
 	if *steps > 0 {
 		cfg.MaxSteps = *steps
@@ -136,6 +143,7 @@ func main() {
 			"threads_per_rank": *tpr,
 			"overlap":          *overlap,
 			"allreduce":        *allred,
+			"gmres":            *gmres,
 			"baseline":         *baseline,
 			"fill":             *fill,
 			"steps":            res.Steps,

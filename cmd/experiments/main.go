@@ -37,6 +37,7 @@ func main() {
 		rpn      = flag.Int("ranks-per-node", 0, "ranks per simulated node (default 4; paper used 16)")
 		steps    = flag.Int("cluster-steps", 0, "pseudo-time steps per cluster run")
 		cfl      = flag.Float64("cfl", 10, "initial CFL for solve-based experiments")
+		gmres    = flag.String("gmres", "classical", "GMRES variant: classical, pipelined (one Allreduce per iteration)")
 		scaleOpt = flag.Float64("scale", 1, "scale factor on the single-node mesh")
 		jsonOut  = flag.Bool("json", false, "write BENCH_<experiment>.json artifacts to the current directory")
 		jsonDir  = flag.String("json-dir", "", "directory for JSON artifacts (implies -json)")
@@ -44,6 +45,10 @@ func main() {
 	)
 	flag.Parse()
 
+	if *gmres != "classical" && *gmres != "pipelined" {
+		fmt.Fprintf(os.Stderr, "experiments: unknown -gmres %q (want classical or pipelined)\n", *gmres)
+		os.Exit(1)
+	}
 	opt := bench.Options{
 		Out:          os.Stdout,
 		MaxThreads:   *threads,
@@ -51,6 +56,7 @@ func main() {
 		CFL0:         *cfl,
 		RanksPerNode: *rpn,
 		ClusterSteps: *steps,
+		GMRES:        *gmres,
 	}
 	if *jsonDir != "" {
 		opt.JSONDir = *jsonDir

@@ -1,0 +1,58 @@
+package fun3d_test
+
+import (
+	"math"
+	"testing"
+
+	"fun3d"
+)
+
+// TestGoldenPipelinedConformance runs the seed wing case with the
+// single-Allreduce pipelined GMRES variant and holds it to the same golden
+// trajectory as classical GMRES: identical step and per-step iteration
+// counts, and residual norms within 1e-10 of the golden values relative to
+// the initial residual (the convergence metric). The matrix-free JFNK
+// operator carries √ε finite-differencing noise, so per-step *self*-relative
+// agreement tightens as residuals decay only down to that floor — but on
+// the convergence scale the two variants are indistinguishable.
+func TestGoldenPipelinedConformance(t *testing.T) {
+	m, err := fun3d.GenerateMesh(fun3d.MeshTiny())
+	if err != nil {
+		t.Fatal(err)
+	}
+	solver, err := fun3d.NewSolver(m, fun3d.Baseline())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer solver.Close()
+	r, err := solver.Run(fun3d.SolveOptions{MaxSteps: 50, CFL0: 20, Pipelined: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := r.History
+
+	if !h.Converged {
+		t.Fatalf("pipelined seed case does not converge: %+v", h)
+	}
+	if d := math.Abs(h.RNorm0-goldenRNorm0) / goldenRNorm0; d > 1e-9 {
+		t.Errorf("RNorm0 drifted: got %.17g want %.17g (rel %g)", h.RNorm0, goldenRNorm0, d)
+	}
+	if len(h.Steps) != len(goldenSteps) {
+		t.Fatalf("step count changed: got %d want %d (history %+v)", len(h.Steps), len(goldenSteps), h.Steps)
+	}
+	total := 0
+	for i, want := range goldenSteps {
+		got := h.Steps[i]
+		if got.LinearIters != want.linearIters {
+			t.Errorf("step %d: GMRES iters %d, golden %d", want.step, got.LinearIters, want.linearIters)
+		}
+		if d := math.Abs(got.RNorm-want.rnorm) / goldenRNorm0; d > 1e-10 {
+			t.Errorf("step %d: ||R|| %.17g, golden %.17g (%.2e of initial residual)",
+				want.step, got.RNorm, want.rnorm, d)
+		}
+		total += got.LinearIters
+	}
+	if h.LinearIters != total || total != 14 {
+		t.Errorf("total GMRES iters %d (sum %d), golden 14", h.LinearIters, total)
+	}
+}

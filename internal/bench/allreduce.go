@@ -1,0 +1,79 @@
+package bench
+
+import (
+	"fmt"
+
+	"fun3d/internal/mpisim"
+	"fun3d/internal/prof"
+)
+
+// allreduceScaling compares classical and pipelined GMRES head-to-head on
+// the Fig-10 axis: the share of virtual time spent in Allreduce as the node
+// count grows. Classical Gram-Schmidt pays three to four collective
+// latencies per inner iteration; the pipelined variant batches them into
+// one, so its Allreduce share must fall strictly below the classical curve
+// once the tree-latency term dominates (the paper's ≥64-node regime). The
+// artifact carries both share curves plus the per-iteration collective
+// counts the prof gate pins down.
+func allreduceScaling(o *Options) error {
+	header(o, "Allreduce scaling: classical vs pipelined GMRES",
+		"classical CGS pays 3-4 collectives per Krylov iteration; the pipelined variant batches them into one, flattening the Fig-10 Allreduce share curve")
+	env, err := newClusterEnv(o)
+	if err != nil {
+		return err
+	}
+	w := table(o)
+	fmt.Fprintln(w, "nodes\tranks\tclassical share\tpipelined share\tclassical/iter\tpipelined/iter\titers(c/p)")
+
+	share := func(r mpisim.Result) float64 {
+		tot := r.ComputeTime + r.PtPTime + r.AllreduceTime
+		if tot == 0 {
+			return 0
+		}
+		return r.AllreduceTime / tot
+	}
+	perIter := func(r mpisim.Result) float64 {
+		it := r.Metrics.Counter(prof.GMRESIters)
+		if it == 0 {
+			return 0
+		}
+		return float64(r.Metrics.Counter(prof.KrylovAllreduceCalls)) / float64(it)
+	}
+
+	var nodesOut []int
+	var cShare, pShare, cIter, pIter []float64
+	var last mpisim.Result
+	for _, nodes := range o.NodeCounts {
+		ranks := nodes * o.RanksPerNode
+		rc, err := env.run(o, ranks, env.optim, nil, o.RanksPerNode,
+			func(c *mpisim.Config) { c.Pipelined = false })
+		if err != nil {
+			return err
+		}
+		rp, err := env.run(o, ranks, env.optim, nil, o.RanksPerNode,
+			func(c *mpisim.Config) { c.Pipelined = true })
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "%d\t%d\t%.1f%%\t%.1f%%\t%.2f\t%.2f\t%d/%d\n",
+			nodes, ranks, 100*share(rc), 100*share(rp), perIter(rc), perIter(rp),
+			rc.LinearIters, rp.LinearIters)
+		nodesOut = append(nodesOut, nodes)
+		cShare = append(cShare, share(rc))
+		pShare = append(pShare, share(rp))
+		cIter = append(cIter, perIter(rc))
+		pIter = append(pIter, perIter(rp))
+		last = rp
+	}
+	fmt.Fprintln(w, "(virtual seconds; share = allreduce / (compute + p2p + allreduce))")
+	if err := w.Flush(); err != nil {
+		return err
+	}
+	cfg := clusterConfig(o, "pipelined, largest node count")
+	cfg["node_counts"] = nodesOut
+	cfg["classical_share"] = cShare
+	cfg["pipelined_share"] = pShare
+	cfg["classical_allreduce_per_iter"] = cIter
+	cfg["pipelined_allreduce_per_iter"] = pIter
+	return emit(o, "allreduce", last.Metrics, env.m, cfg, nil)
+}

@@ -1,0 +1,101 @@
+package bench
+
+import (
+	"math"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"fun3d/internal/mesh"
+	"fun3d/internal/prof"
+)
+
+// floats coerces a JSON-roundtripped artifact Config entry ([]any of
+// float64) back into a numeric slice.
+func floats(t *testing.T, v any) []float64 {
+	t.Helper()
+	raw, ok := v.([]any)
+	if !ok {
+		t.Fatalf("config entry is %T, want []any", v)
+	}
+	out := make([]float64, len(raw))
+	for i, x := range raw {
+		f, ok := x.(float64)
+		if !ok {
+			t.Fatalf("config entry [%d] is %T, want float64", i, x)
+		}
+		out[i] = f
+	}
+	return out
+}
+
+// The acceptance criterion of the pipelined-GMRES work: at ≥64 simulated
+// nodes the pipelined Allreduce time-share is strictly below classical,
+// and the artifact records the share curves plus the per-iteration
+// collective counts (pipelined ~1, classical ≥2).
+func TestAllreduceScalingPipelinedWins(t *testing.T) {
+	if testing.Short() {
+		t.Skip("cluster sweep is slow")
+	}
+	dir := t.TempDir()
+	var buf strings.Builder
+	o := Options{
+		Out:          &buf,
+		Quick:        true,
+		SingleSpec:   mesh.SpecTiny(),
+		ClusterSpec:  mesh.SpecTiny(),
+		MaxThreads:   2,
+		NodeCounts:   []int{4, 64},
+		RanksPerNode: 1,
+		ClusterSteps: 1,
+		JSONDir:      dir,
+	}
+	if err := Run("allreduce-scaling", o); err != nil {
+		t.Fatal(err)
+	}
+
+	art, err := prof.ReadArtifact(filepath.Join(dir, "BENCH_allreduce.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	nodes := floats(t, art.Config["node_counts"])
+	cShare := floats(t, art.Config["classical_share"])
+	pShare := floats(t, art.Config["pipelined_share"])
+	cIter := floats(t, art.Config["classical_allreduce_per_iter"])
+	pIter := floats(t, art.Config["pipelined_allreduce_per_iter"])
+	if len(nodes) != 2 || len(cShare) != 2 || len(pShare) != 2 || len(cIter) != 2 || len(pIter) != 2 {
+		t.Fatalf("curve lengths: nodes=%d c=%d p=%d ci=%d pi=%d",
+			len(nodes), len(cShare), len(pShare), len(cIter), len(pIter))
+	}
+	for i, n := range nodes {
+		if n < 64 {
+			continue
+		}
+		if pShare[i] >= cShare[i] {
+			t.Fatalf("%v nodes: pipelined share %.3f not below classical %.3f",
+				n, pShare[i], cShare[i])
+		}
+	}
+	for i := range nodes {
+		// Setup reductions (one per Newton step) put the pipelined rate a
+		// hair above 1; classical CGS+refinement+norm sits at 2 or more.
+		if pIter[i] < 1 || pIter[i] > 1.5 {
+			t.Fatalf("%v nodes: pipelined %.2f collectives/iter, want ~1", nodes[i], pIter[i])
+		}
+		if cIter[i] < 2 {
+			t.Fatalf("%v nodes: classical %.2f collectives/iter, want >= 2", nodes[i], cIter[i])
+		}
+	}
+	// The recorded metrics are the pipelined run's: its per-iteration rate
+	// must survive into the gated artifact rates.
+	rate, ok := art.Rates["krylov_allreduce_per_gmres_iter"]
+	if !ok {
+		t.Fatalf("artifact rates missing krylov_allreduce_per_gmres_iter: %v", art.Rates)
+	}
+	if math.Abs(rate-pIter[len(pIter)-1]) > 1e-9 {
+		t.Fatalf("gated rate %.4f != recorded curve point %.4f", rate, pIter[len(pIter)-1])
+	}
+	if !strings.Contains(buf.String(), "pipelined share") {
+		t.Fatalf("table output missing:\n%s", buf.String())
+	}
+}

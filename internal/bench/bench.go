@@ -49,6 +49,12 @@ type Options struct {
 	// CFL0 for the solve-based experiments (default 10).
 	CFL0 float64
 
+	// GMRES selects the Krylov orthogonalization variant for every solve
+	// the harness runs: "classical" (default) or "pipelined" (one Allreduce
+	// per inner iteration). The allreduce-scaling experiment runs both
+	// regardless of this setting — it IS the comparison.
+	GMRES string
+
 	// Quick shrinks everything for CI-style runs.
 	Quick bool
 }
@@ -97,7 +103,14 @@ func (o *Options) defaults() {
 	if o.CFL0 <= 0 {
 		o.CFL0 = 10
 	}
+	if o.GMRES == "" {
+		o.GMRES = "classical"
+	}
 }
+
+// pipelined reports whether the harness-wide GMRES selection is the
+// pipelined variant.
+func (o *Options) pipelined() bool { return o.GMRES == "pipelined" }
 
 // Experiments lists the available experiment names in paper order.
 func Experiments() []string {
@@ -110,28 +123,33 @@ func Experiments() []string {
 }
 
 var registry = map[string]func(*Options) error{
-	"table1":  table1,
-	"table2":  table2,
-	"fig5":    fig5,
-	"fig6a":   fig6a,
-	"fig6b":   fig6b,
-	"fig7a":   fig7a,
-	"fig7b":   fig7b,
-	"fig8a":   fig8a,
-	"fig8b":   fig8b,
-	"fig9":    fig9,
-	"fig10":   fig10,
-	"fig11":   fig11,
-	"overlap": overlap,
-	"quick":   quick,
+	"table1":            table1,
+	"table2":            table2,
+	"fig5":              fig5,
+	"fig6a":             fig6a,
+	"fig6b":             fig6b,
+	"fig7a":             fig7a,
+	"fig7b":             fig7b,
+	"fig8a":             fig8a,
+	"fig8b":             fig8b,
+	"fig9":              fig9,
+	"fig10":             fig10,
+	"fig11":             fig11,
+	"overlap":           overlap,
+	"quick":             quick,
+	"allreduce-scaling": allreduceScaling,
 }
 
 // Run executes the named experiment ("all" runs every one in order).
 func Run(name string, opt Options) error {
 	opt.defaults()
+	if opt.GMRES != "classical" && opt.GMRES != "pipelined" {
+		return fmt.Errorf("bench: unknown GMRES variant %q (want classical or pipelined)", opt.GMRES)
+	}
 	if name == "all" {
 		for _, n := range []string{"table1", "table2", "fig5", "fig6a", "fig6b",
-			"fig7a", "fig7b", "fig8a", "fig8b", "fig9", "fig10", "fig11", "overlap", "quick"} {
+			"fig7a", "fig7b", "fig8a", "fig8b", "fig9", "fig10", "fig11", "overlap",
+			"allreduce-scaling", "quick"} {
 			if err := Run(n, opt); err != nil {
 				return fmt.Errorf("%s: %w", n, err)
 			}

@@ -77,14 +77,15 @@ func (e *clusterEnv) run(o *Options, ranks int, rates perfmodel.Rates, vecRates 
 	net := e.net
 	net.RanksPerNode = ranksPerNode
 	cfg := mpisim.Config{
-		Ranks:    ranks,
-		Rates:    rates,
-		VecRates: vecRates,
-		Net:      net,
-		MaxSteps: o.ClusterSteps,
-		RelTol:   1e-30, // fixed work per configuration
-		CFL0:     o.CFL0,
-		Seed:     11,
+		Ranks:     ranks,
+		Rates:     rates,
+		VecRates:  vecRates,
+		Net:       net,
+		MaxSteps:  o.ClusterSteps,
+		RelTol:    1e-30, // fixed work per configuration
+		CFL0:      o.CFL0,
+		Seed:      11,
+		Pipelined: o.pipelined(),
 	}
 	for _, mod := range mods {
 		mod(&cfg)

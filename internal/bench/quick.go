@@ -30,7 +30,7 @@ func quick(o *Options) error {
 	cfg := core.OptimizedConfig(o.MaxThreads)
 	cfg.SecondOrder = true
 	cfg.Limiter = true
-	app, _, err := solveOnce(m, cfg, newton.Options{MaxSteps: 3, CFL0: o.CFL0})
+	app, _, err := solveOnce(o, m, cfg, newton.Options{MaxSteps: 3, CFL0: o.CFL0})
 	if err != nil {
 		return err
 	}

@@ -12,9 +12,10 @@ import (
 	"fun3d/internal/prof"
 )
 
-// solveOnce runs a full application solve and returns the app (caller
-// closes) plus the result.
-func solveOnce(m *mesh.Mesh, cfg core.Config, opt newton.Options) (*core.App, core.RunResult, error) {
+// solveOnce runs a full application solve under the harness-wide GMRES
+// selection and returns the app (caller closes) plus the result.
+func solveOnce(o *Options, m *mesh.Mesh, cfg core.Config, opt newton.Options) (*core.App, core.RunResult, error) {
+	cfg.PipelinedGMRES = o.pipelined()
 	app, err := core.NewApp(m, cfg)
 	if err != nil {
 		return nil, core.RunResult{}, err
@@ -50,7 +51,7 @@ func table1(o *Options) error {
 		if err != nil {
 			return err
 		}
-		app, r, err := solveOnce(m, core.BaselineConfig(), newton.Options{
+		app, r, err := solveOnce(o, m, core.BaselineConfig(), newton.Options{
 			MaxSteps: 60, CFL0: o.CFL0 / 2, // gentler CFL gives a paper-like transient phase
 		})
 		if err != nil {
@@ -89,7 +90,7 @@ func table2(o *Options) error {
 	for _, fill := range []int{0, 1} {
 		cfgSeq := core.BaselineConfig()
 		cfgSeq.FillLevel = fill
-		appS, rs, err := solveOnce(m, cfgSeq, newton.Options{MaxSteps: 60, CFL0: o.CFL0})
+		appS, rs, err := solveOnce(o, m, cfgSeq, newton.Options{MaxSteps: 60, CFL0: o.CFL0})
 		if err != nil {
 			return err
 		}
@@ -111,7 +112,7 @@ func table2(o *Options) error {
 
 		cfgPar := core.OptimizedConfig(o.MaxThreads)
 		cfgPar.FillLevel = fill
-		appP, rp, err := solveOnce(m, cfgPar, newton.Options{MaxSteps: 60, CFL0: o.CFL0})
+		appP, rp, err := solveOnce(o, m, cfgPar, newton.Options{MaxSteps: 60, CFL0: o.CFL0})
 		if err != nil {
 			return err
 		}
@@ -157,7 +158,7 @@ func fig5(o *Options) error {
 	cfg := core.BaselineConfig()
 	cfg.SecondOrder = true // the paper's production discretization
 	cfg.Limiter = true
-	app, _, err := solveOnce(m, cfg, newton.Options{MaxSteps: 60, CFL0: o.CFL0})
+	app, _, err := solveOnce(o, m, cfg, newton.Options{MaxSteps: 60, CFL0: o.CFL0})
 	if err != nil {
 		return err
 	}
@@ -195,12 +196,12 @@ func fig8(o *Options, name string, kernelView bool) error {
 		return err
 	}
 	nopt := newton.Options{MaxSteps: 60, CFL0: o.CFL0}
-	base, rb, err := solveOnce(m, core.BaselineConfig(), nopt)
+	base, rb, err := solveOnce(o, m, core.BaselineConfig(), nopt)
 	if err != nil {
 		return err
 	}
 	defer base.Close()
-	opt, ro, err := solveOnce(m, core.OptimizedConfig(o.MaxThreads), nopt)
+	opt, ro, err := solveOnce(o, m, core.OptimizedConfig(o.MaxThreads), nopt)
 	if err != nil {
 		return err
 	}

@@ -48,6 +48,9 @@ type Config struct {
 	ParallelVecOps bool
 	// SecondOrder/Limiter select the residual discretization.
 	SecondOrder, Limiter bool
+	// PipelinedGMRES selects the single-reduction-per-iteration Krylov
+	// variant (newton.Options.Pipelined) for every solve this app runs.
+	PipelinedGMRES bool
 
 	// Flow setup.
 	AlphaDeg float64
@@ -189,6 +192,9 @@ type RunResult struct {
 func (app *App) Run(opt newton.Options) (RunResult, error) {
 	opt.SecondOrder = app.Cfg.SecondOrder
 	opt.Limiter = app.Cfg.Limiter
+	if app.Cfg.PipelinedGMRES {
+		opt.Pipelined = true
+	}
 	t0 := time.Now()
 	h, err := app.Step.Solve(app.Q, opt)
 	return RunResult{History: h, WallTime: time.Since(t0)}, err

@@ -67,8 +67,12 @@ func (g *FGMRES) Solve(a Operator, m Preconditioner, b, x []float64, opt Options
 
 	res := Result{}
 	r := g.v[0]
-	a.Apply(x, g.w)
-	ops.WAXPY(r, -1, g.w, b)
+	if opt.ZeroGuess {
+		ops.Copy(r, b)
+	} else {
+		a.Apply(x, g.w)
+		ops.WAXPY(r, -1, g.w, b)
+	}
 	rnorm := ops.Norm2(r)
 	res.RNorm0 = rnorm
 	res.RNorm = rnorm

@@ -47,6 +47,34 @@ type NormFuser interface {
 	MDotNorm(x []float64, ys [][]float64, dots []float64) float64
 }
 
+// DotPair names one inner product of a batched reduction; vecop owns the
+// type so both vector backends can implement BatchedReducer without an
+// import cycle.
+type DotPair = vecop.DotPair
+
+// BatchedReducer is the full batching extension of NormFuser: DotBatch
+// evaluates every pair's global inner product in ONE fused reduction — a
+// single Allreduce in the distributed implementation, a single sweep in
+// shared memory. It is what lets the pipelined GMRES variant pack the CGS
+// projection dots, ||w||², and the lag-normalization Gram terms into one
+// collective per inner iteration. Required for Options.Pipelined
+// (vecop.Ops and mpisim's distributed ops both satisfy it).
+type BatchedReducer interface {
+	DotBatch(pairs []DotPair, out []float64)
+}
+
+// NormedOperator is an optional extension of Operator: ApplyWithNorm is
+// Apply with ||x||₂ supplied by the caller. Matrix-free JFNK operators need
+// the input norm for the differencing parameter and otherwise recompute it
+// per matvec — a hidden Allreduce in the distributed implementation. The
+// pipelined GMRES variant tracks the exact norm of every Krylov direction
+// by recurrence (lag-normalization) and passes it in, so the happy-path
+// matvec issues no collective at all.
+type NormedOperator interface {
+	Operator
+	ApplyWithNorm(x, y []float64, xnorm float64)
+}
+
 // Vectors abstracts the vector primitives GMRES needs, so the same solver
 // runs shared-memory (vecop.Ops) and distributed (mpisim's rank-local ops
 // with Allreduce-backed reductions). vecop.Ops satisfies it.
@@ -78,6 +106,22 @@ type Options struct {
 	// the refinement pass; falls back to an explicit norm if cancellation
 	// is detected.
 	FusedNorms bool
+
+	// Pipelined selects the communication-avoiding GMRES variant: single-
+	// pass CGS with the projection dots, ||w||², and the lag-normalization
+	// terms batched into ONE reduction per inner iteration (see
+	// solvePipelined). Requires Ops to implement BatchedReducer — vecop.Ops
+	// and the distributed ops do; otherwise the classical path runs.
+	// Supersedes FusedNorms when set. FGMRES ignores it.
+	Pipelined bool
+
+	// ZeroGuess promises the initial guess x is exactly all-zero, so the
+	// solver takes r = b without applying the operator (the inverse of
+	// PETSc's KSPSetInitialGuessNonzero). Bit-identical to the explicit
+	// r = b - A·0 path for the operators used here, and it saves one
+	// matvec per solve — distributed, a JFNK matvec plus its hidden norm
+	// collective. The Newton callers always solve from dq = 0.
+	ZeroGuess bool
 }
 
 func (o *Options) defaults() {
@@ -127,6 +171,8 @@ type GMRES struct {
 	gamma []float64
 	y     []float64
 	dots  []float64
+
+	pip pipelined // extra workspace of the pipelined variant
 }
 
 func (g *GMRES) ensure(n, m int) {
@@ -155,6 +201,13 @@ func (g *GMRES) Solve(a Operator, m Preconditioner, b, x []float64, opt Options)
 	if g.Ops == nil {
 		g.Ops = vecop.Seq
 	}
+	if opt.Pipelined {
+		if br, ok := g.Ops.(BatchedReducer); ok {
+			return g.solvePipelined(a, m, b, x, opt, br)
+		}
+		// The backend cannot batch; the classical path below is the
+		// correct (if chattier) fallback.
+	}
 	n := len(b)
 	g.ensure(n, opt.Restart)
 	ops := g.Ops
@@ -162,9 +215,13 @@ func (g *GMRES) Solve(a Operator, m Preconditioner, b, x []float64, opt Options)
 	res := Result{}
 	r := g.v[0] // initial residual lives in v[0]
 
-	// r = b - A x (x may be nonzero).
-	a.Apply(x, g.w)
-	ops.WAXPY(r, -1, g.w, b)
+	// r = b - A x.
+	if opt.ZeroGuess {
+		ops.Copy(r, b)
+	} else {
+		a.Apply(x, g.w)
+		ops.WAXPY(r, -1, g.w, b)
+	}
 	rnorm := ops.Norm2(r)
 	res.RNorm0 = rnorm
 	res.RNorm = rnorm

@@ -1,0 +1,376 @@
+package krylov
+
+import (
+	"fmt"
+	"math"
+
+	"fun3d/internal/prof"
+)
+
+// pipelined is the extra workspace of the pipelined variant.
+type pipelined struct {
+	z     [][]float64 // preconditioned basis Z = M⁻¹V, Restart+1 vectors
+	u     []float64   // M⁻¹w of the current iteration
+	znorm []float64   // lagged exact norms ||z_k||
+	gram  []float64   // Gram matrix z_i·z_j, (Restart+1)² row-major
+	gramV []float64   // Gram matrix v_i·v_j, same layout
+	chol  []float64   // Cholesky scratch for the Gram projection solve
+	d     []float64   // oblique projection coefficients
+	negd  []float64
+	pairs []DotPair
+	out   []float64
+}
+
+func (p *pipelined) ensure(n, m int) {
+	if len(p.z) < m+1 || (len(p.z) > 0 && len(p.z[0]) != n) {
+		p.z = make([][]float64, m+1)
+		for i := range p.z {
+			p.z[i] = make([]float64, n)
+		}
+		p.u = make([]float64, n)
+	}
+	if len(p.gram) < (m+1)*(m+1) {
+		p.gram = make([]float64, (m+1)*(m+1))
+		p.gramV = make([]float64, (m+1)*(m+1))
+		p.chol = make([]float64, (m+1)*(m+1))
+		p.znorm = make([]float64, m+1)
+		p.d = make([]float64, m+1)
+		p.negd = make([]float64, m+1)
+		p.pairs = make([]DotPair, 0, 4*(m+1)+2)
+		p.out = make([]float64, 4*(m+1)+2)
+	}
+}
+
+// gramSolve solves G d = c for the kk×kk leading block of the row-major
+// Gram matrix g (stride gs) by Cholesky factorization — the local, no-
+// reduction step of the Gram-corrected (oblique) projection. Returns false
+// when G is not numerically positive definite (a degenerate basis); the
+// caller falls back to the plain CGS coefficients.
+func (p *pipelined) gramSolve(g []float64, gs, kk int, c, d []float64) bool {
+	l := p.chol
+	for i := 0; i < kk; i++ {
+		for j := 0; j <= i; j++ {
+			s := g[i*gs+j]
+			for t := 0; t < j; t++ {
+				s -= l[i*kk+t] * l[j*kk+t]
+			}
+			if i == j {
+				if s <= 0 {
+					return false
+				}
+				l[i*kk+i] = math.Sqrt(s)
+			} else {
+				l[i*kk+j] = s / l[j*kk+j]
+			}
+		}
+	}
+	for i := 0; i < kk; i++ { // forward: L y = c
+		s := c[i]
+		for t := 0; t < i; t++ {
+			s -= l[i*kk+t] * d[t]
+		}
+		d[i] = s / l[i*kk+i]
+	}
+	for i := kk - 1; i >= 0; i-- { // backward: Lᵀ d = y
+		s := d[i]
+		for t := i + 1; t < kk; t++ {
+			s -= l[t*kk+i] * d[t]
+		}
+		d[i] = s / l[i*kk+i]
+	}
+	return true
+}
+
+// applyPre computes z = M⁻¹r, or copies when m is nil.
+func applyPre(m Preconditioner, ops Vectors, r, z []float64) {
+	if m != nil {
+		m.Apply(r, z)
+	} else {
+		ops.Copy(z, r)
+	}
+}
+
+// solvePipelined is the Options.Pipelined path of GMRES.Solve: the
+// single-reduction-per-iteration (communication-avoiding) variant of the
+// restarted solver in gmres.go.
+//
+// Classical Gram-Schmidt with refinement costs three or four global
+// reductions per inner iteration — the Allreduce latency wall the paper's
+// Fig. 10 measures at scale. This variant reorganizes the iteration so the
+// happy path issues exactly ONE:
+//
+//   - The CGS projection dots, ||w||², the current Gram rows of both bases,
+//     and every term needed for the next direction's norm travel in one
+//     BatchedReducer.DotBatch call.
+//   - Single-pass CGS is refined without a second pass: the batch carries
+//     the measured V-Gram row, the projection solves G_V d = c (a local
+//     Cholesky, no reduction), and ||ŵ|| comes from the exact quadratic
+//     form ||w − Vd||² = ||w||² − 2dᵀc + dᵀG_V d (explicit-norm fallback
+//     under cancellation). Because every quantity is measured rather than
+//     assumed orthonormal, rounding errors do not compound through the
+//     recurrence.
+//   - The preconditioned basis Z = M⁻¹V is stored (FGMRES-style) and
+//     advanced by linearity: ẑ = M⁻¹ŵ = u − Σ d_j z_j with u = M⁻¹w, so
+//     no reduction hides inside the preconditioner chain.
+//   - Lag-normalization: the matrix-free JFNK operator needs ||z_k|| for
+//     its differencing parameter — classically a per-matvec Allreduce.
+//     Here ||ẑ||² follows from the exact Gram quadratic form
+//     ||u − Σ d_j z_j||² = ||u||² − 2Σ d_j (u·z_j) + dᵀGd, whose terms
+//     rode the same single reduction, so the norm of iteration k+1's
+//     direction is known one iteration early and goes to ApplyWithNorm.
+//
+// Cycle setup costs one fused reduction ([r·r, (M⁻¹r)·(M⁻¹r)]), so a
+// single-cycle solve performs iterations+1 collectives; mpisim's tests pin
+// exactly that count.
+func (g *GMRES) solvePipelined(a Operator, m Preconditioner, b, x []float64, opt Options, br BatchedReducer) (Result, error) {
+	n := len(b)
+	g.ensure(n, opt.Restart)
+	g.pip.ensure(n, opt.Restart)
+	ops := g.Ops
+	p := &g.pip
+	na, hasNorm := a.(NormedOperator)
+
+	res := Result{}
+	r := g.v[0] // residual lives in v[0], as in the classical path
+
+	// setup fuses ||r||² with ||M⁻¹r||²: the preconditioned residual is
+	// needed anyway as the first direction, and its exact norm seeds the
+	// lag-normalization recurrence. Returns (||r||, ||M⁻¹r||²).
+	setup := func() (float64, float64) {
+		applyPre(m, ops, r, p.z[0])
+		p.pairs = append(p.pairs[:0],
+			DotPair{X: r, Y: r}, DotPair{X: p.z[0], Y: p.z[0]})
+		out := p.out[:2]
+		br.DotBatch(p.pairs, out)
+		return math.Sqrt(out[0]), out[1]
+	}
+
+	if opt.ZeroGuess {
+		ops.Copy(r, b)
+	} else {
+		a.Apply(x, g.w)
+		ops.WAXPY(r, -1, g.w, b)
+	}
+	rnorm, uu0 := setup()
+	res.RNorm0 = rnorm
+	res.RNorm = rnorm
+	target := math.Max(opt.RelTol*rnorm, opt.AbsTol)
+	if rnorm <= target || rnorm == 0 {
+		res.Converged = true
+		return res, nil
+	}
+
+	R := opt.Restart
+	gs := R + 1 // Gram matrix stride
+	for res.Iterations < opt.MaxIters {
+		// Start a cycle: v0 = r/||r||, z0 = (M⁻¹r)/||r|| with exact norm.
+		inv := 1 / rnorm
+		ops.Scale(inv, g.v[0])
+		ops.Scale(inv, p.z[0])
+		p.znorm[0] = math.Sqrt(uu0) * inv
+		p.gram[0] = uu0 * inv * inv
+		g.gamma[0] = rnorm
+		for i := 1; i <= R; i++ {
+			g.gamma[i] = 0
+		}
+		k := 0
+		for ; k < R && res.Iterations < opt.MaxIters; k++ {
+			// w = A z_k with the lagged exact norm — no collective here.
+			if hasNorm {
+				na.ApplyWithNorm(p.z[k], g.w, p.znorm[k])
+			} else {
+				a.Apply(p.z[k], g.w)
+			}
+			// u = M⁻¹w now, so the next direction's preconditioner terms
+			// can join this iteration's single reduction.
+			applyPre(m, ops, g.w, p.u)
+
+			// The one reduction of the iteration: CGS dots c_j = w·v_j,
+			// ||w||², ||u||², u·z_j, the fresh Z-Gram row z_k·z_j, and the
+			// fresh V-Gram row v_k·v_j (the in-batch refinement data).
+			kk := k + 1
+			p.pairs = p.pairs[:0]
+			for j := 0; j < kk; j++ {
+				p.pairs = append(p.pairs, DotPair{X: g.w, Y: g.v[j]})
+			}
+			p.pairs = append(p.pairs,
+				DotPair{X: g.w, Y: g.w}, DotPair{X: p.u, Y: p.u})
+			for j := 0; j < kk; j++ {
+				p.pairs = append(p.pairs, DotPair{X: p.u, Y: p.z[j]})
+			}
+			for j := 0; j < kk; j++ {
+				p.pairs = append(p.pairs, DotPair{X: p.z[k], Y: p.z[j]})
+			}
+			for j := 0; j < kk; j++ {
+				p.pairs = append(p.pairs, DotPair{X: g.v[k], Y: g.v[j]})
+			}
+			out := p.out[:4*kk+2]
+			br.DotBatch(p.pairs, out)
+			c := out[:kk]
+			ww, uu := out[kk], out[kk+1]
+			us := out[kk+2 : 2*kk+2]
+			gz := out[2*kk+2 : 3*kk+2]
+			gv := out[3*kk+2 : 4*kk+2]
+
+			// Refresh both Gram rows/columns k with the exactly-reduced
+			// values. Carrying the measured V-Gram is what keeps single-pass
+			// CGS stable: each column's (tiny) orthogonality and norm error
+			// is observed one iteration later and compensated exactly below,
+			// so per-iteration errors stay additive instead of compounding
+			// through the recurrence.
+			for j := 0; j < kk; j++ {
+				p.gram[k*gs+j] = gz[j]
+				p.gram[j*gs+k] = gz[j]
+				p.gramV[k*gs+j] = gv[j]
+				p.gramV[j*gs+k] = gv[j]
+			}
+
+			// Oblique (Gram-corrected) projection: solve G_V d = c so that
+			// ŵ = w − Σ d_j v_j is orthogonal to span(V) even when V has a
+			// small orthogonality defect — the local Cholesky solve replaces
+			// the classical refinement pass and needs no extra reduction.
+			d := p.d[:kk]
+			if !p.gramSolve(p.gramV, gs, kk, c, d) {
+				copy(d, c) // degenerate basis: plain CGS coefficients
+			}
+
+			// Hessenberg column and ŵ = w − Σ d_j v_j (single-pass CGS).
+			for j := 0; j < kk; j++ {
+				g.h[j*R+k] = d[j]
+				p.negd[j] = -d[j]
+			}
+			ops.MAXPY(g.w, p.negd[:kk], g.v[:kk])
+			// ||ŵ||² from the exact quadratic form
+			// ||w − Vd||² = ||w||² − 2dᵀc + dᵀG_V d; explicit norm (one
+			// extra collective, off the happy path) under cancellation.
+			rem := ww
+			for j := 0; j < kk; j++ {
+				rem -= 2 * d[j] * c[j]
+				s := 0.0
+				for i := 0; i < kk; i++ {
+					s += d[i] * p.gramV[i*gs+j]
+				}
+				rem += d[j] * s
+			}
+			var hk1 float64
+			if rem > 1e-4*ww {
+				hk1 = math.Sqrt(rem)
+			} else {
+				hk1 = ops.Norm2(g.w)
+			}
+
+			// ẑ = u − Σ d_j z_j equals M⁻¹ŵ exactly (M⁻¹ is linear), so
+			// the next preconditioner apply already happened; its norm²
+			// follows from the Gram quadratic form — exact regardless of
+			// the basis' orthogonality defect — with the same fallback.
+			ops.MAXPY(p.u, p.negd[:kk], p.z[:kk])
+			quad := uu
+			for j := 0; j < kk; j++ {
+				quad -= 2 * d[j] * us[j]
+				s := 0.0
+				for i := 0; i < kk; i++ {
+					s += d[i] * p.gram[i*gs+j]
+				}
+				quad += d[j] * s
+			}
+			var zz float64
+			if quad > 1e-4*uu {
+				zz = quad
+			} else {
+				zn := ops.Norm2(p.u)
+				zz = zn * zn
+			}
+
+			res.Iterations++
+			g.Met.Inc(prof.GMRESIters, 1)
+			// Coarse traffic estimate: the batch reads both bases plus
+			// w/u (~4(k+1)+2 sweeps) and the two MAXPYs add 2(k+1)+2.
+			g.Met.Inc(prof.VecElems, int64((6*kk+4)*n))
+
+			// Givens rotations — identical to the classical path.
+			hcol := func(j int) *float64 { return &g.h[j*R+k] }
+			for j := 0; j < k; j++ {
+				hj, hj1 := *hcol(j), *hcol(j + 1)
+				*hcol(j) = g.cs[j]*hj + g.sn[j]*hj1
+				*hcol(j + 1) = -g.sn[j]*hj + g.cs[j]*hj1
+			}
+			if hk1 <= 1e-300 {
+				// Happy breakdown, as in the classical path.
+				k++
+				if err := g.finishCyclePipelined(x, k, R); err != nil {
+					return res, err
+				}
+				res.RNorm = math.Abs(g.gamma[k])
+				res.Converged = res.RNorm <= target
+				if !res.Converged {
+					return res, fmt.Errorf("%w at iteration %d", ErrBreakdown, res.Iterations)
+				}
+				return res, nil
+			}
+			ops.Copy(g.v[k+1], g.w)
+			ops.Scale(1/hk1, g.v[k+1])
+			ops.Copy(p.z[k+1], p.u)
+			ops.Scale(1/hk1, p.z[k+1])
+			// Lag-normalization: z_{k+1} = ẑ/h_{k+1,k}, so its exact norm
+			// is known now — one iteration ahead of its use as the JFNK
+			// differencing norm.
+			p.znorm[k+1] = math.Sqrt(zz) / hk1
+			p.gram[(k+1)*gs+(k+1)] = zz / (hk1 * hk1)
+
+			hk := *hcol(k)
+			den := math.Hypot(hk, hk1)
+			g.cs[k] = hk / den
+			g.sn[k] = hk1 / den
+			*hcol(k) = den
+			g.gamma[k+1] = -g.sn[k] * g.gamma[k]
+			g.gamma[k] = g.cs[k] * g.gamma[k]
+
+			res.RNorm = math.Abs(g.gamma[k+1])
+			if res.RNorm <= target {
+				k++
+				break
+			}
+		}
+		if err := g.finishCyclePipelined(x, k, R); err != nil {
+			return res, err
+		}
+		if res.RNorm <= target {
+			res.Converged = true
+			return res, nil
+		}
+		// Restart: true residual plus a fresh setup reduction — per-cycle,
+		// not per-iteration, overhead.
+		a.Apply(x, g.w)
+		r = g.v[0]
+		ops.WAXPY(r, -1, g.w, b)
+		rnorm, uu0 = setup()
+		res.RNorm = rnorm
+		if rnorm <= target {
+			res.Converged = true
+			return res, nil
+		}
+	}
+	return res, nil
+}
+
+// finishCyclePipelined back-substitutes the rotated Hessenberg system and
+// updates x += Z y directly: the preconditioned basis is stored, so unlike
+// the classical finishCycle no trailing M⁻¹ apply is needed.
+func (g *GMRES) finishCyclePipelined(x []float64, k, restart int) error {
+	if k == 0 {
+		return nil
+	}
+	for i := k - 1; i >= 0; i-- {
+		s := g.gamma[i]
+		for j := i + 1; j < k; j++ {
+			s -= g.h[i*restart+j] * g.y[j]
+		}
+		d := g.h[i*restart+i]
+		if d == 0 {
+			return ErrBreakdown
+		}
+		g.y[i] = s / d
+	}
+	g.Ops.MAXPY(x, g.y[:k], g.pip.z[:k])
+	return nil
+}

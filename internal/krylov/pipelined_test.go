@@ -1,0 +1,293 @@
+package krylov
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"fun3d/internal/vecop"
+)
+
+// solvePair runs classical and pipelined GMRES on the same system and
+// returns both solutions and results.
+func solvePair(t *testing.T, op Operator, m Preconditioner, b []float64, opt Options) (x1, x2 []float64, r1, r2 Result) {
+	t.Helper()
+	n := len(b)
+	x1 = make([]float64, n)
+	x2 = make([]float64, n)
+	var g1, g2 GMRES
+	opt.Pipelined = false
+	r1, err := g1.Solve(op, m, b, x1, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt.Pipelined = true
+	r2, err = g2.Solve(op, m, b, x2, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return x1, x2, r1, r2
+}
+
+// Pipelined GMRES is algebraically the same iteration as classical GMRES
+// (modulo the orthogonalization pass structure), so solutions must agree
+// tightly and iteration counts closely on well-conditioned systems.
+func TestPipelinedMatchesClassicalDense(t *testing.T) {
+	seeds := []int64{1, 2, 3, 4, 5, 6}
+	if testing.Short() {
+		seeds = seeds[:2]
+	}
+	for _, seed := range seeds {
+		n := 70
+		op := randDominant(n, seed)
+		rng := rand.New(rand.NewSource(seed + 100))
+		b := make([]float64, n)
+		for i := range b {
+			b[i] = rng.NormFloat64()
+		}
+		x1, x2, r1, r2 := solvePair(t, op, nil, b, Options{RelTol: 1e-10, MaxIters: 400})
+		if !r1.Converged || !r2.Converged {
+			t.Fatalf("seed %d: convergence classical=%v pipelined=%v", seed, r1.Converged, r2.Converged)
+		}
+		if absInt(r1.Iterations-r2.Iterations) > 2 {
+			t.Fatalf("seed %d: iteration counts diverge: %d vs %d", seed, r1.Iterations, r2.Iterations)
+		}
+		for i := range x1 {
+			if math.Abs(x1[i]-x2[i]) > 1e-7 {
+				t.Fatalf("seed %d: solutions differ at %d: %v vs %v", seed, i, x1[i], x2[i])
+			}
+		}
+		bn := 0.0
+		for _, v := range b {
+			bn += v * v
+		}
+		if r := residual(op, b, x2); r > 1e-8*math.Sqrt(bn) {
+			t.Fatalf("seed %d: pipelined true residual %v", seed, r)
+		}
+	}
+}
+
+// With a (fixed) right preconditioner the pipelined variant advances the
+// stored preconditioned basis by linearity instead of applying M⁻¹ to ŵ —
+// algebraically identical, and the finish uses x += Zy directly.
+func TestPipelinedPreconditioned(t *testing.T) {
+	n := 60
+	op := randDominant(n, 11)
+	// Jacobi: exactly linear, so the ẑ = u − Σ d_j z_j recurrence is exact.
+	diag := make([]float64, n)
+	for i := 0; i < n; i++ {
+		diag[i] = op.a[i*n+i]
+	}
+	pre := PreconditionerFunc(func(r, z []float64) {
+		for i := range r {
+			z[i] = r[i] / diag[i]
+		}
+	})
+	rng := rand.New(rand.NewSource(12))
+	b := make([]float64, n)
+	for i := range b {
+		b[i] = rng.NormFloat64()
+	}
+	x1, x2, r1, r2 := solvePair(t, op, pre, b, Options{RelTol: 1e-10, MaxIters: 400})
+	if !r1.Converged || !r2.Converged {
+		t.Fatalf("convergence classical=%v pipelined=%v", r1.Converged, r2.Converged)
+	}
+	if absInt(r1.Iterations-r2.Iterations) > 2 {
+		t.Fatalf("iteration counts diverge: %d vs %d", r1.Iterations, r2.Iterations)
+	}
+	for i := range x1 {
+		if math.Abs(x1[i]-x2[i]) > 1e-7 {
+			t.Fatalf("solutions differ at %d: %v vs %v", i, x1[i], x2[i])
+		}
+	}
+}
+
+// Restarts re-seed the recurrence (true residual + fresh setup reduction);
+// the restarted pipelined solver must still converge.
+func TestPipelinedRestarts(t *testing.T) {
+	n := 80
+	op := randDominant(n, 13)
+	rng := rand.New(rand.NewSource(14))
+	b := make([]float64, n)
+	for i := range b {
+		b[i] = rng.NormFloat64()
+	}
+	x := make([]float64, n)
+	var g GMRES
+	res, err := g.Solve(op, nil, b, x, Options{Restart: 5, MaxIters: 2000, RelTol: 1e-8, Pipelined: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Converged {
+		t.Fatalf("restarted pipelined gmres failed: %+v", res)
+	}
+	bn := 0.0
+	for _, v := range b {
+		bn += v * v
+	}
+	if r := residual(op, b, x); r > 1e-6*math.Sqrt(bn) {
+		t.Fatalf("true residual %v", r)
+	}
+}
+
+// ZeroGuess with x = 0 must be bit-identical to the explicit initial
+// residual (A·0 = 0 exactly), for both variants.
+func TestZeroGuessBitIdentical(t *testing.T) {
+	n := 50
+	op := randDominant(n, 15)
+	rng := rand.New(rand.NewSource(16))
+	b := make([]float64, n)
+	for i := range b {
+		b[i] = rng.NormFloat64()
+	}
+	for _, pip := range []bool{false, true} {
+		xa := make([]float64, n)
+		xb := make([]float64, n)
+		var ga, gb GMRES
+		ra, err := ga.Solve(op, nil, b, xa, Options{RelTol: 1e-10, MaxIters: 300, Pipelined: pip})
+		if err != nil {
+			t.Fatal(err)
+		}
+		rb, err := gb.Solve(op, nil, b, xb, Options{RelTol: 1e-10, MaxIters: 300, Pipelined: pip, ZeroGuess: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ra.Iterations != rb.Iterations || ra.RNorm != rb.RNorm {
+			t.Fatalf("pipelined=%v: ZeroGuess changed the trajectory: %+v vs %+v", pip, ra, rb)
+		}
+		for i := range xa {
+			if xa[i] != xb[i] {
+				t.Fatalf("pipelined=%v: x[%d] %v vs %v", pip, i, xa[i], xb[i])
+			}
+		}
+	}
+}
+
+// noBatchOps is a Vectors without DotBatch: Options.Pipelined must fall
+// back to the classical path rather than fail.
+type noBatchOps struct{}
+
+func (noBatchOps) Dot(x, y []float64) float64 { return vecop.Seq.Dot(x, y) }
+func (noBatchOps) Norm2(x []float64) float64  { return vecop.Seq.Norm2(x) }
+func (noBatchOps) AXPY(a float64, x, y []float64) {
+	vecop.Seq.AXPY(a, x, y)
+}
+func (noBatchOps) WAXPY(w []float64, a float64, x, y []float64) {
+	vecop.Seq.WAXPY(w, a, x, y)
+}
+func (noBatchOps) Scale(a float64, x []float64) { vecop.Seq.Scale(a, x) }
+func (noBatchOps) Copy(dst, src []float64)      { vecop.Seq.Copy(dst, src) }
+func (noBatchOps) Set(a float64, x []float64)   { vecop.Seq.Set(a, x) }
+func (noBatchOps) MAXPY(y []float64, alphas []float64, xs [][]float64) {
+	vecop.Seq.MAXPY(y, alphas, xs)
+}
+func (noBatchOps) MDot(x []float64, ys [][]float64, dots []float64) {
+	vecop.Seq.MDot(x, ys, dots)
+}
+
+func TestPipelinedFallsBackWithoutBatcher(t *testing.T) {
+	n := 40
+	op := randDominant(n, 17)
+	rng := rand.New(rand.NewSource(18))
+	b := make([]float64, n)
+	for i := range b {
+		b[i] = rng.NormFloat64()
+	}
+	x := make([]float64, n)
+	g := GMRES{Ops: noBatchOps{}}
+	res, err := g.Solve(op, nil, b, x, Options{RelTol: 1e-10, MaxIters: 300, Pipelined: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Converged {
+		t.Fatalf("fallback did not converge: %+v", res)
+	}
+}
+
+// normCheckOp wraps an operator and records the worst relative error of the
+// caller-supplied norm against the true ||x||.
+type normCheckOp struct {
+	inner    Operator
+	calls    int
+	worstRel float64
+}
+
+func (o *normCheckOp) Apply(x, y []float64) { o.inner.Apply(x, y) }
+
+func (o *normCheckOp) ApplyWithNorm(x, y []float64, xnorm float64) {
+	truth := vecop.Seq.Norm2(x)
+	if truth > 0 {
+		if rel := math.Abs(xnorm-truth) / truth; rel > o.worstRel {
+			o.worstRel = rel
+		}
+	}
+	o.calls++
+	o.inner.Apply(x, y)
+}
+
+// The lag-normalized norms handed to a NormedOperator must track the true
+// basis-vector norms to high accuracy — that is what makes them usable as
+// the JFNK differencing norm.
+func TestPipelinedLaggedNormAccuracy(t *testing.T) {
+	n := 70
+	op := &normCheckOp{inner: randDominant(n, 19)}
+	rng := rand.New(rand.NewSource(20))
+	b := make([]float64, n)
+	for i := range b {
+		b[i] = rng.NormFloat64()
+	}
+	x := make([]float64, n)
+	var g GMRES
+	res, err := g.Solve(op, nil, b, x, Options{RelTol: 1e-10, MaxIters: 300, Pipelined: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Converged {
+		t.Fatalf("%+v", res)
+	}
+	if op.calls == 0 {
+		t.Fatal("ApplyWithNorm was never used")
+	}
+	if op.worstRel > 1e-8 {
+		t.Fatalf("lagged norm drifted: worst relative error %v", op.worstRel)
+	}
+	t.Logf("%d lag-normalized matvecs, worst relative norm error %.2e", op.calls, op.worstRel)
+}
+
+// The golden conformance bound: at the linear level (no JFNK differencing
+// noise) the pipelined residual trajectory must track classical GMRES to
+// 1e-10 relative at every iteration, not just at convergence.
+func TestPipelinedTrajectoryConformance(t *testing.T) {
+	n := 70
+	op := randDominant(n, 23)
+	rng := rand.New(rand.NewSource(24))
+	b := make([]float64, n)
+	for i := range b {
+		b[i] = rng.NormFloat64()
+	}
+	for iters := 1; iters <= 14; iters++ {
+		x1 := make([]float64, n)
+		x2 := make([]float64, n)
+		var g1, g2 GMRES
+		opt := Options{RelTol: 1e-30, MaxIters: iters}
+		r1, err := g1.Solve(op, nil, b, x1, opt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		opt.Pipelined = true
+		r2, err := g2.Solve(op, nil, b, x2, opt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rel := math.Abs(r1.RNorm-r2.RNorm) / r1.RNorm0; rel > 1e-10 {
+			t.Fatalf("iteration %d: estimated residuals diverge: %v vs %v (rel %.2e)",
+				iters, r1.RNorm, r2.RNorm, rel)
+		}
+		t1 := residual(op, b, x1)
+		t2 := residual(op, b, x2)
+		if rel := math.Abs(t1-t2) / r1.RNorm0; rel > 1e-10 {
+			t.Fatalf("iteration %d: true residuals diverge: %v vs %v (rel %.2e)",
+				iters, t1, t2, rel)
+		}
+	}
+}

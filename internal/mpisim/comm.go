@@ -302,3 +302,43 @@ func (r *Rank) Allreduce(vals []float64) []float64 {
 func (r *Rank) Barrier() {
 	r.Allreduce(nil)
 }
+
+// ReduceQueue coalesces reduction contributions into one Allreduce: callers
+// Push partial sums as they are produced and Flush issues a single
+// collective over the packed payload. Every rank must Push the same values
+// in the same order between Flushes — the same contract Allreduce itself
+// has, extended over a batch. The flat-vs-tree cost model (and the paper's
+// Fig 10 latency wall) applies per collective, so packing k reductions into
+// one Flush pays one latency term instead of k — the mechanism behind the
+// pipelined GMRES variant's single collective per iteration.
+type ReduceQueue struct {
+	r   *Rank
+	buf []float64
+}
+
+// NewReduceQueue returns an empty coalescing queue bound to this rank.
+func (r *Rank) NewReduceQueue() *ReduceQueue {
+	return &ReduceQueue{r: r}
+}
+
+// Push appends local partial values to the pending payload and returns the
+// offset at which they will appear in Flush's result.
+func (q *ReduceQueue) Push(vals ...float64) int {
+	off := len(q.buf)
+	q.buf = append(q.buf, vals...)
+	return off
+}
+
+// Pending returns the number of queued values.
+func (q *ReduceQueue) Pending() int { return len(q.buf) }
+
+// Flush reduces the pending payload in one Allreduce and resets the queue.
+// A Flush with nothing pending issues no collective and returns nil.
+func (q *ReduceQueue) Flush() []float64 {
+	if len(q.buf) == 0 {
+		return nil
+	}
+	out := q.r.Allreduce(q.buf)
+	q.buf = q.buf[:0]
+	return out
+}

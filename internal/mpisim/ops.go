@@ -4,19 +4,42 @@ import (
 	"math"
 
 	"fun3d/internal/prof"
+	"fun3d/internal/vecop"
 )
 
 // distOps implements krylov.Vectors over rank-local shards: reductions go
 // through Allreduce (the Krylov collectives of Fig 10); element-wise ops
-// are local and charge the vector-primitive rate. One Allreduce per Dot and
-// one fused Allreduce per MDot, mirroring PETSc's VecDot/VecMDot.
+// are local and charge the vector-primitive rate. All reductions route
+// through one ReduceQueue, so a Dot costs one Allreduce, a fused MDotNorm
+// one, and a pipelined DotBatch one — whatever the batch width. While
+// inSolve is set, rank 0 books each collective into the Krylov counters
+// (collectives are replicated deterministically across ranks, and
+// Solve merges every rank's metrics, so booking on one rank keeps the
+// merged count equal to the true collective count).
 type distOps struct {
-	w *worker
+	w       *worker
+	rq      *ReduceQueue
+	inSolve bool
+}
+
+func newDistOps(w *worker) *distOps {
+	return &distOps{w: w, rq: w.rank.NewReduceQueue()}
 }
 
 func (o *distOps) chargeVec(n, nvecs int) {
 	o.w.compute(prof.VecOps, float64(n*nvecs)*o.w.vecRates.VecPerElem)
 	o.w.met.Inc(prof.VecElems, int64(n*nvecs))
+}
+
+// reduce flushes the queue as one collective and books it.
+func (o *distOps) reduce() []float64 {
+	n := o.rq.Pending()
+	out := o.rq.Flush()
+	if o.inSolve && o.w.rank.id == 0 {
+		o.w.met.Inc(prof.KrylovAllreduceCalls, 1)
+		o.w.met.Inc(prof.KrylovAllreduceBytes, int64(8*n))
+	}
+	return out
 }
 
 // Dot returns the global inner product.
@@ -26,10 +49,13 @@ func (o *distOps) Dot(x, y []float64) float64 {
 		s += x[i] * y[i]
 	}
 	o.chargeVec(len(x), 1)
-	return o.w.rank.Allreduce([]float64{s})[0]
+	o.rq.Push(s)
+	return o.reduce()[0]
 }
 
-// Norm2 returns the global Euclidean norm.
+// Norm2 returns the global Euclidean norm. It rides the same queued
+// reduction path as every other collective, so its bytes and call are
+// booked exactly once.
 func (o *distOps) Norm2(x []float64) float64 { return math.Sqrt(o.Dot(x, x)) }
 
 // AXPY computes y += a*x locally.
@@ -87,41 +113,58 @@ func (o *distOps) MAXPY(y []float64, alphas []float64, xs [][]float64) {
 // to MDot + Norm2 it saves one global collective per GMRES iteration, the
 // optimization direction the paper cites for beating the Allreduce wall.
 func (o *distOps) MDotNorm(x []float64, ys [][]float64, dots []float64) float64 {
-	local := make([]float64, len(ys)+1)
 	for k := range ys {
 		s := 0.0
 		yk := ys[k]
 		for i := range x {
 			s += x[i] * yk[i]
 		}
-		local[k] = s
+		o.rq.Push(s)
 	}
 	s := 0.0
 	for i := range x {
 		s += x[i] * x[i]
 	}
-	local[len(ys)] = s
+	o.rq.Push(s)
 	o.chargeVec(len(x), len(ys)+1)
-	global := o.w.rank.Allreduce(local)
+	global := o.reduce()
 	copy(dots, global[:len(ys)])
 	return math.Sqrt(global[len(ys)])
 }
 
 // MDot computes all inner products with one fused Allreduce.
 func (o *distOps) MDot(x []float64, ys [][]float64, dots []float64) {
-	local := make([]float64, len(ys))
+	if len(ys) == 0 {
+		return
+	}
 	for k := range ys {
 		s := 0.0
 		yk := ys[k]
 		for i := range x {
 			s += x[i] * yk[i]
 		}
-		local[k] = s
+		o.rq.Push(s)
 	}
 	o.chargeVec(len(x), len(ys))
-	if len(ys) == 0 {
+	copy(dots, o.reduce())
+}
+
+// DotBatch reduces every pair's local partial in ONE packed Allreduce — the
+// distributed realization of krylov.BatchedReducer. This is what lets
+// pipelined GMRES pay a single collective latency per inner iteration no
+// matter how many projection, norm, and Gram terms the iteration needs.
+func (o *distOps) DotBatch(pairs []vecop.DotPair, out []float64) {
+	if len(pairs) == 0 {
 		return
 	}
-	global := o.w.rank.Allreduce(local)
-	copy(dots, global)
+	for k := range pairs {
+		x, y := pairs[k].X, pairs[k].Y
+		s := 0.0
+		for i := range x {
+			s += x[i] * y[i]
+		}
+		o.rq.Push(s)
+	}
+	o.chargeVec(len(pairs[0].X), len(pairs))
+	copy(out, o.reduce())
 }

@@ -49,8 +49,13 @@ type Config struct {
 	// FusedNorms enables communication-reducing GMRES (one fewer
 	// Allreduce per iteration); see krylov.Options.FusedNorms.
 	FusedNorms bool
-	AlphaDeg   float64
-	Beta       float64
+	// Pipelined selects the single-Allreduce-per-iteration GMRES variant
+	// (krylov.Options.Pipelined): the batched reduction rides distOps'
+	// ReduceQueue and the JFNK differencing norm is lag-normalized, so each
+	// inner iteration issues exactly one collective. Supersedes FusedNorms.
+	Pipelined bool
+	AlphaDeg  float64
+	Beta      float64
 
 	CFL0           float64
 	RelTol         float64
@@ -255,6 +260,7 @@ type worker struct {
 	jac            *sparse.BSR
 	factor         *sparse.Factor
 	gmres          krylov.GMRES
+	ops            *distOps // the rank's one Vectors instance (owns the ReduceQueue)
 
 	// per-step cache for the matrix-free operator
 	qnorm float64
@@ -300,7 +306,8 @@ func newWorker(rank *Rank, sub *Subdomain, cfg *Config) (*worker, error) {
 	if err := w.setupKernels(); err != nil {
 		return nil, err
 	}
-	w.gmres = krylov.GMRES{Ops: &distOps{w: w}}
+	w.ops = newDistOps(w)
+	w.gmres = krylov.GMRES{Ops: w.ops}
 	return w, nil
 }
 
@@ -615,7 +622,7 @@ func (w *worker) run() (rr rankResult) {
 	cfg := w.cfg
 	s := w.sub
 	nOwn := s.NOwned * 4
-	ops := &distOps{w: w}
+	ops := w.ops
 
 	w.evalResidual(w.q, w.res)
 	rnorm := ops.Norm2(w.res[:nOwn])
@@ -655,12 +662,18 @@ func (w *worker) run() (rr rankResult) {
 			dq[i] = 0
 		}
 		w.qnorm = ops.Norm2(w.q[:nOwn])
+		// The Krylov-collective window: reductions issued inside Solve are
+		// booked into KrylovAllreduceCalls/Bytes — the per-iteration gate.
+		ops.inSolve = true
 		lres, lerr := w.gmres.Solve(op, pre, rhs, dq, krylov.Options{
 			Restart:    cfg.Restart,
 			MaxIters:   cfg.MaxLinearIters,
 			RelTol:     cfg.LinearRelTol,
 			FusedNorms: cfg.FusedNorms,
+			Pipelined:  cfg.Pipelined,
+			ZeroGuess:  true, // dq starts at zero; skips a matvec + its hidden norm collective
 		})
+		ops.inSolve = false
 		if lerr != nil {
 			rr.err = fmt.Errorf("step %d: %w", step, lerr)
 			return rr
@@ -697,12 +710,19 @@ type distOp struct {
 
 // Apply computes y = (V/Δt) v + (R(q+hv) − R(q))/h with a fresh halo
 // exchange of the perturbed state — one point-to-point round per matvec,
-// as in a real distributed JFNK.
+// as in a real distributed JFNK. The Norm2 here is the hidden collective
+// that pipelined GMRES eliminates via ApplyWithNorm.
 func (o *distOp) Apply(v, y []float64) {
+	o.ApplyWithNorm(v, y, o.ops.Norm2(v))
+}
+
+// ApplyWithNorm is Apply with ||v|| supplied by the caller
+// (krylov.NormedOperator): the pipelined solver tracks the exact norm via
+// its lag-normalization recurrence, so the matvec issues no collective.
+func (o *distOp) ApplyWithNorm(v, y []float64, vnorm float64) {
 	w := o.w
 	s := w.sub
 	nOwn := s.NOwned * 4
-	vnorm := o.ops.Norm2(v)
 	if vnorm == 0 {
 		for i := range y {
 			y[i] = 0

@@ -37,6 +37,11 @@ type Options struct {
 	Restart        int     // GMRES restart (default 30)
 	MaxLinearIters int     // per-step linear iteration cap (default 300)
 	FusedNorms     bool    // communication-reducing GMRES orthogonalization
+	// Pipelined selects the single-reduction-per-iteration GMRES variant
+	// (krylov.Options.Pipelined). In shared memory the reductions are cheap,
+	// so this mainly exists to validate the variant's numerics against the
+	// classical path on real solves; mpisim is where it pays.
+	Pipelined bool
 
 	// RefactorEvery rebuilds the Jacobian/ILU preconditioner only every
 	// k-th step (default 1 = every step). The paper calls factor reuse
@@ -254,6 +259,8 @@ func (st *Stepper) Solve(q []float64, opt Options) (History, error) {
 			MaxIters:   opt.MaxLinearIters,
 			RelTol:     opt.LinearRelTol,
 			FusedNorms: opt.FusedNorms,
+			Pipelined:  opt.Pipelined,
+			ZeroGuess:  true, // dq starts at zero; skips a matvec per step
 		})
 		gmresWall := time.Since(t0)
 		st.Prof.Add(prof.VecOps, gmresWall-(jvOp.elapsed-opBefore)-(prePre.elapsed-preBefore))
@@ -304,8 +311,17 @@ func (st *Stepper) matrixFreeOperator(q []float64, opt *Options) *mfOp {
 // Apply implements krylov.Operator.
 func (o *mfOp) Apply(v, y []float64) {
 	t0 := time.Now()
+	vnorm := o.st.Ops.Norm2(v)
+	o.elapsed += time.Since(t0)
+	o.ApplyWithNorm(v, y, vnorm)
+}
+
+// ApplyWithNorm implements krylov.NormedOperator: the pipelined solver
+// supplies the exact ||v|| from its lag-normalization recurrence, saving
+// the per-matvec norm reduction.
+func (o *mfOp) ApplyWithNorm(v, y []float64, vnorm float64) {
+	t0 := time.Now()
 	st := o.st
-	vnorm := st.Ops.Norm2(v)
 	if vnorm == 0 {
 		for i := range y {
 			y[i] = 0

@@ -104,7 +104,35 @@ func NewArtifact(experiment string, m *Metrics) *Artifact {
 	rate("trsv_blocks_per_sec", TRSVBlocks, TRSV)
 	rate("vec_elems_per_sec", VecElems, VecOps)
 	rate("allreduce_per_sec", AllreduceCalls, Allreduce)
+	// Collectives per Krylov iteration — the figure pipelined GMRES drives
+	// to one and benchdiff can gate on (per-iteration, so it is stable
+	// across run lengths in a way raw call counts are not).
+	if it := m.Counter(GMRESIters); it > 0 {
+		if c := m.Counter(KrylovAllreduceCalls); c > 0 {
+			a.Rates["krylov_allreduce_per_gmres_iter"] = float64(c) / float64(it)
+		}
+		if b := m.Counter(KrylovAllreduceBytes); b > 0 {
+			a.Rates["krylov_allreduce_bytes_per_gmres_iter"] = float64(b) / float64(it)
+		}
+	}
 	return a
+}
+
+// UpdateBaseline rewrites the committed baseline at baselinePath from the
+// fresh artifact at freshPath, validating the fresh artifact first (and, if
+// a baseline already exists, checking the two describe the same experiment).
+// This is the one sanctioned way to refresh CI's quick-bench baseline after
+// an intentional performance change.
+func UpdateBaseline(freshPath, baselinePath string) error {
+	fresh, err := ReadArtifact(freshPath)
+	if err != nil {
+		return fmt.Errorf("prof: fresh artifact: %w", err)
+	}
+	if old, err := ReadArtifact(baselinePath); err == nil && old.Experiment != fresh.Experiment {
+		return fmt.Errorf("prof: baseline is experiment %q but fresh artifact is %q",
+			old.Experiment, fresh.Experiment)
+	}
+	return fresh.WriteFile(baselinePath)
 }
 
 // Validate checks the schema version and required keys.

@@ -1,6 +1,7 @@
 package prof
 
 import (
+	"os"
 	"path/filepath"
 	"strings"
 	"testing"
@@ -206,5 +207,142 @@ func TestDiffSchemaMismatch(t *testing.T) {
 	b.Schema = "fun3d-bench/v2"
 	if _, _, err := DiffArtifacts(a, b, DiffOptions{}); err == nil {
 		t.Fatal("schema mismatch accepted")
+	}
+}
+
+// krylovMetrics is sampleMetrics with the Krylov collective counters set:
+// 33 collectives over 30 iterations (pipelined: iters + setup reductions).
+func krylovMetrics() *Metrics {
+	m := sampleMetrics()
+	m.Inc(KrylovAllreduceCalls, 33)
+	m.Inc(KrylovAllreduceBytes, 33*800)
+	return m
+}
+
+func TestArtifactKrylovRates(t *testing.T) {
+	art := NewArtifact("rates", krylovMetrics())
+	if got, want := art.Rates["krylov_allreduce_per_gmres_iter"], 33.0/30; got != want {
+		t.Fatalf("krylov_allreduce_per_gmres_iter = %v, want %v", got, want)
+	}
+	if got, want := art.Rates["krylov_allreduce_bytes_per_gmres_iter"], 33.0*800/30; got != want {
+		t.Fatalf("krylov_allreduce_bytes_per_gmres_iter = %v, want %v", got, want)
+	}
+	// Runs without Krylov counters (seed-era artifacts) must not carry the
+	// rates at all — the gate skips them instead of comparing zeros.
+	plain := NewArtifact("rates", sampleMetrics())
+	if _, ok := plain.Rates["krylov_allreduce_per_gmres_iter"]; ok {
+		t.Fatal("rate present without KrylovAllreduceCalls")
+	}
+}
+
+func TestDiffGateRates(t *testing.T) {
+	gate := DiffOptions{Threshold: 1.5, GateRates: []string{"krylov_allreduce_per_gmres_iter"}}
+
+	// Steady rate passes.
+	old := NewArtifact("diff", krylovMetrics())
+	same := NewArtifact("diff", krylovMetrics())
+	entries, regressed, err := DiffArtifacts(old, same, gate)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if regressed {
+		t.Fatal("identical gated rate flagged")
+	}
+	found := false
+	for _, e := range entries {
+		if e.Kernel == "rate:krylov_allreduce_per_gmres_iter" {
+			found = true
+			if e.Ratio != 1 {
+				t.Fatalf("steady rate ratio %v", e.Ratio)
+			}
+		}
+	}
+	if !found {
+		t.Fatal("gated rate missing from diff entries")
+	}
+
+	// A pipelined->classical regression (1.1 -> 4.1 per iter) flags.
+	worse := NewArtifact("diff", krylovMetrics())
+	worse.Rates["krylov_allreduce_per_gmres_iter"] *= 3.7
+	_, regressed, err = DiffArtifacts(old, worse, gate)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !regressed {
+		t.Fatal("3.7x gated-rate growth not flagged")
+	}
+
+	// The rate disappearing from the new artifact flags (counter booking
+	// silently lost is exactly the regression the gate exists to catch).
+	gone := NewArtifact("diff", krylovMetrics())
+	delete(gone.Rates, "krylov_allreduce_per_gmres_iter")
+	_, regressed, err = DiffArtifacts(old, gone, gate)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !regressed {
+		t.Fatal("vanished gated rate not flagged")
+	}
+
+	// A baseline without the rate skips the gate (seed-era baselines).
+	_, regressed, err = DiffArtifacts(gone, same, gate)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if regressed {
+		t.Fatal("gate applied against a baseline lacking the rate")
+	}
+}
+
+func TestUpdateBaseline(t *testing.T) {
+	dir := t.TempDir()
+	fresh := filepath.Join(dir, "fresh.json")
+	baseline := filepath.Join(dir, "baseline.json")
+
+	art := NewArtifact("quick", krylovMetrics())
+	if err := art.WriteFile(baseline); err != nil {
+		t.Fatal(err)
+	}
+	next := NewArtifact("quick", krylovMetrics())
+	next.Rates["krylov_allreduce_per_gmres_iter"] = 1.15
+	if err := next.WriteFile(fresh); err != nil {
+		t.Fatal(err)
+	}
+	if err := UpdateBaseline(fresh, baseline); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadArtifact(baseline)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Rates["krylov_allreduce_per_gmres_iter"] != 1.15 {
+		t.Fatalf("baseline not rewritten: %v", got.Rates)
+	}
+
+	// A fresh artifact from a different experiment must be rejected — the
+	// committed baseline's identity is part of the gate.
+	other := NewArtifact("fig5", krylovMetrics())
+	otherPath := filepath.Join(dir, "other.json")
+	if err := other.WriteFile(otherPath); err != nil {
+		t.Fatal(err)
+	}
+	if err := UpdateBaseline(otherPath, baseline); err == nil {
+		t.Fatal("experiment mismatch accepted")
+	}
+	// Garbage fresh input is rejected before touching the baseline.
+	bad := filepath.Join(dir, "bad.json")
+	if err := os.WriteFile(bad, []byte("{"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := UpdateBaseline(bad, baseline); err == nil {
+		t.Fatal("garbage fresh artifact accepted")
+	}
+	// A missing baseline is fine: first-time creation.
+	created := filepath.Join(dir, "new_baseline.json")
+	if err := UpdateBaseline(fresh, created); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadArtifact(created); err != nil {
+		t.Fatal(err)
 	}
 }

@@ -18,6 +18,13 @@ type DiffOptions struct {
 	// absolute seconds. Shares are machine-independent, so this is the mode
 	// for CI comparisons against a committed baseline from another machine.
 	Shares bool
+	// GateRates names derived rates (Artifact.Rates keys) that must not grow
+	// past Threshold×old. Rates are machine-independent counts per unit of
+	// work — krylov_allreduce_per_gmres_iter is the canonical gate: a change
+	// that reintroduces a collective per iteration fails CI even though no
+	// kernel timing moved. A rate present in the old artifact but missing
+	// from the new one also flags (the instrumentation went dark).
+	GateRates []string
 }
 
 func (o *DiffOptions) defaults() {
@@ -81,6 +88,28 @@ func DiffArtifacts(oldA, newA *Artifact, opt DiffOptions) ([]DiffEntry, bool, er
 		// ratio is meaningless — never flag.
 		audible := ro.Seconds >= opt.MinSeconds || rn.Seconds >= opt.MinSeconds
 		if audible && e.Ratio > opt.Threshold {
+			e.Regressed = true
+			regressed = true
+		}
+		out = append(out, e)
+	}
+	for _, name := range opt.GateRates {
+		vo, haveOld := oldA.Rates[name]
+		vn, haveNew := newA.Rates[name]
+		if !haveOld {
+			// Nothing to gate against: the baseline predates this rate.
+			continue
+		}
+		e := DiffEntry{Kernel: "rate:" + name, Old: vo, New: vn}
+		switch {
+		case vo > 0:
+			e.Ratio = vn / vo
+		case vn > 0:
+			e.Ratio = math.Inf(1)
+		default:
+			e.Ratio = 1
+		}
+		if !haveNew || e.Ratio > opt.Threshold {
 			e.Regressed = true
 			regressed = true
 		}

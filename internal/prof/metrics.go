@@ -37,6 +37,13 @@ const (
 	GMRESIters
 	// NewtonSteps counts nonlinear pseudo-time steps.
 	NewtonSteps
+	// KrylovAllreduceCalls counts the collectives issued inside GMRES
+	// solves only (a subset of AllreduceCalls): divided by GMRESIters it
+	// is the collectives-per-iteration figure the pipelined variant drives
+	// to one, and what benchdiff gates on.
+	KrylovAllreduceCalls
+	// KrylovAllreduceBytes counts the payload bytes of those collectives.
+	KrylovAllreduceBytes
 	numCounters
 )
 
@@ -66,6 +73,10 @@ func (c Counter) String() string {
 		return "gmres_iters"
 	case NewtonSteps:
 		return "newton_steps"
+	case KrylovAllreduceCalls:
+		return "krylov_allreduce_calls"
+	case KrylovAllreduceBytes:
+		return "krylov_allreduce_bytes"
 	}
 	return fmt.Sprintf("Counter(%d)", int(c))
 }

@@ -66,3 +66,22 @@ func abs(a float64) float64 {
 	}
 	return a
 }
+
+// DotBatch runs once per pipelined-GMRES iteration with O(Restart) pairs;
+// like the other reductions it must not allocate in steady state.
+func TestDotBatchZeroAlloc(t *testing.T) {
+	p := par.NewPool(4)
+	defer p.Close()
+	o := New(p)
+	const n = 4096
+	pairs := make([]DotPair, 0, 32)
+	for k := 0; k < 32; k++ {
+		pairs = append(pairs, DotPair{X: randVec(n, int64(40+k)), Y: randVec(n, int64(80+k))})
+	}
+	out := make([]float64, len(pairs))
+	f := func() { o.DotBatch(pairs, out) }
+	f() // warm up: grows the padded scratch once
+	if avg := testing.AllocsPerRun(20, f); avg != 0 {
+		t.Errorf("DotBatch: %v allocs per steady-state call, want 0", avg)
+	}
+}

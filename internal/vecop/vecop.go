@@ -54,12 +54,14 @@ type scratch struct {
 	stride int // current slot stride, multiple of pad
 
 	// arguments of the in-flight reduction, read by the bodies
-	x, y []float64
-	ys   [][]float64
+	x, y  []float64
+	ys    [][]float64
+	pairs []DotPair
 
-	dotBody  func(tid, lo, hi int)
-	mdotBody func(tid, lo, hi int) // also computes ||x||² when withNorm
-	withNorm bool
+	dotBody   func(tid, lo, hi int)
+	mdotBody  func(tid, lo, hi int) // also computes ||x||² when withNorm
+	batchBody func(tid, lo, hi int)
+	withNorm  bool
 }
 
 func newScratch(nw int) *scratch {
@@ -91,6 +93,17 @@ func newScratch(nw int) *scratch {
 			s.buf[base+len(s.ys)] = acc
 		}
 	}
+	s.batchBody = func(tid, lo, hi int) {
+		base := tid * s.stride
+		for k := range s.pairs {
+			x, y := s.pairs[k].X, s.pairs[k].Y
+			acc := 0.0
+			for i := lo; i < hi; i++ {
+				acc += x[i] * y[i]
+			}
+			s.buf[base+k] = acc
+		}
+	}
 	return s
 }
 
@@ -111,7 +124,7 @@ func (s *scratch) begin(nvals int) {
 
 // end releases the argument references so they are not pinned between calls.
 func (s *scratch) end() {
-	s.x, s.y, s.ys = nil, nil, nil
+	s.x, s.y, s.ys, s.pairs = nil, nil, nil, nil
 }
 
 // scratchFor returns the persistent scratch, or a fresh one for a
@@ -289,6 +302,42 @@ func (o Ops) MDotNorm(x []float64, ys [][]float64, dots []float64) float64 {
 	}
 	s.end()
 	return math.Sqrt(norm2)
+}
+
+// DotPair names one inner product x·y of a batched reduction. All pairs of
+// one DotBatch call must have a common vector length.
+type DotPair struct {
+	X, Y []float64
+}
+
+// DotBatch computes out[k] = pairs[k].X · pairs[k].Y for every pair in one
+// sweep over the index space — the shared-memory realization of the
+// single-reduction batch behind pipelined GMRES (krylov.BatchedReducer):
+// projection dots, ||w||², and the lag-normalization Gram terms all land in
+// one reduction instead of three. Zero-alloc in steady state for an Ops
+// built with New.
+func (o Ops) DotBatch(pairs []DotPair, out []float64) {
+	if len(pairs) == 0 {
+		return
+	}
+	if o.Pool == nil {
+		for k := range pairs {
+			out[k] = DotSeq(pairs[k].X, pairs[k].Y)
+		}
+		return
+	}
+	s := o.scratchFor()
+	s.pairs = pairs
+	s.begin(len(pairs))
+	o.Pool.ParallelFor(len(pairs[0].X), s.batchBody)
+	for k := range pairs {
+		acc := 0.0
+		for t := 0; t < s.nw; t++ {
+			acc += s.buf[t*s.stride+k]
+		}
+		out[k] = acc
+	}
+	s.end()
 }
 
 // MDot computes dots[k] = x·ys[k] for all k in one sweep (PETSc VecMDot),

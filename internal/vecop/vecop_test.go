@@ -200,3 +200,31 @@ func TestMDotNorm(t *testing.T) {
 		}
 	})
 }
+
+// DotBatch is the shared-memory leg of the pipelined-GMRES single
+// reduction: every pair must match its sequential inner product, including
+// aliased pairs (x·x norms ride the same batch as projections).
+func TestDotBatch(t *testing.T) {
+	withOps(t, func(o Ops, name string) {
+		n := 1003
+		x := randVec(n, 21)
+		y := randVec(n, 22)
+		zs := make([][]float64, 7)
+		for k := range zs {
+			zs[k] = randVec(n, int64(23+k))
+		}
+		pairs := []DotPair{{X: x, Y: y}, {X: x, Y: x}, {X: y, Y: y}}
+		for _, z := range zs {
+			pairs = append(pairs, DotPair{X: x, Y: z})
+		}
+		out := make([]float64, len(pairs))
+		o.DotBatch(pairs, out)
+		for k, p := range pairs {
+			if want := DotSeq(p.X, p.Y); !close2(out[k], want) {
+				t.Fatalf("%s: pair %d: got %v want %v", name, k, out[k], want)
+			}
+		}
+		// Empty batch is a no-op.
+		o.DotBatch(nil, nil)
+	})
+}
