@@ -11,6 +11,8 @@
 //	clustersim -ranks 64 -allreduce flat       # linear collective cost model
 //	clustersim -mesh d -ranks 256 -steps 3
 //	clustersim -ranks 16 -json run.json        # machine-readable artifact
+//	clustersim -ranks 8 -noise 0.5             # deterministic straggler noise
+//	clustersim -ranks 8 -mtbf 0.05 -steps 5    # injected crashes + checkpoint/restart
 package main
 
 import (
@@ -40,6 +42,10 @@ func main() {
 		fill     = flag.Int("fill", 0, "ILU fill level per rank")
 		cfl      = flag.Float64("cfl", 20, "initial CFL")
 		jsonOut  = flag.String("json", "", "write a schema-versioned JSON artifact (prof.Artifact) to this path")
+		noise    = flag.Float64("noise", 0, "straggler noise amplitude: compute/p2p intervals stretched by up to this fraction")
+		mtbf     = flag.Float64("mtbf", 0, "mean virtual time between injected rank crashes, seconds (0 = no crashes)")
+		ckEvery  = flag.Int("checkpoint-every", 1, "in-memory checkpoint interval in pseudo-time steps")
+		faultSd  = flag.Uint64("fault-seed", 42, "seed for the deterministic fault plan")
 	)
 	flag.Parse()
 
@@ -116,6 +122,12 @@ func main() {
 		CFL0:           *cfl,
 		Seed:           11,
 		Pipelined:      *gmres == "pipelined",
+		Faults: fun3d.FaultConfig{
+			Seed:  *faultSd,
+			Noise: *noise,
+			MTBF:  *mtbf,
+		},
+		CheckpointEvery: *ckEvery,
 	}
 	if *steps > 0 {
 		cfg.MaxSteps = *steps
@@ -133,6 +145,10 @@ func main() {
 	fmt.Printf("  allreduce       %.4fs (%d collectives)\n", res.AllreduceTime, res.Allreduces)
 	fmt.Printf("  point-to-point  %.4fs (%d msgs, %.1f MB)\n", res.PtPTime, res.Msgs, float64(res.Bytes)/1e6)
 	fmt.Printf("communication fraction: %.1f%%\n", 100*res.CommFraction())
+	if *noise > 0 || *mtbf > 0 {
+		fmt.Printf("faults: %d injected, %d restarts, %d recomputed steps, %.4fs straggler noise/rank\n",
+			res.FaultsInjected, res.Restarts, res.RecomputedSteps, res.NoiseTime)
+	}
 
 	if *jsonOut != "" {
 		art := prof.NewArtifact("clustersim", res.Metrics)
@@ -148,6 +164,12 @@ func main() {
 			"fill":             *fill,
 			"steps":            res.Steps,
 			"time_axis":        "virtual",
+		}
+		if *noise > 0 || *mtbf > 0 {
+			art.Config["noise"] = *noise
+			art.Config["mtbf"] = *mtbf
+			art.Config["checkpoint_every"] = *ckEvery
+			art.Config["fault_seed"] = *faultSd
 		}
 		if err := art.WriteFile(*jsonOut); err != nil {
 			fatal(err)

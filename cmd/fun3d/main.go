@@ -11,6 +11,7 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -91,7 +92,19 @@ func main() {
 	defer solver.Close()
 	fmt.Println("config:", solver.Describe())
 	if *loadPath != "" {
-		if err := solver.LoadState(mustOpen(*loadPath)); err != nil {
+		lf, err := os.Open(*loadPath)
+		if err != nil {
+			fatal(err)
+		}
+		err = solver.LoadState(lf)
+		if cerr := lf.Close(); err == nil && cerr != nil {
+			err = cerr
+		}
+		var pm *fun3d.ParamMismatchError
+		if errors.As(err, &pm) {
+			// State loaded; the checkpoint's flow parameters were adopted.
+			fmt.Println("warning:", pm)
+		} else if err != nil {
 			fatal(err)
 		}
 		fmt.Println("restored checkpoint", *loadPath)
@@ -119,6 +132,12 @@ func main() {
 			fatal(err)
 		}
 		if err := solver.SaveState(sf); err != nil {
+			sf.Close()
+			fatal(err)
+		}
+		// A checkpoint that vanishes into a failed flush is worse than no
+		// checkpoint: surface write-back errors before reporting success.
+		if err := sf.Sync(); err != nil {
 			sf.Close()
 			fatal(err)
 		}
@@ -187,14 +206,6 @@ func parseSched(s string) (precond.Scheduling, error) {
 		return precond.SchedP2P, nil
 	}
 	return 0, fmt.Errorf("unknown scheduling %q", s)
-}
-
-func mustOpen(path string) *os.File {
-	f, err := os.Open(path)
-	if err != nil {
-		fatal(err)
-	}
-	return f
 }
 
 func fatal(err error) {

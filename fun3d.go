@@ -124,8 +124,15 @@ func (s *Solver) WriteVTK(w io.Writer) error {
 // configurations on the same mesh).
 func (s *Solver) SaveState(w io.Writer) error { return s.app.SaveState(w) }
 
-// LoadState restores a checkpoint written by SaveState.
+// LoadState restores a checkpoint written by SaveState. If the checkpoint
+// was written at different flow parameters, the state is still loaded, the
+// checkpoint's parameters are adopted, and a *ParamMismatchError is
+// returned as a warning (detect with errors.As).
 func (s *Solver) LoadState(r io.Reader) error { return s.app.LoadState(r) }
+
+// ParamMismatchError is the warning LoadState returns when a checkpoint's
+// flow parameters differ from the solver's configuration.
+type ParamMismatchError = core.ParamMismatchError
 
 // Profile returns the per-kernel time breakdown accumulated so far.
 func (s *Solver) Profile() *prof.Metrics { return s.app.Prof }
@@ -137,8 +144,17 @@ func (s *Solver) Describe() string { return s.app.Describe() }
 func (s *Solver) Close() { s.app.Close() }
 
 // ClusterConfig describes a simulated multi-node run (rank count, kernel
-// rates, network model).
+// rates, network model, fault plan).
 type ClusterConfig = mpisim.Config
+
+// FaultConfig describes deterministic fault injection for a simulated
+// cluster run: seeded straggler noise, point-to-point jitter, and
+// scheduled rank crashes recovered from periodic in-memory checkpoints.
+type FaultConfig = mpisim.FaultConfig
+
+// CrashError is the error a simulated run reports when it gives up after
+// exhausting its restart budget under injected crashes.
+type CrashError = mpisim.CrashError
 
 // ClusterResult reports a simulated multi-node run: real convergence
 // counts, modeled time, and the communication breakdown.

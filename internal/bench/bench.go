@@ -138,6 +138,7 @@ var registry = map[string]func(*Options) error{
 	"overlap":           overlap,
 	"quick":             quick,
 	"allreduce-scaling": allreduceScaling,
+	"faults":            faults,
 }
 
 // Run executes the named experiment ("all" runs every one in order).
@@ -149,7 +150,7 @@ func Run(name string, opt Options) error {
 	if name == "all" {
 		for _, n := range []string{"table1", "table2", "fig5", "fig6a", "fig6b",
 			"fig7a", "fig7b", "fig8a", "fig8b", "fig9", "fig10", "fig11", "overlap",
-			"allreduce-scaling", "quick"} {
+			"allreduce-scaling", "faults", "quick"} {
 			if err := Run(n, opt); err != nil {
 				return fmt.Errorf("%s: %w", n, err)
 			}

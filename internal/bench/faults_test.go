@@ -1,0 +1,63 @@
+package bench
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"fun3d/internal/prof"
+)
+
+// The faults artifact must report actual recovery: at least one restart,
+// with nonzero recomputed-step and noise-time counters — otherwise the
+// experiment silently degenerated into a fault-free run.
+func TestFaultsArtifactReportsRecovery(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiments are slow")
+	}
+	var buf strings.Builder
+	opts := quickOpts(&buf)
+	dir := t.TempDir()
+	opts.JSONDir = dir
+	if err := Run("faults", opts); err != nil {
+		t.Fatal(err)
+	}
+	art, err := prof.ReadArtifact(filepath.Join(dir, "BENCH_faults.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range []string{"faults_injected", "fault_restarts", "fault_recomputed_steps", "fault_noise_us"} {
+		if art.Counters[c] < 1 {
+			t.Fatalf("artifact counter %s = %d, want >= 1 (counters: %v)", c, art.Counters[c], art.Counters)
+		}
+	}
+	if art.Counters["fault_restarts"] != art.Counters["faults_injected"] {
+		// Not required in general (a give-up run has faults > restarts),
+		// but the experiment's budget is sized so every fault is recovered.
+		t.Fatalf("unrecovered faults in the recorded run: %v", art.Counters)
+	}
+}
+
+// The quick artifact — what CI's benchdiff gate compares — must carry the
+// recovery counters from its fault-injected mini-run.
+func TestQuickArtifactCarriesFaultCounters(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiments are slow")
+	}
+	var buf strings.Builder
+	opts := quickOpts(&buf)
+	dir := t.TempDir()
+	opts.JSONDir = dir
+	if err := Run("quick", opts); err != nil {
+		t.Fatal(err)
+	}
+	art, err := prof.ReadArtifact(filepath.Join(dir, "BENCH_quick.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range []string{"faults_injected", "fault_restarts", "fault_recomputed_steps", "fault_noise_us"} {
+		if art.Counters[c] < 1 {
+			t.Fatalf("quick artifact counter %s = %d, want >= 1 (counters: %v)", c, art.Counters[c], art.Counters)
+		}
+	}
+}

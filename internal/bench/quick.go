@@ -57,6 +57,23 @@ func quick(o *Options) error {
 	}
 	agg.Merge(r.Metrics)
 
+	// A fault-injected mini-run contributes the recovery counters
+	// (faults_injected, fault_restarts, fault_recomputed_steps,
+	// fault_noise_us) so benchdiff gates see them. Fixed synthetic rates:
+	// the crash schedule depends on the virtual-time trajectory, and only
+	// pinned rates make the counters machine-independent.
+	cleanTime, err := mpisim.Solve(m, faultQuickConfig(o, 0))
+	if err != nil {
+		return err
+	}
+	rf, err := mpisim.Solve(m, faultQuickConfig(o, cleanTime.Time/3))
+	if err != nil {
+		return err
+	}
+	agg.Merge(rf.Metrics)
+	fmt.Fprintf(o.Out, "   fault mini-run: %d faults, %d restarts, %d recomputed steps\n",
+		rf.FaultsInjected, rf.Restarts, rf.RecomputedSteps)
+
 	w := table(o)
 	fmt.Fprintln(w, "kernel\tseconds\tcalls\tbytes\tGB/s")
 	for _, k := range prof.Kernels() {
@@ -75,5 +92,25 @@ func quick(o *Options) error {
 		"newton_steps": 3,
 		"ranks":        2,
 		"cfl0":         o.CFL0,
+		"fault_seed":   uint64(7),
 	}, nil)
+}
+
+// faultQuickConfig is the quick experiment's fault-injected distributed
+// mini-run: two ranks on fixed synthetic rates, with crashes at the given
+// MTBF (0 = the fault-free twin used to size the MTBF).
+func faultQuickConfig(o *Options, mtbf float64) mpisim.Config {
+	cfg := mpisim.Config{
+		Ranks:    2,
+		Rates:    faultRates(),
+		Net:      perfmodel.Stampede(),
+		MaxSteps: 4,
+		RelTol:   1e-30,
+		CFL0:     o.CFL0,
+		Seed:     11,
+	}
+	if mtbf > 0 {
+		cfg.Faults = mpisim.FaultConfig{Seed: 7, Noise: 0.25, MTBF: mtbf}
+	}
+	return cfg
 }

@@ -4,6 +4,8 @@ import (
 	"encoding/gob"
 	"fmt"
 	"io"
+
+	"fun3d/internal/physics"
 )
 
 // checkpoint is the serialized solver state.
@@ -26,10 +28,31 @@ func (app *App) SaveState(w io.Writer) error {
 	return gob.NewEncoder(w).Encode(&cp)
 }
 
+// ParamMismatchError reports that a checkpoint was written at different
+// flow parameters than the app was configured with. LoadState still loads
+// the state and adopts the checkpoint's parameters (restarting at a new
+// angle of attack is a standard continuation technique, and resuming with
+// the configured freestream against a foreign state silently changes the
+// problem); the error is returned so callers can surface the change as a
+// warning. Detect it with errors.As.
+type ParamMismatchError struct {
+	CfgAlphaDeg, CkptAlphaDeg float64
+	CfgBeta, CkptBeta         float64
+}
+
+func (e *ParamMismatchError) Error() string {
+	return fmt.Sprintf("core: checkpoint flow parameters differ from config: alpha %g° vs %g°, beta %g vs %g (checkpoint values adopted)",
+		e.CkptAlphaDeg, e.CfgAlphaDeg, e.CkptBeta, e.CfgBeta)
+}
+
 // LoadState restores a state written by SaveState. The mesh sizes must
-// match; the flow parameters are informational (a warning-level mismatch
-// is tolerated since restarting at a new angle of attack is a standard
-// continuation technique).
+// match. The checkpoint's flow parameters (angle of attack, artificial
+// compressibility beta) are restored into the app — the freestream state
+// and the flux kernels' boundary conditions are re-derived from them — so
+// a resumed run continues the same problem the checkpoint froze, not the
+// one the app happened to be configured with. If they differ from the
+// configured values, the state is still loaded and a *ParamMismatchError
+// is returned as a warning.
 func (app *App) LoadState(r io.Reader) error {
 	var cp checkpoint
 	if err := gob.NewDecoder(r).Decode(&cp); err != nil {
@@ -41,13 +64,29 @@ func (app *App) LoadState(r io.Reader) error {
 	if len(cp.Q) != cp.NV*4 {
 		return fmt.Errorf("core: corrupt checkpoint state length %d", len(cp.Q))
 	}
+	if cp.Beta <= 0 {
+		return fmt.Errorf("core: corrupt checkpoint beta %g", cp.Beta)
+	}
 	// Map original ordering into the solver ordering.
 	if app.Perm == nil {
 		copy(app.Q, cp.Q)
-		return nil
+	} else {
+		for old, nw := range app.Perm {
+			copy(app.Q[int(nw)*4:int(nw)*4+4], cp.Q[old*4:old*4+4])
+		}
 	}
-	for old, nw := range app.Perm {
-		copy(app.Q[int(nw)*4:int(nw)*4+4], cp.Q[old*4:old*4+4])
+	var warn error
+	if cp.AlphaDeg != app.Cfg.AlphaDeg || cp.Beta != app.Cfg.Beta {
+		warn = &ParamMismatchError{
+			CfgAlphaDeg: app.Cfg.AlphaDeg, CkptAlphaDeg: cp.AlphaDeg,
+			CfgBeta: app.Cfg.Beta, CkptBeta: cp.Beta,
+		}
 	}
-	return nil
+	// Adopt the checkpoint's parameters: QInf feeds the farfield boundary
+	// flux and ResetState; the kernels hold their own copies.
+	app.Cfg.AlphaDeg, app.Cfg.Beta = cp.AlphaDeg, cp.Beta
+	app.QInf = physics.FreeStream(cp.AlphaDeg)
+	app.Kern.QInf = app.QInf
+	app.Kern.Beta = cp.Beta
+	return warn
 }

@@ -1,0 +1,161 @@
+package core
+
+import (
+	"bytes"
+	"errors"
+	"strings"
+	"testing"
+
+	"fun3d/internal/newton"
+	"fun3d/internal/physics"
+)
+
+// solveAndSave runs a short solve under cfg and returns the checkpoint
+// bytes plus the original-order state it froze.
+func solveAndSave(t *testing.T, cfg Config) ([]byte, []float64) {
+	t.Helper()
+	app, err := NewApp(tinyMesh(t), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer app.Close()
+	if _, err := app.Run(newton.Options{MaxSteps: 10, RelTol: 1e-3}); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := app.SaveState(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes(), app.StateOriginalOrder()
+}
+
+// Checkpoints written without RCM must restore exactly into an RCM app —
+// the inverse direction of TestCheckpointRoundtrip, pinning both sides of
+// the original<->solver ordering map.
+func TestCheckpointUnpermutedToRCM(t *testing.T) {
+	plain := BaselineConfig()
+	plain.RCM = false
+	data, want := solveAndSave(t, plain)
+
+	rcm, err := NewApp(tinyMesh(t), BaselineConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rcm.Close()
+	if rcm.Perm == nil {
+		t.Fatal("RCM app has no permutation; test is vacuous")
+	}
+	if err := rcm.LoadState(bytes.NewReader(data)); err != nil {
+		t.Fatal(err)
+	}
+	got := rcm.StateOriginalOrder()
+	for i := range want {
+		if want[i] != got[i] {
+			t.Fatalf("state mismatch at %d: %v vs %v", i, got[i], want[i])
+		}
+	}
+}
+
+// Matching flow parameters load cleanly: no warning, parameters untouched.
+func TestLoadStateParamsMatch(t *testing.T) {
+	data, _ := solveAndSave(t, BaselineConfig())
+	app, err := NewApp(tinyMesh(t), BaselineConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer app.Close()
+	if err := app.LoadState(bytes.NewReader(data)); err != nil {
+		t.Fatalf("matching parameters produced an error: %v", err)
+	}
+	want := BaselineConfig()
+	if app.Cfg.AlphaDeg != want.AlphaDeg || app.Cfg.Beta != want.Beta {
+		t.Fatalf("matching load changed parameters: alpha=%g beta=%g", app.Cfg.AlphaDeg, app.Cfg.Beta)
+	}
+}
+
+// Mismatched flow parameters: the state is loaded, the checkpoint's
+// parameters are adopted everywhere they are cached (Cfg, freestream,
+// flux kernels), and a *ParamMismatchError comes back as a warning.
+func TestLoadStateParamsMismatchAdopted(t *testing.T) {
+	saved := BaselineConfig()
+	saved.AlphaDeg, saved.Beta = 3.06, 5
+	data, want := solveAndSave(t, saved)
+
+	cfg := BaselineConfig()
+	cfg.AlphaDeg, cfg.Beta = 1.25, 7
+	app, err := NewApp(tinyMesh(t), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer app.Close()
+
+	err = app.LoadState(bytes.NewReader(data))
+	var pm *ParamMismatchError
+	if !errors.As(err, &pm) {
+		t.Fatalf("expected *ParamMismatchError, got %v", err)
+	}
+	if pm.CkptAlphaDeg != 3.06 || pm.CkptBeta != 5 || pm.CfgAlphaDeg != 1.25 || pm.CfgBeta != 7 {
+		t.Fatalf("mismatch payload wrong: %+v", pm)
+	}
+	// State loaded despite the warning.
+	got := app.StateOriginalOrder()
+	for i := range want {
+		if want[i] != got[i] {
+			t.Fatalf("warning dropped the state: mismatch at %d", i)
+		}
+	}
+	// Parameters adopted and re-derived in every cached location.
+	if app.Cfg.AlphaDeg != 3.06 || app.Cfg.Beta != 5 {
+		t.Fatalf("checkpoint parameters not adopted: alpha=%g beta=%g", app.Cfg.AlphaDeg, app.Cfg.Beta)
+	}
+	if app.QInf != physics.FreeStream(3.06) {
+		t.Fatalf("freestream not re-derived: %+v", app.QInf)
+	}
+	if app.Kern.QInf != app.QInf || app.Kern.Beta != 5 {
+		t.Fatalf("flux kernels kept stale parameters: qinf=%+v beta=%g", app.Kern.QInf, app.Kern.Beta)
+	}
+	// The adopted-parameter app must now continue the checkpoint's problem:
+	// a restart converges from the near-converged state (it would diverge
+	// from the residual of a different angle of attack).
+	r, err := app.Run(newton.Options{MaxSteps: 30})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r.History.Converged {
+		t.Fatalf("restart with adopted parameters did not converge: %+v", r.History)
+	}
+}
+
+// A truncated or corrupted checkpoint must fail with a clear decode error
+// and leave the app's state untouched — not load garbage.
+func TestLoadStateTruncatedAndCorrupt(t *testing.T) {
+	data, _ := solveAndSave(t, BaselineConfig())
+	app, err := NewApp(tinyMesh(t), BaselineConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer app.Close()
+	before := append([]float64(nil), app.Q...)
+
+	for _, tc := range []struct {
+		name string
+		data []byte
+	}{
+		{"truncated", data[:len(data)/2]},
+		{"empty", nil},
+		{"garbage", []byte("not a gob stream at all")},
+	} {
+		err := app.LoadState(bytes.NewReader(tc.data))
+		if err == nil {
+			t.Fatalf("%s checkpoint accepted", tc.name)
+		}
+		if !strings.Contains(err.Error(), "checkpoint decode") {
+			t.Fatalf("%s: unclear error: %v", tc.name, err)
+		}
+		for i := range before {
+			if app.Q[i] != before[i] {
+				t.Fatalf("%s checkpoint modified state at %d", tc.name, i)
+			}
+		}
+	}
+}

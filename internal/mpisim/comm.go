@@ -40,6 +40,12 @@ func newMailbox() *mailbox {
 
 func (m *mailbox) put(e envelope) {
 	m.mu.Lock()
+	if m.aborted {
+		// Late send into a dead communicator generation: drop it so the
+		// payload cannot be consumed (or retained) after an abort.
+		m.mu.Unlock()
+		return
+	}
 	m.queue = append(m.queue, e)
 	m.mu.Unlock()
 	m.cond.Broadcast()
@@ -65,6 +71,12 @@ func (m *mailbox) get(from, tag int) envelope {
 func (m *mailbox) abort() {
 	m.mu.Lock()
 	m.aborted = true
+	// Release queued payloads: a failed large-mesh run must not pin halo
+	// buffers for the lifetime of the dead communicator, and no rank may
+	// consume a message from a dead generation (get re-checks aborted
+	// before every scan, so clearing here is observationally equivalent to
+	// the messages never arriving).
+	m.queue = nil
 	m.mu.Unlock()
 	m.cond.Broadcast()
 }
@@ -111,11 +123,21 @@ type Rank struct {
 	comm *Comm
 	id   int
 
+	// fp, when non-nil, injects the deterministic fault plan: straggler
+	// noise on Compute, jitter on point-to-point arrivals, and scheduled
+	// crashes checked at Compute and at the *entry* of the blocking calls
+	// (Wait, Allreduce) — never after a completed collective, so a crash
+	// cannot split one (see FaultPlan.check).
+	fp *FaultPlan
+
 	// Virtual time accounting (seconds).
 	Clock         float64
 	ComputeTime   float64
 	PtPTime       float64
 	AllreduceTime float64
+	// NoiseTime is the share of Clock added by injected straggler noise
+	// and point-to-point jitter (a subset of ComputeTime + PtPTime).
+	NoiseTime float64
 
 	// Traffic statistics.
 	MsgsSent     int
@@ -138,10 +160,19 @@ func (r *Rank) ID() int { return r.id }
 // Size returns the communicator size.
 func (r *Rank) Size() int { return r.comm.size }
 
-// Compute advances the rank's virtual clock by a modeled compute duration.
+// Compute advances the rank's virtual clock by a modeled compute duration,
+// stretched by the fault plan's straggler noise when one is installed.
 func (r *Rank) Compute(seconds float64) {
+	if r.fp != nil {
+		extra := r.fp.computeNoise(r.id, r.Clock, seconds)
+		seconds += extra
+		r.NoiseTime += extra
+	}
 	r.Clock += seconds
 	r.ComputeTime += seconds
+	if r.fp != nil {
+		r.fp.check(r)
+	}
 }
 
 // Send posts data to rank `to` with the given tag. The data is copied;
@@ -185,8 +216,19 @@ func (r *Rank) Wait(req *Request) []float64 {
 	if req.done {
 		return req.data
 	}
+	if r.fp != nil {
+		// Crash deadline checked at entry: a rank whose scheduled failure
+		// time has passed dies here instead of blocking on a peer.
+		r.fp.check(r)
+	}
 	e := r.comm.boxes[r.id].get(req.from, req.tag)
-	arrive := e.sendClock + r.comm.net.PtP(req.from, r.id, 8*len(e.data))
+	ptp := r.comm.net.PtP(req.from, r.id, 8*len(e.data))
+	if r.fp != nil {
+		jitter := r.fp.ptpDelay(r.id, r.Clock, ptp)
+		ptp += jitter
+		r.NoiseTime += jitter
+	}
+	arrive := e.sendClock + ptp
 	if arrive > r.Clock {
 		r.PtPTime += arrive - r.Clock
 		r.Clock = arrive
@@ -227,6 +269,18 @@ type reducer struct {
 func (r *reducer) abort() {
 	r.mu.Lock()
 	r.aborted = true
+	// Drop the pending contributions of the in-flight (incomplete)
+	// generation so a failed large-mesh run releases reduction payload
+	// memory — that generation can never complete, as no new rank may
+	// enter an aborted reducer. Completed-generation slots are kept:
+	// stragglers of a collective that DID complete still collect its
+	// result (see Allreduce), which is what makes every rank observe the
+	// same last completed step regardless of abort timing.
+	for i := range r.parts {
+		r.parts[i] = nil
+	}
+	r.count = 0
+	r.curMax = 0
 	r.mu.Unlock()
 	r.cond.Broadcast()
 }
@@ -243,6 +297,15 @@ func newReducer(size int) *reducer {
 // plus the modeled collective cost — the term that dominates the paper's
 // 256-node runs.
 func (r *Rank) Allreduce(vals []float64) []float64 {
+	if r.fp != nil {
+		// Crash deadline checked at entry only — never after the collective
+		// completes — so a scheduled crash keeps a rank out of the
+		// rendezvous entirely rather than killing it between the reduction
+		// and its clock synchronization. Either every live rank finishes
+		// this Allreduce or none does, the invariant the distributed
+		// checkpoint store relies on.
+		r.fp.check(r)
+	}
 	red := r.comm.red
 	red.mu.Lock()
 	if red.aborted {
@@ -276,10 +339,17 @@ func (r *Rank) Allreduce(vals []float64) []float64 {
 		for red.gen == myGen && !red.aborted {
 			red.cond.Wait()
 		}
-		if red.aborted {
+		if red.gen == myGen {
+			// Aborted before this generation completed: the collective
+			// never happened for anyone.
 			red.mu.Unlock()
 			panic(errAborted)
 		}
+		// Generation completed — possibly concurrently with an abort. The
+		// collective happened, so take its result: every participant of a
+		// completed collective must observe it, or a crash elsewhere could
+		// split ranks across a step boundary and break the checkpoint
+		// consistency invariant.
 	}
 	slot := &red.slots[myGen%2]
 	result := slot.result

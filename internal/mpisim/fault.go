@@ -1,0 +1,272 @@
+package mpisim
+
+import (
+	"fmt"
+	"math"
+
+	"fun3d/internal/prof"
+)
+
+// FaultConfig describes the deterministic fault plan injected into a
+// simulated cluster run: per-rank straggler noise on compute intervals,
+// jitter on point-to-point transfers, and scheduled rank crashes. The plan
+// is a pure function of the seed and the run's own virtual-time trajectory
+// — no time.Now, no math/rand global state — so a run is bit-reproducible
+// from its seed, and because every cost model is plain IEEE arithmetic the
+// injected crash schedule (and therefore every recovery counter)
+// reproduces across machines when the kernel rates are fixed rather than
+// measured.
+//
+// Faults perturb only the virtual time axis; the numerics are untouched.
+// A crashed-and-recovered run therefore converges along the exact residual
+// trajectory of a fault-free run — the invariant the restart tests pin down.
+type FaultConfig struct {
+	// Seed keys every pseudo-random draw of the plan.
+	Seed uint64
+	// Noise is the straggler amplitude: each compute interval is stretched
+	// by a factor uniform in [1, 1+Noise), and each point-to-point
+	// transfer's modeled time is jittered the same way. Draws are keyed by
+	// (rank, virtual clock), not by a mutable counter, so replaying a
+	// trajectory after a restart redraws identical noise no matter where
+	// the previous attempt was interrupted. 0 disables noise.
+	Noise float64
+	// MTBF is the per-rank mean virtual time between injected crashes, in
+	// seconds. Crash times form a per-rank schedule with interarrival gaps
+	// uniform in [0.5, 1.5)·MTBF (mean MTBF, no transcendental math); a
+	// rank whose clock crosses its next scheduled crash time panics with a
+	// *CrashError at its next fault checkpoint (Compute, or Wait/Allreduce
+	// entry), which aborts the communicator. 0 disables crashes.
+	MTBF float64
+	// RestartDelay is the base recovery penalty: a restarted run resumes
+	// at the checkpoint's virtual clock plus this delay, doubling per
+	// consecutive restart and capped at 8x (capped exponential backoff).
+	// Defaults to 0.05 virtual seconds.
+	RestartDelay float64
+}
+
+// enabled reports whether the config injects anything at all.
+func (f FaultConfig) enabled() bool { return f.Noise > 0 || f.MTBF > 0 }
+
+// CrashError is the panic payload of an injected rank crash. The
+// supervisor in Solve recognizes it (in contrast to genuine solver errors,
+// which are never retried) and recovers the run from the last distributed
+// checkpoint.
+type CrashError struct {
+	Rank int
+	At   float64 // virtual time the crash was scheduled for
+}
+
+func (e *CrashError) Error() string {
+	return fmt.Sprintf("mpisim: injected fault: rank %d crashed at virtual t=%.6gs", e.Rank, e.At)
+}
+
+// mix64 is the SplitMix64 finalizer — the stateless hash behind every
+// fault-plan draw.
+func mix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}
+
+// rankFault is one rank's crash schedule head. It is mutated only by the
+// supervisor between attempts (never by rank goroutines), which is what
+// keeps the schedule deterministic: which goroutine happens to observe its
+// deadline first is a real-time race, but the schedule itself never
+// depends on it.
+type rankFault struct {
+	crashCtr  uint64
+	nextCrash float64
+}
+
+// FaultPlan is the realized schedule for one run. Noise and jitter draws
+// are stateless (keyed by rank and virtual clock); crash times form a
+// per-rank strictly increasing sequence advanced only by the supervisor,
+// so recovery always makes progress: every restart consumes at least the
+// earliest pending crash event, and after finitely many restarts the next
+// event lands beyond a checkpoint interval.
+type FaultPlan struct {
+	seed  uint64
+	noise float64
+	mtbf  float64
+	ranks []*rankFault
+}
+
+// newFaultPlan realizes cfg.Faults for cfg.Ranks ranks, or nil when fault
+// injection is disabled.
+func newFaultPlan(cfg *Config) *FaultPlan {
+	f := cfg.Faults
+	if !f.enabled() {
+		return nil
+	}
+	p := &FaultPlan{seed: f.Seed, noise: f.Noise, mtbf: f.MTBF, ranks: make([]*rankFault, cfg.Ranks)}
+	for r := range p.ranks {
+		rf := &rankFault{nextCrash: math.Inf(1)}
+		if p.mtbf > 0 {
+			rf.nextCrash = p.interarrival(r, &rf.crashCtr)
+		}
+		p.ranks[r] = rf
+	}
+	return p
+}
+
+// crashes reports whether the plan schedules rank crashes (and recovery
+// therefore needs a checkpoint store).
+func (p *FaultPlan) crashes() bool { return p != nil && p.mtbf > 0 }
+
+// u01ctr returns the deterministic uniform [0,1) draw number ctr of the
+// given per-rank stream (used for the supervisor-owned crash schedule).
+func (p *FaultPlan) u01ctr(rank int, stream, ctr uint64) float64 {
+	h := mix64(p.seed ^ mix64(uint64(rank)+1) ^ mix64(stream<<32^ctr))
+	return float64(h>>11) / (1 << 53)
+}
+
+// u01clock returns a deterministic uniform [0,1) draw keyed by the rank's
+// virtual state instead of a counter: replaying the same trajectory
+// re-derives the same draws regardless of where a previous attempt was
+// torn down, which is what makes faulted runs bit-reproducible despite the
+// real-time raciness of communicator aborts.
+func (p *FaultPlan) u01clock(rank int, stream uint64, a, b float64) float64 {
+	h := p.seed
+	h = mix64(h ^ (uint64(rank) + 1))
+	h = mix64(h ^ stream)
+	h = mix64(h ^ math.Float64bits(a))
+	h = mix64(h ^ math.Float64bits(b))
+	return float64(h>>11) / (1 << 53)
+}
+
+// interarrival draws the next crash gap: uniform in [0.5, 1.5)·MTBF.
+func (p *FaultPlan) interarrival(rank int, ctr *uint64) float64 {
+	u := p.u01ctr(rank, 2, *ctr)
+	*ctr++
+	return p.mtbf * (0.5 + u)
+}
+
+// computeNoise returns the straggler extension of a compute interval
+// starting at the given clock.
+func (p *FaultPlan) computeNoise(rank int, clock, seconds float64) float64 {
+	if p.noise <= 0 || seconds <= 0 {
+		return 0
+	}
+	return seconds * p.noise * p.u01clock(rank, 0, clock, seconds)
+}
+
+// ptpDelay returns the jitter added to one point-to-point transfer time,
+// drawn at the given receive clock.
+func (p *FaultPlan) ptpDelay(rank int, clock, seconds float64) float64 {
+	if p.noise <= 0 || seconds <= 0 {
+		return 0
+	}
+	return seconds * p.noise * p.u01clock(rank, 1, clock, seconds)
+}
+
+// advancePast skips crash events scheduled before the given resume time:
+// failures that would have struck while the job was already down. Without
+// this, a restart delay larger than the MTBF livelocks recovery — the
+// resume clock outruns the crash schedule and every attempt dies at its
+// first fault check. Supervisor-only.
+func (p *FaultPlan) advancePast(resume float64) {
+	if !p.crashes() {
+		return
+	}
+	for r, rf := range p.ranks {
+		for rf.nextCrash < resume {
+			rf.nextCrash += p.interarrival(r, &rf.crashCtr)
+		}
+	}
+}
+
+// consumeNext retires the earliest pending crash event across all ranks —
+// the designated culprit of a failed attempt. Firing itself (check) never
+// mutates the schedule, because which of several past-deadline ranks
+// observes its deadline first is a goroutine race; consuming exactly the
+// global-minimum event here keeps the schedule, and with it every restart
+// counter, deterministic — and guarantees forward progress even when the
+// resume time alone would not outrun the schedule. Supervisor-only.
+func (p *FaultPlan) consumeNext() {
+	if !p.crashes() {
+		return
+	}
+	best := 0
+	for r := 1; r < len(p.ranks); r++ {
+		if p.ranks[r].nextCrash < p.ranks[best].nextCrash {
+			best = r
+		}
+	}
+	rf := p.ranks[best]
+	rf.nextCrash += p.interarrival(best, &rf.crashCtr)
+}
+
+// check fires the rank's scheduled crash if its virtual clock has crossed
+// the deadline. Called from Compute and from the entry of the blocking
+// calls (Wait, Allreduce) — never after a collective has completed — so a
+// crash can only prevent a collective, not split one: either every live
+// rank finishes the step's final Allreduce (and checkpoints), or none
+// does, which keeps the distributed checkpoint store consistent by
+// construction. The schedule is not consumed here (see consumeNext).
+func (p *FaultPlan) check(r *Rank) {
+	if rf := p.ranks[r.id]; r.Clock >= rf.nextCrash {
+		panic(&CrashError{Rank: r.id, At: rf.nextCrash})
+	}
+}
+
+// rankSnapshot is one rank's share of a distributed in-memory checkpoint:
+// everything the trajectory from step+1 onward depends on, plus the rank's
+// time/traffic accounting and kernel record at the snapshot point. It is
+// written immediately after the end-of-step residual collective, where all
+// rank clocks are synchronized — so stats.Clock is identical across ranks
+// and, unlike anything sampled at abort time, deterministic.
+type rankSnapshot struct {
+	step     int
+	q        []float64 // NLocal*4, owned + ghost
+	rnorm0   float64
+	rnorm    float64
+	history  []float64
+	linIters int
+	stats    Rank          // comm/fp nil'd; Clock is the synchronized post-collective time
+	met      *prof.Metrics // kernel record up to this step
+}
+
+// ckptStore holds the latest snapshot per rank. Each slot is written only
+// by its rank's goroutine and read by the supervisor between attempts
+// (ordered by the attempt WaitGroup), so no locking is needed.
+type ckptStore struct {
+	snaps []*rankSnapshot
+}
+
+func newCkptStore(nranks int) *ckptStore {
+	return &ckptStore{snaps: make([]*rankSnapshot, nranks)}
+}
+
+func (c *ckptStore) save(rank int, s *rankSnapshot) { c.snaps[rank] = s }
+
+// step returns the step of the last consistent checkpoint (0 = none).
+func (c *ckptStore) step() int {
+	if snaps := c.consistent(); snaps != nil {
+		return snaps[0].step
+	}
+	return 0
+}
+
+// consistent returns the per-rank snapshots if every rank has one and they
+// all describe the same step; nil otherwise (recovery then restarts from
+// the freestream initial condition, which re-runs the identical
+// trajectory from step 1 — slower, never wrong). Because snapshots are
+// written only after a completed end-of-step collective, and a completed
+// collective is observed by every rank (stragglers still collect the
+// result under a concurrent abort), mismatched steps cannot actually
+// occur; the fallback is defensive.
+func (c *ckptStore) consistent() []*rankSnapshot {
+	if len(c.snaps) == 0 || c.snaps[0] == nil {
+		return nil
+	}
+	for _, s := range c.snaps {
+		if s == nil || s.step != c.snaps[0].step {
+			return nil
+		}
+	}
+	return c.snaps
+}

@@ -1,0 +1,327 @@
+package mpisim
+
+import (
+	"errors"
+	"runtime"
+	"strings"
+	"sync"
+	"testing"
+
+	"fun3d/internal/mesh"
+	"fun3d/internal/prof"
+)
+
+// Draws must be a pure function of (seed, rank, stream, virtual state):
+// two plan instances with the same seed replay identical schedules and
+// identical noise for the same (clock, interval) points, different seeds
+// differ, and interarrival gaps stay inside [0.5, 1.5)·MTBF. Keying noise
+// by the clock rather than a mutable counter is what lets a restarted
+// attempt replay the exact trajectory of its predecessor.
+func TestFaultPlanDeterministicDraws(t *testing.T) {
+	mk := func(seed uint64) *FaultPlan {
+		cfg := Config{Ranks: 4, Faults: FaultConfig{Seed: seed, Noise: 0.3, MTBF: 2.0}}
+		return newFaultPlan(&cfg)
+	}
+	a, b := mk(11), mk(11)
+	for r := 0; r < 4; r++ {
+		if a.ranks[r].nextCrash != b.ranks[r].nextCrash {
+			t.Fatalf("rank %d: same seed, different crash schedule: %v vs %v",
+				r, a.ranks[r].nextCrash, b.ranks[r].nextCrash)
+		}
+		varied := false
+		for i := 0; i < 100; i++ {
+			clock := float64(i) * 0.017
+			na, nb := a.computeNoise(r, clock, 1.0), b.computeNoise(r, clock, 1.0)
+			if na != nb {
+				t.Fatalf("rank %d clock %v: noise diverged: %v vs %v", r, clock, na, nb)
+			}
+			if na < 0 || na >= 0.3 {
+				t.Fatalf("rank %d clock %v: noise %v outside [0, Noise·seconds)", r, clock, na)
+			}
+			pa, pb := a.ptpDelay(r, clock, 1e-5), b.ptpDelay(r, clock, 1e-5)
+			if pa != pb {
+				t.Fatalf("rank %d clock %v: ptp jitter diverged: %v vs %v", r, clock, pa, pb)
+			}
+			if i > 0 && na != a.computeNoise(r, float64(i-1)*0.017, 1.0) {
+				varied = true
+			}
+		}
+		if !varied {
+			t.Fatalf("rank %d: noise constant across clocks", r)
+		}
+		gap := a.ranks[r].nextCrash
+		if gap < 0.5*2.0 || gap >= 1.5*2.0 {
+			t.Fatalf("rank %d: first interarrival %v outside [1,3)", r, gap)
+		}
+	}
+	c := mk(12)
+	if c.ranks[0].nextCrash == a.ranks[0].nextCrash &&
+		c.ranks[1].nextCrash == a.ranks[1].nextCrash {
+		t.Fatalf("different seeds produced the same crash schedule")
+	}
+	if a.computeNoise(0, 1.0, 1.0) == a.ptpDelay(0, 1.0, 1.0) {
+		t.Fatalf("noise and jitter streams are not independent")
+	}
+	// Replaying the same clock point yields the same draw (stateless).
+	if a.computeNoise(2, 0.5, 1.0) != a.computeNoise(2, 0.5, 1.0) {
+		t.Fatalf("noise draw is stateful")
+	}
+}
+
+// The tentpole invariant: a run that crashes and recovers (at least once)
+// must converge along the bit-identical residual trajectory of the
+// fault-free run — same step count, same linear iterations, same history
+// to the last bit — while costing strictly more virtual time.
+func TestRestartEquivalence(t *testing.T) {
+	m, err := mesh.Generate(mesh.SpecTiny())
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := Config{Ranks: 4, Rates: testRates(), Net: testNet(), MaxSteps: 60, Seed: 5}
+	golden, err := Solve(m, base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !golden.Converged {
+		t.Fatalf("golden run did not converge: %+v", golden)
+	}
+	if golden.Restarts != 0 || golden.FaultsInjected != 0 || golden.NoiseTime != 0 {
+		t.Fatalf("fault-free run reports fault activity: %+v", golden)
+	}
+
+	faulted := base
+	faulted.Faults = FaultConfig{Seed: 42, Noise: 0.2, MTBF: golden.Time / 2}
+	faulted.MaxRestarts = 500
+	got, err := Solve(m, faulted)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.Converged {
+		t.Fatalf("faulted run did not converge: %+v", got)
+	}
+	if got.Restarts < 1 || got.FaultsInjected < 1 {
+		t.Fatalf("fault plan injected nothing (MTBF %v, run time %v): %+v",
+			faulted.Faults.MTBF, golden.Time, got)
+	}
+	if got.RecomputedSteps < 1 {
+		t.Fatalf("recovery replayed no steps: %+v", got)
+	}
+	if got.NoiseTime <= 0 {
+		t.Fatalf("no straggler noise recorded: %+v", got)
+	}
+
+	// Bit-identical trajectory.
+	if got.Steps != golden.Steps || got.LinearIters != golden.LinearIters {
+		t.Fatalf("recovered trajectory diverged: steps %d vs %d, iters %d vs %d",
+			got.Steps, golden.Steps, got.LinearIters, golden.LinearIters)
+	}
+	if got.RNorm0 != golden.RNorm0 || got.RNormFinal != golden.RNormFinal {
+		t.Fatalf("residuals differ: %v/%v vs %v/%v",
+			got.RNorm0, got.RNormFinal, golden.RNorm0, golden.RNormFinal)
+	}
+	if len(got.History) != len(golden.History) {
+		t.Fatalf("history length %d vs %d", len(got.History), len(golden.History))
+	}
+	for i := range got.History {
+		if got.History[i] != golden.History[i] {
+			t.Fatalf("history[%d] differs: %v vs %v", i, got.History[i], golden.History[i])
+		}
+	}
+	if got.Time <= golden.Time {
+		t.Fatalf("faults made the run faster: %v <= %v", got.Time, golden.Time)
+	}
+	// The counters surface in Metrics too (the bench artifact path).
+	if got.Metrics.Counter(prof.FaultRestarts) != int64(got.Restarts) ||
+		got.Metrics.Counter(prof.FaultsInjected) != int64(got.FaultsInjected) ||
+		got.Metrics.Counter(prof.FaultRecomputedSteps) != int64(got.RecomputedSteps) ||
+		got.Metrics.Counter(prof.FaultNoiseMicros) <= 0 {
+		t.Fatalf("fault counters not booked: %v", got.Metrics.CountersMap())
+	}
+	t.Logf("golden: %d steps in %.3fs; faulted: %d faults, %d restarts, %d recomputed steps in %.3fs",
+		golden.Steps, golden.Time, got.FaultsInjected, got.Restarts, got.RecomputedSteps, got.Time)
+}
+
+// Same seed, same everything: an injected-fault run is itself deterministic.
+func TestFaultedRunDeterministic(t *testing.T) {
+	m, err := mesh.Generate(mesh.SpecTiny())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := Config{Ranks: 4, Rates: testRates(), Net: testNet(), MaxSteps: 20,
+		RelTol: 1e-30, Seed: 5,
+		Faults: FaultConfig{Seed: 9, Noise: 0.3, MTBF: 0.02}, MaxRestarts: 500}
+	a, err := Solve(m, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Solve(m, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Restarts != b.Restarts || a.FaultsInjected != b.FaultsInjected ||
+		a.RecomputedSteps != b.RecomputedSteps || a.Time != b.Time ||
+		a.NoiseTime != b.NoiseTime || a.RNormFinal != b.RNormFinal {
+		t.Fatalf("faulted run nondeterministic:\n%+v\nvs\n%+v", a, b)
+	}
+	if a.Restarts < 1 {
+		t.Fatalf("expected at least one restart at MTBF=0.02: %+v", a)
+	}
+}
+
+// Pure straggler noise (no crashes) slows the run and shifts time into the
+// Allreduce rendezvous — the Fig 10 share under OS noise — without touching
+// the numerics.
+func TestNoiseShiftsTimeIntoAllreduce(t *testing.T) {
+	m, err := mesh.Generate(mesh.SpecTiny())
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := Config{Ranks: 8, Rates: testRates(), Net: testNet(), MaxSteps: 5,
+		RelTol: 1e-30, Seed: 3}
+	clean, err := Solve(m, base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	noisy := base
+	noisy.Faults = FaultConfig{Seed: 4, Noise: 1.0}
+	loud, err := Solve(m, noisy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loud.Restarts != 0 || loud.FaultsInjected != 0 {
+		t.Fatalf("noise-only plan crashed ranks: %+v", loud)
+	}
+	if loud.LinearIters != clean.LinearIters || loud.RNormFinal != clean.RNormFinal {
+		t.Fatalf("noise changed the numerics: %+v vs %+v", loud, clean)
+	}
+	if loud.Time <= clean.Time || loud.NoiseTime <= 0 {
+		t.Fatalf("noise did not slow the run: %v <= %v (noise %v)",
+			loud.Time, clean.Time, loud.NoiseTime)
+	}
+	shareClean := clean.AllreduceTime / (clean.ComputeTime + clean.PtPTime + clean.AllreduceTime)
+	shareLoud := loud.AllreduceTime / (loud.ComputeTime + loud.PtPTime + loud.AllreduceTime)
+	if shareLoud <= shareClean {
+		t.Fatalf("stragglers did not grow the Allreduce share: %.3f <= %.3f", shareLoud, shareClean)
+	}
+	t.Logf("allreduce share: clean %.3f, noise=1.0 %.3f", shareClean, shareLoud)
+}
+
+// An unrecoverable fault storm must give up after MaxRestarts, reporting
+// the crash rather than spinning forever.
+func TestMaxRestartsGivesUp(t *testing.T) {
+	m, err := mesh.Generate(mesh.SpecTiny())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := Config{Ranks: 2, Rates: testRates(), Net: testNet(), MaxSteps: 30, Seed: 5,
+		// MTBF far below one step's cost: every attempt crashes.
+		Faults:      FaultConfig{Seed: 1, MTBF: 1e-9},
+		MaxRestarts: 3}
+	res, err := Solve(m, cfg)
+	if err == nil {
+		t.Fatalf("expected give-up error, got %+v", res)
+	}
+	if !strings.Contains(err.Error(), "giving up after 3 restarts") {
+		t.Fatalf("unexpected error: %v", err)
+	}
+	var ce *CrashError
+	if !errors.As(err, &ce) {
+		t.Fatalf("error does not wrap *CrashError: %v", err)
+	}
+	if res.Restarts != 3 || res.FaultsInjected < 4 {
+		t.Fatalf("give-up accounting wrong: %+v", res)
+	}
+}
+
+// Satellite 3: abort must release payload memory — queued halo buffers and
+// reducer contributions — and drop sends into a dead communicator so no
+// rank can consume a message from a dead generation.
+func TestAbortReleasesMailboxAndReducer(t *testing.T) {
+	c := NewComm(2, testNet())
+	r0 := c.NewRank(0)
+	r0.Send(1, 1, make([]float64, 1024))
+	r0.Send(1, 2, make([]float64, 1024))
+
+	// One rank parked inside Allreduce so the reducer holds its part.
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		defer func() {
+			if recover() != errAborted {
+				t.Errorf("parked Allreduce did not panic errAborted")
+			}
+		}()
+		r0.Allreduce(make([]float64, 512))
+	}()
+	// Wait until the contribution is registered, then abort.
+	for {
+		c.red.mu.Lock()
+		n := c.red.count
+		c.red.mu.Unlock()
+		if n == 1 {
+			break
+		}
+		runtime.Gosched()
+	}
+	c.Abort()
+	wg.Wait()
+
+	c.boxes[1].mu.Lock()
+	if c.boxes[1].queue != nil {
+		t.Fatalf("abort left %d messages queued", len(c.boxes[1].queue))
+	}
+	c.boxes[1].mu.Unlock()
+	c.red.mu.Lock()
+	for r, p := range c.red.parts {
+		if p != nil {
+			t.Fatalf("abort left reducer part of rank %d (%d floats)", r, len(p))
+		}
+	}
+	// Completed-generation slots are kept (stragglers of a finished
+	// collective still collect their result under abort); only the pending
+	// contributions must be released.
+	if c.red.count != 0 {
+		t.Fatalf("abort left reducer state: count=%d", c.red.count)
+	}
+	c.red.mu.Unlock()
+
+	// A late send into the dead communicator is dropped, not queued.
+	r0.Send(1, 3, []float64{1})
+	c.boxes[1].mu.Lock()
+	defer c.boxes[1].mu.Unlock()
+	if len(c.boxes[1].queue) != 0 {
+		t.Fatalf("send into dead communicator was queued")
+	}
+}
+
+// A rank crash while a peer is blocked in Wait must unwind the peer via
+// abort instead of deadlocking, and the supervisor turns it into recovery
+// (exercised end-to-end by TestRestartEquivalence; this pins the Wait
+// entry-point check in isolation).
+func TestCrashAtWaitEntry(t *testing.T) {
+	cfg := Config{Ranks: 2, Faults: FaultConfig{Seed: 1, MTBF: 1.0}}
+	fp := newFaultPlan(&cfg)
+	c := NewComm(2, testNet())
+	r0 := c.NewRank(0)
+	r0.fp = fp
+	r0.Clock = 100 // far past the first scheduled crash
+	req := r0.Irecv(1, 1)
+	defer func() {
+		ce, ok := recover().(*CrashError)
+		if !ok {
+			t.Fatalf("Wait past the crash deadline did not panic *CrashError")
+		}
+		if ce.Rank != 0 || ce.At > 100 {
+			t.Fatalf("bad crash payload: %+v", ce)
+		}
+		// Firing never consumes the schedule: the supervisor retires the
+		// globally-earliest event between attempts (consumeNext), keeping
+		// restart accounting independent of which goroutine observed its
+		// deadline first.
+		if fp.ranks[0].nextCrash != ce.At {
+			t.Fatalf("check consumed the schedule: next %v, fired %v", fp.ranks[0].nextCrash, ce.At)
+		}
+	}()
+	r0.Wait(req)
+}

@@ -65,6 +65,20 @@ type Config struct {
 	MaxLinearIters int
 
 	Seed uint64
+
+	// Faults injects the deterministic fault plan: straggler noise on
+	// compute intervals, jitter on point-to-point transfers, and scheduled
+	// rank crashes that abort the communicator and trigger
+	// checkpoint/restart recovery. The zero value disables injection.
+	Faults FaultConfig
+	// CheckpointEvery snapshots the distributed state (owned + ghost q,
+	// residual history, iteration counters) every k pseudo-time steps when
+	// crashes are enabled; recovery resumes from the last consistent
+	// snapshot. Default 1 (every step).
+	CheckpointEvery int
+	// MaxRestarts caps recovery attempts before Solve gives up and returns
+	// the crash as an error. Default 64.
+	MaxRestarts int
 }
 
 func (c *Config) defaults() {
@@ -92,6 +106,15 @@ func (c *Config) defaults() {
 	if c.MaxLinearIters <= 0 {
 		c.MaxLinearIters = 300
 	}
+	if c.CheckpointEvery <= 0 {
+		c.CheckpointEvery = 1
+	}
+	if c.MaxRestarts <= 0 {
+		c.MaxRestarts = 64
+	}
+	if c.Faults.RestartDelay <= 0 {
+		c.Faults.RestartDelay = 0.05
+	}
 }
 
 // Result aggregates a distributed run.
@@ -118,6 +141,15 @@ type Result struct {
 	Bytes      int
 	Allreduces int
 
+	// Fault-injection accounting (zero on fault-free runs). NoiseTime is
+	// the per-rank average of injected straggler/jitter seconds, a subset
+	// of ComputeTime + PtPTime; RecomputedSteps counts pseudo-time steps
+	// redone after restoring from a checkpoint.
+	Restarts        int
+	FaultsInjected  int
+	RecomputedSteps int
+	NoiseTime       float64
+
 	// Metrics aggregates the per-rank kernel records: times are *virtual*
 	// seconds summed over ranks (a CPU-seconds analog — fractions are
 	// rank-weighted averages), distributed work counters (edges, blocks,
@@ -138,16 +170,119 @@ func (r Result) CommFraction() float64 {
 
 // Solve runs the distributed pseudo-transient NKS solver over cfg.Ranks
 // simulated ranks and reports real convergence plus modeled time.
+//
+// With cfg.Faults enabled, Solve is a supervisor: an injected rank crash
+// panics out of the attempt (aborting the communicator, MPI_Abort style),
+// and the supervisor restores every rank from the last consistent in-memory
+// checkpoint, re-forms the communicator, and retries with capped
+// exponential backoff. State rewinds; the clock resumes from the
+// checkpoint's synchronized virtual time plus the recovery delay, so the
+// run's reported time, traffic, and fault counters depend only on the
+// deterministic virtual schedule — never on the real-time goroutine race of
+// who observed the abort first. Recovery is bit-deterministic: the
+// recovered trajectory (residual history, step and iteration counts) is
+// identical to a fault-free run's, and two faulted runs with the same seed
+// agree on every reported number.
 func Solve(m *mesh.Mesh, cfg Config) (Result, error) {
 	cfg.defaults()
 	subs, err := Decompose(m, cfg.Ranks, cfg.Natural, cfg.Seed)
 	if err != nil {
 		return Result{}, err
 	}
+	fp := newFaultPlan(&cfg)
+	var store *ckptStore
+	if fp.crashes() {
+		store = newCkptStore(cfg.Ranks)
+	}
+
+	resume := 0.0 // virtual clock every rank starts the next attempt at
+	restarts, faults, recomputed := 0, 0, 0
+
+	for {
+		workers, results, err := runAttempt(subs, &cfg, fp, store, resume)
+		if err != nil {
+			return Result{}, err
+		}
+
+		// Classify the attempt: injected crashes are retried from the last
+		// checkpoint; genuine solver errors (divergence, factorization
+		// failure) are returned as before and never retried. Which — and
+		// how many — ranks fired a *CrashError is a real-time race, so
+		// counters track failure events (attempts killed), not fires.
+		var crash *CrashError
+		var genuine, aborted error
+		for r := range results {
+			switch e := results[r].err.(type) {
+			case nil:
+			case *CrashError:
+				if crash == nil {
+					crash = e
+				}
+			default:
+				if results[r].err == errAborted {
+					aborted = fmt.Errorf("rank %d: %w", r, results[r].err)
+				} else if genuine == nil {
+					genuine = fmt.Errorf("rank %d: %w", r, results[r].err)
+				}
+			}
+		}
+
+		if crash != nil && genuine == nil {
+			faults++
+			if restarts >= cfg.MaxRestarts {
+				out := finish(&cfg, workers, results, restarts, faults, recomputed)
+				return out, fmt.Errorf("mpisim: giving up after %d restarts: %w", restarts, crash)
+			}
+			// Every rank observed the same last completed step (a
+			// completed end-of-step collective is observed by all ranks,
+			// even under a concurrent abort), so the lost span is that
+			// step minus the restore point, plus the partially-executed
+			// step the crash interrupted.
+			recomputed += results[0].steps - store.step() + 1
+			restarts++
+			// Capped exponential backoff on the recovery delay.
+			delay := cfg.Faults.RestartDelay
+			for i := 1; i < restarts && i < 4; i++ {
+				delay *= 2
+			}
+			// Resume from the checkpoint's synchronized clock (0 when
+			// restarting from scratch) plus the delay.
+			snapClock := 0.0
+			if snaps := store.consistent(); snaps != nil {
+				snapClock = snaps[0].stats.Clock
+			}
+			resume = snapClock + delay
+			// Crashes scheduled before the resume point struck a job that
+			// was already down — skip them, then retire the designated
+			// culprit so recovery cannot livelock on a crash event beyond
+			// the resume point.
+			fp.advancePast(resume)
+			fp.consumeNext()
+			continue
+		}
+
+		out := finish(&cfg, workers, results, restarts, faults, recomputed)
+		if genuine != nil {
+			return out, genuine
+		}
+		if aborted != nil {
+			return out, aborted
+		}
+		return out, nil
+	}
+}
+
+// runAttempt forms a fresh communicator and runs every rank's solver
+// goroutine to completion, restoring from the checkpoint store's last
+// consistent snapshot when one exists. Every rank starts at the resume
+// clock with the snapshot's time/traffic accounting (a failed attempt's
+// partial work past the checkpoint is abandoned — it is sampled at an
+// arbitrary abort point and would make the books racy; the recovery delay
+// models its cost instead). Worker pools are closed before return.
+func runAttempt(subs []*Subdomain, cfg *Config, fp *FaultPlan, store *ckptStore, resume float64) (workers []*worker, results []rankResult, err error) {
 	comm := NewComm(cfg.Ranks, cfg.Net)
-	workers := make([]*worker, cfg.Ranks)
-	results := make([]rankResult, cfg.Ranks)
-	var wg sync.WaitGroup
+	workers = make([]*worker, cfg.Ranks)
+	results = make([]rankResult, cfg.Ranks)
 	defer func() {
 		for _, w := range workers {
 			if w != nil && w.pool != nil {
@@ -155,13 +290,37 @@ func Solve(m *mesh.Mesh, cfg Config) (Result, error) {
 			}
 		}
 	}()
+	var snaps []*rankSnapshot
+	if store != nil {
+		snaps = store.consistent()
+	}
 	for r := 0; r < cfg.Ranks; r++ {
-		w, err := newWorker(comm.NewRank(r), subs[r], &cfg)
-		if err != nil {
-			return Result{}, err
+		rk := comm.NewRank(r)
+		rk.fp = fp
+		if snaps != nil {
+			st := snaps[r].stats
+			rk.ComputeTime = st.ComputeTime
+			rk.PtPTime = st.PtPTime
+			rk.AllreduceTime = st.AllreduceTime
+			rk.NoiseTime = st.NoiseTime
+			rk.MsgsSent = st.MsgsSent
+			rk.BytesSent = st.BytesSent
+			rk.Allreduces = st.Allreduces
+			rk.BytesReduced = st.BytesReduced
+		}
+		rk.Clock = resume
+		w, werr := newWorker(rk, subs[r], cfg)
+		if werr != nil {
+			return nil, nil, werr
+		}
+		w.store = store
+		if snaps != nil {
+			w.restore = snaps[r]
+			w.met.Merge(snaps[r].met)
 		}
 		workers[r] = w
 	}
+	var wg sync.WaitGroup
 	for r := 0; r < cfg.Ranks; r++ {
 		wg.Add(1)
 		go func(r int) {
@@ -170,20 +329,24 @@ func Solve(m *mesh.Mesh, cfg Config) (Result, error) {
 		}(r)
 	}
 	wg.Wait()
+	return workers, results, nil
+}
 
+// finish aggregates the final attempt into a Result.
+func finish(cfg *Config, workers []*worker, results []rankResult, restarts, faults, recomputed int) Result {
 	out := Result{
-		Steps:       results[0].steps,
-		LinearIters: results[0].linIters,
-		Converged:   results[0].converged,
-		RNorm0:      results[0].rnorm0,
-		RNormFinal:  results[0].rnorm,
-		History:     results[0].history,
-		Metrics:     &prof.Metrics{},
+		Steps:           results[0].steps,
+		LinearIters:     results[0].linIters,
+		Converged:       results[0].converged,
+		RNorm0:          results[0].rnorm0,
+		RNormFinal:      results[0].rnorm,
+		History:         results[0].history,
+		Restarts:        restarts,
+		FaultsInjected:  faults,
+		RecomputedSteps: recomputed,
+		Metrics:         &prof.Metrics{},
 	}
 	for r := 0; r < cfg.Ranks; r++ {
-		if results[r].err != nil {
-			return out, fmt.Errorf("rank %d: %w", r, results[r].err)
-		}
 		rk := workers[r].rank
 		if rk.Clock > out.Time {
 			out.Time = rk.Clock
@@ -191,10 +354,12 @@ func Solve(m *mesh.Mesh, cfg Config) (Result, error) {
 		out.ComputeTime += rk.ComputeTime
 		out.PtPTime += rk.PtPTime
 		out.AllreduceTime += rk.AllreduceTime
+		out.NoiseTime += rk.NoiseTime
 		out.Msgs += rk.MsgsSent
 		out.Bytes += rk.BytesSent
 		// Fold this rank's kernel record plus its communication time and
-		// halo traffic into the aggregate.
+		// halo traffic into the aggregate. The snapshot-restored stats
+		// make these cover the whole trajectory, booked exactly once.
 		w := workers[r]
 		w.met.Add(prof.Allreduce, vdur(rk.AllreduceTime))
 		w.met.Add(prof.Halo, vdur(rk.PtPTime))
@@ -211,7 +376,12 @@ func Solve(m *mesh.Mesh, cfg Config) (Result, error) {
 	out.ComputeTime /= n
 	out.PtPTime /= n
 	out.AllreduceTime /= n
-	return out, nil
+	out.NoiseTime /= n
+	out.Metrics.Inc(prof.FaultsInjected, int64(faults))
+	out.Metrics.Inc(prof.FaultRestarts, int64(restarts))
+	out.Metrics.Inc(prof.FaultRecomputedSteps, int64(recomputed))
+	out.Metrics.Inc(prof.FaultNoiseMicros, int64(out.NoiseTime*1e6))
+	return out
 }
 
 // vdur converts modeled (virtual) seconds to a time.Duration for Metrics.
@@ -264,6 +434,12 @@ type worker struct {
 
 	// per-step cache for the matrix-free operator
 	qnorm float64
+
+	// Checkpoint/restart plumbing (nil on fault-free runs): store receives
+	// this rank's periodic snapshots; restore, when set by the supervisor,
+	// is the snapshot to resume from.
+	store   *ckptStore
+	restore *rankSnapshot
 }
 
 // compute advances the rank's virtual clock by a modeled duration and books
@@ -605,9 +781,18 @@ func (w *worker) localTimeSteps(q []float64, cfl float64) {
 func (w *worker) run() (rr rankResult) {
 	defer func() {
 		if p := recover(); p != nil {
-			if err, ok := p.(error); ok && err == errAborted {
-				rr.err = err
-			} else {
+			switch e := p.(type) {
+			case *CrashError:
+				// Injected fault: the supervisor recovers this attempt
+				// from the last checkpoint.
+				rr.err = e
+			case error:
+				if e == errAborted {
+					rr.err = e
+				} else {
+					rr.err = fmt.Errorf("mpisim worker panic: %v", p)
+				}
+			default:
 				rr.err = fmt.Errorf("mpisim worker panic: %v", p)
 			}
 		}
@@ -624,13 +809,31 @@ func (w *worker) run() (rr rankResult) {
 	nOwn := s.NOwned * 4
 	ops := w.ops
 
-	w.evalResidual(w.q, w.res)
-	rnorm := ops.Norm2(w.res[:nOwn])
-	rr.rnorm0 = rnorm
-	rr.rnorm = rnorm
-	if rnorm <= 1e-14 {
-		rr.converged = true
-		return rr
+	startStep := 0
+	var rnorm float64
+	if w.restore != nil {
+		// Resume from the snapshot: restore the state vector (owned +
+		// ghosts) and the trajectory counters, then rebuild the residual —
+		// bit-identical to the value the uncrashed run held at this step,
+		// so the continuation reproduces the fault-free trajectory exactly.
+		copy(w.q, w.restore.q)
+		startStep = w.restore.step
+		rr.steps = w.restore.step
+		rr.linIters = w.restore.linIters
+		rr.rnorm0 = w.restore.rnorm0
+		rr.history = append([]float64(nil), w.restore.history...)
+		rnorm = w.restore.rnorm
+		rr.rnorm = rnorm
+		w.evalResidual(w.q, w.res)
+	} else {
+		w.evalResidual(w.q, w.res)
+		rnorm = ops.Norm2(w.res[:nOwn])
+		rr.rnorm0 = rnorm
+		rr.rnorm = rnorm
+		if rnorm <= 1e-14 {
+			rr.converged = true
+			return rr
+		}
 	}
 
 	op := &distOp{w: w, ops: ops}
@@ -638,7 +841,7 @@ func (w *worker) run() (rr rankResult) {
 	rhs := make([]float64, nOwn)
 	dq := make([]float64, nOwn)
 
-	for step := 1; step <= cfg.MaxSteps; step++ {
+	for step := startStep + 1; step <= cfg.MaxSteps; step++ {
 		cfl := cfg.CFL0 * rr.rnorm0 / rnorm
 		if cfl > 1e7 {
 			cfl = 1e7
@@ -697,6 +900,32 @@ func (w *worker) run() (rr rankResult) {
 		if rnorm <= cfg.RelTol*rr.rnorm0 {
 			rr.converged = true
 			return rr
+		}
+		if w.store != nil && step%cfg.CheckpointEvery == 0 {
+			// Distributed checkpoint. Consistency needs no extra
+			// collective: the end-of-step residual norm above was this
+			// step's last rendezvous, injected crashes fire only at
+			// Compute/Wait/Allreduce *entry*, a completed collective is
+			// observed by every participant even under a concurrent
+			// abort, and nothing between that collective and this write
+			// touches the communicator — so either every rank passed the
+			// collective and snapshots step `step`, or no rank does. The
+			// rank clocks are synchronized by that collective, making
+			// stats.Clock identical across ranks.
+			met := &prof.Metrics{}
+			met.Merge(w.met)
+			stats := *w.rank
+			stats.comm, stats.fp = nil, nil
+			w.store.save(w.rank.id, &rankSnapshot{
+				step:     step,
+				q:        append([]float64(nil), w.q...),
+				rnorm0:   rr.rnorm0,
+				rnorm:    rnorm,
+				history:  append([]float64(nil), rr.history...),
+				linIters: rr.linIters,
+				stats:    stats,
+				met:      met,
+			})
 		}
 	}
 	return rr
