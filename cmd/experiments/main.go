@@ -38,6 +38,7 @@ func main() {
 		steps    = flag.Int("cluster-steps", 0, "pseudo-time steps per cluster run")
 		cfl      = flag.Float64("cfl", 10, "initial CFL for solve-based experiments")
 		gmres    = flag.String("gmres", "classical", "GMRES variant: classical, pipelined (one Allreduce per iteration)")
+		pfdist   = flag.Int("pfdist", 0, "flux prefetch lookahead distance in edges (0 = kernel default)")
 		scaleOpt = flag.Float64("scale", 1, "scale factor on the single-node mesh")
 		jsonOut  = flag.Bool("json", false, "write BENCH_<experiment>.json artifacts to the current directory")
 		jsonDir  = flag.String("json-dir", "", "directory for JSON artifacts (implies -json)")
@@ -57,6 +58,7 @@ func main() {
 		RanksPerNode: *rpn,
 		ClusterSteps: *steps,
 		GMRES:        *gmres,
+		PFDist:       *pfdist,
 	}
 	if *jsonDir != "" {
 		opt.JSONDir = *jsonDir

@@ -34,6 +34,10 @@ func main() {
 		fill     = flag.Int("fill", 1, "ILU fill level")
 		sub      = flag.Int("subdomains", 1, "additive Schwarz subdomains")
 		order2   = flag.Bool("order2", false, "second-order residual with limiter")
+		fused    = flag.Bool("fused", false, "cache-blocked fused residual pipeline (implies -order2)")
+		order    = flag.String("order", "", "vertex ordering: natural, rcm, morton, hilbert (default rcm; overrides -no-rcm)")
+		tileEdge = flag.Int("tile-edges", 0, "edges per tile for the fused pipeline (0 = default)")
+		pfdist   = flag.Int("pfdist", 0, "flux prefetch lookahead distance in edges (0 = default)")
 		alpha    = flag.Float64("alpha", 3.06, "angle of attack (degrees)")
 		cfl      = flag.Float64("cfl", 10, "initial CFL number")
 		maxSteps = flag.Int("steps", 60, "max pseudo-time steps")
@@ -84,6 +88,19 @@ func main() {
 	cfg.Limiter = *order2
 	cfg.AlphaDeg = *alpha
 	cfg.RCM = !*noRCM
+	if *order != "" {
+		cfg.Order, err = fun3d.ParseOrdering(*order)
+		if err != nil {
+			fatal(err)
+		}
+	}
+	if *fused {
+		cfg.Fused = true
+		cfg.SecondOrder = true
+		cfg.Limiter = true
+	}
+	cfg.TileEdges = *tileEdge
+	cfg.PFDist = *pfdist
 
 	solver, err := fun3d.NewSolver(m, cfg)
 	if err != nil {
@@ -91,6 +108,7 @@ func main() {
 	}
 	defer solver.Close()
 	fmt.Println("config:", solver.Describe())
+	fmt.Println("ordering:", solver.OrderingStats())
 	if *loadPath != "" {
 		lf, err := os.Open(*loadPath)
 		if err != nil {

@@ -29,6 +29,7 @@ import (
 	"fun3d/internal/newton"
 	"fun3d/internal/perfmodel"
 	"fun3d/internal/prof"
+	"fun3d/internal/reorder"
 )
 
 // Mesh is an unstructured tetrahedral mesh with vertex-centered
@@ -70,6 +71,33 @@ func Baseline() Config { return core.BaselineConfig() }
 // Optimized returns the paper's fully optimized shared-memory
 // configuration on the given thread count.
 func Optimized(threads int) Config { return core.OptimizedConfig(threads) }
+
+// Ordering selects the vertex reordering applied to the mesh before
+// solving (Config.Order): RCM bandwidth reduction or a space-filling
+// curve through the vertex coordinates.
+type Ordering = reorder.Kind
+
+// The available orderings.
+const (
+	OrderNatural = reorder.KindNatural
+	OrderRCM     = reorder.KindRCM
+	OrderMorton  = reorder.KindMorton
+	OrderHilbert = reorder.KindHilbert
+)
+
+// ParseOrdering parses "natural", "rcm", "morton" or "hilbert".
+func ParseOrdering(s string) (Ordering, error) { return reorder.ParseKind(s) }
+
+// OrderingStats reports an applied ordering's bandwidth/profile change.
+type OrderingStats = core.OrderStats
+
+// ReorderMesh applies an ordering to a mesh (for pre-decomposition
+// reordering outside a Solver, e.g. cluster simulations) and reports the
+// locality metrics achieved. The returned permutation is nil for natural
+// order.
+func ReorderMesh(m *Mesh, kind Ordering) (*Mesh, []int32, OrderingStats, error) {
+	return core.ReorderMesh(m, kind)
+}
 
 // SolveOptions controls the pseudo-transient Newton iteration.
 type SolveOptions = newton.Options
@@ -139,6 +167,10 @@ func (s *Solver) Profile() *prof.Metrics { return s.app.Prof }
 
 // Describe summarizes the active configuration.
 func (s *Solver) Describe() string { return s.app.Describe() }
+
+// OrderingStats reports the vertex ordering this solver applied and the
+// bandwidth/profile improvement achieved.
+func (s *Solver) OrderingStats() OrderingStats { return s.app.Order }
 
 // Close releases the solver's worker pool.
 func (s *Solver) Close() { s.app.Close() }

@@ -1,0 +1,63 @@
+package fun3d_test
+
+import (
+	"testing"
+
+	"fun3d"
+)
+
+// TestGoldenFusedTrajectory is the ISSUE 5 acceptance test: a Newton solve
+// of the wing case with the fused cache-blocked residual pipeline must
+// converge with an IDENTICAL residual trajectory to the three-sweep path —
+// bit-for-bit, not merely within tolerance. The fused gather accumulates
+// each vertex's gradient over its incident edges in ascending edge order,
+// which reproduces the scatter loops' per-accumulator IEEE operation
+// sequence exactly; this test pins that argument end-to-end through the
+// Newton/GMRES stack on the optimized (ReplicateMETIS, SIMD, prefetch)
+// configuration.
+func TestGoldenFusedTrajectory(t *testing.T) {
+	m, err := fun3d.GenerateMesh(fun3d.MeshTiny())
+	if err != nil {
+		t.Fatal(err)
+	}
+	run := func(fused bool) fun3d.RunResult {
+		t.Helper()
+		cfg := fun3d.Optimized(4)
+		cfg.SecondOrder = true
+		cfg.Limiter = true
+		cfg.Fused = fused
+		cfg.TileEdges = 2048 // several tiles even on the tiny mesh
+		solver, err := fun3d.NewSolver(m, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer solver.Close()
+		r, err := solver.Run(fun3d.SolveOptions{MaxSteps: 30, CFL0: 20})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return r
+	}
+	unfused := run(false)
+	fused := run(true)
+
+	if !fused.History.Converged || !unfused.History.Converged {
+		t.Fatalf("convergence: fused=%v unfused=%v", fused.History.Converged, unfused.History.Converged)
+	}
+	if fused.History.RNorm0 != unfused.History.RNorm0 {
+		t.Errorf("RNorm0: fused %.17g != unfused %.17g", fused.History.RNorm0, unfused.History.RNorm0)
+	}
+	if len(fused.History.Steps) != len(unfused.History.Steps) {
+		t.Fatalf("step counts differ: fused %d, unfused %d",
+			len(fused.History.Steps), len(unfused.History.Steps))
+	}
+	for i := range fused.History.Steps {
+		f, u := fused.History.Steps[i], unfused.History.Steps[i]
+		if f.RNorm != u.RNorm {
+			t.Errorf("step %d: ||R|| fused %.17g != unfused %.17g", f.Step, f.RNorm, u.RNorm)
+		}
+		if f.LinearIters != u.LinearIters {
+			t.Errorf("step %d: GMRES iters fused %d != unfused %d", f.Step, f.LinearIters, u.LinearIters)
+		}
+	}
+}

@@ -55,6 +55,12 @@ type Options struct {
 	// regardless of this setting — it IS the comparison.
 	GMRES string
 
+	// PFDist overrides the flux prefetch lookahead distance in edges for
+	// every prefetch-enabled kernel the harness runs (0 = flux default).
+	// The locality experiment additionally sweeps a few distances around
+	// it as a sanity check.
+	PFDist int
+
 	// Quick shrinks everything for CI-style runs.
 	Quick bool
 }
@@ -139,6 +145,7 @@ var registry = map[string]func(*Options) error{
 	"quick":             quick,
 	"allreduce-scaling": allreduceScaling,
 	"faults":            faults,
+	"locality":          locality,
 }
 
 // Run executes the named experiment ("all" runs every one in order).
@@ -150,7 +157,7 @@ func Run(name string, opt Options) error {
 	if name == "all" {
 		for _, n := range []string{"table1", "table2", "fig5", "fig6a", "fig6b",
 			"fig7a", "fig7b", "fig8a", "fig8b", "fig9", "fig10", "fig11", "overlap",
-			"allreduce-scaling", "faults", "quick"} {
+			"allreduce-scaling", "faults", "locality", "quick"} {
 			if err := Run(n, opt); err != nil {
 				return fmt.Errorf("%s: %w", n, err)
 			}

@@ -121,7 +121,7 @@ func fig6a(o *Options) error {
 		{"+threading (METIS owner-writes)", true, flux.Config{SoANodeData: true}},
 		{"+AoS node data", true, flux.Config{}},
 		{"+SIMD edge batching", true, flux.Config{SIMD: true}},
-		{"+software prefetch", true, flux.Config{SIMD: true, Prefetch: true}},
+		{"+software prefetch", true, flux.Config{SIMD: true, Prefetch: true, PFDist: o.PFDist}},
 	}
 	w := table(o)
 	fmt.Fprintf(w, "configuration\tmeasured (%dT)\tspeedup\tprojected %d-core\n", o.MaxThreads, tm.Cores)

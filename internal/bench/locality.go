@@ -1,0 +1,229 @@
+package bench
+
+import (
+	"fmt"
+	"math/rand"
+
+	"fun3d/internal/flux"
+	"fun3d/internal/mesh"
+	"fun3d/internal/par"
+	"fun3d/internal/perfmodel"
+	"fun3d/internal/physics"
+	"fun3d/internal/prof"
+	"fun3d/internal/reorder"
+)
+
+// locality is the cache-blocking experiment behind the `+fused` ladder
+// rung: vertex orderings (natural vs RCM vs Morton vs Hilbert), the edge
+// tile-size sweep, and the fused single-sweep residual pipeline against
+// the three-sweep Gradient/Limiter/Residual path, in both wall-clock and
+// modeled bytes per edge. The artifact (BENCH_locality.json) records the
+// full comparison; its residual_bytes_per_edge rate is what CI gates on.
+func locality(o *Options) error {
+	header(o, "Locality: SFC reordering + cache-blocked fused residual",
+		"Sulyok et al.: sparse tiling with redundant halo compute plus space-filling-curve reordering turns the repeated edge streams of multi-pass kernels into cache hits")
+	m0, err := mesh.Generate(o.SingleSpec)
+	if err != nil {
+		return err
+	}
+	reps := 5
+	if o.Quick {
+		reps = 3
+	}
+	var pool *par.Pool
+	strategy := flux.Sequential
+	nw := 1
+	if o.MaxThreads > 1 {
+		nw = o.MaxThreads
+		pool = par.NewPool(nw)
+		defer pool.Close()
+		strategy = flux.ReplicateMETIS
+	}
+	qInf := physics.FreeStream(3.06)
+	mkState := func(m *mesh.Mesh) []float64 {
+		rng := rand.New(rand.NewSource(42))
+		q := make([]float64, m.NumVertices()*4)
+		for v := 0; v < m.NumVertices(); v++ {
+			for c := 0; c < 4; c++ {
+				q[v*4+c] = qInf[c] + 0.05*rng.NormFloat64()
+			}
+		}
+		return q
+	}
+	mkKern := func(m *mesh.Mesh, tileEdges int) (*flux.Kernels, error) {
+		part, err := flux.NewPartition(m, nw, strategy, 3)
+		if err != nil {
+			return nil, err
+		}
+		cfg := flux.Config{Strategy: strategy, SIMD: true, Prefetch: true,
+			PFDist: o.PFDist, TileEdges: tileEdges}
+		return flux.NewKernels(m, 5, qInf, pool, part, cfg), nil
+	}
+	const kVenk = 5.0
+	fusedTime := func(k *flux.Kernels, q []float64) float64 {
+		res := make([]float64, len(q))
+		return minTime(reps, func() { k.ResidualFused(q, res, kVenk, false) })
+	}
+	// 1. Vertex orderings: locality metrics and the fused sweep they buy.
+	g := reorder.Graph{Ptr: m0.AdjPtr, Adj: m0.Adj}
+	w := table(o)
+	fmt.Fprintf(w, "ordering\tbandwidth\tprofile\tfused residual (%dT)\n", nw)
+	orderings := []reorder.Kind{reorder.KindNatural, reorder.KindRCM, reorder.KindMorton, reorder.KindHilbert}
+	orderMS := map[string]any{}
+	var rcmMesh *mesh.Mesh
+	for _, kind := range orderings {
+		perm, err := reorder.ByKind(kind, g, m0.Coords)
+		if err != nil {
+			return err
+		}
+		m := m0
+		if perm != nil {
+			m = m0.Permute(perm)
+		}
+		if kind == reorder.KindRCM {
+			rcmMesh = m
+		}
+		k, err := mkKern(m, 0)
+		if err != nil {
+			return err
+		}
+		t := fusedTime(k, mkState(m))
+		fmt.Fprintf(w, "%v\t%d\t%d\t%.3fms\n", kind, reorder.Bandwidth(g, perm), reorder.Profile(g, perm), 1e3*t)
+		orderMS[kind.String()] = 1e3 * t
+	}
+	if err := w.Flush(); err != nil {
+		return err
+	}
+
+	// 2. Tile-size sweep on the RCM mesh (the solver default ordering).
+	// The top size exceeds half the edge count on Mesh-C', so the sweep
+	// includes the near-degenerate 1-2 tile cases — on a host whose LLC
+	// holds the whole mesh those are the honest "LLC-sized" tiles.
+	q := mkState(rcmMesh)
+	ne := rcmMesh.NumEdges()
+	tiles := []int{1 << 12, 1 << 14, 1 << 15, 1 << 17, 1 << 18}
+	if o.Quick {
+		tiles = []int{1 << 10, 1 << 12, 1 << 14}
+	}
+	w = table(o)
+	fmt.Fprintln(w, "edges/tile\ttiles\treplication\tfused residual\tmodeled B/edge")
+	tileMS := map[string]any{}
+	bestTile, bestT := 0, 1e300
+	for _, te := range tiles {
+		k, err := mkKern(rcmMesh, te)
+		if err != nil {
+			return err
+		}
+		t := fusedTime(k, q)
+		fb, gb := k.ResidualFusedBytes()
+		tl := k.Tiling()
+		fmt.Fprintf(w, "%d\t%d\t%.3f\t%.3fms\t%.0f\n",
+			te, tl.NumTiles(), tl.Replication(), 1e3*t, float64(fb+gb)/float64(ne))
+		tileMS[fmt.Sprint(te)] = 1e3 * t
+		if t < bestT {
+			bestT, bestTile = t, te
+		}
+	}
+	if err := w.Flush(); err != nil {
+		return err
+	}
+
+	// 3. Fused vs three-sweep at the best tile size, measured as
+	// interleaved min-of-N pairs so VM clock drift between the two
+	// measurement blocks cannot bias either side, plus the prefetch
+	// lookahead sanity sweep.
+	k, err := mkKern(rcmMesh, bestTile)
+	if err != nil {
+		return err
+	}
+	nv := rcmMesh.NumVertices()
+	grad3 := make([]float64, nv*12)
+	phi3 := make([]float64, nv*4)
+	res3 := make([]float64, nv*4)
+	resF := make([]float64, nv*4)
+	fusedT, unfusedT := 1e300, 1e300
+	for r := 0; r < 2*reps; r++ {
+		if t := minTime(1, func() { k.ResidualFused(q, resF, kVenk, false) }); t < fusedT {
+			fusedT = t
+		}
+		if t := minTime(1, func() {
+			k.Gradient(q, grad3)
+			k.Limiter(q, grad3, phi3, kVenk)
+			k.Residual(q, grad3, phi3, res3)
+		}); t < unfusedT {
+			unfusedT = t
+		}
+	}
+	fb, gb := k.ResidualFusedBytes()
+	fusedBPE := float64(fb+gb) / float64(ne)
+	unfusedBPE := float64(k.ResidualBytes(true, true)+k.GradientBytes()) / float64(ne)
+	fmt.Fprintf(o.Out, "   fused %0.3fms vs three-sweep %0.3fms: %.2fX wall-clock, %.0f vs %.0f B/edge (%.2fX fewer)\n",
+		1e3*fusedT, 1e3*unfusedT, unfusedT/fusedT, fusedBPE, unfusedBPE, unfusedBPE/fusedBPE)
+
+	// 4. Where the traffic win lands in wall-clock: on a host whose LLC
+	// holds the whole mesh (this VM: 260 MB L3 vs a ~25 MB Mesh-C'
+	// working set) the streams the fusion eliminates were already cache
+	// hits, and at one core the kernels are compute-bound — measured
+	// fused/three-sweep is a dead heat there. The bandwidth-bound regime
+	// the paper's compiled kernels occupy (time ∝ bytes moved) is
+	// projected from the modeled traffic and the host's measured STREAM
+	// rate, the same convention as the Fig 6b/8a projections (see
+	// EXPERIMENTS.md "Known deviations").
+	streamBW := perfmodel.StreamTriad(pool, 1<<22)
+	projFusedMS := 1e3 * float64(fb+gb) / streamBW
+	projUnfusedMS := 1e3 * unfusedBPE * float64(ne) / streamBW
+	fmt.Fprintf(o.Out, "   host STREAM %.1f GB/s; bandwidth-bound projection: fused %.1fms vs three-sweep %.1fms (%.2fX)\n",
+		streamBW/1e9, projFusedMS, projUnfusedMS, projUnfusedMS/projFusedMS)
+
+	pfdists := []int{4, 16, 64}
+	if o.PFDist > 0 {
+		pfdists = append(pfdists, o.PFDist)
+	}
+	pfMS := map[string]any{}
+	res := make([]float64, len(q))
+	for _, pf := range pfdists {
+		kpf, err := mkKern(rcmMesh, bestTile)
+		if err != nil {
+			return err
+		}
+		kpf.Cfg.PFDist = pf
+		t := minTime(reps, func() { kpf.Residual(q, nil, nil, res) })
+		pfMS[fmt.Sprint(pf)] = 1e3 * t
+		fmt.Fprintf(o.Out, "   prefetch lookahead %d edges: first-order flux %.3fms\n", pf, 1e3*t)
+	}
+
+	// Artifact: the fused evaluation at the best tile size, with the
+	// modeled traffic split into its flux and gather phases so the
+	// residual_bytes_per_edge rate reflects the fused pipeline.
+	met := &prof.Metrics{}
+	met.Add(prof.Flux, vsec(fusedT))
+	met.AddBytes(prof.Flux, fb)
+	met.Inc(prof.FluxEdges, int64(ne))
+	met.AddBytes(prof.Gradient, gb)
+	met.Inc(prof.GradEdges, int64(ne))
+	met.Inc(prof.ResidualSweeps, 1)
+	return emit(o, "locality", met, rcmMesh, map[string]any{
+		"threads":                    nw,
+		"strategy":                   strategy.String(),
+		"ordering_fused_ms":          orderMS,
+		"tile_sweep_ms":              tileMS,
+		"tile_edges_best":            bestTile,
+		"fused_ms":                   1e3 * fusedT,
+		"three_sweep_ms":             1e3 * unfusedT,
+		"fused_speedup":              unfusedT / fusedT,
+		"wallclock_win":              fusedT < unfusedT,
+		"fused_bytes_per_edge":       fusedBPE,
+		"three_sweep_bytes_per_edge": unfusedBPE,
+		"bytes_reduction":            unfusedBPE / fusedBPE,
+		"stream_gbs":                 streamBW / 1e9,
+		"bw_bound_fused_ms":          projFusedMS,
+		"bw_bound_three_sweep_ms":    projUnfusedMS,
+		"bw_bound_speedup":           projUnfusedMS / projFusedMS,
+		"wallclock_win_bw_bound":     projFusedMS < projUnfusedMS,
+		"wallclock_note": "measured fused vs three-sweep is interleaved min-of-N on this host; " +
+			"the host's LLC holds the whole mesh, so the eliminated streams were already cache " +
+			"hits and the measured ratio sits at compute parity — the bw_bound_* keys project " +
+			"the bandwidth-bound regime (time proportional to bytes) from the measured STREAM rate",
+		"pfdist_flux_ms": pfMS,
+	}, nil)
+}

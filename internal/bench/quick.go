@@ -38,6 +38,18 @@ func quick(o *Options) error {
 	agg.Merge(app.Prof)
 	app.Close()
 
+	// A short fused-pipeline solve contributes the residual_sweeps counter
+	// and the fused byte accounting that the residual_bytes_per_edge
+	// benchdiff gate watches.
+	cfgF := cfg
+	cfgF.Fused = true
+	appF, _, err := solveOnce(o, m, cfgF, newton.Options{MaxSteps: 2, CFL0: o.CFL0})
+	if err != nil {
+		return err
+	}
+	agg.Merge(appF.Prof)
+	appF.Close()
+
 	// A two-rank distributed step contributes the communication kernels.
 	rates, err := perfmodel.Measure(m, 1, false)
 	if err != nil {
@@ -90,6 +102,7 @@ func quick(o *Options) error {
 	return emit(o, "quick", agg, m, map[string]any{
 		"threads":      o.MaxThreads,
 		"newton_steps": 3,
+		"fused_steps":  2,
 		"ranks":        2,
 		"cfl0":         o.CFL0,
 		"fault_seed":   uint64(7),

@@ -16,6 +16,9 @@ import (
 // selection and returns the app (caller closes) plus the result.
 func solveOnce(o *Options, m *mesh.Mesh, cfg core.Config, opt newton.Options) (*core.App, core.RunResult, error) {
 	cfg.PipelinedGMRES = o.pipelined()
+	if cfg.PFDist == 0 {
+		cfg.PFDist = o.PFDist
+	}
 	app, err := core.NewApp(m, cfg)
 	if err != nil {
 		return nil, core.RunResult{}, err

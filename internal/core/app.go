@@ -37,6 +37,10 @@ type Config struct {
 	// RCM reorders the mesh with Reverse Cuthill-McKee (the paper always
 	// does; switchable to quantify it).
 	RCM bool
+	// Order selects the vertex ordering explicitly (natural, RCM, Morton,
+	// Hilbert). When left at reorder.KindUnset, the legacy RCM flag
+	// decides (RCM or natural).
+	Order reorder.Kind
 	// Sched picks the sparse-recurrence parallelization.
 	Sched precond.Scheduling
 	// FillLevel is the ILU fill (paper default 1).
@@ -48,6 +52,16 @@ type Config struct {
 	ParallelVecOps bool
 	// SecondOrder/Limiter select the residual discretization.
 	SecondOrder, Limiter bool
+	// Fused runs the second-order limited residual as the cache-blocked
+	// single-sweep pipeline (the ladder's `+fused` rung). Requires
+	// SecondOrder, Limiter and AoS node data.
+	Fused bool
+	// TileEdges overrides the fused pipeline's edge-tile size
+	// (0 = tile.DefaultEdgesPerTile).
+	TileEdges int
+	// PFDist overrides the flux prefetch lookahead distance in edges
+	// (0 = flux.DefaultPFDist). Only meaningful with Prefetch.
+	PFDist int
 	// PipelinedGMRES selects the single-reduction-per-iteration Krylov
 	// variant (newton.Options.Pipelined) for every solve this app runs.
 	PipelinedGMRES bool
@@ -103,21 +117,37 @@ type App struct {
 	Prof   *prof.Metrics
 	Q      []float64 // current state, AoS over solver numbering
 	QInf   physics.State
+	Order  OrderStats // the applied vertex ordering and its locality effect
 	closed bool
 }
 
 // NewApp builds an application instance on mesh m (not modified; a
-// reordered copy is made when cfg.RCM).
+// reordered copy is made when an ordering applies).
 func NewApp(m *mesh.Mesh, cfg Config) (*App, error) {
 	if cfg.Beta <= 0 {
 		cfg.Beta = 5
 	}
+	if cfg.Fused {
+		if cfg.SoANodeData {
+			return nil, fmt.Errorf("core: Fused requires AoS node data")
+		}
+		if !cfg.SecondOrder || !cfg.Limiter {
+			return nil, fmt.Errorf("core: Fused requires SecondOrder and Limiter")
+		}
+	}
 	app := &App{Cfg: cfg, Prof: &prof.Metrics{}}
-	app.Mesh = m
-	if cfg.RCM {
-		perm := reorder.RCM(reorder.Graph{Ptr: m.AdjPtr, Adj: m.Adj})
-		app.Perm = perm
-		app.Mesh = m.Permute(perm)
+	kind := cfg.Order
+	if kind == reorder.KindUnset {
+		if cfg.RCM {
+			kind = reorder.KindRCM
+		} else {
+			kind = reorder.KindNatural
+		}
+	}
+	var err error
+	app.Mesh, app.Perm, app.Order, err = ReorderMesh(m, kind)
+	if err != nil {
+		return nil, err
 	}
 	if cfg.Threads > 1 {
 		app.Pool = par.NewPool(cfg.Threads)
@@ -141,6 +171,8 @@ func NewApp(m *mesh.Mesh, cfg Config) (*App, error) {
 		SoANodeData: cfg.SoANodeData,
 		SIMD:        cfg.SIMD,
 		Prefetch:    cfg.Prefetch,
+		PFDist:      cfg.PFDist,
+		TileEdges:   cfg.TileEdges,
 	})
 	app.A = sparse.NewBSRFromAdj(app.Mesh.AdjPtr, app.Mesh.Adj)
 	sched := cfg.Sched
@@ -192,6 +224,7 @@ type RunResult struct {
 func (app *App) Run(opt newton.Options) (RunResult, error) {
 	opt.SecondOrder = app.Cfg.SecondOrder
 	opt.Limiter = app.Cfg.Limiter
+	opt.Fused = app.Cfg.Fused
 	if app.Cfg.PipelinedGMRES {
 		opt.Pipelined = true
 	}
@@ -250,7 +283,7 @@ func (app *App) Close() {
 // Describe summarizes the configuration for logs and reports.
 func (app *App) Describe() string {
 	c := app.Cfg
-	return fmt.Sprintf("threads=%d strategy=%v soa=%v simd=%v prefetch=%v rcm=%v sched=%v ilu=%d sub=%d pvec=%v order2=%v",
-		c.Threads, c.Strategy, c.SoANodeData, c.SIMD, c.Prefetch, c.RCM, c.Sched,
-		c.FillLevel, max(1, c.Subdomains), c.ParallelVecOps, c.SecondOrder)
+	return fmt.Sprintf("threads=%d strategy=%v soa=%v simd=%v prefetch=%v order=%v sched=%v ilu=%d sub=%d pvec=%v order2=%v fused=%v",
+		c.Threads, c.Strategy, c.SoANodeData, c.SIMD, c.Prefetch, app.Order.Kind, c.Sched,
+		c.FillLevel, max(1, c.Subdomains), c.ParallelVecOps, c.SecondOrder, c.Fused)
 }

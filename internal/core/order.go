@@ -1,0 +1,46 @@
+package core
+
+import (
+	"fmt"
+
+	"fun3d/internal/mesh"
+	"fun3d/internal/reorder"
+)
+
+// OrderStats records which vertex ordering a solver applied and the
+// locality metrics before and after — the one-line summary the CLIs print.
+type OrderStats struct {
+	Kind            reorder.Kind
+	BandwidthBefore int
+	BandwidthAfter  int
+	ProfileBefore   int64
+	ProfileAfter    int64
+}
+
+func (s OrderStats) String() string {
+	return fmt.Sprintf("order=%v bandwidth %d -> %d, profile %d -> %d",
+		s.Kind, s.BandwidthBefore, s.BandwidthAfter, s.ProfileBefore, s.ProfileAfter)
+}
+
+// ReorderMesh applies the given vertex ordering to m (returning m itself
+// for natural order) together with the achieved bandwidth/profile change
+// and the permutation used (nil for natural).
+func ReorderMesh(m *mesh.Mesh, kind reorder.Kind) (*mesh.Mesh, []int32, OrderStats, error) {
+	g := reorder.Graph{Ptr: m.AdjPtr, Adj: m.Adj}
+	st := OrderStats{
+		Kind:            kind,
+		BandwidthBefore: reorder.Bandwidth(g, nil),
+		ProfileBefore:   reorder.Profile(g, nil),
+	}
+	perm, err := reorder.ByKind(kind, g, m.Coords)
+	if err != nil {
+		return nil, nil, st, err
+	}
+	out := m
+	if perm != nil {
+		out = m.Permute(perm)
+	}
+	st.BandwidthAfter = reorder.Bandwidth(g, perm)
+	st.ProfileAfter = reorder.Profile(g, perm)
+	return out, perm, st, nil
+}

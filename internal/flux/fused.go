@@ -1,0 +1,381 @@
+package flux
+
+import (
+	"fun3d/internal/geom"
+	"fun3d/internal/tile"
+)
+
+// This file implements the cache-blocked fused residual pipeline: one sweep
+// over LLC-sized edge tiles that computes the Green-Gauss gradient, the
+// Venkatakrishnan limiter, and the second-order flux while the tile's state
+// and geometry are still cache-resident, instead of three full passes over
+// the mesh (Gradient, Limiter, Residual).
+//
+// The gradient of a CLOSED cover vertex (every incident edge inside the
+// tile) is accumulated by SCATTERING the tile's edges once — the very same
+// gradEdgesRange/gradEdgesOwner loops the three-sweep Gradient runs,
+// restricted to the span; an OPEN (halo) vertex GATHERS its incident edges
+// in ascending edge id. Either way each accumulator sees its incident edges
+// in ascending order, which is the exact IEEE operation sequence of the
+// sequential scatter loop — so the fused result is bit-identical to the
+// three-sweep path (pinned by TestResidualFusedConformance).
+//
+// The span scatter runs UNGUARDED: an edge of span T can only touch tile
+// T's cover (a vertex closed in another tile T' has, by definition, every
+// incident edge inside T', so no span-T edge reaches it). Open vertices
+// ride the same scatter for their in-span contributions — each tile first
+// zeroes them and gathers their incident edges BELOW the span (the
+// prefix), lets the span scatter append the in-span terms, then gathers
+// the edges ABOVE the span (the suffix); prefix + span + suffix is the
+// full ascending incident list, so the redundant traffic per halo vertex
+// is only its out-of-span edges. Halo vertices are recomputed in every
+// tile that touches them; at LLC-sized tiles that is a few percent of the
+// vertices, and the recomputation is byte-cheap next to the two full
+// passes it eliminates.
+
+// Tiling returns the edge tiling used by ResidualFused, building it on
+// first use with Cfg.TileEdges edges per span (<= 0 selects
+// tile.DefaultEdgesPerTile).
+func (k *Kernels) Tiling() *tile.Tiling {
+	if k.tiling == nil || k.tiling.EdgesPerTile != k.effectiveTileEdges() {
+		k.tiling = tile.New(k.M, k.Cfg.TileEdges)
+		// Per-tile owned lists are stale.
+		k.fusedOwnedClosed, k.fusedOwnedClosedPtr = nil, nil
+		k.fusedOwnedOpen, k.fusedOwnedOpenPtr = nil, nil
+	}
+	return k.tiling
+}
+
+func (k *Kernels) effectiveTileEdges() int {
+	if k.Cfg.TileEdges > 0 {
+		return k.Cfg.TileEdges
+	}
+	return tile.DefaultEdgesPerTile
+}
+
+// fusedShared returns the gradient/limiter scratch the fused sweep fills
+// tile-by-tile, allocating on first use. The phi array persists between
+// calls, which is what frozen-limiter evaluations reuse.
+func (k *Kernels) fusedShared() (grad, phi []float64) {
+	nv := k.M.NumVertices()
+	if len(k.fusedGrad) != nv*12 {
+		k.fusedGrad = make([]float64, nv*12)
+		k.fusedPhi = make([]float64, nv*4)
+	}
+	return k.fusedGrad, k.fusedPhi
+}
+
+// fusedOwnedSetup precomputes, for the Replicate strategies, the closed and
+// open cover vertices each thread owns in each tile (per-thread CSRs over
+// tiles). Built once per (tiling, partition); the lists partition every
+// tile's cover because vertex ownership is a partition.
+func (k *Kernels) fusedOwnedSetup() {
+	if k.fusedOwnedClosed != nil {
+		return
+	}
+	t := k.Tiling()
+	owner := k.Part.Owner
+	nw := k.Pool.Size()
+	k.fusedOwnedClosedPtr = make([][]int32, nw)
+	k.fusedOwnedClosed = make([][]int32, nw)
+	k.fusedOwnedOpenPtr = make([][]int32, nw)
+	k.fusedOwnedOpen = make([][]int32, nw)
+	for tid := 0; tid < nw; tid++ {
+		k.fusedOwnedClosedPtr[tid] = make([]int32, t.NumTiles()+1)
+		k.fusedOwnedOpenPtr[tid] = make([]int32, t.NumTiles()+1)
+	}
+	for ti := 0; ti < t.NumTiles(); ti++ {
+		for _, v := range t.ClosedOf(ti) {
+			tid := owner[v]
+			k.fusedOwnedClosed[tid] = append(k.fusedOwnedClosed[tid], v)
+		}
+		for _, v := range t.OpenOf(ti) {
+			tid := owner[v]
+			k.fusedOwnedOpen[tid] = append(k.fusedOwnedOpen[tid], v)
+		}
+		for tid := 0; tid < nw; tid++ {
+			k.fusedOwnedClosedPtr[tid][ti+1] = int32(len(k.fusedOwnedClosed[tid]))
+			k.fusedOwnedOpenPtr[tid][ti+1] = int32(len(k.fusedOwnedOpen[tid]))
+		}
+	}
+}
+
+// zeroGradRuns zeroes the gradients of a sorted vertex list. Consecutive
+// runs (the common case: a tile's closed set is nearly an interval under
+// RCM/SFC ordering) are cleared as one contiguous slice, which the compiler
+// lowers to memclr — matching the cost of the three-sweep path's whole-array
+// zero.
+func zeroGradRuns(grad []float64, list []int32) {
+	for i := 0; i < len(list); {
+		j := i + 1
+		for j < len(list) && list[j] == list[j-1]+1 {
+			j++
+		}
+		g := grad[int(list[i])*12 : (int(list[j-1])+1)*12]
+		for x := range g {
+			g[x] = 0
+		}
+		i = j
+	}
+}
+
+// finishGradVertex applies vertex v's boundary closure (in BNodes index
+// order) and the 1/Vol scale — the tail every gradient path shares.
+func (k *Kernels) finishGradVertex(q, grad []float64, v int32, t *tile.Tiling) {
+	m := k.M
+	g := grad[v*12 : v*12+12]
+	lo, hi := t.BNRange(v)
+	for i := lo; i < hi; i++ {
+		bn := m.BNodes[i]
+		n := bn.Normal
+		for c := 0; c < 4; c++ {
+			qv := q[int(v)*4+c]
+			g[c*3] += n.X * qv
+			g[c*3+1] += n.Y * qv
+			g[c*3+2] += n.Z * qv
+		}
+	}
+	inv := 1 / m.Vol[v]
+	for i := 0; i < 12; i++ {
+		g[i] *= inv
+	}
+}
+
+// gatherGradVertex computes vertex v's complete Green-Gauss gradient into
+// grad[v*12:], accumulating incident edges in ascending edge id (the same
+// per-accumulator operation order as the scatter loops), then the boundary
+// closure and the 1/Vol scale.
+func (k *Kernels) gatherGradVertex(q, grad []float64, v int32, t *tile.Tiling) {
+	m := k.M
+	g := grad[v*12 : v*12+12]
+	for i := range g {
+		g[i] = 0
+	}
+	for _, e := range t.Inc(v) {
+		a, b := m.EV1[e], m.EV2[e]
+		n := geom.Vec3{X: m.ENX[e], Y: m.ENY[e], Z: m.ENZ[e]}
+		if a == v {
+			for c := 0; c < 4; c++ {
+				avg := 0.5 * (q[int(a)*4+c] + q[int(b)*4+c])
+				g[c*3] += n.X * avg
+				g[c*3+1] += n.Y * avg
+				g[c*3+2] += n.Z * avg
+			}
+		} else {
+			for c := 0; c < 4; c++ {
+				avg := 0.5 * (q[int(a)*4+c] + q[int(b)*4+c])
+				g[c*3] -= n.X * avg
+				g[c*3+1] -= n.Y * avg
+				g[c*3+2] -= n.Z * avg
+			}
+		}
+	}
+	k.finishGradVertex(q, grad, v, t)
+}
+
+// gatherTileVertex computes one halo vertex's gradient and, unless the
+// limiter is frozen, its limiter values.
+func (k *Kernels) gatherTileVertex(q, grad, phi []float64, v int32, t *tile.Tiling, kVenk float64, frozenPhi bool) {
+	k.gatherGradVertex(q, grad, v, t)
+	if !frozenPhi {
+		k.limiterVertex(q, grad, phi, int(v), kVenk)
+	}
+}
+
+// gatherGradPrefix zeroes vertex v's gradient and accumulates its incident
+// edges BELOW lo (ascending). Together with the span scatter (edges in
+// [lo,hi), in order) and gatherGradSuffix (edges >= hi), a halo vertex sees
+// its full incident list in ascending edge id — the same operation sequence
+// as a complete gather — while gathering only its out-of-span edges.
+func (k *Kernels) gatherGradPrefix(q, grad []float64, v int32, t *tile.Tiling, lo int) {
+	m := k.M
+	g := grad[v*12 : v*12+12]
+	for i := range g {
+		g[i] = 0
+	}
+	for _, e := range t.Inc(v) {
+		if int(e) >= lo {
+			break
+		}
+		a, b := m.EV1[e], m.EV2[e]
+		n := geom.Vec3{X: m.ENX[e], Y: m.ENY[e], Z: m.ENZ[e]}
+		if a == v {
+			for c := 0; c < 4; c++ {
+				avg := 0.5 * (q[int(a)*4+c] + q[int(b)*4+c])
+				g[c*3] += n.X * avg
+				g[c*3+1] += n.Y * avg
+				g[c*3+2] += n.Z * avg
+			}
+		} else {
+			for c := 0; c < 4; c++ {
+				avg := 0.5 * (q[int(a)*4+c] + q[int(b)*4+c])
+				g[c*3] -= n.X * avg
+				g[c*3+1] -= n.Y * avg
+				g[c*3+2] -= n.Z * avg
+			}
+		}
+	}
+}
+
+// gatherGradSuffix accumulates vertex v's incident edges at or above hi
+// (ascending), then finishes the gradient and, unless frozen, the limiter —
+// the tail of the prefix/scatter/suffix halo sequence.
+func (k *Kernels) gatherGradSuffix(q, grad, phi []float64, v int32, t *tile.Tiling, hi int, kVenk float64, frozenPhi bool) {
+	m := k.M
+	g := grad[v*12 : v*12+12]
+	inc := t.Inc(v)
+	for i := len(inc) - 1; i >= 0; i-- {
+		if int(inc[i]) < hi {
+			inc = inc[i+1:]
+			break
+		}
+	}
+	for _, e := range inc {
+		a, b := m.EV1[e], m.EV2[e]
+		n := geom.Vec3{X: m.ENX[e], Y: m.ENY[e], Z: m.ENZ[e]}
+		if a == v {
+			for c := 0; c < 4; c++ {
+				avg := 0.5 * (q[int(a)*4+c] + q[int(b)*4+c])
+				g[c*3] += n.X * avg
+				g[c*3+1] += n.Y * avg
+				g[c*3+2] += n.Z * avg
+			}
+		} else {
+			for c := 0; c < 4; c++ {
+				avg := 0.5 * (q[int(a)*4+c] + q[int(b)*4+c])
+				g[c*3] -= n.X * avg
+				g[c*3+1] -= n.Y * avg
+				g[c*3+2] -= n.Z * avg
+			}
+		}
+	}
+	k.finishGradVertex(q, grad, v, t)
+	if !frozenPhi {
+		k.limiterVertex(q, grad, phi, int(v), kVenk)
+	}
+}
+
+// ResidualFused evaluates the full second-order limited residual
+// res = R(q) in a single cache-blocked sweep: per edge tile, gradient
+// (scatter for tile-closed vertices, gather for the halo) and limiter over
+// the covering vertices, then the flux of the tile's edges, all while the
+// tile's working set is cache-resident. kVenk is the Venkatakrishnan
+// constant; with frozenPhi the limiter field of the previous unfrozen call
+// is reused (the Newton matvec convention). Requires AoS node data; q and
+// res are nv*4 AoS vectors.
+//
+// With identical mesh ordering the result is bit-identical to
+// Gradient + Limiter + Residual for the deterministic strategies
+// (Sequential, ReplicateNatural, ReplicateMETIS); Atomic and Colored agree
+// to within the usual reassociation rounding of their unfused forms.
+func (k *Kernels) ResidualFused(q, res []float64, kVenk float64, frozenPhi bool) {
+	if k.Cfg.SoANodeData {
+		panic("flux: ResidualFused requires AoS node data")
+	}
+	t := k.Tiling()
+	grad, phi := k.fusedShared()
+	k.ResidualBegin(res)
+	switch k.Cfg.Strategy {
+	case Sequential:
+		for ti, sp := range t.Spans {
+			zeroGradRuns(grad, t.ClosedOf(ti))
+			for _, v := range t.OpenOf(ti) {
+				k.gatherGradPrefix(q, grad, v, t, sp.Lo)
+			}
+			k.gradEdgesRange(q, grad, sp.Lo, sp.Hi)
+			for _, v := range t.ClosedOf(ti) {
+				k.finishGradVertex(q, grad, v, t)
+				if !frozenPhi {
+					k.limiterVertex(q, grad, phi, int(v), kVenk)
+				}
+			}
+			for _, v := range t.OpenOf(ti) {
+				k.gatherGradSuffix(q, grad, phi, v, t, sp.Hi, kVenk, frozenPhi)
+			}
+			if k.Cfg.SIMD {
+				k.resEdgesSIMDRange(q, grad, phi, res, sp.Lo, sp.Hi, 0)
+			} else {
+				k.resEdgesRange(q, grad, phi, res, sp.Lo, sp.Hi, k.Cfg.Prefetch, 0)
+			}
+		}
+	case ReplicateNatural, ReplicateMETIS:
+		// One owner-writes sweep per thread: each tile is a gradient phase
+		// (every thread zeroes its owned closed vertices, prefix-gathers its
+		// owned halo vertices, scatters its edge sub-list into everything it
+		// owns — the same unguarded span scatter as the Sequential path, by
+		// ownership — then finishes the closed ones and suffix-gathers the
+		// halo) and a flux phase (owner-only residual writes over the
+		// thread's edge sub-list). The Pool.Run joins are the only barriers
+		// and all writes are owner-partitioned, so the sweep is race-free
+		// and deterministic. A thread's edge sub-list contains every edge
+		// incident to its owned vertices, so the in-span contributions of
+		// an owned halo vertex all arrive from its own scatter.
+		k.fusedOwnedSetup()
+		p := k.Part
+		for ti, sp := range t.Spans {
+			lo, hi := sp.Lo, sp.Hi
+			k.Pool.Run(func(tid int) {
+				cp := k.fusedOwnedClosedPtr[tid]
+				closed := k.fusedOwnedClosed[tid][cp[ti]:cp[ti+1]]
+				zeroGradRuns(grad, closed)
+				op := k.fusedOwnedOpenPtr[tid]
+				open := k.fusedOwnedOpen[tid][op[ti]:op[ti+1]]
+				for _, v := range open {
+					k.gatherGradPrefix(q, grad, v, t, lo)
+				}
+				list := edgeSubRange(p.EdgeList[tid], lo, hi)
+				k.gradEdgesOwner(q, grad, list, p.Owner, int32(tid))
+				for _, v := range closed {
+					k.finishGradVertex(q, grad, v, t)
+					if !frozenPhi {
+						k.limiterVertex(q, grad, phi, int(v), kVenk)
+					}
+				}
+				for _, v := range open {
+					k.gatherGradSuffix(q, grad, phi, v, t, hi, kVenk, frozenPhi)
+				}
+			})
+			k.Pool.Run(func(tid int) {
+				list := edgeSubRange(p.EdgeList[tid], lo, hi)
+				if k.Cfg.SIMD {
+					k.repEdgesSIMD(q, grad, phi, res, list, p.Owner, int32(tid))
+				} else {
+					k.repEdges(q, grad, phi, res, list, p.Owner, int32(tid), k.Cfg.Prefetch, tid)
+				}
+			})
+		}
+	case Atomic, Colored:
+		// No vertex ownership to scatter under: gather over the whole
+		// cover in parallel (each vertex is written by exactly one chunk),
+		// then the strategy's own flux traversal of the tile's edge range.
+		for ti, sp := range t.Spans {
+			cover := t.CoverOf(ti)
+			k.Pool.ParallelFor(len(cover), func(_, clo, chi int) {
+				for i := clo; i < chi; i++ {
+					k.gatherTileVertex(q, grad, phi, cover[i], t, kVenk, frozenPhi)
+				}
+			})
+			k.ResidualEdgeRange(q, grad, phi, res, sp.Lo, sp.Hi)
+		}
+	}
+	k.ResidualBoundary(q, res)
+	k.ResidualEnd(res)
+}
+
+// ResidualFusedBytes models the DRAM traffic of one fused evaluation,
+// split into the flux phase and the gradient+limiter phase — the fused
+// counterparts of ResidualBytes and GradientBytes. The flux phase streams
+// the edge data once with cache-resident reconstruction inputs: endpoint
+// ids (8B), normal (24B), and the residual read-modify-write (128B) per
+// edge; the gradient scatter re-traverses the same span while it is still
+// cache-resident, so it adds no edge traffic. The gradient phase pays, per
+// cover-vertex visit, the vertex's state (32B), gradient write (96B), phi
+// write (32B), volume (8B) and coordinates (24B), plus the incident-edge
+// ids and normals (8B + 24B) per OUT-OF-SPAN halo gather edge visit — the
+// only redundant edge traffic the prefix/scatter/suffix halo scheme leaves.
+func (k *Kernels) ResidualFusedBytes() (fluxBytes, gradBytes int64) {
+	t := k.Tiling()
+	fluxBytes = int64(k.M.NumEdges()) * (8 + 24 + 128)
+	gradBytes = t.VertexVisits*(32+96+32+8+24) + t.OpenGatherEdgeVisits*(8+24)
+	return fluxBytes, gradBytes
+}

@@ -1,0 +1,238 @@
+package flux
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"fun3d/internal/par"
+	"fun3d/internal/physics"
+)
+
+const kVenkTest = 5.0
+
+// threeSweep is the unfused reference: Gradient -> Limiter -> Residual
+// with the kernels' own strategy.
+func threeSweep(k *Kernels, q []float64) (res, grad, phi []float64) {
+	nv := k.M.NumVertices()
+	grad = make([]float64, nv*12)
+	phi = make([]float64, nv*4)
+	res = make([]float64, nv*4)
+	k.Gradient(q, grad)
+	k.Limiter(q, grad, phi, kVenkTest)
+	k.Residual(q, grad, phi, res)
+	return res, grad, phi
+}
+
+// exactStrategy reports whether the fused pipeline must be bit-identical
+// to the three-sweep path for this strategy. Atomic is nondeterministic in
+// its unfused form already; Colored's fused flux traverses tile-major
+// instead of color-major (deterministic but reassociated).
+func exactStrategy(s Strategy) bool {
+	return s == Sequential || s == ReplicateNatural || s == ReplicateMETIS
+}
+
+// TestResidualFusedConformance is the ISSUE's correctness bar: across all
+// threading strategies, pool sizes, tile sizes and the SIMD/prefetch
+// variants, the fused single-sweep pipeline must reproduce the three-sweep
+// residual — bit-identical for the deterministic strategies, within
+// rounding for Atomic/Colored.
+func TestResidualFusedConformance(t *testing.T) {
+	m := wingMesh(t)
+	nv := m.NumVertices()
+	qInf := physics.FreeStream(3)
+	q := perturbedState(nv, qInf, 0.1, 42)
+
+	strategies := append([]Strategy{Sequential}, conformanceStrategies...)
+	for _, nw := range poolSizes {
+		pool := par.NewPool(nw)
+		for _, s := range strategies {
+			if s == Sequential && nw > 1 {
+				continue
+			}
+			for _, cfg := range []Config{
+				{Strategy: s, TileEdges: 150},
+				{Strategy: s},
+				{Strategy: s, SIMD: true, Prefetch: true, PFDist: 8, TileEdges: 777},
+			} {
+				name := fmt.Sprintf("%v-nw%d-tile%d-simd%v", s, nw, cfg.TileEdges, cfg.SIMD)
+				t.Run(name, func(t *testing.T) {
+					part, err := NewPartition(m, nw, s, 17)
+					if err != nil {
+						t.Fatal(err)
+					}
+					p := pool
+					if s == Sequential {
+						p = nil
+					}
+					k := NewKernels(m, beta, qInf, p, part, cfg)
+					want, _, _ := threeSweep(k, q)
+					got := make([]float64, nv*4)
+					k.ResidualFused(q, got, kVenkTest, false)
+
+					tol := 0.0
+					if !exactStrategy(s) {
+						tol = 1e-12 * (maxAbs(want) + 1)
+					}
+					if d := maxAbsDiff(got, want); d > tol {
+						t.Errorf("fused differs by %.3e (tol %.3e)", d, tol)
+					}
+				})
+			}
+		}
+		pool.Close()
+	}
+}
+
+// TestResidualFusedFrozenLimiter checks the Newton-matvec convention: a
+// frozen evaluation reuses the limiter field of the previous unfrozen call
+// while recomputing the gradient at the new state.
+func TestResidualFusedFrozenLimiter(t *testing.T) {
+	m := wingMesh(t)
+	nv := m.NumVertices()
+	qInf := physics.FreeStream(3)
+	q := perturbedState(nv, qInf, 0.1, 42)
+	q2 := perturbedState(nv, qInf, 0.1, 99)
+
+	for _, s := range []Strategy{Sequential, ReplicateMETIS} {
+		t.Run(s.String(), func(t *testing.T) {
+			nw := 1
+			var pool *par.Pool
+			if s != Sequential {
+				nw = 4
+				pool = par.NewPool(nw)
+				defer pool.Close()
+			}
+			part, err := NewPartition(m, nw, s, 17)
+			if err != nil {
+				t.Fatal(err)
+			}
+			k := NewKernels(m, beta, qInf, pool, part, Config{Strategy: s, TileEdges: 300})
+
+			// Reference: phi from q, gradient and flux from q2.
+			_, _, phi := threeSweep(k, q)
+			grad2 := make([]float64, nv*12)
+			k.Gradient(q2, grad2)
+			want := make([]float64, nv*4)
+			k.Residual(q2, grad2, phi, want)
+
+			scratch := make([]float64, nv*4)
+			k.ResidualFused(q, scratch, kVenkTest, false) // populates the phi scratch
+			got := make([]float64, nv*4)
+			k.ResidualFused(q2, got, kVenkTest, true)
+			if d := maxAbsDiff(got, want); d != 0 {
+				t.Errorf("frozen fused differs by %.3e", d)
+			}
+		})
+	}
+}
+
+// TestGatherGradMatchesScatter pins the accumulation-order argument the
+// whole fused design rests on: the ascending-edge gather reproduces the
+// sequential scatter gradient bit-for-bit, vertex by vertex.
+func TestGatherGradMatchesScatter(t *testing.T) {
+	m := wingMesh(t)
+	nv := m.NumVertices()
+	qInf := physics.FreeStream(3)
+	q := perturbedState(nv, qInf, 0.1, 7)
+	k := NewKernels(m, beta, qInf, nil, &Partition{NW: 1}, Config{Strategy: Sequential})
+
+	want := make([]float64, nv*12)
+	k.Gradient(q, want)
+
+	tl := k.Tiling()
+	got := make([]float64, nv*12)
+	for ti := 0; ti < tl.NumTiles(); ti++ {
+		for _, v := range tl.CoverOf(ti) {
+			k.gatherGradVertex(q, got, v, tl)
+		}
+	}
+	// Every vertex with an edge is in some cover; isolated vertices have
+	// zero gradient either way (gather never touches them, scatter only
+	// scales their zero entries).
+	for i := range want {
+		if got[i] != want[i] && !(got[i] == 0 && want[i] == 0) {
+			t.Fatalf("gradient entry %d: gather %v != scatter %v", i, got[i], want[i])
+		}
+	}
+}
+
+// TestResidualFusedBytesModel: the acceptance criterion's traffic bound —
+// the modeled fused traffic must be at most half of the three-sweep
+// second-order+limiter model at the default tile size.
+func TestResidualFusedBytesModel(t *testing.T) {
+	m := wingMesh(t)
+	k := NewKernels(m, beta, physics.FreeStream(3), nil, &Partition{NW: 1}, Config{Strategy: Sequential})
+	fb, gb := k.ResidualFusedBytes()
+	fused := fb + gb
+	unfused := k.ResidualBytes(true, true) + k.GradientBytes()
+	if fused*2 > unfused {
+		t.Fatalf("fused model %d B not <= half of three-sweep %d B", fused, unfused)
+	}
+	t.Logf("bytes/edge: fused %.0f, three-sweep %.0f (%.2fx)",
+		float64(fused)/float64(m.NumEdges()), float64(unfused)/float64(m.NumEdges()),
+		float64(unfused)/float64(fused))
+}
+
+// TestPFDistSemanticsFree: the prefetch lookahead distance must never
+// change results, only timing — any PFDist yields the bit-identical
+// residual of the unprefetched loop.
+func TestPFDistSemanticsFree(t *testing.T) {
+	m := wingMesh(t)
+	nv := m.NumVertices()
+	qInf := physics.FreeStream(3)
+	q := perturbedState(nv, qInf, 0.1, 11)
+
+	base := NewKernels(m, beta, qInf, nil, &Partition{NW: 1}, Config{Strategy: Sequential})
+	want := make([]float64, nv*4)
+	base.Residual(q, nil, nil, want)
+
+	for _, pf := range []int{1, 4, 16, 1 << 20} {
+		k := NewKernels(m, beta, qInf, nil, &Partition{NW: 1},
+			Config{Strategy: Sequential, Prefetch: true, PFDist: pf})
+		got := make([]float64, nv*4)
+		k.Residual(q, nil, nil, got)
+		if d := maxAbsDiff(got, want); d != 0 {
+			t.Fatalf("PFDist=%d changed the residual by %.3e", pf, d)
+		}
+		if k.pfDist() != pf {
+			t.Fatalf("pfDist() = %d, want %d", k.pfDist(), pf)
+		}
+	}
+	if base.pfDist() != DefaultPFDist {
+		t.Fatalf("default pfDist() = %d", base.pfDist())
+	}
+}
+
+// TestAoSSoARoundTrip: property test that the layout converters are exact
+// inverses for arbitrary nv and arbitrary values.
+func TestAoSSoARoundTrip(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		nv := rng.Intn(200) + 1
+		q := make([]float64, nv*4)
+		for i := range q {
+			q[i] = rng.NormFloat64()
+		}
+		soa := AoSToSoA(q, nv)
+		back := SoAToAoS(soa, nv)
+		for i := range q {
+			if back[i] != q[i] {
+				return false
+			}
+		}
+		// And the opposite composition.
+		aos := SoAToAoS(q, nv)
+		there := AoSToSoA(aos, nv)
+		for i := range q {
+			if there[i] != q[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Fatal(err)
+	}
+}

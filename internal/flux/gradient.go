@@ -172,40 +172,7 @@ func (k *Kernels) Limiter(q, grad, phi []float64, kVenk float64) {
 	m := k.M
 	body := func(lo, hi int) {
 		for v := lo; v < hi; v++ {
-			eps2 := math.Pow(kVenk, 3) * m.Vol[v] // (K h)^3 with h^3 ~ Vol
-			g := grad[v*12 : v*12+12]
-			xv := m.Coords[v]
-			for c := 0; c < 4; c++ {
-				qv := q[v*4+c]
-				dmax, dmin := 0.0, 0.0
-				for _, w := range m.Neighbors(v) {
-					d := q[int(w)*4+c] - qv
-					if d > dmax {
-						dmax = d
-					}
-					if d < dmin {
-						dmin = d
-					}
-				}
-				p := 1.0
-				for _, w := range m.Neighbors(v) {
-					dx := geom.Mid(xv, m.Coords[w]).Sub(xv)
-					d2 := g[c*3]*dx.X + g[c*3+1]*dx.Y + g[c*3+2]*dx.Z
-					var lim float64
-					switch {
-					case d2 > 1e-14:
-						lim = venkat(dmax, d2, eps2)
-					case d2 < -1e-14:
-						lim = venkat(dmin, d2, eps2)
-					default:
-						lim = 1
-					}
-					if lim < p {
-						p = lim
-					}
-				}
-				phi[v*4+c] = p
-			}
+			k.limiterVertex(q, grad, phi, v, kVenk)
 		}
 	}
 	if k.Pool == nil || k.Cfg.Strategy == Sequential {
@@ -213,6 +180,48 @@ func (k *Kernels) Limiter(q, grad, phi []float64, kVenk float64) {
 		return
 	}
 	k.Pool.ParallelFor(m.NumVertices(), func(_, lo, hi int) { body(lo, hi) })
+}
+
+// limiterVertex computes one vertex's limiter values. phi[v] depends only
+// on q (vertex + neighbors) and grad[v], so any caller that has v's final
+// gradient may evaluate it — the fused pipeline calls this per covering
+// vertex and gets bit-identical results to the full Limiter sweep.
+func (k *Kernels) limiterVertex(q, grad, phi []float64, v int, kVenk float64) {
+	m := k.M
+	eps2 := math.Pow(kVenk, 3) * m.Vol[v] // (K h)^3 with h^3 ~ Vol
+	g := grad[v*12 : v*12+12]
+	xv := m.Coords[v]
+	for c := 0; c < 4; c++ {
+		qv := q[v*4+c]
+		dmax, dmin := 0.0, 0.0
+		for _, w := range m.Neighbors(v) {
+			d := q[int(w)*4+c] - qv
+			if d > dmax {
+				dmax = d
+			}
+			if d < dmin {
+				dmin = d
+			}
+		}
+		p := 1.0
+		for _, w := range m.Neighbors(v) {
+			dx := geom.Mid(xv, m.Coords[w]).Sub(xv)
+			d2 := g[c*3]*dx.X + g[c*3+1]*dx.Y + g[c*3+2]*dx.Z
+			var lim float64
+			switch {
+			case d2 > 1e-14:
+				lim = venkat(dmax, d2, eps2)
+			case d2 < -1e-14:
+				lim = venkat(dmin, d2, eps2)
+			default:
+				lim = 1
+			}
+			if lim < p {
+				p = lim
+			}
+		}
+		phi[v*4+c] = p
+	}
 }
 
 // venkat is the Venkatakrishnan limiter function.

@@ -7,6 +7,7 @@ import (
 	"fun3d/internal/mesh"
 	"fun3d/internal/par"
 	"fun3d/internal/physics"
+	"fun3d/internal/tile"
 )
 
 // Config selects the code variant for the edge kernels, mirroring the
@@ -24,13 +25,27 @@ type Config struct {
 	// Prefetch enables software lookahead touches of the vertex data of
 	// edges PFDist ahead.
 	Prefetch bool
+	// PFDist is the prefetch lookahead distance in edges; <= 0 selects
+	// DefaultPFDist. Only meaningful with Prefetch.
+	PFDist int
+	// TileEdges is the edge-span size of the fused residual pipeline's
+	// cache blocking (ResidualFused); <= 0 selects tile.DefaultEdgesPerTile.
+	TileEdges int
 }
 
 // W is the SIMD batch width (the paper's AVX 4-wide double).
 const W = 4
 
-// PFDist is the prefetch lookahead distance in edges.
-const PFDist = 16
+// DefaultPFDist is the default prefetch lookahead distance in edges.
+const DefaultPFDist = 16
+
+// pfDist returns the configured prefetch lookahead distance.
+func (k *Kernels) pfDist() int {
+	if k.Cfg.PFDist > 0 {
+		return k.Cfg.PFDist
+	}
+	return DefaultPFDist
+}
 
 // Kernels bundles a mesh, flow parameters, a thread pool and a partition,
 // and exposes the edge-based kernels. Scratch buffers are owned by the
@@ -46,6 +61,19 @@ type Kernels struct {
 	atomicRes *par.Float64Slice // scratch for the Atomic strategy
 	edgeSlots [][4]int32        // per-edge BSR slots for Jacobian assembly
 	sink      []float64         // defeats dead-code elimination of prefetch touches
+
+	// Fused-pipeline state (fused.go): the edge tiling, gradient/limiter
+	// scratch shared by all tiles, the per-vertex stamp that marks which
+	// tile's scatter phase currently owns a closed vertex, and — for the
+	// Replicate strategies — per-thread CSR lists of the closed and open
+	// (halo) cover vertices each thread owns per tile.
+	tiling              *tile.Tiling
+	fusedGrad           []float64
+	fusedPhi            []float64
+	fusedOwnedClosedPtr [][]int32
+	fusedOwnedClosed    [][]int32
+	fusedOwnedOpenPtr   [][]int32
+	fusedOwnedOpen      [][]int32
 }
 
 // NewKernels constructs the kernel set. pool may be nil only for
@@ -281,9 +309,10 @@ func edgeSubRange(list []int32, lo, hi int) []int32 {
 func (k *Kernels) resEdgesRange(q, grad, phi, res []float64, lo, hi int, prefetch bool, tid int) {
 	m := k.M
 	sink := 0.0
+	pf := k.pfDist()
 	for e := lo; e < hi; e++ {
-		if prefetch && e+PFDist < hi {
-			sink += k.touch(q, m.EV1[e+PFDist]) + k.touch(q, m.EV2[e+PFDist])
+		if prefetch && e+pf < hi {
+			sink += k.touch(q, m.EV1[e+pf]) + k.touch(q, m.EV2[e+pf])
 		}
 		qa, qb, a, b, n := k.edgeStates(q, grad, phi, int32(e))
 		f := physics.RoeFlux(qa, qb, n, k.Beta)
@@ -328,9 +357,10 @@ func (k *Kernels) resEdgesSIMDRange(q, grad, phi, res []float64, lo, hi, slot in
 // repEdges is the owner-only-writes edge loop over an explicit edge list.
 func (k *Kernels) repEdges(q, grad, phi, res []float64, list []int32, owner []int32, tid int32, prefetch bool, slot int) {
 	sink := 0.0
+	pf := k.pfDist()
 	for idx, e := range list {
-		if prefetch && idx+PFDist < len(list) {
-			e2 := list[idx+PFDist]
+		if prefetch && idx+pf < len(list) {
+			e2 := list[idx+pf]
 			sink += k.touch(q, k.M.EV1[e2]) + k.touch(q, k.M.EV2[e2])
 		}
 		qa, qb, a, b, n := k.edgeStates(q, grad, phi, e)
@@ -356,10 +386,11 @@ func (k *Kernels) repEdgesSIMD(q, grad, phi, res []float64, list []int32, owner 
 	var av, bv [W]int32
 	i := 0
 	sink := 0.0
+	pf := k.pfDist()
 	for ; i+W <= len(list); i += W {
 		for l := 0; l < W; l++ {
-			if k.Cfg.Prefetch && i+l+PFDist < len(list) {
-				e2 := list[i+l+PFDist]
+			if k.Cfg.Prefetch && i+l+pf < len(list) {
+				e2 := list[i+l+pf]
 				sink += k.touch(q, k.M.EV1[e2]) + k.touch(q, k.M.EV2[e2])
 			}
 			qa, qb, a, b, n := k.edgeStates(q, grad, phi, list[i+l])

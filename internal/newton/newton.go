@@ -53,6 +53,13 @@ type Options struct {
 	SecondOrder bool    // MUSCL reconstruction in the residual
 	Limiter     bool    // Venkatakrishnan limiter on the reconstruction
 	VenkK       float64 // limiter constant (default 5)
+
+	// Fused evaluates the second-order limited residual with the
+	// cache-blocked single-sweep pipeline (flux.Kernels.ResidualFused)
+	// instead of the three-sweep Gradient/Limiter/Residual sequence.
+	// Takes effect only with SecondOrder && Limiter and AoS node data;
+	// otherwise the three-sweep path runs.
+	Fused bool
 }
 
 func (o *Options) defaults() {
@@ -143,17 +150,33 @@ var ErrDiverged = errors.New("newton: diverged")
 // residual evaluates R(q) into out, with second-order machinery per opt.
 // phi must already be current when frozen is true (linear-solve mode).
 func (st *Stepper) residual(q, out []float64, opt *Options, frozenLimiter bool) {
-	var gr, ph []float64
 	ne := int64(st.K.M.NumEdges())
+	if opt.Fused && opt.SecondOrder && opt.Limiter && !st.K.Cfg.SoANodeData {
+		// Single cache-blocked sweep: gradient, limiter and flux per edge
+		// tile. One sweep instead of three; the byte models split the
+		// fused traffic into its flux and gather phases.
+		st.Prof.Time(prof.Flux, func() { st.K.ResidualFused(q, out, opt.VenkK, frozenLimiter) })
+		fb, gb := st.K.ResidualFusedBytes()
+		st.Prof.Inc(prof.FluxEdges, ne)
+		st.Prof.Inc(prof.GradEdges, ne)
+		st.Prof.AddBytes(prof.Flux, fb)
+		st.Prof.AddBytes(prof.Gradient, gb)
+		st.Prof.Inc(prof.ResidualSweeps, 1)
+		return
+	}
+	var gr, ph []float64
+	sweeps := int64(1)
 	if opt.SecondOrder {
 		st.Prof.Time(prof.Gradient, func() { st.K.Gradient(q, st.grad) })
 		st.Prof.Inc(prof.GradEdges, ne)
 		st.Prof.AddBytes(prof.Gradient, st.K.GradientBytes())
+		sweeps++
 		gr = st.grad
 		if opt.Limiter {
 			if !frozenLimiter {
 				st.Prof.Time(prof.Gradient, func() { st.K.Limiter(q, st.grad, st.phi, opt.VenkK) })
 				st.Prof.Inc(prof.GradEdges, ne)
+				sweeps++
 			}
 			ph = st.phi
 		}
@@ -161,6 +184,7 @@ func (st *Stepper) residual(q, out []float64, opt *Options, frozenLimiter bool) 
 	st.Prof.Time(prof.Flux, func() { st.K.Residual(q, gr, ph, out) })
 	st.Prof.Inc(prof.FluxEdges, ne)
 	st.Prof.AddBytes(prof.Flux, st.K.ResidualBytes(opt.SecondOrder, ph != nil))
+	st.Prof.Inc(prof.ResidualSweeps, sweeps)
 }
 
 // localTimeSteps fills st.dt with CFL*Vol/λ where λ sums the spectral radii

@@ -115,6 +115,16 @@ func NewArtifact(experiment string, m *Metrics) *Artifact {
 			a.Rates["krylov_allreduce_bytes_per_gmres_iter"] = float64(b) / float64(it)
 		}
 	}
+	// Modeled residual-pipeline traffic per edge swept — the locality
+	// figure the fused cache-blocked pipeline drives down (~3x) and
+	// benchdiff gates on. Both numerator (byte models) and denominator
+	// (edge evaluations) are deterministic, so the rate is exact across
+	// machines, like the collectives-per-iteration rate above.
+	if fe := m.Counter(FluxEdges); fe > 0 {
+		if b := m.Bytes(Flux) + m.Bytes(Gradient); b > 0 {
+			a.Rates["residual_bytes_per_edge"] = float64(b) / float64(fe)
+		}
+	}
 	return a
 }
 

@@ -54,6 +54,10 @@ const (
 	// FaultNoiseMicros is the per-rank average of injected straggler and
 	// point-to-point jitter, in microseconds of virtual time.
 	FaultNoiseMicros
+	// ResidualSweeps counts full mesh sweeps spent per residual pipeline:
+	// the fused cache-blocked path charges 1 per evaluation, the unfused
+	// path 1 each for gradient, limiter, and flux.
+	ResidualSweeps
 	numCounters
 )
 
@@ -95,6 +99,8 @@ func (c Counter) String() string {
 		return "fault_recomputed_steps"
 	case FaultNoiseMicros:
 		return "fault_noise_us"
+	case ResidualSweeps:
+		return "residual_sweeps"
 	}
 	return fmt.Sprintf("Counter(%d)", int(c))
 }

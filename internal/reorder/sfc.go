@@ -1,0 +1,212 @@
+package reorder
+
+import (
+	"fmt"
+	"sort"
+
+	"fun3d/internal/geom"
+)
+
+// Kind names a vertex-ordering algorithm. The zero value KindUnset lets
+// configuration structs distinguish "not specified" (fall back to a legacy
+// default) from an explicit choice of natural order.
+type Kind int
+
+const (
+	// KindUnset means no ordering was specified.
+	KindUnset Kind = iota
+	// KindNatural keeps the mesh's existing numbering.
+	KindNatural
+	// KindRCM is Reverse Cuthill-McKee on the adjacency graph.
+	KindRCM
+	// KindMorton orders vertices along a Morton (Z-order) curve through
+	// their coordinates.
+	KindMorton
+	// KindHilbert orders vertices along a Hilbert curve through their
+	// coordinates — Morton's locality without the long diagonal jumps.
+	KindHilbert
+)
+
+func (k Kind) String() string {
+	switch k {
+	case KindUnset:
+		return "unset"
+	case KindNatural:
+		return "natural"
+	case KindRCM:
+		return "rcm"
+	case KindMorton:
+		return "morton"
+	case KindHilbert:
+		return "hilbert"
+	}
+	return fmt.Sprintf("Kind(%d)", int(k))
+}
+
+// ParseKind parses an ordering name as used by CLI flags.
+func ParseKind(s string) (Kind, error) {
+	switch s {
+	case "natural":
+		return KindNatural, nil
+	case "rcm":
+		return KindRCM, nil
+	case "morton":
+		return KindMorton, nil
+	case "hilbert":
+		return KindHilbert, nil
+	}
+	return KindUnset, fmt.Errorf("reorder: unknown ordering %q (natural, rcm, morton, hilbert)", s)
+}
+
+// ByKind computes the permutation (perm[old] = new) for the given ordering.
+// KindNatural returns nil (no reordering needed); the graph feeds RCM, the
+// coordinates feed the space-filling curves.
+func ByKind(k Kind, g Graph, coords []geom.Vec3) ([]int32, error) {
+	switch k {
+	case KindNatural:
+		return nil, nil
+	case KindRCM:
+		return RCM(g), nil
+	case KindMorton:
+		return Morton(coords), nil
+	case KindHilbert:
+		return Hilbert(coords), nil
+	}
+	return nil, fmt.Errorf("reorder: no algorithm for ordering %v", k)
+}
+
+// sfcBits is the per-dimension quantization of the space-filling curves:
+// 3 x 20 bits pack into a single uint64 key.
+const sfcBits = 20
+
+// Morton returns the permutation (perm[old] = new) that sorts vertices
+// along a Morton (Z-order) curve through their coordinates. Ties (duplicate
+// coordinates) break by original index, so the result is deterministic.
+func Morton(coords []geom.Vec3) []int32 {
+	return sfcPerm(coords, mortonKey)
+}
+
+// Hilbert returns the permutation (perm[old] = new) that sorts vertices
+// along a Hilbert curve (Skilling's transpose algorithm). Unlike Morton,
+// consecutive curve positions are always spatially adjacent, which removes
+// the Z-order's long diagonal jumps across the domain.
+func Hilbert(coords []geom.Vec3) []int32 {
+	return sfcPerm(coords, hilbertKey)
+}
+
+// sfcPerm quantizes coordinates onto a 2^sfcBits lattice over the bounding
+// box and sorts vertices by the given curve key.
+func sfcPerm(coords []geom.Vec3, key func(x, y, z uint32) uint64) []int32 {
+	n := len(coords)
+	if n == 0 {
+		return nil
+	}
+	lo, hi := coords[0], coords[0]
+	for _, c := range coords[1:] {
+		lo.X, hi.X = minF(lo.X, c.X), maxF(hi.X, c.X)
+		lo.Y, hi.Y = minF(lo.Y, c.Y), maxF(hi.Y, c.Y)
+		lo.Z, hi.Z = minF(lo.Z, c.Z), maxF(hi.Z, c.Z)
+	}
+	const cells = float64(1<<sfcBits) - 1
+	sx, sy, sz := scale(lo.X, hi.X, cells), scale(lo.Y, hi.Y, cells), scale(lo.Z, hi.Z, cells)
+	keys := make([]uint64, n)
+	for i, c := range coords {
+		keys[i] = key(quant(c.X, lo.X, sx), quant(c.Y, lo.Y, sy), quant(c.Z, lo.Z, sz))
+	}
+	order := make([]int32, n)
+	for i := range order {
+		order[i] = int32(i)
+	}
+	sort.Slice(order, func(i, j int) bool {
+		a, b := order[i], order[j]
+		if keys[a] != keys[b] {
+			return keys[a] < keys[b]
+		}
+		return a < b
+	})
+	perm := make([]int32, n)
+	for rank, old := range order {
+		perm[old] = int32(rank)
+	}
+	return perm
+}
+
+func minF(a, b float64) float64 {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func maxF(a, b float64) float64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// scale returns the coordinate-to-lattice factor, 0 for a degenerate axis.
+func scale(lo, hi, cells float64) float64 {
+	if hi <= lo {
+		return 0
+	}
+	return cells / (hi - lo)
+}
+
+func quant(v, lo, s float64) uint32 {
+	return uint32((v - lo) * s)
+}
+
+// mortonKey interleaves the three 20-bit lattice coordinates, x highest.
+func mortonKey(x, y, z uint32) uint64 {
+	var key uint64
+	for b := sfcBits - 1; b >= 0; b-- {
+		key = key<<3 |
+			uint64(x>>uint(b)&1)<<2 |
+			uint64(y>>uint(b)&1)<<1 |
+			uint64(z>>uint(b)&1)
+	}
+	return key
+}
+
+// hilbertKey maps lattice coordinates to their Hilbert-curve index via
+// Skilling's axes-to-transpose algorithm ("Programming the Hilbert curve",
+// AIP Conf. Proc. 707, 2004) followed by bit interleaving of the transpose.
+func hilbertKey(x, y, z uint32) uint64 {
+	X := [3]uint32{x, y, z}
+	const M uint32 = 1 << (sfcBits - 1)
+	// Inverse undo of the curve's rotations/reflections.
+	for q := M; q > 1; q >>= 1 {
+		p := q - 1
+		for i := 0; i < 3; i++ {
+			if X[i]&q != 0 {
+				X[0] ^= p
+			} else {
+				t := (X[0] ^ X[i]) & p
+				X[0] ^= t
+				X[i] ^= t
+			}
+		}
+	}
+	// Gray encode.
+	X[1] ^= X[0]
+	X[2] ^= X[1]
+	var t uint32
+	for q := M; q > 1; q >>= 1 {
+		if X[2]&q != 0 {
+			t ^= q - 1
+		}
+	}
+	for i := 0; i < 3; i++ {
+		X[i] ^= t
+	}
+	// The Hilbert index is the transpose's bits interleaved, the highest
+	// bit of X[0] first.
+	var key uint64
+	for b := sfcBits - 1; b >= 0; b-- {
+		for i := 0; i < 3; i++ {
+			key = key<<1 | uint64(X[i]>>uint(b)&1)
+		}
+	}
+	return key
+}

@@ -1,0 +1,158 @@
+package reorder
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"fun3d/internal/geom"
+	"fun3d/internal/mesh"
+)
+
+func TestParseKindRoundTrip(t *testing.T) {
+	for _, k := range []Kind{KindNatural, KindRCM, KindMorton, KindHilbert} {
+		got, err := ParseKind(k.String())
+		if err != nil || got != k {
+			t.Fatalf("ParseKind(%q) = %v, %v", k.String(), got, err)
+		}
+	}
+	if _, err := ParseKind("zcurve"); err == nil {
+		t.Fatal("unknown ordering accepted")
+	}
+	if _, err := ByKind(KindUnset, Graph{}, nil); err == nil {
+		t.Fatal("ByKind(KindUnset) accepted")
+	}
+}
+
+func TestByKindNaturalIsNil(t *testing.T) {
+	perm, err := ByKind(KindNatural, Graph{}, make([]geom.Vec3, 5))
+	if err != nil || perm != nil {
+		t.Fatalf("ByKind(natural) = %v, %v, want nil, nil", perm, err)
+	}
+}
+
+// Property: Morton and Hilbert always return valid permutations, whatever
+// the coordinate cloud looks like.
+func TestSFCPermutationProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := rng.Intn(80)
+		coords := make([]geom.Vec3, n)
+		for i := range coords {
+			coords[i] = geom.Vec3{X: rng.NormFloat64(), Y: rng.NormFloat64(), Z: rng.NormFloat64()}
+		}
+		return (n == 0 || IsPermutation(Morton(coords))) &&
+			(n == 0 || IsPermutation(Hilbert(coords)))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSFCDegenerateCoords(t *testing.T) {
+	if Morton(nil) != nil || Hilbert(nil) != nil {
+		t.Fatal("empty cloud should give nil perm")
+	}
+	one := []geom.Vec3{{X: 1, Y: 2, Z: 3}}
+	if p := Hilbert(one); len(p) != 1 || p[0] != 0 {
+		t.Fatalf("single vertex perm = %v", p)
+	}
+	// All vertices coincident: every key ties, so the id tie-break must
+	// yield the identity.
+	same := make([]geom.Vec3, 7)
+	for _, perm := range [][]int32{Morton(same), Hilbert(same)} {
+		for i, p := range perm {
+			if p != int32(i) {
+				t.Fatalf("coincident cloud not identity: %v", perm)
+			}
+		}
+	}
+}
+
+// TestMortonUnitCubeCorners pins the Z-order of the 8 cube corners:
+// x is the highest interleaved bit, then y, then z.
+func TestMortonUnitCubeCorners(t *testing.T) {
+	var coords []geom.Vec3
+	for x := 0; x < 2; x++ {
+		for y := 0; y < 2; y++ {
+			for z := 0; z < 2; z++ {
+				coords = append(coords, geom.Vec3{X: float64(x), Y: float64(y), Z: float64(z)})
+			}
+		}
+	}
+	perm := Morton(coords)
+	// coords are already enumerated in (x,y,z)-major order == Z-order.
+	for i, p := range perm {
+		if p != int32(i) {
+			t.Fatalf("Morton corner order = %v, want identity", perm)
+		}
+	}
+}
+
+// TestHilbertLatticeAdjacency verifies the defining Hilbert property on a
+// 4x4x4 lattice: consecutive curve positions are face-adjacent (L1 distance
+// exactly 1). Morton violates this (diagonal jumps), Hilbert never does.
+func TestHilbertLatticeAdjacency(t *testing.T) {
+	const n = 4
+	var coords []geom.Vec3
+	for x := 0; x < n; x++ {
+		for y := 0; y < n; y++ {
+			for z := 0; z < n; z++ {
+				coords = append(coords, geom.Vec3{X: float64(x), Y: float64(y), Z: float64(z)})
+			}
+		}
+	}
+	perm := Hilbert(coords)
+	if !IsPermutation(perm) {
+		t.Fatal("not a permutation")
+	}
+	inv := Invert(perm)
+	for i := 1; i < len(inv); i++ {
+		a, b := coords[inv[i-1]], coords[inv[i]]
+		d := abs(a.X-b.X) + abs(a.Y-b.Y) + abs(a.Z-b.Z)
+		if d != 1 {
+			t.Fatalf("curve step %d: %v -> %v has L1 distance %v, want 1", i, a, b, d)
+		}
+	}
+}
+
+func abs(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}
+
+// TestSFCImprovesShuffledMesh is the table-driven comparison the ladder
+// docs quote: on the (shuffled-numbering) wing mesh, every locality
+// ordering must beat natural on both bandwidth and profile.
+func TestSFCImprovesShuffledMesh(t *testing.T) {
+	m, err := mesh.Generate(mesh.SpecTiny())
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := Graph{Ptr: m.AdjPtr, Adj: m.Adj}
+	bwNat, prNat := Bandwidth(g, nil), Profile(g, nil)
+	cases := []struct {
+		kind Kind
+	}{{KindRCM}, {KindMorton}, {KindHilbert}}
+	t.Logf("%-8s %9s %12s", "ordering", "bandwidth", "profile")
+	t.Logf("%-8s %9d %12d", "natural", bwNat, prNat)
+	for _, tc := range cases {
+		perm, err := ByKind(tc.kind, g, m.Coords)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !IsPermutation(perm) {
+			t.Fatalf("%v: not a permutation", tc.kind)
+		}
+		bw, pr := Bandwidth(g, perm), Profile(g, perm)
+		t.Logf("%-8s %9d %12d", tc.kind, bw, pr)
+		if bw >= bwNat {
+			t.Errorf("%v bandwidth %d >= natural %d", tc.kind, bw, bwNat)
+		}
+		if pr >= prNat {
+			t.Errorf("%v profile %d >= natural %d", tc.kind, pr, prNat)
+		}
+	}
+}

@@ -1,0 +1,223 @@
+// Package tile precomputes the cache-blocking structure for the fused
+// residual pipeline: the reordered edge list is cut into LLC-sized
+// contiguous spans, and for each span the covering vertex set (both
+// endpoints of every edge in the span — the tile plus its one-layer
+// redundant halo) is recorded, together with a per-vertex incident-edge
+// list in ascending edge order.
+//
+// Ascending edge order is the load-bearing detail: accumulating a vertex's
+// gradient over its incident edges in ascending edge id performs exactly
+// the same IEEE additions, in the same order, as the sequential scatter
+// loop "for e = 0..ne-1 { g[EV1[e]] += ...; g[EV2[e]] -= ... }". That is
+// what lets the fused pipeline be bit-identical to the three-sweep path —
+// whether a vertex is CLOSED in a tile (every incident edge inside the
+// span, so scattering the span's edges in order reproduces the sequence
+// for free) or OPEN (a halo vertex, gathered explicitly over its ascending
+// incident list). Everything here is precomputed once per mesh and shared
+// by all threads read-only.
+package tile
+
+import (
+	"fmt"
+	"sort"
+
+	"fun3d/internal/mesh"
+)
+
+// DefaultEdgesPerTile is the default span size. 32768 edges touch roughly
+// 1-2 MB of state+gradient working set on a well-ordered mesh — safely
+// inside a modern last-level cache slice per core.
+const DefaultEdgesPerTile = 1 << 15
+
+// Span is a half-open contiguous range of edge ids.
+type Span struct {
+	Lo, Hi int
+}
+
+// Tiling is the per-mesh cache-blocking structure. All slices are
+// read-only after New.
+type Tiling struct {
+	EdgesPerTile int
+	// Spans partitions [0, NumEdges) into contiguous tiles.
+	Spans []Span
+
+	// CSR of covering vertices per span: Cover[CoverPtr[t]:CoverPtr[t+1]]
+	// lists, sorted ascending and deduplicated, every endpoint of every
+	// edge in Spans[t].
+	CoverPtr []int32
+	Cover    []int32
+
+	// CSR of incident edges per vertex, ascending edge id:
+	// IncEdge[IncPtr[v]:IncPtr[v+1]].
+	IncPtr  []int32
+	IncEdge []int32
+
+	// BNPtr indexes mesh.BNodes by vertex: the boundary entries of vertex
+	// v are BNodes[BNPtr[v]:BNPtr[v+1]] (BNodes is sorted by vertex).
+	BNPtr []int32
+
+	// ClosedPtr/Closed is the CSR, per span, of cover vertices whose
+	// entire incident-edge set lies inside the span. Their gradients can
+	// be accumulated by scattering the span's edges once — each such
+	// vertex still sees its incident edges in ascending order — instead
+	// of a per-vertex gather. OpenPtr/Open is the complement (the halo):
+	// vertices with incident edges outside the span, which must gather.
+	// Both lists are sorted ascending; together they partition the cover.
+	ClosedPtr []int32
+	Closed    []int32
+	OpenPtr   []int32
+	Open      []int32
+
+	// VertexVisits is the total cover size over all spans; the ratio to
+	// NumVertices is the redundant-halo replication factor.
+	VertexVisits int64
+	// GatherEdgeVisits is the total incident-edge traversals a FULL
+	// gather sweep performs (sum of degrees over all covers) — the cost
+	// of the gather-only paths (Atomic/Colored).
+	GatherEdgeVisits int64
+	// OpenGatherEdgeVisits counts the open (halo) vertices' OUT-OF-SPAN
+	// incident edges — the redundant-edge cost of the scatter paths
+	// (Sequential, Replicate*), which gather only a halo vertex's prefix
+	// (below the span) and suffix (above it) and take the in-span
+	// contributions from the span scatter itself.
+	OpenGatherEdgeVisits int64
+}
+
+// New builds the tiling for m with the given span size (<= 0 selects
+// DefaultEdgesPerTile).
+func New(m *mesh.Mesh, edgesPerTile int) *Tiling {
+	if edgesPerTile <= 0 {
+		edgesPerTile = DefaultEdgesPerTile
+	}
+	nv, ne := m.NumVertices(), m.NumEdges()
+	t := &Tiling{EdgesPerTile: edgesPerTile}
+
+	for lo := 0; lo < ne; lo += edgesPerTile {
+		hi := lo + edgesPerTile
+		if hi > ne {
+			hi = ne
+		}
+		t.Spans = append(t.Spans, Span{Lo: lo, Hi: hi})
+	}
+
+	// Incident edges, ascending by construction: edges are appended in
+	// increasing e to both endpoints' runs.
+	t.IncPtr = make([]int32, nv+1)
+	for e := 0; e < ne; e++ {
+		t.IncPtr[m.EV1[e]+1]++
+		t.IncPtr[m.EV2[e]+1]++
+	}
+	for v := 0; v < nv; v++ {
+		t.IncPtr[v+1] += t.IncPtr[v]
+	}
+	t.IncEdge = make([]int32, 2*ne)
+	fill := make([]int32, nv)
+	for e := 0; e < ne; e++ {
+		a, b := m.EV1[e], m.EV2[e]
+		t.IncEdge[t.IncPtr[a]+fill[a]] = int32(e)
+		fill[a]++
+		t.IncEdge[t.IncPtr[b]+fill[b]] = int32(e)
+		fill[b]++
+	}
+
+	// Boundary-node index (BNodes is sorted by (V, Kind)).
+	t.BNPtr = make([]int32, nv+1)
+	for _, b := range m.BNodes {
+		t.BNPtr[b.V+1]++
+	}
+	for v := 0; v < nv; v++ {
+		t.BNPtr[v+1] += t.BNPtr[v]
+	}
+
+	// Covering vertex sets, split into closed (all incident edges inside
+	// the span) and open (halo) per span.
+	t.CoverPtr = make([]int32, len(t.Spans)+1)
+	t.ClosedPtr = make([]int32, len(t.Spans)+1)
+	t.OpenPtr = make([]int32, len(t.Spans)+1)
+	stamp := make([]int, nv)
+	for i := range stamp {
+		stamp[i] = -1
+	}
+	for ti, sp := range t.Spans {
+		start := len(t.Cover)
+		for e := sp.Lo; e < sp.Hi; e++ {
+			if v := m.EV1[e]; stamp[v] != ti {
+				stamp[v] = ti
+				t.Cover = append(t.Cover, v)
+			}
+			if v := m.EV2[e]; stamp[v] != ti {
+				stamp[v] = ti
+				t.Cover = append(t.Cover, v)
+			}
+		}
+		cov := t.Cover[start:]
+		sort.Slice(cov, func(i, j int) bool { return cov[i] < cov[j] })
+		t.CoverPtr[ti+1] = int32(len(t.Cover))
+		t.VertexVisits += int64(len(cov))
+		for _, v := range cov {
+			deg := int64(t.IncPtr[v+1] - t.IncPtr[v])
+			t.GatherEdgeVisits += deg
+			// Incident lists are ascending, so the whole list is inside
+			// the span iff its first and last entries are.
+			inc := t.IncEdge[t.IncPtr[v]:t.IncPtr[v+1]]
+			if int(inc[0]) >= sp.Lo && int(inc[len(inc)-1]) < sp.Hi {
+				t.Closed = append(t.Closed, v)
+			} else {
+				t.Open = append(t.Open, v)
+				for _, e := range inc {
+					if int(e) < sp.Lo || int(e) >= sp.Hi {
+						t.OpenGatherEdgeVisits++
+					}
+				}
+			}
+		}
+		t.ClosedPtr[ti+1] = int32(len(t.Closed))
+		t.OpenPtr[ti+1] = int32(len(t.Open))
+	}
+	return t
+}
+
+// NumTiles returns the number of edge spans.
+func (t *Tiling) NumTiles() int { return len(t.Spans) }
+
+// CoverOf returns the sorted covering vertex set of tile ti (do not modify).
+func (t *Tiling) CoverOf(ti int) []int32 {
+	return t.Cover[t.CoverPtr[ti]:t.CoverPtr[ti+1]]
+}
+
+// ClosedOf returns tile ti's cover vertices whose entire incident-edge set
+// lies inside the tile (sorted ascending; do not modify).
+func (t *Tiling) ClosedOf(ti int) []int32 {
+	return t.Closed[t.ClosedPtr[ti]:t.ClosedPtr[ti+1]]
+}
+
+// OpenOf returns tile ti's halo vertices — cover vertices with incident
+// edges outside the tile (sorted ascending; do not modify).
+func (t *Tiling) OpenOf(ti int) []int32 {
+	return t.Open[t.OpenPtr[ti]:t.OpenPtr[ti+1]]
+}
+
+// Inc returns the incident edges of vertex v in ascending edge order.
+func (t *Tiling) Inc(v int32) []int32 {
+	return t.IncEdge[t.IncPtr[v]:t.IncPtr[v+1]]
+}
+
+// BNRange returns the index range of vertex v's entries in mesh.BNodes.
+func (t *Tiling) BNRange(v int32) (int, int) {
+	return int(t.BNPtr[v]), int(t.BNPtr[v+1])
+}
+
+// Replication is the redundant-compute factor of the halo gather: total
+// vertex visits over distinct vertices (1.0 = no tile boundary overlap).
+func (t *Tiling) Replication() float64 {
+	nv := len(t.IncPtr) - 1
+	if nv == 0 {
+		return 1
+	}
+	return float64(t.VertexVisits) / float64(nv)
+}
+
+func (t *Tiling) String() string {
+	return fmt.Sprintf("tiles=%d edges/tile=%d replication=%.3f",
+		t.NumTiles(), t.EdgesPerTile, t.Replication())
+}

@@ -1,0 +1,191 @@
+package tile
+
+import (
+	"sort"
+	"testing"
+
+	"fun3d/internal/mesh"
+)
+
+func wingMesh(t *testing.T) *mesh.Mesh {
+	t.Helper()
+	m, err := mesh.Generate(mesh.SpecTiny())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestSpansPartitionEdges(t *testing.T) {
+	m := wingMesh(t)
+	for _, per := range []int{1, 7, 100, 1 << 20} {
+		tl := New(m, per)
+		next := 0
+		for _, sp := range tl.Spans {
+			if sp.Lo != next || sp.Hi <= sp.Lo || sp.Hi-sp.Lo > per {
+				t.Fatalf("per=%d: bad span %+v (next=%d)", per, sp, next)
+			}
+			next = sp.Hi
+		}
+		if next != m.NumEdges() {
+			t.Fatalf("per=%d: spans cover %d of %d edges", per, next, m.NumEdges())
+		}
+	}
+}
+
+func TestDefaultTileSize(t *testing.T) {
+	m := wingMesh(t)
+	for _, per := range []int{0, -5} {
+		if tl := New(m, per); tl.EdgesPerTile != DefaultEdgesPerTile {
+			t.Fatalf("EdgesPerTile = %d, want default", tl.EdgesPerTile)
+		}
+	}
+}
+
+func TestCoverIsSpanEndpoints(t *testing.T) {
+	m := wingMesh(t)
+	tl := New(m, 53) // odd size to exercise ragged tiles
+	var visits int64
+	for ti, sp := range tl.Spans {
+		want := map[int32]bool{}
+		for e := sp.Lo; e < sp.Hi; e++ {
+			want[m.EV1[e]] = true
+			want[m.EV2[e]] = true
+		}
+		cov := tl.CoverOf(ti)
+		if len(cov) != len(want) {
+			t.Fatalf("tile %d: cover size %d, want %d", ti, len(cov), len(want))
+		}
+		if !sort.SliceIsSorted(cov, func(i, j int) bool { return cov[i] < cov[j] }) {
+			t.Fatalf("tile %d: cover not sorted", ti)
+		}
+		for _, v := range cov {
+			if !want[v] {
+				t.Fatalf("tile %d: vertex %d not an endpoint", ti, v)
+			}
+		}
+		visits += int64(len(cov))
+	}
+	if visits != tl.VertexVisits {
+		t.Fatalf("VertexVisits = %d, want %d", tl.VertexVisits, visits)
+	}
+	if r := tl.Replication(); r < 1 {
+		t.Fatalf("replication %f < 1", r)
+	}
+}
+
+func TestIncidentEdgesAscendingAndComplete(t *testing.T) {
+	m := wingMesh(t)
+	tl := New(m, 0)
+	want := make([][]int32, m.NumVertices())
+	for e := 0; e < m.NumEdges(); e++ {
+		want[m.EV1[e]] = append(want[m.EV1[e]], int32(e))
+		want[m.EV2[e]] = append(want[m.EV2[e]], int32(e))
+	}
+	var gather int64
+	for v := 0; v < m.NumVertices(); v++ {
+		inc := tl.Inc(int32(v))
+		if len(inc) != len(want[v]) {
+			t.Fatalf("vertex %d: %d incident edges, want %d", v, len(inc), len(want[v]))
+		}
+		for i, e := range inc {
+			if e != want[v][i] { // want is ascending by construction
+				t.Fatalf("vertex %d: incident edges not ascending: %v", v, inc)
+			}
+		}
+	}
+	for ti := range tl.Spans {
+		for _, v := range tl.CoverOf(ti) {
+			gather += int64(len(want[v]))
+		}
+	}
+	if gather != tl.GatherEdgeVisits {
+		t.Fatalf("GatherEdgeVisits = %d, want %d", tl.GatherEdgeVisits, gather)
+	}
+}
+
+func TestBNRangeMatchesBNodes(t *testing.T) {
+	m := wingMesh(t)
+	tl := New(m, 0)
+	count := 0
+	for v := int32(0); int(v) < m.NumVertices(); v++ {
+		lo, hi := tl.BNRange(v)
+		for i := lo; i < hi; i++ {
+			if m.BNodes[i].V != v {
+				t.Fatalf("BNRange(%d) includes entry for vertex %d", v, m.BNodes[i].V)
+			}
+		}
+		count += hi - lo
+	}
+	if count != len(m.BNodes) {
+		t.Fatalf("BNRange covers %d of %d boundary nodes", count, len(m.BNodes))
+	}
+}
+
+func TestClosedOpenPartitionCover(t *testing.T) {
+	m := wingMesh(t)
+	for _, per := range []int{53, 1000, m.NumEdges()} {
+		tl := New(m, per)
+		var openGather int64
+		for ti, sp := range tl.Spans {
+			closed, open := tl.ClosedOf(ti), tl.OpenOf(ti)
+			// Disjoint union of closed+open must equal the sorted cover.
+			merged := map[int32]bool{}
+			for _, v := range closed {
+				inc := tl.Inc(v)
+				if int(inc[0]) < sp.Lo || int(inc[len(inc)-1]) >= sp.Hi {
+					t.Fatalf("tile %d: closed vertex %d has incident edges outside [%d,%d)",
+						ti, v, sp.Lo, sp.Hi)
+				}
+				merged[v] = true
+			}
+			for _, v := range open {
+				inc := tl.Inc(v)
+				if int(inc[0]) >= sp.Lo && int(inc[len(inc)-1]) < sp.Hi {
+					t.Fatalf("tile %d: open vertex %d is entirely inside [%d,%d)",
+						ti, v, sp.Lo, sp.Hi)
+				}
+				if merged[v] {
+					t.Fatalf("tile %d: vertex %d both closed and open", ti, v)
+				}
+				merged[v] = true
+				for _, e := range inc {
+					if int(e) < sp.Lo || int(e) >= sp.Hi {
+						openGather++
+					}
+				}
+			}
+			if len(merged) != len(tl.CoverOf(ti)) {
+				t.Fatalf("tile %d: closed+open = %d vertices, cover = %d",
+					ti, len(merged), len(tl.CoverOf(ti)))
+			}
+			for _, v := range tl.CoverOf(ti) {
+				if !merged[v] {
+					t.Fatalf("tile %d: cover vertex %d in neither list", ti, v)
+				}
+			}
+		}
+		if openGather != tl.OpenGatherEdgeVisits {
+			t.Fatalf("per=%d: OpenGatherEdgeVisits = %d, want %d",
+				per, tl.OpenGatherEdgeVisits, openGather)
+		}
+	}
+	// A single tile closes every vertex: no halo, no redundant gathers.
+	tl := New(m, m.NumEdges())
+	if len(tl.OpenOf(0)) != 0 || tl.OpenGatherEdgeVisits != 0 {
+		t.Fatalf("single tile: %d open vertices, %d gather visits, want 0/0",
+			len(tl.OpenOf(0)), tl.OpenGatherEdgeVisits)
+	}
+}
+
+func TestSingleTileNoReplication(t *testing.T) {
+	m := wingMesh(t)
+	tl := New(m, m.NumEdges())
+	if tl.NumTiles() != 1 {
+		t.Fatalf("tiles = %d, want 1", tl.NumTiles())
+	}
+	// One tile covers each connected vertex exactly once.
+	if tl.Replication() > 1 {
+		t.Fatalf("single tile replication %f > 1", tl.Replication())
+	}
+}
