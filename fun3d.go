@@ -122,7 +122,39 @@ func NewSolver(m *Mesh, cfg Config) (*Solver, error) {
 	return &Solver{app: app}, nil
 }
 
-// Run drives the solver to convergence (or opt.MaxSteps).
+// Artifact is the immutable, shareable part of a solver: mesh, median-dual
+// geometry, reordering permutation, partition, tile cover, and Jacobian
+// sparsity, built once. Any number of Solvers (including concurrent ones)
+// can be constructed over one Artifact; only their mutable state is
+// per-instance. The multi-solve service (internal/service, cmd/fun3dd)
+// caches these by spec.
+type Artifact = core.Artifact
+
+// BuildArtifact precomputes the immutable solver artifact for mesh m under
+// cfg's structural fields (ordering, threads, strategy, partition seed,
+// fused tiling).
+func BuildArtifact(m *Mesh, cfg Config) (*Artifact, error) {
+	return core.BuildArtifact(m, cfg)
+}
+
+// NewSolverFromArtifact builds a solver over a shared prebuilt artifact.
+// cfg's structural fields must match the ones the artifact was built with
+// (flow parameters — alpha, beta, CFL — are free); a solver built this way
+// behaves bit-identically to one built by NewSolver.
+func NewSolverFromArtifact(art *Artifact, cfg Config) (*Solver, error) {
+	app, err := core.NewAppFromArtifact(art, cfg)
+	if err != nil {
+		return nil, err
+	}
+	return &Solver{app: app}, nil
+}
+
+// ErrClosed is returned by Run when the solver has been closed.
+var ErrClosed = core.ErrClosed
+
+// Run drives the solver to convergence (or opt.MaxSteps). Run returns
+// ErrClosed after Close; a Close issued during a Run waits for the solve
+// to finish. Cancel a long solve with SolveOptions.Ctx.
 func (s *Solver) Run(opt SolveOptions) (RunResult, error) { return s.app.Run(opt) }
 
 // Reset restores the freestream initial condition.
@@ -172,7 +204,9 @@ func (s *Solver) Describe() string { return s.app.Describe() }
 // bandwidth/profile improvement achieved.
 func (s *Solver) OrderingStats() OrderingStats { return s.app.Order }
 
-// Close releases the solver's worker pool.
+// Close releases the solver's worker pool. It is idempotent and safe to
+// call concurrently, including while a Run is in flight: the close waits
+// for the solve, and any Run entered afterwards fails with ErrClosed.
 func (s *Solver) Close() { s.app.Close() }
 
 // ClusterConfig describes a simulated multi-node run (rank count, kernel

@@ -86,6 +86,13 @@ func quick(o *Options) error {
 	fmt.Fprintf(o.Out, "   fault mini-run: %d faults, %d restarts, %d recomputed steps\n",
 		rf.FaultsInjected, rf.Restarts, rf.RecomputedSteps)
 
+	// A two-job service mini-run contributes the multi-solve counters and
+	// the Service batch clock. Both jobs run exactly 2 fixed steps, so the
+	// service_steps_per_job gate sees 2.0 on any machine.
+	if _, err := runServiceBatch(spec, cfg, 2, []float64{0, 3.06}, 2, agg); err != nil {
+		return err
+	}
+
 	w := table(o)
 	fmt.Fprintln(w, "kernel\tseconds\tcalls\tbytes\tGB/s")
 	for _, k := range prof.Kernels() {
@@ -100,12 +107,14 @@ func quick(o *Options) error {
 		return err
 	}
 	return emit(o, "quick", agg, m, map[string]any{
-		"threads":      o.MaxThreads,
-		"newton_steps": 3,
-		"fused_steps":  2,
-		"ranks":        2,
-		"cfl0":         o.CFL0,
-		"fault_seed":   uint64(7),
+		"threads":       o.MaxThreads,
+		"newton_steps":  3,
+		"fused_steps":   2,
+		"ranks":         2,
+		"cfl0":          o.CFL0,
+		"fault_seed":    uint64(7),
+		"service_jobs":  2,
+		"service_steps": 2,
 	}, nil)
 }
 

@@ -1,0 +1,128 @@
+package bench
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"time"
+
+	"fun3d/internal/core"
+	"fun3d/internal/mesh"
+	"fun3d/internal/prof"
+	"fun3d/internal/service"
+)
+
+// serviceExp measures the multi-solve server: a polar batch of jobs (one per
+// angle of attack) pushed through engines of {1,2,4} concurrent solves x
+// {1,2} threads per solve, all sharing one cached tiny-mesh artifact.
+// Reported per combination: batch wall time, jobs/sec, and p50/p99
+// end-to-end job latency (queueing included). In the artifact,
+// service_jobs_per_sec is the machine-dependent headline while
+// service_steps_per_job is exact — every job runs a fixed step count — so
+// benchdiff can gate on the latter.
+func serviceExp(o *Options) error {
+	header(o, "Service: concurrent multi-solve throughput over a shared artifact",
+		"no direct paper counterpart; extends the shared-memory study to a solver-as-a-service setting")
+
+	// Always the tiny mesh: the sweep runs 6 engine configurations and the
+	// point is scheduling behavior, not per-solve FLOPs.
+	spec := mesh.SpecTiny()
+	m, err := mesh.Generate(spec)
+	if err != nil {
+		return err
+	}
+	alphas := []float64{0, 1, 2, 3.06, 4, 5}
+	maxSteps := 4
+	if o.Quick {
+		maxSteps = 2
+	}
+
+	agg := &prof.Metrics{}
+	w := table(o)
+	fmt.Fprintln(w, "solves\tthreads\tjobs\twall\tjobs/s\tp50\tp99")
+	for _, solves := range []int{1, 2, 4} {
+		for _, threads := range []int{1, 2} {
+			cfg := core.OptimizedConfig(threads)
+			cfg.SecondOrder = true
+			cfg.Limiter = true
+			res, err := runServiceBatch(spec, cfg, solves, alphas, maxSteps, agg)
+			if err != nil {
+				return err
+			}
+			fmt.Fprintf(w, "%d\t%d\t%d\t%v\t%.2f\t%v\t%v\n",
+				solves, threads, len(alphas), res.wall.Round(time.Millisecond),
+				float64(len(alphas))/res.wall.Seconds(),
+				res.p50.Round(time.Millisecond), res.p99.Round(time.Millisecond))
+		}
+	}
+	if err := w.Flush(); err != nil {
+		return err
+	}
+	return emit(o, "service", agg, m, map[string]any{
+		"jobs_per_batch": len(alphas),
+		"max_steps":      maxSteps,
+		"solve_counts":   []int{1, 2, 4},
+		"thread_counts":  []int{1, 2},
+	}, nil)
+}
+
+// batchResult summarizes one engine configuration's polar batch.
+type batchResult struct {
+	wall     time.Duration
+	p50, p99 time.Duration
+}
+
+// runServiceBatch pushes one polar batch (one job per alpha, fixed step
+// count, tolerance low enough that no job converges early) through a fresh
+// engine and folds the Service kernel time and job/step counters into agg.
+// The quick experiment reuses it for the CI mini-run.
+func runServiceBatch(spec mesh.GenSpec, cfg core.Config, solves int, alphas []float64, maxSteps int, agg *prof.Metrics) (batchResult, error) {
+	eng := service.NewEngine(service.EngineConfig{
+		Mesh:            spec,
+		Solver:          cfg,
+		MaxConcurrent:   solves,
+		QueueDepth:      len(alphas) + 1,
+		DefaultMaxSteps: maxSteps,
+	})
+	defer eng.Close()
+	// Pre-build the shared artifact so the batch clock times solves, not
+	// mesh generation.
+	if _, err := eng.Cache().Get(spec, cfg); err != nil {
+		return batchResult{}, err
+	}
+
+	t0 := time.Now()
+	jobs := make([]*service.Job, 0, len(alphas))
+	for _, a := range alphas {
+		j, err := eng.Submit(service.JobRequest{AlphaDeg: a, MaxSteps: maxSteps, RelTol: 1e-30})
+		if err != nil {
+			return batchResult{}, err
+		}
+		jobs = append(jobs, j)
+	}
+	steps := 0
+	lats := make([]time.Duration, 0, len(jobs))
+	for _, j := range jobs {
+		if st := j.Wait(context.Background()); st != service.StateDone {
+			_, msg, _, _ := j.Snapshot()
+			return batchResult{}, fmt.Errorf("bench: job %s ended %s: %s", j.ID, st, msg)
+		}
+		_, _, result, _ := j.Snapshot()
+		steps += result.Steps
+		sub, _, fin := j.Times()
+		lats = append(lats, fin.Sub(sub))
+	}
+	wall := time.Since(t0)
+
+	agg.Add(prof.Service, wall)
+	agg.Inc(prof.ServiceJobs, int64(len(jobs)))
+	agg.Inc(prof.ServiceSolveSteps, int64(steps))
+
+	sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
+	n := len(lats)
+	return batchResult{
+		wall: wall,
+		p50:  lats[n/2],
+		p99:  lats[(n*99+99)/100-1],
+	}, nil
+}

@@ -9,6 +9,8 @@ package core
 
 import (
 	"fmt"
+	"math"
+	"sync"
 	"time"
 
 	"fun3d/internal/flux"
@@ -104,77 +106,83 @@ func OptimizedConfig(threads int) Config {
 	return c
 }
 
-// App is a ready-to-run solver instance.
+// App is a ready-to-run solver instance: the per-solve MUTABLE half of the
+// solver (state vector, Jacobian values, preconditioner factors, Newton and
+// Krylov workspace, worker pool, metrics) bound to the immutable shared
+// half (an Artifact). Apps built over the same Artifact may run
+// concurrently on different goroutines; one App's methods are not
+// goroutine-safe among themselves except where documented (Close).
 type App struct {
-	Cfg    Config
-	Mesh   *mesh.Mesh // the (possibly reordered) mesh the solver runs on
-	Perm   []int32    // original->solver vertex permutation (nil if none)
-	Pool   *par.Pool
-	Kern   *flux.Kernels
-	Pre    *precond.ASM
-	A      *sparse.BSR
-	Step   *newton.Stepper
-	Prof   *prof.Metrics
-	Q      []float64 // current state, AoS over solver numbering
-	QInf   physics.State
-	Order  OrderStats // the applied vertex ordering and its locality effect
+	Cfg   Config
+	Art   *Artifact  // the shared immutable half
+	Mesh  *mesh.Mesh // == Art.Mesh: the (possibly reordered) mesh the solver runs on
+	Perm  []int32    // == Art.Perm: original->solver vertex permutation (nil if none)
+	Pool  *par.Pool
+	Kern  *flux.Kernels
+	Pre   *precond.ASM
+	A     *sparse.BSR
+	Step  *newton.Stepper
+	Prof  *prof.Metrics
+	Q     []float64 // current state, AoS over solver numbering
+	QInf  physics.State
+	Order OrderStats // the applied vertex ordering and its locality effect
+
+	// mu serializes Run against Close: a Close issued while a Run is in
+	// flight blocks until the step loop returns (cancel via
+	// SolveOptions.Ctx to make that prompt), and a Run entered after Close
+	// fails cleanly instead of panicking on the closed worker pool.
+	mu     sync.Mutex
 	closed bool
 }
 
 // NewApp builds an application instance on mesh m (not modified; a
-// reordered copy is made when an ordering applies).
+// reordered copy is made when an ordering applies). It is shorthand for
+// BuildArtifact + NewAppFromArtifact; callers running many solves on one
+// mesh should build the Artifact once and share it.
 func NewApp(m *mesh.Mesh, cfg Config) (*App, error) {
+	art, err := BuildArtifact(m, cfg)
+	if err != nil {
+		return nil, err
+	}
+	return NewAppFromArtifact(art, cfg)
+}
+
+// NewAppFromArtifact builds a solver instance over the shared immutable
+// artifacts in art. cfg's structural fields must match the spec art was
+// built for (SpecOf(cfg) == art.Spec); everything per-solve — state vector,
+// Jacobian values, ILU factors, Newton/Krylov workspace, the worker pool,
+// metrics — is freshly allocated, so the returned App shares nothing
+// mutable with other Apps over the same artifact.
+func NewAppFromArtifact(art *Artifact, cfg Config) (*App, error) {
 	if cfg.Beta <= 0 {
 		cfg.Beta = 5
 	}
-	if cfg.Fused {
-		if cfg.SoANodeData {
-			return nil, fmt.Errorf("core: Fused requires AoS node data")
-		}
-		if !cfg.SecondOrder || !cfg.Limiter {
-			return nil, fmt.Errorf("core: Fused requires SecondOrder and Limiter")
-		}
-	}
-	app := &App{Cfg: cfg, Prof: &prof.Metrics{}}
-	kind := cfg.Order
-	if kind == reorder.KindUnset {
-		if cfg.RCM {
-			kind = reorder.KindRCM
-		} else {
-			kind = reorder.KindNatural
-		}
-	}
-	var err error
-	app.Mesh, app.Perm, app.Order, err = ReorderMesh(m, kind)
-	if err != nil {
+	if err := validateCfg(cfg); err != nil {
 		return nil, err
 	}
-	if cfg.Threads > 1 {
-		app.Pool = par.NewPool(cfg.Threads)
+	if spec := SpecOf(cfg); spec != art.Spec {
+		return nil, fmt.Errorf("core: config spec %+v does not match artifact spec %+v", spec, art.Spec)
 	}
-	nthreads := cfg.Threads
-	if nthreads < 1 {
-		nthreads = 1
+	app := &App{
+		Cfg: cfg, Art: art, Prof: &prof.Metrics{},
+		Mesh: art.Mesh, Perm: art.Perm, Order: art.Order,
 	}
-	strategy := cfg.Strategy
-	if app.Pool == nil {
-		strategy = flux.Sequential
-	}
-	part, err := flux.NewPartition(app.Mesh, nthreads, strategy, cfg.PartitionSeed)
-	if err != nil {
-		app.Close()
-		return nil, err
+	if art.Spec.Threads > 1 {
+		app.Pool = par.NewPool(art.Spec.Threads)
 	}
 	app.QInf = physics.FreeStream(cfg.AlphaDeg)
-	app.Kern = flux.NewKernels(app.Mesh, cfg.Beta, app.QInf, app.Pool, part, flux.Config{
-		Strategy:    strategy,
+	app.Kern = flux.NewKernels(app.Mesh, cfg.Beta, app.QInf, app.Pool, art.Part, flux.Config{
+		Strategy:    art.Spec.Strategy,
 		SoANodeData: cfg.SoANodeData,
 		SIMD:        cfg.SIMD,
 		Prefetch:    cfg.Prefetch,
 		PFDist:      cfg.PFDist,
 		TileEdges:   cfg.TileEdges,
 	})
-	app.A = sparse.NewBSRFromAdj(app.Mesh.AdjPtr, app.Mesh.Adj)
+	if art.Cover != nil {
+		app.Kern.SetCover(art.Cover)
+	}
+	app.A = art.jacPattern.CloneStructure()
 	sched := cfg.Sched
 	if app.Pool == nil {
 		sched = precond.SchedSequential
@@ -183,6 +191,7 @@ func NewApp(m *mesh.Mesh, cfg Config) (*App, error) {
 	if nsub <= 0 {
 		nsub = 1
 	}
+	var err error
 	app.Pre, err = precond.New(app.A, app.Pool, precond.Options{
 		Subdomains: nsub,
 		FillLevel:  cfg.FillLevel,
@@ -199,6 +208,18 @@ func NewApp(m *mesh.Mesh, cfg Config) (*App, error) {
 	app.Step = newton.NewStepper(app.Kern, app.Pre, app.A, ops, app.Prof)
 	app.ResetState()
 	return app, nil
+}
+
+// SetAlpha retargets the freestream angle of attack — the per-job flow
+// setup on a recycled pooled instance — and reinitializes the state to the
+// new freestream. The result is indistinguishable from an App freshly
+// constructed with Cfg.AlphaDeg = alphaDeg: the kernels' farfield boundary
+// flux reads the updated freestream.
+func (app *App) SetAlpha(alphaDeg float64) {
+	app.Cfg.AlphaDeg = alphaDeg
+	app.QInf = physics.FreeStream(alphaDeg)
+	app.Kern.QInf = app.QInf
+	app.ResetState()
 }
 
 // ResetState reinitializes the state vector to freestream.
@@ -218,10 +239,19 @@ type RunResult struct {
 	WallTime time.Duration
 }
 
+// ErrClosed is returned by Run on an App that has been Closed.
+var ErrClosed = fmt.Errorf("core: solver is closed")
+
 // Run drives the solver to convergence (or opt.MaxSteps) and reports the
 // history plus wall time. The per-kernel breakdown accumulates in
-// app.Prof.
+// app.Prof. Run returns ErrClosed after Close; a concurrent Close blocks
+// until the solve finishes (use opt.Ctx to cancel it promptly).
 func (app *App) Run(opt newton.Options) (RunResult, error) {
+	app.mu.Lock()
+	defer app.mu.Unlock()
+	if app.closed {
+		return RunResult{}, ErrClosed
+	}
 	opt.SecondOrder = app.Cfg.SecondOrder
 	opt.Limiter = app.Cfg.Limiter
 	opt.Fused = app.Cfg.Fused
@@ -269,8 +299,12 @@ func (app *App) SurfacePressure() []SurfaceSample {
 	return out
 }
 
-// Close releases the worker pool. The App is unusable afterwards.
+// Close releases the worker pool. Run returns ErrClosed afterwards. Close
+// is idempotent and safe to call concurrently with itself and with Run: it
+// waits for an in-flight solve to return before tearing the pool down.
 func (app *App) Close() {
+	app.mu.Lock()
+	defer app.mu.Unlock()
 	if app.closed {
 		return
 	}
@@ -278,6 +312,31 @@ func (app *App) Close() {
 	if app.Pool != nil {
 		app.Pool.Close()
 	}
+}
+
+// PoisonState NaN-fills every mutable buffer the App owns — the state
+// vector, Jacobian values, and the Newton/Krylov and fused-kernel scratch.
+// The state pool poisons instances on Put so any read of recycled data
+// before reinitialization surfaces as NaN instead of a silently stale
+// trajectory; Recycle (on Get) restores a freshly-constructed instance.
+func (app *App) PoisonState() {
+	nan := math.NaN()
+	for i := range app.Q {
+		app.Q[i] = nan
+	}
+	for i := range app.A.Val {
+		app.A.Val[i] = nan
+	}
+	app.Step.PoisonScratch()
+	app.Kern.PoisonScratch()
+}
+
+// Recycle returns a pooled App to its as-constructed state: freestream Q,
+// zeroed metrics. Scratch buffers stay poisoned — every kernel fully writes
+// its scratch before reading it, which the pool's hammer test enforces.
+func (app *App) Recycle() {
+	app.ResetState()
+	app.Prof.Reset()
 }
 
 // Describe summarizes the configuration for logs and reports.

@@ -1,0 +1,127 @@
+package core
+
+import (
+	"fmt"
+
+	"fun3d/internal/flux"
+	"fun3d/internal/mesh"
+	"fun3d/internal/reorder"
+	"fun3d/internal/sparse"
+	"fun3d/internal/tile"
+)
+
+// ArtifactSpec is the structural subset of a Config: the fields that shape
+// the immutable solver artifacts (reordered mesh, partition, tile cover,
+// Jacobian pattern) as opposed to the per-solve mutable state. Two Configs
+// with equal specs can share one Artifact; everything else in a Config
+// (flow parameters, kernel code variants, tolerances) lives with the App.
+// ArtifactSpec is comparable, so it can key a cache directly.
+type ArtifactSpec struct {
+	// Order is the resolved vertex ordering (never KindUnset: the legacy
+	// RCM flag is folded in).
+	Order reorder.Kind
+	// Threads/Strategy/PartitionSeed shape the owner-writes decomposition.
+	Threads       int
+	Strategy      flux.Strategy
+	PartitionSeed uint64
+	// Fused/TileEdges shape the fused pipeline's edge-tile cover.
+	// TileEdges is the resolved span size (0 when not fused).
+	Fused     bool
+	TileEdges int
+}
+
+// SpecOf resolves cfg's structural fields into an ArtifactSpec, applying
+// the same normalizations NewApp applies (threads floor of 1, Sequential
+// strategy when unthreaded, RCM-flag fallback, default tile size).
+func SpecOf(cfg Config) ArtifactSpec {
+	s := ArtifactSpec{
+		Threads:       cfg.Threads,
+		Strategy:      cfg.Strategy,
+		PartitionSeed: cfg.PartitionSeed,
+		Fused:         cfg.Fused,
+	}
+	if s.Threads < 1 {
+		s.Threads = 1
+	}
+	if s.Threads == 1 {
+		s.Strategy = flux.Sequential
+	}
+	s.Order = cfg.Order
+	if s.Order == reorder.KindUnset {
+		if cfg.RCM {
+			s.Order = reorder.KindRCM
+		} else {
+			s.Order = reorder.KindNatural
+		}
+	}
+	if s.Fused {
+		s.TileEdges = cfg.TileEdges
+		if s.TileEdges <= 0 {
+			s.TileEdges = tile.DefaultEdgesPerTile
+		}
+	}
+	return s
+}
+
+// Artifact holds the immutable, shareable half of a solver: everything
+// built once from (mesh, structural config) and then only read. Any number
+// of Apps — including Apps solving concurrently on different goroutines —
+// may be built over one Artifact with NewAppFromArtifact; nothing here is
+// written after BuildArtifact returns.
+type Artifact struct {
+	Spec ArtifactSpec
+	// Mesh is the reordered mesh every App runs on; Perm maps
+	// original->solver vertex numbering (nil for natural order) and Order
+	// records the locality effect.
+	Mesh  *mesh.Mesh
+	Perm  []int32
+	Order OrderStats
+	// Part is the per-thread owner-writes decomposition (trivial for
+	// Sequential/Atomic).
+	Part *flux.Partition
+	// Cover is the fused pipeline's tiling + owned-cover CSRs (nil unless
+	// Spec.Fused).
+	Cover *flux.Cover
+	// jacPattern is the zero-valued first-order Jacobian pattern; per-App
+	// Jacobians are structure-shared clones of it.
+	jacPattern *sparse.BSR
+}
+
+// validateCfg checks the Config invariants shared by every construction
+// path (the checks NewApp has always performed).
+func validateCfg(cfg Config) error {
+	if cfg.Fused {
+		if cfg.SoANodeData {
+			return fmt.Errorf("core: Fused requires AoS node data")
+		}
+		if !cfg.SecondOrder || !cfg.Limiter {
+			return fmt.Errorf("core: Fused requires SecondOrder and Limiter")
+		}
+	}
+	return nil
+}
+
+// BuildArtifact constructs the shared immutable artifacts for solving on m
+// under cfg's structural fields: the reordered mesh, the thread partition,
+// the fused tile cover (when cfg.Fused), and the Jacobian pattern. m is not
+// modified; a reordered copy is made when an ordering applies.
+func BuildArtifact(m *mesh.Mesh, cfg Config) (*Artifact, error) {
+	if err := validateCfg(cfg); err != nil {
+		return nil, err
+	}
+	art := &Artifact{Spec: SpecOf(cfg)}
+	var err error
+	art.Mesh, art.Perm, art.Order, err = ReorderMesh(m, art.Spec.Order)
+	if err != nil {
+		return nil, err
+	}
+	art.Part, err = flux.NewPartition(art.Mesh, art.Spec.Threads, art.Spec.Strategy, art.Spec.PartitionSeed)
+	if err != nil {
+		return nil, err
+	}
+	if art.Spec.Fused {
+		art.Cover = flux.BuildCover(art.Mesh, art.Part, art.Spec.TileEdges)
+	}
+	art.jacPattern = sparse.NewBSRFromAdj(art.Mesh.AdjPtr, art.Mesh.Adj)
+	return art, nil
+}

@@ -5,25 +5,41 @@ import (
 	"fmt"
 	"io"
 
+	"fun3d/internal/newton"
 	"fun3d/internal/physics"
 )
 
-// checkpoint is the serialized solver state.
+// checkpoint is the serialized solver state. Steps/RNorm0 record the solve
+// trajectory position for exact resume; they decode as zero (= fresh solve)
+// from checkpoints written before they existed, so old checkpoints load.
 type checkpoint struct {
 	NV       int
 	AlphaDeg float64
 	Beta     float64
 	Q        []float64 // original vertex ordering
+	Steps    int       // completed pseudo-time steps (0 = not mid-solve)
+	RNorm0   float64   // initial residual norm of the interrupted solve
 }
 
 // SaveState writes the current state (in original vertex ordering, so
 // checkpoints are portable across solver configurations on the same mesh).
 func (app *App) SaveState(w io.Writer) error {
+	return app.SaveStateAt(w, newton.Resume{})
+}
+
+// SaveStateAt writes a checkpoint that additionally records the solve
+// trajectory position, so the interrupted solve can be continued exactly:
+// LoadStateResume hands the position back as a newton.Resume, and a solve
+// resumed with it (same solver configuration) follows the uninterrupted
+// trajectory bit for bit.
+func (app *App) SaveStateAt(w io.Writer, at newton.Resume) error {
 	cp := checkpoint{
 		NV:       app.Mesh.NumVertices(),
 		AlphaDeg: app.Cfg.AlphaDeg,
 		Beta:     app.Cfg.Beta,
 		Q:        app.StateOriginalOrder(),
+		Steps:    at.StartStep,
+		RNorm0:   at.RNorm0,
 	}
 	return gob.NewEncoder(w).Encode(&cp)
 }
@@ -54,18 +70,27 @@ func (e *ParamMismatchError) Error() string {
 // configured values, the state is still loaded and a *ParamMismatchError
 // is returned as a warning.
 func (app *App) LoadState(r io.Reader) error {
+	_, err := app.LoadStateResume(r)
+	return err
+}
+
+// LoadStateResume restores a state written by SaveState/SaveStateAt and
+// returns the recorded trajectory position (zero for checkpoints not taken
+// mid-solve). Pass it as newton.Options.Resume to continue the interrupted
+// solve exactly.
+func (app *App) LoadStateResume(r io.Reader) (newton.Resume, error) {
 	var cp checkpoint
 	if err := gob.NewDecoder(r).Decode(&cp); err != nil {
-		return fmt.Errorf("core: checkpoint decode: %w", err)
+		return newton.Resume{}, fmt.Errorf("core: checkpoint decode: %w", err)
 	}
 	if cp.NV != app.Mesh.NumVertices() {
-		return fmt.Errorf("core: checkpoint has %d vertices, mesh has %d", cp.NV, app.Mesh.NumVertices())
+		return newton.Resume{}, fmt.Errorf("core: checkpoint has %d vertices, mesh has %d", cp.NV, app.Mesh.NumVertices())
 	}
 	if len(cp.Q) != cp.NV*4 {
-		return fmt.Errorf("core: corrupt checkpoint state length %d", len(cp.Q))
+		return newton.Resume{}, fmt.Errorf("core: corrupt checkpoint state length %d", len(cp.Q))
 	}
 	if cp.Beta <= 0 {
-		return fmt.Errorf("core: corrupt checkpoint beta %g", cp.Beta)
+		return newton.Resume{}, fmt.Errorf("core: corrupt checkpoint beta %g", cp.Beta)
 	}
 	// Map original ordering into the solver ordering.
 	if app.Perm == nil {
@@ -88,5 +113,5 @@ func (app *App) LoadState(r io.Reader) error {
 	app.QInf = physics.FreeStream(cp.AlphaDeg)
 	app.Kern.QInf = app.QInf
 	app.Kern.Beta = cp.Beta
-	return warn
+	return newton.Resume{StartStep: cp.Steps, RNorm0: cp.RNorm0}, warn
 }

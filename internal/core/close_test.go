@@ -1,0 +1,172 @@
+package core
+
+import (
+	"errors"
+	"sync"
+	"testing"
+
+	"fun3d/internal/newton"
+)
+
+// Close must be idempotent and safe to call from multiple goroutines: the
+// old implementation's unguarded flag let two racing Closes both reach
+// Pool.Close (and a Run racing a Close panic on the closed pool).
+func TestCloseIdempotent(t *testing.T) {
+	m := tinyMesh(t)
+	app, err := NewApp(m, OptimizedConfig(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			app.Close()
+		}()
+	}
+	wg.Wait()
+	app.Close() // and again, sequentially
+	if _, err := app.Run(newton.Options{MaxSteps: 1}); !errors.Is(err, ErrClosed) {
+		t.Fatalf("Run after Close: got %v, want ErrClosed", err)
+	}
+}
+
+// A Close issued while a solve is in flight must wait for it rather than
+// tearing the worker pool down underneath it, and any Run entered after
+// Close must fail cleanly with ErrClosed.
+func TestCloseRacesRun(t *testing.T) {
+	m := tinyMesh(t)
+	for iter := 0; iter < 4; iter++ {
+		app, err := NewApp(m, OptimizedConfig(2))
+		if err != nil {
+			t.Fatal(err)
+		}
+		done := make(chan error, 2)
+		go func() {
+			_, err := app.Run(newton.Options{MaxSteps: 3})
+			done <- err
+		}()
+		go func() {
+			_, err := app.Run(newton.Options{MaxSteps: 3})
+			done <- err
+		}()
+		app.Close()
+		for i := 0; i < 2; i++ {
+			if err := <-done; err != nil && !errors.Is(err, ErrClosed) {
+				t.Fatalf("racing Run: got %v, want nil or ErrClosed", err)
+			}
+		}
+	}
+}
+
+// Apps built over one shared Artifact must behave exactly like Apps built
+// by NewApp: same ordering stats, same converged trajectory, bit for bit.
+func TestArtifactSharedApps(t *testing.T) {
+	m := tinyMesh(t)
+	cfg := OptimizedConfig(2)
+	cfg.SecondOrder, cfg.Limiter, cfg.Fused = true, true, true
+
+	ref, err := NewApp(m, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ref.Close()
+	opt := newton.Options{MaxSteps: 5}
+	rref, err := ref.Run(opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	art, err := BuildArtifact(m, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for i := 0; i < 3; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			app, err := NewAppFromArtifact(art, cfg)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			defer app.Close()
+			r, err := app.Run(opt)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			if len(r.History.Steps) != len(rref.History.Steps) {
+				t.Errorf("shared-artifact app: %d steps, want %d", len(r.History.Steps), len(rref.History.Steps))
+				return
+			}
+			for k, s := range r.History.Steps {
+				if s != rref.History.Steps[k] {
+					t.Errorf("step %d differs: %+v vs %+v", k, s, rref.History.Steps[k])
+				}
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// The spec guard must reject a config whose structural fields do not match
+// the artifact.
+func TestArtifactSpecMismatch(t *testing.T) {
+	m := tinyMesh(t)
+	art, err := BuildArtifact(m, OptimizedConfig(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad := OptimizedConfig(4) // different thread count -> different partition
+	if _, err := NewAppFromArtifact(art, bad); err == nil {
+		t.Fatal("NewAppFromArtifact accepted a mismatched spec")
+	}
+}
+
+// Poisoned instances must recover exactly: Recycle + SetAlpha on a
+// NaN-poisoned App reproduces a fresh App's trajectory bit for bit.
+func TestPoisonRecycleExact(t *testing.T) {
+	m := tinyMesh(t)
+	cfg := OptimizedConfig(2)
+	cfg.SecondOrder, cfg.Limiter = true, true
+	cfg.AlphaDeg = 2.5
+
+	fresh, err := NewApp(m, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fresh.Close()
+	opt := newton.Options{MaxSteps: 4}
+	want, err := fresh.Run(opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	app, err := NewApp(m, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer app.Close()
+	if _, err := app.Run(opt); err != nil { // dirty the instance
+		t.Fatal(err)
+	}
+	app.PoisonState()
+	app.Recycle()
+	app.SetAlpha(2.5)
+	got, err := app.Run(opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.History.Steps) != len(want.History.Steps) {
+		t.Fatalf("recycled app: %d steps, want %d", len(got.History.Steps), len(want.History.Steps))
+	}
+	for k := range got.History.Steps {
+		if got.History.Steps[k] != want.History.Steps[k] {
+			t.Fatalf("step %d differs after poison+recycle: %+v vs %+v",
+				k, got.History.Steps[k], want.History.Steps[k])
+		}
+	}
+}

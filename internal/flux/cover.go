@@ -1,0 +1,73 @@
+package flux
+
+import (
+	"fun3d/internal/mesh"
+	"fun3d/internal/tile"
+)
+
+// Cover bundles the read-only cache-blocking structure of the fused
+// residual pipeline: the edge tiling plus, for the owner-writes strategies,
+// the per-thread CSR lists of the closed and open (halo) cover vertices
+// each thread owns in each tile. Everything in a Cover is immutable after
+// BuildCover, so a single instance can back any number of Kernels — and
+// any number of concurrent solves — without copies or synchronization.
+// This is the structure the multi-solve service shares across jobs on one
+// cached mesh.
+type Cover struct {
+	// Tiling is the LLC-sized edge-span decomposition (see package tile).
+	Tiling *tile.Tiling
+
+	// Per-thread CSRs over tiles: thread tid's closed cover vertices of
+	// tile ti are OwnedClosed[tid][OwnedClosedPtr[tid][ti]:OwnedClosedPtr[tid][ti+1]]
+	// (and likewise for the open/halo lists). Nil when the partition has no
+	// vertex ownership (Sequential, Atomic, Colored).
+	OwnedClosedPtr [][]int32
+	OwnedClosed    [][]int32
+	OwnedOpenPtr   [][]int32
+	OwnedOpen      [][]int32
+}
+
+// BuildCover precomputes the fused pipeline's shared structure for a mesh,
+// a partition, and a tile size (<= 0 selects tile.DefaultEdgesPerTile).
+// part may be nil or ownerless; the per-thread owned lists are built only
+// when the partition carries vertex ownership.
+func BuildCover(m *mesh.Mesh, part *Partition, edgesPerTile int) *Cover {
+	c := &Cover{Tiling: tile.New(m, edgesPerTile)}
+	if part != nil && part.Owner != nil {
+		c.buildOwned(part)
+	}
+	return c
+}
+
+// buildOwned fills the per-thread closed/open CSRs. The lists partition
+// every tile's cover because vertex ownership is a partition.
+func (c *Cover) buildOwned(part *Partition) {
+	t := c.Tiling
+	owner := part.Owner
+	nw := part.NW
+	c.OwnedClosedPtr = make([][]int32, nw)
+	c.OwnedClosed = make([][]int32, nw)
+	c.OwnedOpenPtr = make([][]int32, nw)
+	c.OwnedOpen = make([][]int32, nw)
+	for tid := 0; tid < nw; tid++ {
+		c.OwnedClosedPtr[tid] = make([]int32, t.NumTiles()+1)
+		c.OwnedOpenPtr[tid] = make([]int32, t.NumTiles()+1)
+	}
+	for ti := 0; ti < t.NumTiles(); ti++ {
+		for _, v := range t.ClosedOf(ti) {
+			tid := owner[v]
+			c.OwnedClosed[tid] = append(c.OwnedClosed[tid], v)
+		}
+		for _, v := range t.OpenOf(ti) {
+			tid := owner[v]
+			c.OwnedOpen[tid] = append(c.OwnedOpen[tid], v)
+		}
+		for tid := 0; tid < nw; tid++ {
+			c.OwnedClosedPtr[tid][ti+1] = int32(len(c.OwnedClosed[tid]))
+			c.OwnedOpenPtr[tid][ti+1] = int32(len(c.OwnedOpen[tid]))
+		}
+	}
+}
+
+// hasOwned reports whether the per-thread owned lists were built.
+func (c *Cover) hasOwned() bool { return c.OwnedClosed != nil }

@@ -1,6 +1,8 @@
 package flux
 
 import (
+	"fmt"
+
 	"fun3d/internal/geom"
 	"fun3d/internal/tile"
 )
@@ -37,13 +39,31 @@ import (
 // first use with Cfg.TileEdges edges per span (<= 0 selects
 // tile.DefaultEdgesPerTile).
 func (k *Kernels) Tiling() *tile.Tiling {
-	if k.tiling == nil || k.tiling.EdgesPerTile != k.effectiveTileEdges() {
-		k.tiling = tile.New(k.M, k.Cfg.TileEdges)
-		// Per-tile owned lists are stale.
-		k.fusedOwnedClosed, k.fusedOwnedClosedPtr = nil, nil
-		k.fusedOwnedOpen, k.fusedOwnedOpenPtr = nil, nil
+	return k.coverOrBuild().Tiling
+}
+
+// SetCover injects a shared, read-only Cover (tiling + owned-cover CSRs)
+// built by BuildCover for this kernel set's mesh, partition, and tile size.
+// Sharing one Cover across the Kernels of many concurrent solves is how the
+// multi-solve service avoids rebuilding (and re-storing) the cache-blocking
+// structure per job. The cover's tile size must match Cfg.TileEdges.
+func (k *Kernels) SetCover(c *Cover) {
+	if c.Tiling.EdgesPerTile != k.effectiveTileEdges() {
+		panic(fmt.Sprintf("flux: shared cover has %d edges/tile, kernels want %d",
+			c.Tiling.EdgesPerTile, k.effectiveTileEdges()))
 	}
-	return k.tiling
+	k.cover = c
+	k.sharedCover = true
+}
+
+// coverOrBuild returns the cover, building a private one on first use when
+// none was injected. A shared cover is never rebuilt: its tile size was
+// validated by SetCover and its owned lists were built for this partition.
+func (k *Kernels) coverOrBuild() *Cover {
+	if k.cover == nil || (!k.sharedCover && k.cover.Tiling.EdgesPerTile != k.effectiveTileEdges()) {
+		k.cover = BuildCover(k.M, k.Part, k.Cfg.TileEdges)
+	}
+	return k.cover
 }
 
 func (k *Kernels) effectiveTileEdges() int {
@@ -65,39 +85,15 @@ func (k *Kernels) fusedShared() (grad, phi []float64) {
 	return k.fusedGrad, k.fusedPhi
 }
 
-// fusedOwnedSetup precomputes, for the Replicate strategies, the closed and
-// open cover vertices each thread owns in each tile (per-thread CSRs over
-// tiles). Built once per (tiling, partition); the lists partition every
-// tile's cover because vertex ownership is a partition.
-func (k *Kernels) fusedOwnedSetup() {
-	if k.fusedOwnedClosed != nil {
-		return
+// fusedOwnedCover returns the cover with the per-thread owned closed/open
+// CSRs present, building them on the private cover when it was constructed
+// without a partition (a shared cover arrives with them prebuilt).
+func (k *Kernels) fusedOwnedCover() *Cover {
+	c := k.coverOrBuild()
+	if !c.hasOwned() {
+		c.buildOwned(k.Part)
 	}
-	t := k.Tiling()
-	owner := k.Part.Owner
-	nw := k.Pool.Size()
-	k.fusedOwnedClosedPtr = make([][]int32, nw)
-	k.fusedOwnedClosed = make([][]int32, nw)
-	k.fusedOwnedOpenPtr = make([][]int32, nw)
-	k.fusedOwnedOpen = make([][]int32, nw)
-	for tid := 0; tid < nw; tid++ {
-		k.fusedOwnedClosedPtr[tid] = make([]int32, t.NumTiles()+1)
-		k.fusedOwnedOpenPtr[tid] = make([]int32, t.NumTiles()+1)
-	}
-	for ti := 0; ti < t.NumTiles(); ti++ {
-		for _, v := range t.ClosedOf(ti) {
-			tid := owner[v]
-			k.fusedOwnedClosed[tid] = append(k.fusedOwnedClosed[tid], v)
-		}
-		for _, v := range t.OpenOf(ti) {
-			tid := owner[v]
-			k.fusedOwnedOpen[tid] = append(k.fusedOwnedOpen[tid], v)
-		}
-		for tid := 0; tid < nw; tid++ {
-			k.fusedOwnedClosedPtr[tid][ti+1] = int32(len(k.fusedOwnedClosed[tid]))
-			k.fusedOwnedOpenPtr[tid][ti+1] = int32(len(k.fusedOwnedOpen[tid]))
-		}
-	}
+	return c
 }
 
 // zeroGradRuns zeroes the gradients of a sorted vertex list. Consecutive
@@ -310,16 +306,16 @@ func (k *Kernels) ResidualFused(q, res []float64, kVenk float64, frozenPhi bool)
 		// and deterministic. A thread's edge sub-list contains every edge
 		// incident to its owned vertices, so the in-span contributions of
 		// an owned halo vertex all arrive from its own scatter.
-		k.fusedOwnedSetup()
+		c := k.fusedOwnedCover()
 		p := k.Part
 		for ti, sp := range t.Spans {
 			lo, hi := sp.Lo, sp.Hi
 			k.Pool.Run(func(tid int) {
-				cp := k.fusedOwnedClosedPtr[tid]
-				closed := k.fusedOwnedClosed[tid][cp[ti]:cp[ti+1]]
+				cp := c.OwnedClosedPtr[tid]
+				closed := c.OwnedClosed[tid][cp[ti]:cp[ti+1]]
 				zeroGradRuns(grad, closed)
-				op := k.fusedOwnedOpenPtr[tid]
-				open := k.fusedOwnedOpen[tid][op[ti]:op[ti+1]]
+				op := c.OwnedOpenPtr[tid]
+				open := c.OwnedOpen[tid][op[ti]:op[ti+1]]
 				for _, v := range open {
 					k.gatherGradPrefix(q, grad, v, t, lo)
 				}

@@ -1,13 +1,13 @@
 package flux
 
 import (
+	"math"
 	"sort"
 
 	"fun3d/internal/geom"
 	"fun3d/internal/mesh"
 	"fun3d/internal/par"
 	"fun3d/internal/physics"
-	"fun3d/internal/tile"
 )
 
 // Config selects the code variant for the edge kernels, mirroring the
@@ -62,18 +62,14 @@ type Kernels struct {
 	edgeSlots [][4]int32        // per-edge BSR slots for Jacobian assembly
 	sink      []float64         // defeats dead-code elimination of prefetch touches
 
-	// Fused-pipeline state (fused.go): the edge tiling, gradient/limiter
-	// scratch shared by all tiles, the per-vertex stamp that marks which
-	// tile's scatter phase currently owns a closed vertex, and — for the
-	// Replicate strategies — per-thread CSR lists of the closed and open
-	// (halo) cover vertices each thread owns per tile.
-	tiling              *tile.Tiling
-	fusedGrad           []float64
-	fusedPhi            []float64
-	fusedOwnedClosedPtr [][]int32
-	fusedOwnedClosed    [][]int32
-	fusedOwnedOpenPtr   [][]int32
-	fusedOwnedOpen      [][]int32
+	// Fused-pipeline state (fused.go): the read-only tiling + owned-cover
+	// CSRs (shared across kernels via SetCover, or built lazily and owned
+	// privately) and the per-solve gradient/limiter scratch the fused sweep
+	// fills tile-by-tile.
+	cover       *Cover
+	sharedCover bool // cover was injected; never rebuilt or mutated
+	fusedGrad   []float64
+	fusedPhi    []float64
 }
 
 // NewKernels constructs the kernel set. pool may be nil only for
@@ -86,6 +82,21 @@ func NewKernels(m *mesh.Mesh, beta float64, qInf physics.State, pool *par.Pool, 
 	return &Kernels{
 		M: m, Beta: beta, QInf: qInf, Pool: pool, Part: part, Cfg: cfg,
 		sink: make([]float64, nw*8), // padded
+	}
+}
+
+// PoisonScratch NaN-fills the per-solve fused-pipeline scratch (the shared
+// cover and tiling are untouched — they are read-only). Solver instance
+// pools poison recycled kernels so a sweep that read stale scratch would
+// surface as NaN; every fused sweep fully rewrites its scratch tile before
+// reading it, so a poisoned kernel solves correctly.
+func (k *Kernels) PoisonScratch() {
+	nan := math.NaN()
+	for i := range k.fusedGrad {
+		k.fusedGrad[i] = nan
+	}
+	for i := range k.fusedPhi {
+		k.fusedPhi[i] = nan
 	}
 }
 

@@ -10,6 +10,7 @@
 package newton
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
@@ -60,6 +61,37 @@ type Options struct {
 	// Takes effect only with SecondOrder && Limiter and AoS node data;
 	// otherwise the three-sweep path runs.
 	Fused bool
+
+	// Ctx, when non-nil, is checked at every pseudo-time step boundary;
+	// once done, Solve returns ErrCanceled with the history so far. The
+	// state vector is left at the last completed step, so a canceled solve
+	// can be checkpointed and resumed exactly.
+	Ctx context.Context
+
+	// OnStep, when non-nil, is invoked after every completed pseudo-time
+	// step with that step's stats (on the solving goroutine — keep it
+	// cheap; the service layer uses it to stream residual histories).
+	OnStep func(StepStats)
+
+	// Resume continues a solve from checkpointed state instead of starting
+	// fresh. The caller restores q to the checkpointed trajectory before
+	// calling Solve; step numbering and the SER CFL reference pick up where
+	// the original solve left off, so with RefactorEvery<=1 the resumed
+	// trajectory is bit-identical to the uninterrupted one.
+	Resume Resume
+}
+
+// Resume carries the cross-solve state a checkpoint must preserve for an
+// exact restart: everything else the step loop needs is recomputed from q.
+type Resume struct {
+	// StartStep is the number of completed pseudo-time steps in the
+	// checkpointed trajectory; the resumed solve begins at StartStep+1.
+	// Zero means a fresh solve.
+	StartStep int
+	// RNorm0 is the initial residual norm of the ORIGINAL solve — the SER
+	// CFL growth reference (cfl = CFL0*RNorm0/rnorm) and the relative
+	// convergence/divergence reference. Required when StartStep > 0.
+	RNorm0 float64
 }
 
 func (o *Options) defaults() {
@@ -147,6 +179,11 @@ func NewStepper(k *flux.Kernels, pre *precond.ASM, a *sparse.BSR, ops vecop.Ops,
 // ErrDiverged reports a failed nonlinear solve.
 var ErrDiverged = errors.New("newton: diverged")
 
+// ErrCanceled reports a solve stopped by Options.Ctx. The returned History
+// covers the steps completed before cancellation and the state vector holds
+// the last completed step, ready to checkpoint.
+var ErrCanceled = errors.New("newton: canceled")
+
 // residual evaluates R(q) into out, with second-order machinery per opt.
 // phi must already be current when frozen is true (linear-solve mode).
 func (st *Stepper) residual(q, out []float64, opt *Options, frozenLimiter bool) {
@@ -227,10 +264,21 @@ func (st *Stepper) Solve(q []float64, opt Options) (History, error) {
 	n := nv * 4
 
 	st.residual(q, st.res, &opt, false)
-	rnorm0 := st.Ops.Norm2(st.res)
+	rnorm := st.Ops.Norm2(st.res)
+	rnorm0 := rnorm
+	firstStep := 1
+	if opt.Resume.StartStep > 0 {
+		// Resumed solve: rnorm is the recomputed residual at the
+		// checkpointed state (bit-identical to the value the original solve
+		// computed at the end of step StartStep, since the residual is a
+		// deterministic function of q); the SER/convergence reference is the
+		// original solve's.
+		rnorm0 = opt.Resume.RNorm0
+		firstStep = opt.Resume.StartStep + 1
+	}
 	h.RNorm0 = rnorm0
-	h.RNormFinal = rnorm0
-	if rnorm0 <= opt.AbsTol {
+	h.RNormFinal = rnorm
+	if firstStep == 1 && rnorm0 <= opt.AbsTol {
 		h.Converged = true
 		return h, nil
 	}
@@ -238,8 +286,14 @@ func (st *Stepper) Solve(q []float64, opt Options) (History, error) {
 	jvOp := st.matrixFreeOperator(q, &opt)
 	prePre := &timedPre{pre: st.Pre, p: st.Prof}
 
-	rnorm := rnorm0
-	for step := 1; step <= opt.MaxSteps; step++ {
+	for step := firstStep; step <= opt.MaxSteps; step++ {
+		if opt.Ctx != nil {
+			select {
+			case <-opt.Ctx.Done():
+				return h, ErrCanceled
+			default:
+			}
+		}
 		// SER time step growth.
 		cfl := opt.CFL0 * rnorm0 / rnorm
 		if cfl > opt.CFLMax {
@@ -248,8 +302,9 @@ func (st *Stepper) Solve(q []float64, opt Options) (History, error) {
 		st.Prof.Time(prof.Other, func() { st.localTimeSteps(q, cfl) })
 
 		// Assemble and factor the first-order preconditioning Jacobian
-		// (reused across steps when RefactorEvery > 1).
-		refactor := step == 1
+		// (reused across steps when RefactorEvery > 1). The first resumed
+		// step always refactors: ILU factors are not checkpointed.
+		refactor := step == firstStep
 		if opt.RefactorEvery <= 1 || (step-1)%opt.RefactorEvery == 0 {
 			refactor = true
 		}
@@ -304,6 +359,9 @@ func (st *Stepper) Solve(q []float64, opt Options) (History, error) {
 			Step: step, RNorm: rnorm, CFL: cfl,
 			LinearIters: lres.Iterations, LinearConv: lres.Converged,
 		})
+		if opt.OnStep != nil {
+			opt.OnStep(h.Steps[len(h.Steps)-1])
+		}
 		if math.IsNaN(rnorm) || rnorm > 1e6*rnorm0 {
 			return h, fmt.Errorf("%w at step %d: ||R||=%g", ErrDiverged, step, rnorm)
 		}
@@ -313,6 +371,20 @@ func (st *Stepper) Solve(q []float64, opt Options) (History, error) {
 		}
 	}
 	return h, nil
+}
+
+// PoisonScratch NaN-fills the stepper's Newton-loop scratch vectors. Solver
+// instance pools poison recycled steppers so any read of stale data before
+// the loop rewrites it surfaces as NaN; every Solve fully writes res, dt,
+// lambda, rhs, dq, qp and rp (and grad/phi on the paths that read them)
+// before use, so a poisoned stepper solves correctly.
+func (st *Stepper) PoisonScratch() {
+	nan := math.NaN()
+	for _, s := range [][]float64{st.res, st.rhs, st.dq, st.qp, st.rp, st.grad, st.phi, st.dt, st.lambda} {
+		for i := range s {
+			s[i] = nan
+		}
+	}
 }
 
 // matrixFreeOperator builds the JFNK operator for the current outer state:

@@ -125,6 +125,18 @@ func NewArtifact(experiment string, m *Metrics) *Artifact {
 			a.Rates["residual_bytes_per_edge"] = float64(b) / float64(fe)
 		}
 	}
+	// Multi-solve service throughput. Jobs per second of batch wall clock
+	// is the headline figure but machine-dependent; steps per job is exact
+	// (service batches run fixed step counts), so it is the one benchdiff
+	// gates on — a change means the server is doing different WORK per
+	// job (lost steps, duplicated solves, broken resume), not just
+	// running on a slower machine.
+	rate("service_jobs_per_sec", ServiceJobs, Service)
+	if jobs := m.Counter(ServiceJobs); jobs > 0 {
+		if st := m.Counter(ServiceSolveSteps); st > 0 {
+			a.Rates["service_steps_per_job"] = float64(st) / float64(jobs)
+		}
+	}
 	return a
 }
 

@@ -58,6 +58,14 @@ const (
 	// the fused cache-blocked path charges 1 per evaluation, the unfused
 	// path 1 each for gradient, limiter, and flux.
 	ResidualSweeps
+	// ServiceJobs counts solve jobs completed by the multi-solve server;
+	// divided by the Service kernel's seconds it is the jobs/sec
+	// throughput figure.
+	ServiceJobs
+	// ServiceSolveSteps counts pseudo-time steps executed inside service
+	// jobs; divided by ServiceJobs it is the deterministic steps-per-job
+	// figure benchdiff gates on (fixed MaxSteps batches make it exact).
+	ServiceSolveSteps
 	numCounters
 )
 
@@ -101,6 +109,10 @@ func (c Counter) String() string {
 		return "fault_noise_us"
 	case ResidualSweeps:
 		return "residual_sweeps"
+	case ServiceJobs:
+		return "service_jobs"
+	case ServiceSolveSteps:
+		return "service_solve_steps"
 	}
 	return fmt.Sprintf("Counter(%d)", int(c))
 }

@@ -33,6 +33,10 @@ const (
 	VecOps
 	Allreduce
 	Halo
+	// Service is the multi-solve server's batch wall clock: the elapsed
+	// time an engine spent driving a set of jobs end to end (queueing +
+	// solving across all workers), the denominator of jobs/sec.
+	Service
 	Other
 	numKernels
 )
@@ -55,6 +59,8 @@ func (k Kernel) String() string {
 		return "allreduce"
 	case Halo:
 		return "halo"
+	case Service:
+		return "service"
 	case Other:
 		return "other"
 	}
@@ -63,7 +69,7 @@ func (k Kernel) String() string {
 
 // Kernels lists all categories in display order.
 func Kernels() []Kernel {
-	return []Kernel{Flux, TRSV, ILU, Gradient, Jacobian, VecOps, Allreduce, Halo, Other}
+	return []Kernel{Flux, TRSV, ILU, Gradient, Jacobian, VecOps, Allreduce, Halo, Service, Other}
 }
 
 // Profile accumulates wall time, call counts, and bytes moved per kernel.

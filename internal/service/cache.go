@@ -1,0 +1,115 @@
+// Package service turns the solver into a long-running multi-solve server:
+// immutable solver artifacts (mesh, reordering, partition, tile cover,
+// Jacobian pattern) are built once and cached; per-solve mutable state is
+// drawn from a recycling pool; an engine schedules queued solve jobs over a
+// bounded worker set; and an HTTP/JSON API exposes submission, status,
+// residual-history streaming, cancellation and checkpoint-backed
+// eviction/resume. The paper's premise — one read-only mesh shared by all
+// compute — is here stretched across whole solves: N concurrent solves
+// share one artifact and contend only on job bookkeeping, never on solver
+// data.
+package service
+
+import (
+	"fmt"
+	"sync"
+
+	"fun3d/internal/core"
+	"fun3d/internal/mesh"
+)
+
+// MeshKey identifies one shared artifact: the mesh generation spec plus the
+// structural solver spec. Both halves are comparable value types, so the
+// key indexes a map directly — no hashing or serialization.
+type MeshKey struct {
+	Mesh mesh.GenSpec
+	Spec core.ArtifactSpec
+}
+
+// KeyFor derives the cache key for solving on spec's mesh under cfg.
+func KeyFor(spec mesh.GenSpec, cfg core.Config) MeshKey {
+	return MeshKey{Mesh: spec, Spec: core.SpecOf(cfg)}
+}
+
+// cacheEntry is one cached (or in-flight) artifact build. ready is closed
+// when art/err are final; waiters block on it, so concurrent misses on one
+// key trigger exactly one construction (single-flight).
+type cacheEntry struct {
+	ready chan struct{}
+	art   *core.Artifact
+	err   error
+}
+
+// MeshCache builds and caches shared solver artifacts by MeshKey. Safe for
+// concurrent use; concurrent Gets of a missing key build it once and all
+// receive the same *core.Artifact. Failed builds are NOT cached — the next
+// Get retries.
+type MeshCache struct {
+	mu      sync.Mutex
+	entries map[MeshKey]*cacheEntry
+
+	hits   int64 // Gets that found an entry (ready or in-flight)
+	misses int64 // Gets that had to start a build
+	builds int64 // constructions actually run (== misses unless builds fail)
+}
+
+// NewMeshCache returns an empty cache.
+func NewMeshCache() *MeshCache {
+	return &MeshCache{entries: make(map[MeshKey]*cacheEntry)}
+}
+
+// Get returns the shared artifact for (spec, cfg), generating the mesh and
+// building the artifact on first use. cfg contributes only its structural
+// fields (core.SpecOf); flow parameters do not fragment the cache.
+func (c *MeshCache) Get(spec mesh.GenSpec, cfg core.Config) (*core.Artifact, error) {
+	key := KeyFor(spec, cfg)
+	c.mu.Lock()
+	if e, ok := c.entries[key]; ok {
+		c.hits++
+		c.mu.Unlock()
+		<-e.ready
+		return e.art, e.err
+	}
+	e := &cacheEntry{ready: make(chan struct{})}
+	c.entries[key] = e
+	c.misses++
+	c.builds++
+	c.mu.Unlock()
+
+	e.art, e.err = buildArtifact(spec, cfg)
+	if e.err != nil {
+		// Do not cache failures: drop the entry so a later Get retries.
+		c.mu.Lock()
+		delete(c.entries, key)
+		c.mu.Unlock()
+	}
+	close(e.ready)
+	return e.art, e.err
+}
+
+func buildArtifact(spec mesh.GenSpec, cfg core.Config) (*core.Artifact, error) {
+	m, err := mesh.Generate(spec)
+	if err != nil {
+		return nil, fmt.Errorf("service: mesh generation: %w", err)
+	}
+	art, err := core.BuildArtifact(m, cfg)
+	if err != nil {
+		return nil, fmt.Errorf("service: artifact build: %w", err)
+	}
+	return art, nil
+}
+
+// CacheStats reports cache traffic.
+type CacheStats struct {
+	Entries int   `json:"entries"`
+	Hits    int64 `json:"hits"`
+	Misses  int64 `json:"misses"`
+	Builds  int64 `json:"builds"`
+}
+
+// Stats snapshots the counters.
+func (c *MeshCache) Stats() CacheStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return CacheStats{Entries: len(c.entries), Hits: c.hits, Misses: c.misses, Builds: c.builds}
+}

@@ -1,0 +1,646 @@
+package service
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"fun3d/internal/core"
+	"fun3d/internal/mesh"
+	"fun3d/internal/newton"
+)
+
+// JobState is a job's position in its lifecycle.
+type JobState string
+
+const (
+	StateQueued   JobState = "queued"
+	StateRunning  JobState = "running"
+	StateDone     JobState = "done"
+	StateFailed   JobState = "failed"
+	StateCanceled JobState = "canceled"
+	// StateEvicted marks a job whose running solve was checkpointed and
+	// whose solver instance was released back to the pool. Resume re-queues
+	// it; the continued trajectory is bit-identical to an uninterrupted run.
+	StateEvicted JobState = "evicted"
+)
+
+// terminal reports whether the state is final (evicted is not: it can be
+// resumed).
+func (s JobState) terminal() bool {
+	return s == StateDone || s == StateFailed || s == StateCanceled
+}
+
+// JobRequest describes one solve.
+type JobRequest struct {
+	// AlphaDeg is the freestream angle of attack (the per-job flow setup;
+	// everything structural comes from the engine's base configuration).
+	AlphaDeg float64 `json:"alpha_deg"`
+	// MaxSteps/RelTol/CFL0 override the corresponding newton.Options
+	// (zero = engine default).
+	MaxSteps int     `json:"max_steps,omitempty"`
+	RelTol   float64 `json:"rel_tol,omitempty"`
+	CFL0     float64 `json:"cfl0,omitempty"`
+	// Mesh overrides the engine's default mesh spec (nil = default). Jobs
+	// on the same spec share one cached artifact.
+	Mesh *mesh.GenSpec `json:"mesh,omitempty"`
+}
+
+// JobResult summarizes a finished solve.
+type JobResult struct {
+	Converged   bool          `json:"converged"`
+	Steps       int           `json:"steps"`
+	RNorm0      float64       `json:"rnorm0"`
+	RNormFinal  float64       `json:"rnorm_final"`
+	LinearIters int           `json:"linear_iters"`
+	WallTime    time.Duration `json:"wall_time_ns"`
+}
+
+// Job is one tracked solve. All fields are guarded by mu; step appends and
+// state changes broadcast on cond so streaming readers wake promptly.
+type Job struct {
+	ID string
+
+	mu   sync.Mutex
+	cond *sync.Cond
+
+	req    JobRequest
+	state  JobState
+	err    string
+	steps  []newton.StepStats // full history, accumulated across evict/resume
+	result JobResult
+
+	cancel   context.CancelFunc
+	ctx      context.Context
+	evicting bool // Evict (vs Cancel) triggered the context cancellation
+
+	// Checkpointed state of an evicted job, ready for resume.
+	ckpt       []byte
+	ckptResume newton.Resume
+	linIters   int // linear iterations accumulated before eviction
+
+	submitted, started, finished time.Time
+}
+
+func (j *Job) locked(f func()) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	f()
+}
+
+// State returns the job's current lifecycle state.
+func (j *Job) State() JobState {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.state
+}
+
+// Snapshot returns the job's current state, error and result.
+func (j *Job) Snapshot() (JobState, string, JobResult, int) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.state, j.err, j.result, len(j.steps)
+}
+
+// StepsFrom copies the residual history from step index lo (0-based into
+// the accumulated list), blocking until at least one new step arrives, the
+// job reaches a non-running state, or ctx is done. It returns the new steps
+// and whether the caller should keep reading.
+func (j *Job) StepsFrom(ctx context.Context, lo int) (steps []newton.StepStats, more bool) {
+	stop := context.AfterFunc(ctx, func() {
+		j.mu.Lock()
+		j.cond.Broadcast()
+		j.mu.Unlock()
+	})
+	defer stop()
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	for len(j.steps) <= lo && (j.state == StateQueued || j.state == StateRunning) && ctx.Err() == nil {
+		j.cond.Wait()
+	}
+	steps = append(steps, j.steps[min(lo, len(j.steps)):]...)
+	running := j.state == StateQueued || j.state == StateRunning
+	return steps, running && ctx.Err() == nil
+}
+
+// Wait blocks until the job leaves the queued/running states or ctx is
+// done, and returns the state it observed last.
+func (j *Job) Wait(ctx context.Context) JobState {
+	stop := context.AfterFunc(ctx, func() {
+		j.mu.Lock()
+		j.cond.Broadcast()
+		j.mu.Unlock()
+	})
+	defer stop()
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	for (j.state == StateQueued || j.state == StateRunning) && ctx.Err() == nil {
+		j.cond.Wait()
+	}
+	return j.state
+}
+
+// Times returns the job's submit/start/finish timestamps (zero value for
+// transitions that have not happened). finished-submitted is the job's
+// end-to-end latency including queueing.
+func (j *Job) Times() (submitted, started, finished time.Time) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.submitted, j.started, j.finished
+}
+
+// History rebuilds the accumulated convergence history.
+func (j *Job) History() newton.History {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	h := newton.History{
+		Steps:       append([]newton.StepStats(nil), j.steps...),
+		RNorm0:      j.result.RNorm0,
+		RNormFinal:  j.result.RNormFinal,
+		LinearIters: j.result.LinearIters,
+		Converged:   j.result.Converged,
+	}
+	return h
+}
+
+// Hooks are test seams invoked on engine workers.
+type Hooks struct {
+	// BeforeSolve runs on the worker goroutine after a job is dequeued and
+	// marked running, before the solver instance is acquired. Tests use it
+	// to hold jobs in flight deterministically.
+	BeforeSolve func(jobID string)
+	// AfterStep runs on the solving goroutine after each completed
+	// pseudo-time step is recorded. Tests use it to trigger eviction or
+	// cancellation at an exact step.
+	AfterStep func(jobID string, step int)
+}
+
+// EngineConfig configures a solve engine.
+type EngineConfig struct {
+	// Mesh is the default mesh spec jobs solve on.
+	Mesh mesh.GenSpec
+	// Solver is the base solver configuration; Solver.Threads is the worker
+	// pool size of EACH solve, so total compute parallelism is
+	// MaxConcurrent x Threads.
+	Solver core.Config
+	// MaxConcurrent is the number of solves in flight (default 1).
+	MaxConcurrent int
+	// QueueDepth bounds the number of queued-but-not-running jobs
+	// (default 16). A full queue rejects submissions with ErrQueueFull —
+	// backpressure, not buffering.
+	QueueDepth int
+	// RetryAfter is the backoff the HTTP layer advertises on a full queue
+	// (default 1s).
+	RetryAfter time.Duration
+	// DefaultMaxSteps caps solves that do not specify MaxSteps (default 200).
+	DefaultMaxSteps int
+	// Hooks are test seams.
+	Hooks Hooks
+}
+
+func (c *EngineConfig) defaults() {
+	if c.MaxConcurrent <= 0 {
+		c.MaxConcurrent = 1
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 16
+	}
+	if c.RetryAfter <= 0 {
+		c.RetryAfter = time.Second
+	}
+	if c.DefaultMaxSteps <= 0 {
+		c.DefaultMaxSteps = 200
+	}
+}
+
+// ErrQueueFull rejects a submission when the job queue is at capacity.
+var ErrQueueFull = errors.New("service: job queue full")
+
+// ErrClosed rejects operations on a closed engine.
+var ErrClosed = errors.New("service: engine closed")
+
+// Engine schedules solve jobs over a bounded worker set, sharing immutable
+// artifacts through a MeshCache and recycling solver instances through
+// per-artifact StatePools.
+type Engine struct {
+	cfg   EngineConfig
+	cache *MeshCache
+
+	mu     sync.Mutex
+	jobs   map[string]*Job
+	order  []string // submission order, for listing
+	pools  map[MeshKey]*StatePool
+	closed bool
+	nextID int64
+
+	queue chan *Job
+	wg    sync.WaitGroup
+}
+
+// NewEngine starts an engine with cfg.MaxConcurrent workers.
+func NewEngine(cfg EngineConfig) *Engine {
+	cfg.defaults()
+	e := &Engine{
+		cfg:   cfg,
+		cache: NewMeshCache(),
+		jobs:  make(map[string]*Job),
+		pools: make(map[MeshKey]*StatePool),
+		queue: make(chan *Job, cfg.QueueDepth),
+	}
+	e.wg.Add(cfg.MaxConcurrent)
+	for i := 0; i < cfg.MaxConcurrent; i++ {
+		go e.worker()
+	}
+	return e
+}
+
+// Cache exposes the artifact cache (stats, pre-warming).
+func (e *Engine) Cache() *MeshCache { return e.cache }
+
+// Config returns the engine's (defaulted) configuration.
+func (e *Engine) Config() EngineConfig { return e.cfg }
+
+// Submit enqueues a solve. It returns ErrQueueFull when the queue is at
+// capacity (the caller should back off RetryAfter) and ErrClosed after
+// Close.
+func (e *Engine) Submit(req JobRequest) (*Job, error) {
+	e.mu.Lock()
+	if e.closed {
+		e.mu.Unlock()
+		return nil, ErrClosed
+	}
+	e.nextID++
+	j := &Job{
+		ID:        fmt.Sprintf("job-%d", e.nextID),
+		req:       req,
+		state:     StateQueued,
+		submitted: time.Now(),
+	}
+	j.cond = sync.NewCond(&j.mu)
+	j.ctx, j.cancel = context.WithCancel(context.Background())
+	select {
+	case e.queue <- j:
+	default:
+		e.nextID-- // not admitted; reuse the ID
+		e.mu.Unlock()
+		return nil, ErrQueueFull
+	}
+	e.jobs[j.ID] = j
+	e.order = append(e.order, j.ID)
+	e.mu.Unlock()
+	return j, nil
+}
+
+// Job looks up a job by ID.
+func (e *Engine) Job(id string) (*Job, bool) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	j, ok := e.jobs[id]
+	return j, ok
+}
+
+// Jobs lists all jobs in submission order.
+func (e *Engine) Jobs() []*Job {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	out := make([]*Job, 0, len(e.order))
+	for _, id := range e.order {
+		out = append(out, e.jobs[id])
+	}
+	return out
+}
+
+// Cancel stops a queued or running job. Queued jobs are dropped when
+// dequeued; running jobs stop at the next pseudo-time step boundary and
+// their solver instance returns to the pool.
+func (e *Engine) Cancel(id string) error {
+	j, ok := e.Job(id)
+	if !ok {
+		return fmt.Errorf("service: no job %q", id)
+	}
+	j.locked(func() {
+		if j.state == StateQueued {
+			j.state = StateCanceled
+			j.finished = time.Now()
+			j.cond.Broadcast()
+		}
+	})
+	j.cancel() // a running worker observes this at the next step boundary
+	return nil
+}
+
+// Evict checkpoints a RUNNING job's state at the next step boundary and
+// releases its solver instance back to the pool. The job parks in
+// StateEvicted until Resume.
+func (e *Engine) Evict(id string) error {
+	j, ok := e.Job(id)
+	if !ok {
+		return fmt.Errorf("service: no job %q", id)
+	}
+	var err error
+	j.locked(func() {
+		if j.state != StateRunning {
+			err = fmt.Errorf("service: job %q is %s, not running", id, j.state)
+			return
+		}
+		j.evicting = true
+	})
+	if err != nil {
+		return err
+	}
+	j.cancel()
+	return nil
+}
+
+// Resume re-queues an evicted job. The solve continues from its checkpoint
+// and the completed trajectory (checkpointed steps + resumed steps) is
+// bit-identical to a never-evicted run.
+func (e *Engine) Resume(id string) error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.closed {
+		return ErrClosed
+	}
+	j, ok := e.jobs[id]
+	if !ok {
+		return fmt.Errorf("service: no job %q", id)
+	}
+	var err error
+	j.locked(func() {
+		if j.state != StateEvicted {
+			err = fmt.Errorf("service: job %q is %s, not evicted", id, j.state)
+			return
+		}
+		j.state = StateQueued
+		j.evicting = false
+		j.ctx, j.cancel = context.WithCancel(context.Background())
+		j.cond.Broadcast()
+	})
+	if err != nil {
+		return err
+	}
+	select {
+	case e.queue <- j:
+		return nil
+	default:
+		j.locked(func() {
+			j.state = StateEvicted
+			j.cond.Broadcast()
+		})
+		return ErrQueueFull
+	}
+}
+
+// Close stops accepting jobs, cancels everything in flight, waits for the
+// workers to drain, and closes the pooled solver instances.
+func (e *Engine) Close() {
+	e.mu.Lock()
+	if e.closed {
+		e.mu.Unlock()
+		return
+	}
+	e.closed = true
+	jobs := make([]*Job, 0, len(e.jobs))
+	for _, j := range e.jobs {
+		jobs = append(jobs, j)
+	}
+	e.mu.Unlock()
+	for _, j := range jobs {
+		j.cancel()
+	}
+	close(e.queue)
+	e.wg.Wait()
+	e.mu.Lock()
+	pools := e.pools
+	e.pools = map[MeshKey]*StatePool{}
+	e.mu.Unlock()
+	for _, p := range pools {
+		p.Close()
+	}
+}
+
+// poolFor returns (building if needed) the instance pool for the job's
+// mesh, sharing the cached artifact.
+func (e *Engine) poolFor(spec mesh.GenSpec) (*StatePool, error) {
+	art, err := e.cache.Get(spec, e.cfg.Solver)
+	if err != nil {
+		return nil, err
+	}
+	key := KeyFor(spec, e.cfg.Solver)
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	p, ok := e.pools[key]
+	if !ok {
+		p = NewStatePool(art, e.cfg.Solver)
+		e.pools[key] = p
+	}
+	return p, nil
+}
+
+func (e *Engine) worker() {
+	defer e.wg.Done()
+	for j := range e.queue {
+		e.runJob(j)
+	}
+}
+
+// fail marks the job failed (outside of the solve path).
+func (j *Job) fail(err error) {
+	j.locked(func() {
+		j.state = StateFailed
+		j.err = err.Error()
+		j.finished = time.Now()
+		j.cond.Broadcast()
+	})
+}
+
+func (e *Engine) runJob(j *Job) {
+	var resume newton.Resume
+	var ckpt []byte
+	skip := false
+	j.locked(func() {
+		if j.state != StateQueued { // canceled while queued
+			skip = true
+			return
+		}
+		if j.ctx.Err() != nil { // canceled between queue and dequeue
+			j.state = StateCanceled
+			j.finished = time.Now()
+			j.cond.Broadcast()
+			skip = true
+			return
+		}
+		j.state = StateRunning
+		j.started = time.Now()
+		ckpt = j.ckpt
+		resume = j.ckptResume
+		j.cond.Broadcast()
+	})
+	if skip {
+		return
+	}
+	if e.cfg.Hooks.BeforeSolve != nil {
+		e.cfg.Hooks.BeforeSolve(j.ID)
+	}
+
+	spec := e.cfg.Mesh
+	if j.req.Mesh != nil {
+		spec = *j.req.Mesh
+	}
+	pool, err := e.poolFor(spec)
+	if err != nil {
+		j.fail(err)
+		return
+	}
+	app, err := pool.Get(j.req.AlphaDeg)
+	if err != nil {
+		j.fail(err)
+		return
+	}
+	if ckpt != nil {
+		// Resumed job: restore the checkpointed trajectory. The checkpoint
+		// was written by the same engine at the same flow parameters, so a
+		// parameter-mismatch warning here is a real error.
+		if _, err := app.LoadStateResume(bytes.NewReader(ckpt)); err != nil {
+			pool.Put(app)
+			j.fail(fmt.Errorf("service: resume: %w", err))
+			return
+		}
+	}
+
+	opt := newton.Options{
+		MaxSteps: e.cfg.DefaultMaxSteps,
+		Ctx:      j.ctx,
+		Resume:   resume,
+		OnStep: func(s newton.StepStats) {
+			j.locked(func() {
+				j.steps = append(j.steps, s)
+				j.cond.Broadcast()
+			})
+			if e.cfg.Hooks.AfterStep != nil {
+				e.cfg.Hooks.AfterStep(j.ID, s.Step)
+			}
+		},
+	}
+	if j.req.MaxSteps > 0 {
+		opt.MaxSteps = j.req.MaxSteps
+	}
+	if j.req.RelTol > 0 {
+		opt.RelTol = j.req.RelTol
+	}
+	if j.req.CFL0 > 0 {
+		opt.CFL0 = j.req.CFL0
+	}
+
+	res, runErr := app.Run(opt)
+
+	j.mu.Lock()
+	j.result.RNorm0 = res.History.RNorm0
+	j.result.RNormFinal = res.History.RNormFinal
+	j.result.LinearIters = j.linIters + res.History.LinearIters
+	j.result.Converged = res.History.Converged
+	j.result.Steps = len(j.steps)
+	j.result.WallTime += res.WallTime
+	evicting := j.evicting
+	j.mu.Unlock()
+
+	switch {
+	case errors.Is(runErr, newton.ErrCanceled) && evicting:
+		// Checkpoint the state at the last completed step; release the
+		// instance. Resume picks the trajectory back up exactly.
+		at := newton.Resume{StartStep: resume.StartStep + len(res.History.Steps), RNorm0: res.History.RNorm0}
+		var buf bytes.Buffer
+		if err := app.SaveStateAt(&buf, at); err != nil {
+			pool.Put(app)
+			j.fail(fmt.Errorf("service: evict checkpoint: %w", err))
+			return
+		}
+		pool.Put(app)
+		j.locked(func() {
+			j.ckpt = buf.Bytes()
+			j.ckptResume = at
+			j.linIters = j.result.LinearIters
+			j.state = StateEvicted
+			j.evicting = false
+			j.cond.Broadcast()
+		})
+	case errors.Is(runErr, newton.ErrCanceled):
+		pool.Put(app)
+		j.locked(func() {
+			j.state = StateCanceled
+			j.finished = time.Now()
+			j.cond.Broadcast()
+		})
+	case runErr != nil:
+		pool.Put(app)
+		j.locked(func() {
+			j.state = StateFailed
+			j.err = runErr.Error()
+			j.finished = time.Now()
+			j.cond.Broadcast()
+		})
+	default:
+		pool.Put(app)
+		j.locked(func() {
+			j.ckpt = nil
+			j.state = StateDone
+			j.finished = time.Now()
+			j.cond.Broadcast()
+		})
+	}
+}
+
+// EngineStats snapshots the engine.
+type EngineStats struct {
+	Queued   int                  `json:"queued"`
+	Running  int                  `json:"running"`
+	Done     int                  `json:"done"`
+	Failed   int                  `json:"failed"`
+	Canceled int                  `json:"canceled"`
+	Evicted  int                  `json:"evicted"`
+	QueueCap int                  `json:"queue_cap"`
+	Workers  int                  `json:"workers"`
+	Cache    CacheStats           `json:"cache"`
+	Pools    map[string]PoolStats `json:"pools"`
+}
+
+// Stats snapshots the job counts, cache and pool counters.
+func (e *Engine) Stats() EngineStats {
+	e.mu.Lock()
+	jobs := make([]*Job, 0, len(e.jobs))
+	for _, j := range e.jobs {
+		jobs = append(jobs, j)
+	}
+	pools := make(map[string]PoolStats, len(e.pools))
+	i := 0
+	for k, p := range e.pools {
+		pools[fmt.Sprintf("%dx%dx%d/t%d#%d", k.Mesh.NX, k.Mesh.NY, k.Mesh.NZ, k.Spec.Threads, i)] = p.Stats()
+		i++
+	}
+	s := EngineStats{
+		QueueCap: cap(e.queue),
+		Workers:  e.cfg.MaxConcurrent,
+		Queued:   len(e.queue),
+		Cache:    e.cache.Stats(),
+		Pools:    pools,
+	}
+	e.mu.Unlock()
+	for _, j := range jobs {
+		switch j.State() {
+		case StateRunning:
+			s.Running++
+		case StateDone:
+			s.Done++
+		case StateFailed:
+			s.Failed++
+		case StateCanceled:
+			s.Canceled++
+		case StateEvicted:
+			s.Evicted++
+		}
+	}
+	return s
+}

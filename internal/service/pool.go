@@ -1,0 +1,106 @@
+package service
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"fun3d/internal/core"
+)
+
+// StatePool recycles the per-solve mutable half of the solver — whole
+// *core.App instances (state vector, Jacobian values, ILU factors,
+// Newton/Krylov workspace, worker pool) — over one shared immutable
+// artifact. Instances are poisoned with NaN on Put, so a kernel that read
+// recycled scratch before rewriting it would surface immediately as a NaN
+// residual rather than a silently stale trajectory; Get restores exactly
+// the state a freshly constructed App would have.
+//
+// Backed by sync.Pool: under memory pressure the runtime may drop pooled
+// instances, so each carries a finalizer that closes its worker goroutines
+// when collected.
+type StatePool struct {
+	art  *core.Artifact
+	base core.Config
+
+	pool sync.Pool
+
+	gets   atomic.Int64 // successful Gets
+	puts   atomic.Int64 // Puts
+	builds atomic.Int64 // Gets that constructed a fresh instance
+	live   atomic.Int64 // instances currently checked out
+}
+
+// NewStatePool builds a pool of solver instances over art. base supplies
+// the per-solve configuration (kernel variants, preconditioner settings);
+// its structural fields must match art.Spec. Per-job flow setup (angle of
+// attack) is applied at Get.
+func NewStatePool(art *core.Artifact, base core.Config) *StatePool {
+	return &StatePool{art: art, base: base}
+}
+
+// Get returns a ready-to-run solver instance at the given angle of attack:
+// a recycled one reinitialized to freestream, or a freshly built one. The
+// caller must Put it back (or Close it) when the solve finishes.
+func (p *StatePool) Get(alphaDeg float64) (*core.App, error) {
+	p.gets.Add(1)
+	p.live.Add(1)
+	if v := p.pool.Get(); v != nil {
+		app := v.(*core.App)
+		app.Prof.Reset()
+		app.SetAlpha(alphaDeg)
+		return app, nil
+	}
+	cfg := p.base
+	cfg.AlphaDeg = alphaDeg
+	app, err := core.NewAppFromArtifact(p.art, cfg)
+	if err != nil {
+		p.gets.Add(-1)
+		p.live.Add(-1)
+		return nil, err
+	}
+	p.builds.Add(1)
+	// sync.Pool may drop the instance under GC pressure; close its worker
+	// goroutines when that happens rather than leaking them.
+	runtime.SetFinalizer(app, (*core.App).Close)
+	return app, nil
+}
+
+// Put poisons the instance's mutable buffers and returns it to the pool
+// for reuse by a later Get.
+func (p *StatePool) Put(app *core.App) {
+	p.puts.Add(1)
+	p.live.Add(-1)
+	app.PoisonState()
+	p.pool.Put(app)
+}
+
+// Close drains the pool, closing every idle instance's worker pool.
+// Checked-out instances are unaffected (their finalizers still run).
+func (p *StatePool) Close() {
+	for {
+		v := p.pool.Get()
+		if v == nil {
+			return
+		}
+		app := v.(*core.App)
+		runtime.SetFinalizer(app, nil)
+		app.Close()
+	}
+}
+
+// PoolStats reports instance traffic.
+type PoolStats struct {
+	Gets   int64 `json:"gets"`
+	Puts   int64 `json:"puts"`
+	Builds int64 `json:"builds"`
+	Live   int64 `json:"live"`
+}
+
+// Stats snapshots the counters.
+func (p *StatePool) Stats() PoolStats {
+	return PoolStats{
+		Gets: p.gets.Load(), Puts: p.puts.Load(),
+		Builds: p.builds.Load(), Live: p.live.Load(),
+	}
+}

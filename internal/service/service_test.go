@@ -1,0 +1,345 @@
+package service
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"fun3d/internal/core"
+	"fun3d/internal/mesh"
+	"fun3d/internal/newton"
+)
+
+// testSpec is the shared tiny mesh every service test solves on.
+func testSpec() mesh.GenSpec { return mesh.SpecTiny() }
+
+func mustMesh(t testing.TB) *mesh.Mesh {
+	t.Helper()
+	m, err := mesh.Generate(testSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func solveOpt(steps int) newton.Options { return newton.Options{MaxSteps: steps} }
+
+// testConfig is a threaded second-order configuration exercising the full
+// shared-artifact surface (partition, reordering, Jacobian pattern).
+func testConfig(threads int) core.Config {
+	cfg := core.OptimizedConfig(threads)
+	cfg.SecondOrder = true
+	cfg.Limiter = true
+	return cfg
+}
+
+// fusedConfig additionally shares the fused pipeline's tile cover.
+func fusedConfig(threads int) core.Config {
+	cfg := testConfig(threads)
+	cfg.Fused = true
+	return cfg
+}
+
+// waitState polls until the job reaches want (or a terminal state, or the
+// deadline) and returns the final observed state.
+func waitState(t *testing.T, j *Job, want JobState, timeout time.Duration) JobState {
+	t.Helper()
+	deadline := time.Now().Add(timeout)
+	for {
+		s := j.State()
+		if s == want {
+			return s
+		}
+		if s.terminal() || time.Now().After(deadline) {
+			return s
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+func mustDone(t *testing.T, j *Job) {
+	t.Helper()
+	if s := waitState(t, j, StateDone, 60*time.Second); s != StateDone {
+		_, errStr, _, _ := j.Snapshot()
+		t.Fatalf("job %s ended %s (err=%q), want done", j.ID, s, errStr)
+	}
+}
+
+// TestCacheSingleFlight hammers one key from many goroutines: exactly one
+// artifact build must run, and every caller must receive the same pointer.
+func TestCacheSingleFlight(t *testing.T) {
+	c := NewMeshCache()
+	cfg := testConfig(2)
+	const N = 16
+	arts := make([]*core.Artifact, N)
+	var wg sync.WaitGroup
+	for i := 0; i < N; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			art, err := c.Get(testSpec(), cfg)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			arts[i] = art
+		}(i)
+	}
+	wg.Wait()
+	for i := 1; i < N; i++ {
+		if arts[i] != arts[0] {
+			t.Fatalf("goroutine %d got a different artifact", i)
+		}
+	}
+	s := c.Stats()
+	if s.Builds != 1 {
+		t.Fatalf("builds = %d, want 1 (single-flight)", s.Builds)
+	}
+	if s.Hits+s.Misses != N {
+		t.Fatalf("hits+misses = %d, want %d", s.Hits+s.Misses, N)
+	}
+
+	// A structurally identical config with different flow parameters must
+	// hit the same entry; a structurally different one must miss.
+	same := cfg
+	same.AlphaDeg = 7.5
+	if art, _ := c.Get(testSpec(), same); art != arts[0] {
+		t.Fatal("flow parameters fragmented the cache")
+	}
+	diff := testConfig(4)
+	if art, _ := c.Get(testSpec(), diff); art == arts[0] {
+		t.Fatal("different thread count shared an artifact")
+	}
+	if s := c.Stats(); s.Entries != 2 || s.Builds != 2 {
+		t.Fatalf("after second key: %+v", s)
+	}
+}
+
+// TestStatePoolPoisonReinit hammers Get/run/Put from several goroutines:
+// every recycled (NaN-poisoned) instance must reproduce the fresh-instance
+// trajectory bit for bit, and the counters must balance.
+func TestStatePoolPoisonReinit(t *testing.T) {
+	cfg := fusedConfig(2)
+	art, err := core.BuildArtifact(mustMesh(t), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := NewStatePool(art, cfg)
+	defer p.Close()
+
+	const alpha = 3.06
+	ref, err := p.Get(alpha)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := ref.Run(solveOpt(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.Put(ref)
+
+	G, iters := 4, 3
+	if testing.Short() {
+		iters = 2
+	}
+	var wg sync.WaitGroup
+	for g := 0; g < G; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for it := 0; it < iters; it++ {
+				app, err := p.Get(alpha)
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				got, err := app.Run(solveOpt(3))
+				if err != nil {
+					t.Error(err)
+					p.Put(app)
+					return
+				}
+				if len(got.History.Steps) != len(want.History.Steps) {
+					t.Errorf("recycled instance: %d steps, want %d", len(got.History.Steps), len(want.History.Steps))
+				} else {
+					for k := range got.History.Steps {
+						if got.History.Steps[k] != want.History.Steps[k] {
+							t.Errorf("step %d differs on recycled instance: %+v vs %+v",
+								k, got.History.Steps[k], want.History.Steps[k])
+							break
+						}
+					}
+				}
+				p.Put(app)
+			}
+		}()
+	}
+	wg.Wait()
+	s := p.Stats()
+	if s.Gets != s.Puts {
+		t.Fatalf("gets=%d puts=%d, want balanced", s.Gets, s.Puts)
+	}
+	if s.Live != 0 {
+		t.Fatalf("live=%d, want 0", s.Live)
+	}
+	// sync.Pool may drop items at any time (and does so deliberately under
+	// the race detector), so builds has no tight upper bound — but every
+	// build must correspond to a Get that found the pool empty.
+	if s.Builds < 1 || s.Builds > s.Gets {
+		t.Fatalf("builds=%d, want in [1,gets=%d]", s.Builds, s.Gets)
+	}
+}
+
+// TestGoldenConcurrentMatchesSequential is the headline correctness claim:
+// N solves running CONCURRENTLY over one shared cached artifact produce
+// residual histories identical — tolerance zero — to sequential, fully
+// isolated solves of the same problems, across 1, 2 and 4 workers per
+// solve, for both the three-sweep and the fused residual pipeline.
+func TestGoldenConcurrentMatchesSequential(t *testing.T) {
+	alphas := []float64{0, 1.5, 3.06, 5, 2.2, 4.1}
+	cases := []struct {
+		name    string
+		threads int
+		cfg     func(int) core.Config
+	}{
+		{"3sweep/w1", 1, testConfig},
+		{"3sweep/w2", 2, testConfig},
+		{"3sweep/w4", 4, testConfig},
+		{"fused/w2", 2, fusedConfig},
+	}
+	if testing.Short() {
+		// The CI race lane runs -short: one case per residual pipeline and a
+		// shorter polar still recycle instances across concurrent jobs.
+		alphas = alphas[:4]
+		cases = append(cases[:0], cases[1], cases[3])
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			cfg := tc.cfg(tc.threads)
+
+			// Sequential isolated reference solves: fresh mesh, fresh app,
+			// one at a time.
+			want := make(map[float64][]float64)
+			for _, a := range alphas {
+				c := cfg
+				c.AlphaDeg = a
+				app, err := core.NewApp(mustMesh(t), c)
+				if err != nil {
+					t.Fatal(err)
+				}
+				r, err := app.Run(solveOpt(6))
+				app.Close()
+				if err != nil {
+					t.Fatal(err)
+				}
+				var rn []float64
+				for _, s := range r.History.Steps {
+					rn = append(rn, s.RNorm)
+				}
+				want[a] = rn
+			}
+
+			// The same problems through the engine: 3 concurrent solves over
+			// one cached artifact, instances recycled across jobs.
+			e := NewEngine(EngineConfig{
+				Mesh:          testSpec(),
+				Solver:        cfg,
+				MaxConcurrent: 3,
+				QueueDepth:    len(alphas),
+			})
+			defer e.Close()
+			jobs := make([]*Job, len(alphas))
+			for i, a := range alphas {
+				j, err := e.Submit(JobRequest{AlphaDeg: a, MaxSteps: 6})
+				if err != nil {
+					t.Fatal(err)
+				}
+				jobs[i] = j
+			}
+			for i, j := range jobs {
+				mustDone(t, j)
+				h := j.History()
+				ref := want[alphas[i]]
+				if len(h.Steps) != len(ref) {
+					t.Fatalf("alpha %g: %d steps, want %d", alphas[i], len(h.Steps), len(ref))
+				}
+				for k, s := range h.Steps {
+					if s.RNorm != ref[k] {
+						t.Fatalf("alpha %g step %d: rnorm %v != sequential %v (must be bit-identical)",
+							alphas[i], k+1, s.RNorm, ref[k])
+					}
+				}
+			}
+			if st := e.Cache().Stats(); st.Builds != 1 {
+				t.Fatalf("cache builds = %d, want 1 (all jobs share one artifact)", st.Builds)
+			}
+		})
+	}
+}
+
+// TestEvictResumeExact evicts a running solve at step 3 (deterministically,
+// via the AfterStep hook), resumes it, and requires the stitched trajectory
+// to match an uninterrupted isolated solve bit for bit.
+func TestEvictResumeExact(t *testing.T) {
+	cfg := testConfig(2)
+	cfg.AlphaDeg = 3.06
+
+	app, err := core.NewApp(mustMesh(t), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt := solveOpt(10)
+	opt.RelTol = 1e-30 // keep both runs going all 10 steps
+	want, err := app.Run(opt)
+	app.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var e *Engine
+	var once sync.Once
+	evicted := make(chan struct{})
+	e = NewEngine(EngineConfig{
+		Mesh:          testSpec(),
+		Solver:        cfg,
+		MaxConcurrent: 1,
+		Hooks: Hooks{AfterStep: func(id string, step int) {
+			if step == 3 {
+				once.Do(func() {
+					if err := e.Evict(id); err != nil {
+						t.Errorf("evict: %v", err)
+					}
+					close(evicted)
+				})
+			}
+		}},
+	})
+	defer e.Close()
+
+	j, err := e.Submit(JobRequest{AlphaDeg: 3.06, MaxSteps: 10, RelTol: 1e-30})
+	if err != nil {
+		t.Fatal(err)
+	}
+	<-evicted
+	if s := waitState(t, j, StateEvicted, 30*time.Second); s != StateEvicted {
+		t.Fatalf("job state %s, want evicted", s)
+	}
+	if got := len(j.History().Steps); got != 3 {
+		t.Fatalf("evicted after %d steps, want 3", got)
+	}
+	if err := e.Resume(j.ID); err != nil {
+		t.Fatal(err)
+	}
+	mustDone(t, j)
+
+	h := j.History()
+	if len(h.Steps) != len(want.History.Steps) {
+		t.Fatalf("stitched history has %d steps, want %d", len(h.Steps), len(want.History.Steps))
+	}
+	for k, s := range h.Steps {
+		if s != want.History.Steps[k] {
+			t.Fatalf("step %d differs from uninterrupted run: %+v vs %+v (must be bit-identical)",
+				k+1, s, want.History.Steps[k])
+		}
+	}
+}

@@ -131,6 +131,21 @@ func (a *BSR) Zero() {
 	}
 }
 
+// CloneStructure returns a matrix that SHARES a's index structure
+// (Ptr/Col/Diag, read-only by convention) but owns a fresh zero value
+// array. Concurrent solves over one mesh each assemble their own Jacobian
+// values into a structure-shared clone, so the pattern — identical for
+// every solve on the mesh — is stored and built once.
+func (a *BSR) CloneStructure() *BSR {
+	return &BSR{
+		N:    a.N,
+		Ptr:  a.Ptr,
+		Col:  a.Col,
+		Val:  make([]float64, len(a.Val)),
+		Diag: a.Diag,
+	}
+}
+
 // Clone returns a deep copy.
 func (a *BSR) Clone() *BSR {
 	return &BSR{
