@@ -43,6 +43,7 @@ func main() {
 		natural  = flag.Bool("natural", false, "natural-block decomposition instead of multilevel")
 		steps    = flag.Int("steps", 0, "fixed pseudo-time steps (0 = run to convergence)")
 		fill     = flag.Int("fill", 0, "ILU fill level per rank")
+		dedup    = flag.Bool("dedup", false, "content-deduplicate each rank's ILU block stores (bit-identical results)")
 		cfl      = flag.Float64("cfl", 20, "initial CFL")
 		jsonOut  = flag.String("json", "", "write a schema-versioned JSON artifact (prof.Artifact) to this path")
 		noise    = flag.Float64("noise", 0, "straggler noise amplitude: compute/p2p intervals stretched by up to this fraction")
@@ -146,6 +147,7 @@ func main() {
 		VecRates:       vecRates,
 		Net:            net,
 		FillLevel:      *fill,
+		Dedup:          *dedup,
 		CFL0:           *cfl,
 		Seed:           11,
 		Pipelined:      *gmres == "pipelined",

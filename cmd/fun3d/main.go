@@ -33,6 +33,7 @@ func main() {
 		sched    = flag.String("sched", "p2p", "recurrence scheduling: seq, level, p2p")
 		fill     = flag.Int("fill", 1, "ILU fill level")
 		sub      = flag.Int("subdomains", 1, "additive Schwarz subdomains")
+		dedup    = flag.Bool("dedup", false, "content-deduplicate the preconditioner block stores (bit-identical results)")
 		order2   = flag.Bool("order2", false, "second-order residual with limiter")
 		fused    = flag.Bool("fused", false, "cache-blocked fused residual pipeline (implies -order2)")
 		order    = flag.String("order", "", "vertex ordering: natural, rcm, morton, hilbert (default rcm; overrides -no-rcm)")
@@ -84,6 +85,7 @@ func main() {
 	}
 	cfg.FillLevel = *fill
 	cfg.Subdomains = *sub
+	cfg.Dedup = *dedup
 	cfg.SecondOrder = *order2
 	cfg.Limiter = *order2
 	cfg.AlphaDeg = *alpha

@@ -40,6 +40,7 @@ func main() {
 		steps    = flag.Int("steps", 200, "default max pseudo-time steps per job")
 		order2   = flag.Bool("order2", true, "second-order residual with limiter")
 		fused    = flag.Bool("fused", false, "cache-blocked fused residual pipeline (implies -order2)")
+		dedup    = flag.Bool("dedup", false, "content-deduplicate the preconditioner block stores (bit-identical results)")
 		warm     = flag.Bool("warm", true, "build the shared mesh artifact before serving")
 	)
 	flag.Parse()
@@ -52,6 +53,7 @@ func main() {
 	cfg.SecondOrder = *order2 || *fused
 	cfg.Limiter = cfg.SecondOrder
 	cfg.Fused = *fused
+	cfg.Dedup = *dedup
 
 	eng := service.NewEngine(service.EngineConfig{
 		Mesh:            spec,

@@ -146,6 +146,7 @@ var registry = map[string]func(*Options) error{
 	"allreduce-scaling": allreduceScaling,
 	"faults":            faults,
 	"locality":          locality,
+	"precond":           precondExp,
 	"service":           serviceExp,
 }
 
@@ -158,7 +159,7 @@ func Run(name string, opt Options) error {
 	if name == "all" {
 		for _, n := range []string{"table1", "table2", "fig5", "fig6a", "fig6b",
 			"fig7a", "fig7b", "fig8a", "fig8b", "fig9", "fig10", "fig11", "overlap",
-			"allreduce-scaling", "faults", "locality", "service", "quick"} {
+			"allreduce-scaling", "faults", "locality", "precond", "service", "quick"} {
 			if err := Run(n, opt); err != nil {
 				return fmt.Errorf("%s: %w", n, err)
 			}

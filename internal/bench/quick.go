@@ -50,6 +50,19 @@ func quick(o *Options) error {
 	agg.Merge(appF.Prof)
 	appF.Close()
 
+	// A one-step dedup solve contributes the deduplicated ILU/TRSV byte
+	// accounting behind the ilu_bytes_per_row benchdiff gate. One step, so
+	// the factorization it books is the freestream step-1 Jacobian — the
+	// one with exact-bit repeated blocks for the content hash to collapse.
+	cfgD := cfg
+	cfgD.Dedup = true
+	appD, _, err := solveOnce(o, m, cfgD, newton.Options{MaxSteps: 1, CFL0: o.CFL0})
+	if err != nil {
+		return err
+	}
+	agg.Merge(appD.Prof)
+	appD.Close()
+
 	// A two-rank distributed step contributes the communication kernels.
 	rates, err := perfmodel.Measure(m, 1, false)
 	if err != nil {
@@ -110,6 +123,7 @@ func quick(o *Options) error {
 		"threads":       o.MaxThreads,
 		"newton_steps":  3,
 		"fused_steps":   2,
+		"dedup_steps":   1,
 		"ranks":         2,
 		"cfl0":          o.CFL0,
 		"fault_seed":    uint64(7),

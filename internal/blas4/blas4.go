@@ -51,6 +51,30 @@ func Gemv(a, x, y []float64) {
 	y[3] = a[12]*x0 + a[13]*x1 + a[14]*x2 + a[15]*x3
 }
 
+// GemvSubN computes y -= A*x_c for one 4x4 block A applied to a run of
+// column blocks: for each c in cols, in order, y -= A * x[4c:4c+4]. A's 16
+// scalars are hoisted into registers once for the whole run — the batched
+// repeated-block form of GemvSub used when consecutive BSR slots share one
+// deduplicated block. Each per-column update evaluates exactly the GemvSub
+// expression in the same order, so the result is bit-identical to calling
+// GemvSub once per column.
+func GemvSubN(a, x []float64, cols []int32, y []float64) {
+	_ = a[15]
+	_ = y[3]
+	a0, a1, a2, a3 := a[0], a[1], a[2], a[3]
+	a4, a5, a6, a7 := a[4], a[5], a[6], a[7]
+	a8, a9, a10, a11 := a[8], a[9], a[10], a[11]
+	a12, a13, a14, a15 := a[12], a[13], a[14], a[15]
+	for _, c := range cols {
+		xc := x[int(c)*B : int(c)*B+B]
+		x0, x1, x2, x3 := xc[0], xc[1], xc[2], xc[3]
+		y[0] -= a0*x0 + a1*x1 + a2*x2 + a3*x3
+		y[1] -= a4*x0 + a5*x1 + a6*x2 + a7*x3
+		y[2] -= a8*x0 + a9*x1 + a10*x2 + a11*x3
+		y[3] -= a12*x0 + a13*x1 + a14*x2 + a15*x3
+	}
+}
+
 // GemmSub computes C -= A*B for 4x4 row-major blocks. This is the update
 // kernel of the block ILU factorization.
 func GemmSub(a, b, c []float64) {
@@ -63,6 +87,29 @@ func GemmSub(a, b, c []float64) {
 		c[i*B+1] -= ai0*b[1] + ai1*b[5] + ai2*b[9] + ai3*b[13]
 		c[i*B+2] -= ai0*b[2] + ai1*b[6] + ai2*b[10] + ai3*b[14]
 		c[i*B+3] -= ai0*b[3] + ai1*b[7] + ai2*b[11] + ai3*b[15]
+	}
+}
+
+// GemmSubN applies one pivot block A across a run of scheduled updates:
+// for each u, in order, vals[dst[u]] -= A * vals[src[u]] (block windows of
+// the flat value array). A is hoisted into registers once for the whole
+// run — the batched form of GemmSub used by the ILU elimination, where one
+// L_ik multiplies every U_kj of its update list. Per-update arithmetic and
+// order match a GemmSub loop exactly, so results are bit-identical.
+func GemmSubN(a, vals []float64, src, dst []int32) {
+	_ = a[15]
+	var ar [BB]float64
+	copy(ar[:], a[:BB])
+	for u := range src {
+		b := vals[int(src[u])*BB : int(src[u])*BB+BB]
+		c := vals[int(dst[u])*BB : int(dst[u])*BB+BB]
+		for i := 0; i < B; i++ {
+			ai0, ai1, ai2, ai3 := ar[i*B], ar[i*B+1], ar[i*B+2], ar[i*B+3]
+			c[i*B+0] -= ai0*b[0] + ai1*b[4] + ai2*b[8] + ai3*b[12]
+			c[i*B+1] -= ai0*b[1] + ai1*b[5] + ai2*b[9] + ai3*b[13]
+			c[i*B+2] -= ai0*b[2] + ai1*b[6] + ai2*b[10] + ai3*b[14]
+			c[i*B+3] -= ai0*b[3] + ai1*b[7] + ai2*b[11] + ai3*b[15]
+		}
 	}
 }
 

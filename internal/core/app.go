@@ -45,10 +45,20 @@ type Config struct {
 	Order reorder.Kind
 	// Sched picks the sparse-recurrence parallelization.
 	Sched precond.Scheduling
-	// FillLevel is the ILU fill (paper default 1).
+	// FillLevel is the ILU(k) fill level; the zero value is ILU(0). The
+	// paper's default, ILU(1), is what BaselineConfig and OptimizedConfig
+	// set — a zero-valued Config deliberately keeps ILU(0), matching the
+	// CLI defaults of cmd/clustersim.
 	FillLevel int
 	// Subdomains is the additive-Schwarz block count (1 = global ILU).
 	Subdomains int
+	// Dedup content-deduplicates the preconditioner's value stores after
+	// each factorization (precond.Options.Dedup): repeated 4x4 blocks are
+	// stored once, the triangular solves read them through a per-slot
+	// index with run batching, and the ILU/TRSV byte accounting reflects
+	// the deduped stores. Results are bit-identical to the dense stores.
+	// Per-solve, not structural: Apps with and without it share artifacts.
+	Dedup bool
 	// ParallelVecOps threads the vector primitives (the PETSc routines the
 	// paper says are NOT threaded out of the box).
 	ParallelVecOps bool
@@ -196,6 +206,7 @@ func NewAppFromArtifact(art *Artifact, cfg Config) (*App, error) {
 		Subdomains: nsub,
 		FillLevel:  cfg.FillLevel,
 		Sched:      sched,
+		Dedup:      cfg.Dedup,
 	})
 	if err != nil {
 		app.Close()
@@ -342,7 +353,7 @@ func (app *App) Recycle() {
 // Describe summarizes the configuration for logs and reports.
 func (app *App) Describe() string {
 	c := app.Cfg
-	return fmt.Sprintf("threads=%d strategy=%v soa=%v simd=%v prefetch=%v order=%v sched=%v ilu=%d sub=%d pvec=%v order2=%v fused=%v",
+	return fmt.Sprintf("threads=%d strategy=%v soa=%v simd=%v prefetch=%v order=%v sched=%v ilu=%d sub=%d dedup=%v pvec=%v order2=%v fused=%v",
 		c.Threads, c.Strategy, c.SoANodeData, c.SIMD, c.Prefetch, app.Order.Kind, c.Sched,
-		c.FillLevel, max(1, c.Subdomains), c.ParallelVecOps, c.SecondOrder, c.Fused)
+		c.FillLevel, max(1, c.Subdomains), c.Dedup, c.ParallelVecOps, c.SecondOrder, c.Fused)
 }

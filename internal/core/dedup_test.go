@@ -1,0 +1,102 @@
+package core
+
+import (
+	"testing"
+
+	"fun3d/internal/newton"
+	"fun3d/internal/prof"
+)
+
+// The profiler's ILU/TRSV byte records must equal the preconditioner's own
+// store-derived estimates: newton books FactorBytes per factorization and
+// SolveBytes per apply, so after a one-step solve (one factorization, a
+// known number of applies) estimate and booked bytes agree exactly — with
+// and without the deduplicated stores.
+func TestPrecondBytesEstimateMatchesBooked(t *testing.T) {
+	m := tinyMesh(t)
+	for _, dedup := range []bool{false, true} {
+		cfg := OptimizedConfig(2)
+		cfg.Dedup = dedup
+		app, err := NewApp(m, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := app.Run(newton.Options{MaxSteps: 1}); err != nil {
+			app.Close()
+			t.Fatal(err)
+		}
+		if rows := app.Prof.Counter(prof.ILURows); rows != int64(app.Pre.Rows()) {
+			t.Errorf("dedup=%v: ILURows %d, want %d (one factorization)", dedup, rows, app.Pre.Rows())
+		}
+		if got, want := app.Prof.Bytes(prof.ILU), app.Pre.FactorBytes(); got != want {
+			t.Errorf("dedup=%v: booked ILU bytes %d != FactorBytes estimate %d", dedup, got, want)
+		}
+		applies := app.Prof.Count(prof.TRSV)
+		if applies == 0 {
+			t.Fatalf("dedup=%v: no TRSV applies recorded", dedup)
+		}
+		if got, want := app.Prof.Bytes(prof.TRSV), app.Pre.SolveBytes()*int64(applies); got != want {
+			t.Errorf("dedup=%v: booked TRSV bytes %d != SolveBytes*%d = %d", dedup, got, applies, want)
+		}
+		app.Close()
+	}
+}
+
+// A dedup-enabled solve must follow the dense trajectory bit-for-bit: the
+// deduplicated stores hold exactly the dense bytes, so every residual norm
+// and iteration count matches.
+func TestDedupSolveTrajectoryIdentical(t *testing.T) {
+	m := tinyMesh(t)
+	cfg := OptimizedConfig(2)
+	dense, err := NewApp(m, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer dense.Close()
+	rDense, err := dense.Run(newton.Options{MaxSteps: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	cfgD := cfg
+	cfgD.Dedup = true
+	dd, err := NewApp(m, cfgD)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer dd.Close()
+	rDD, err := dd.Run(newton.Options{MaxSteps: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if len(rDD.History.Steps) != len(rDense.History.Steps) {
+		t.Fatalf("step counts differ: dedup %d vs dense %d",
+			len(rDD.History.Steps), len(rDense.History.Steps))
+	}
+	for i := range rDense.History.Steps {
+		if rDD.History.Steps[i].RNorm != rDense.History.Steps[i].RNorm {
+			t.Fatalf("step %d residual differs: dedup %v vs dense %v",
+				i, rDD.History.Steps[i].RNorm, rDense.History.Steps[i].RNorm)
+		}
+	}
+	if rDD.History.LinearIters != rDense.History.LinearIters {
+		t.Fatalf("linear iteration counts differ: dedup %d vs dense %d",
+			rDD.History.LinearIters, rDense.History.LinearIters)
+	}
+}
+
+// The paper's default preconditioner is ILU(1); the Options zero value is
+// ILU(0). Pin where the default lives: the packaged configurations.
+func TestConfigFillLevelDefaults(t *testing.T) {
+	if got := BaselineConfig().FillLevel; got != 1 {
+		t.Fatalf("BaselineConfig FillLevel = %d, want 1 (paper default)", got)
+	}
+	if got := OptimizedConfig(2).FillLevel; got != 1 {
+		t.Fatalf("OptimizedConfig FillLevel = %d, want 1 (paper default)", got)
+	}
+	var cfg Config
+	if cfg.FillLevel != 0 {
+		t.Fatal("Config zero value should be ILU(0)")
+	}
+}

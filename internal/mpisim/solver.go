@@ -46,6 +46,11 @@ type Config struct {
 	Net perfmodel.Network
 
 	FillLevel int
+	// Dedup content-deduplicates each rank's ILU stores after every
+	// factorization (sparse.Factor dedup mode): bit-identical numerics,
+	// with the rank-local triangular solves reading repeated blocks
+	// through the unique store.
+	Dedup bool
 	// FusedNorms enables communication-reducing GMRES (one fewer
 	// Allreduce per iteration); see krylov.Options.FusedNorms.
 	FusedNorms bool
@@ -476,6 +481,7 @@ func newWorker(rank *Rank, sub *Subdomain, cfg *Config) (*worker, error) {
 	if err != nil {
 		return nil, err
 	}
+	w.factor.EnableDedup(cfg.Dedup)
 	for v := 0; v < sub.NLocal; v++ {
 		copy(w.q[v*4:v*4+4], w.qInf[:])
 	}
@@ -852,6 +858,7 @@ func (w *worker) run() (rr rankResult) {
 		ferr := w.factorize()
 		w.compute(prof.ILU, float64(w.factor.M.NNZBlocks())*w.rates.ILUPerBlock)
 		w.met.Inc(prof.ILUBlocks, int64(w.factor.M.NNZBlocks()))
+		w.met.Inc(prof.ILURows, int64(w.factor.M.N))
 		if ferr != nil {
 			errFlag = 1
 		}

@@ -321,6 +321,7 @@ func (st *Stepper) Solve(q []float64, opt Options) (History, error) {
 				return h, fmt.Errorf("newton step %d: %w", step, ferr)
 			}
 			st.Prof.Inc(prof.ILUBlocks, int64(st.Pre.NNZBlocks()))
+			st.Prof.Inc(prof.ILURows, int64(st.Pre.Rows()))
 			st.Prof.AddBytes(prof.ILU, st.Pre.FactorBytes())
 		}
 

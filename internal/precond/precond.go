@@ -41,9 +41,22 @@ func (s Scheduling) String() string {
 
 // Options configures the preconditioner.
 type Options struct {
-	Subdomains int        // number of Schwarz blocks (default 1)
-	FillLevel  int        // ILU(k) fill level (paper default: 1)
-	Sched      Scheduling // recurrence parallelization (within subdomains)
+	// Subdomains is the number of Schwarz blocks (default 1).
+	Subdomains int
+	// FillLevel is the ILU(k) fill level; the zero value is ILU(0). The
+	// paper's default configuration, ILU(1), is selected by the callers
+	// that model it (core.BaselineConfig / cmd/fun3d's -fill default),
+	// not here.
+	FillLevel int
+	// Sched is the recurrence parallelization (within subdomains).
+	Sched Scheduling
+	// Dedup content-deduplicates the factor and source value stores after
+	// each factorization: repeated 4x4 blocks are stored once and the
+	// triangular solves read them through a per-slot index, batching runs
+	// of slots that share a block (sparse.DedupBSR). Bit-identical results
+	// to the dense stores; FactorBytes/SolveBytes account the deduped
+	// traffic.
+	Dedup bool
 }
 
 // ASM is the additive-Schwarz/block-Jacobi ILU preconditioner. Build once
@@ -53,6 +66,7 @@ type ASM struct {
 	opt  Options
 	pool *par.Pool
 	n    int // block rows of the global matrix
+	nnzA int // block entries of the global Jacobian pattern
 
 	// One subdomain: global factor with optional parallel schedules.
 	global *sparse.Factor
@@ -86,7 +100,7 @@ func New(a *sparse.BSR, pool *par.Pool, opt Options) (*ASM, error) {
 	if opt.Sched != SchedSequential && pool == nil {
 		return nil, fmt.Errorf("precond: %v scheduling requires a pool", opt.Sched)
 	}
-	asm := &ASM{opt: opt, pool: pool, n: a.N}
+	asm := &ASM{opt: opt, pool: pool, n: a.N, nnzA: a.NNZBlocks()}
 	if opt.Subdomains == 1 {
 		pat, err := sparse.SymbolicILU(a, opt.FillLevel)
 		if err != nil {
@@ -96,6 +110,7 @@ func New(a *sparse.BSR, pool *par.Pool, opt Options) (*ASM, error) {
 		if err != nil {
 			return nil, err
 		}
+		asm.global.EnableDedup(opt.Dedup)
 		switch opt.Sched {
 		case SchedLevel:
 			asm.levels = sparse.NewLevelSchedule(asm.global.M)
@@ -158,6 +173,7 @@ func New(a *sparse.BSR, pool *par.Pool, opt Options) (*ASM, error) {
 		if err != nil {
 			return nil, err
 		}
+		sd.factor.EnableDedup(opt.Dedup)
 		asm.sub = append(asm.sub, sd)
 	}
 	return asm, nil
@@ -267,16 +283,100 @@ func (asm *ASM) NNZBlocks() int {
 	return n
 }
 
-// FactorBytes estimates the memory traffic of one Factorize: every factor
-// block is read and written during elimination.
-func (asm *ASM) FactorBytes() int64 {
-	return 2 * int64(asm.NNZBlocks()) * sparse.BB * 8
+// Rows returns the global block-row count (the ILU row-rate denominator).
+func (asm *ASM) Rows() int { return asm.n }
+
+// eachFactor visits every factor with the block count of its source store
+// (the Jacobian entries streamed into it by Factorize).
+func (asm *ASM) eachFactor(visit func(f *sparse.Factor, srcBlocks int)) {
+	if asm.global != nil {
+		visit(asm.global, asm.nnzA)
+		return
+	}
+	for _, sd := range asm.sub {
+		visit(sd.factor, sd.local.NNZBlocks())
+	}
 }
 
-// SolveBytes estimates one Apply (the forward/backward TRSV pair): every
-// factor block read once (value + column index) plus ~3 streams over the
+// FactorBytes models the memory traffic of one Factorize, derived from the
+// stores the factorization actually streams: the source Jacobian blocks
+// with their column indices (copyValues), then every factor block read and
+// written during elimination. In dedup mode the source read goes through
+// the deduplicated store — unique blocks plus a 4-byte slot index per
+// entry — which is exactly what the prof ILU counter books, so estimate
+// and booking cannot drift. Before the first dedup factorization (no view
+// built yet) the dense model applies.
+func (asm *ASM) FactorBytes() int64 {
+	var total int64
+	asm.eachFactor(func(f *sparse.Factor, srcBlocks int) {
+		if src := f.SourceDedup(); src != nil {
+			total += src.StoreBytes() + int64(srcBlocks)*4
+		} else {
+			total += int64(srcBlocks) * (sparse.BB*8 + 4)
+		}
+		total += 2 * int64(f.M.NNZBlocks()) * sparse.BB * 8
+	})
+	return total
+}
+
+// SolveBytes models one Apply (the forward/backward TRSV pair): every
+// factor block read once with its column index, plus ~3 streams over the
 // rhs/solution vectors — the formula behind the paper's Fig 7b bandwidth
-// figure.
+// figure. In dedup mode the block read comes from the deduplicated store
+// (unique blocks + per-slot index) the solve actually walks.
 func (asm *ASM) SolveBytes() int64 {
-	return int64(asm.NNZBlocks())*(sparse.BB*8+4) + 3*int64(asm.n)*sparse.B*8
+	var total int64
+	asm.eachFactor(func(f *sparse.Factor, _ int) {
+		if dd := f.Dedup(); dd != nil {
+			total += dd.StoreBytes() + int64(f.M.NNZBlocks())*4
+		} else {
+			total += int64(f.M.NNZBlocks()) * (sparse.BB*8 + 4)
+		}
+	})
+	return total + 3*int64(asm.n)*sparse.B*8
+}
+
+// DedupStats reports the deduplicated store sizes after the most recent
+// Factorize. With dedup off (or before any factorization) the stores are
+// dense: unique == total.
+type DedupStats struct {
+	SrcBlocks, SrcUnique int // source Jacobian store
+	FacBlocks, FacUnique int // factor store (fill included)
+}
+
+// SrcRatio returns unique/total for the source Jacobian store.
+func (s DedupStats) SrcRatio() float64 {
+	if s.SrcBlocks == 0 {
+		return 1
+	}
+	return float64(s.SrcUnique) / float64(s.SrcBlocks)
+}
+
+// FacRatio returns unique/total for the factor store.
+func (s DedupStats) FacRatio() float64 {
+	if s.FacBlocks == 0 {
+		return 1
+	}
+	return float64(s.FacUnique) / float64(s.FacBlocks)
+}
+
+// DedupStats snapshots the store sizes (see type DedupStats).
+func (asm *ASM) DedupStats() DedupStats {
+	var st DedupStats
+	asm.eachFactor(func(f *sparse.Factor, srcBlocks int) {
+		st.SrcBlocks += srcBlocks
+		if src := f.SourceDedup(); src != nil {
+			st.SrcUnique += src.NumUnique()
+		} else {
+			st.SrcUnique += srcBlocks
+		}
+		nb := f.M.NNZBlocks()
+		st.FacBlocks += nb
+		if dd := f.Dedup(); dd != nil {
+			st.FacUnique += dd.NumUnique()
+		} else {
+			st.FacUnique += nb
+		}
+	})
+	return st
 }

@@ -125,6 +125,15 @@ func NewArtifact(experiment string, m *Metrics) *Artifact {
 			a.Rates["residual_bytes_per_edge"] = float64(b) / float64(fe)
 		}
 	}
+	// Modeled factorization traffic per block row eliminated — the rate
+	// the deduplicated preconditioner stores drive down. Deterministic on
+	// both sides (store-derived byte model over rows factorized), so it is
+	// gated like residual_bytes_per_edge.
+	if rows := m.Counter(ILURows); rows > 0 {
+		if b := m.Bytes(ILU); b > 0 {
+			a.Rates["ilu_bytes_per_row"] = float64(b) / float64(rows)
+		}
+	}
 	// Multi-solve service throughput. Jobs per second of batch wall clock
 	// is the headline figure but machine-dependent; steps per job is exact
 	// (service batches run fixed step counts), so it is the one benchdiff

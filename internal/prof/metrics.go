@@ -66,6 +66,11 @@ const (
 	// jobs; divided by ServiceJobs it is the deterministic steps-per-job
 	// figure benchdiff gates on (fixed MaxSteps batches make it exact).
 	ServiceSolveSteps
+	// ILURows counts block rows eliminated by numeric factorizations; the
+	// ILU kernel's modeled bytes divided by it is the ilu_bytes_per_row
+	// rate benchdiff gates on (both sides deterministic, like
+	// residual_bytes_per_edge).
+	ILURows
 	numCounters
 )
 
@@ -113,6 +118,8 @@ func (c Counter) String() string {
 		return "service_jobs"
 	case ServiceSolveSteps:
 		return "service_solve_steps"
+	case ILURows:
+		return "ilu_rows"
 	}
 	return fmt.Sprintf("Counter(%d)", int(c))
 }

@@ -1,7 +1,6 @@
 package service
 
 import (
-	"runtime"
 	"sync"
 	"sync/atomic"
 
@@ -16,14 +15,21 @@ import (
 // residual rather than a silently stale trajectory; Get restores exactly
 // the state a freshly constructed App would have.
 //
-// Backed by sync.Pool: under memory pressure the runtime may drop pooled
-// instances, so each carries a finalizer that closes its worker goroutines
-// when collected.
+// Idle instances are tracked explicitly on a free list owned by the pool,
+// and Close walks it, shutting every instance's worker goroutines down.
+// (An earlier sync.Pool-backed version leaned on a finalizer to reclaim
+// dropped instances' workers, but an App is always reachable from its own
+// live worker goroutines, so the finalizer could never fire and every
+// instance the runtime dropped leaked its workers. Nothing here is dropped
+// implicitly anymore: an instance is either checked out — the caller's to
+// Put or Close — or idle on the list and released by Close.)
 type StatePool struct {
 	art  *core.Artifact
 	base core.Config
 
-	pool sync.Pool
+	mu     sync.Mutex
+	idle   []*core.App
+	closed bool
 
 	gets   atomic.Int64 // successful Gets
 	puts   atomic.Int64 // Puts
@@ -43,10 +49,17 @@ func NewStatePool(art *core.Artifact, base core.Config) *StatePool {
 // a recycled one reinitialized to freestream, or a freshly built one. The
 // caller must Put it back (or Close it) when the solve finishes.
 func (p *StatePool) Get(alphaDeg float64) (*core.App, error) {
+	p.mu.Lock()
+	var app *core.App
+	if n := len(p.idle); n > 0 {
+		app = p.idle[n-1]
+		p.idle[n-1] = nil
+		p.idle = p.idle[:n-1]
+	}
+	p.mu.Unlock()
 	p.gets.Add(1)
 	p.live.Add(1)
-	if v := p.pool.Get(); v != nil {
-		app := v.(*core.App)
+	if app != nil {
 		app.Prof.Reset()
 		app.SetAlpha(alphaDeg)
 		return app, nil
@@ -60,31 +73,37 @@ func (p *StatePool) Get(alphaDeg float64) (*core.App, error) {
 		return nil, err
 	}
 	p.builds.Add(1)
-	// sync.Pool may drop the instance under GC pressure; close its worker
-	// goroutines when that happens rather than leaking them.
-	runtime.SetFinalizer(app, (*core.App).Close)
 	return app, nil
 }
 
-// Put poisons the instance's mutable buffers and returns it to the pool
-// for reuse by a later Get.
+// Put poisons the instance's mutable buffers and returns it to the free
+// list for reuse by a later Get. A Put after Close releases the instance
+// instead of parking it.
 func (p *StatePool) Put(app *core.App) {
 	p.puts.Add(1)
 	p.live.Add(-1)
 	app.PoisonState()
-	p.pool.Put(app)
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		app.Close()
+		return
+	}
+	p.idle = append(p.idle, app)
+	p.mu.Unlock()
 }
 
-// Close drains the pool, closing every idle instance's worker pool.
-// Checked-out instances are unaffected (their finalizers still run).
+// Close releases every idle instance's worker pool and marks the pool
+// closed: later Puts close their instance instead of parking it, and later
+// Gets build fresh (the engine only Closes pools after its workers stop).
+// Instances checked out at Close time are released by their Put.
 func (p *StatePool) Close() {
-	for {
-		v := p.pool.Get()
-		if v == nil {
-			return
-		}
-		app := v.(*core.App)
-		runtime.SetFinalizer(app, nil)
+	p.mu.Lock()
+	idle := p.idle
+	p.idle = nil
+	p.closed = true
+	p.mu.Unlock()
+	for _, app := range idle {
 		app.Close()
 	}
 }

@@ -1,0 +1,83 @@
+package service
+
+import (
+	"runtime"
+	"testing"
+	"time"
+
+	"fun3d/internal/core"
+)
+
+// Regression test for the finalizer-based worker reclamation the pool used
+// to rely on: an App is always reachable from its own live worker
+// goroutines, so a runtime.SetFinalizer on it could never fire, and every
+// instance sync.Pool silently dropped leaked its worker pool forever. The
+// explicit free list must release every worker goroutine at Close — the
+// goroutine count has to return to its pre-pool baseline.
+func TestStatePoolCloseReleasesAllWorkers(t *testing.T) {
+	cfg := testConfig(3)
+	art, err := core.BuildArtifact(mustMesh(t), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	runtime.GC()
+	baseline := runtime.NumGoroutine()
+
+	p := NewStatePool(art, cfg)
+	// Cycle instances so several are parked idle at Close time, plus one
+	// checked out past Close (its Put must release it, not park it).
+	var apps []*core.App
+	for i := 0; i < 3; i++ {
+		app, err := p.Get(3.06)
+		if err != nil {
+			t.Fatal(err)
+		}
+		apps = append(apps, app)
+	}
+	if during := runtime.NumGoroutine(); during <= baseline {
+		t.Fatalf("expected worker goroutines while checked out: baseline %d, now %d", baseline, during)
+	}
+	late := apps[2]
+	p.Put(apps[0])
+	p.Put(apps[1])
+	p.Close()
+	p.Put(late) // after Close: must be released, not parked
+
+	// Workers exit asynchronously; poll with GC until the count settles
+	// back to the baseline.
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		runtime.GC()
+		if n := runtime.NumGoroutine(); n <= baseline {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("goroutines leaked: baseline %d, now %d", baseline, runtime.NumGoroutine())
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+
+	if s := p.Stats(); s.Live != 0 {
+		t.Fatalf("live=%d after close, want 0", s.Live)
+	}
+}
+
+// A Get after Close still works (the engine never does this, but the pool
+// shouldn't wedge): it builds a fresh instance, and its Put releases it.
+func TestStatePoolGetAfterClose(t *testing.T) {
+	cfg := testConfig(2)
+	art, err := core.BuildArtifact(mustMesh(t), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := NewStatePool(art, cfg)
+	p.Close()
+	app, err := p.Get(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.Put(app)
+	if s := p.Stats(); s.Live != 0 || s.Builds != 1 {
+		t.Fatalf("stats after get-after-close: %+v", s)
+	}
+}

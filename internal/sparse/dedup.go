@@ -1,0 +1,118 @@
+package sparse
+
+import "math"
+
+// DedupBSR is the content-deduplicated view of a BSR value store: each
+// distinct 4x4 block is stored once in Uniq, and Slot maps every BSR slot
+// to its unique block. Hashing is exact-bit (IEEE-754 bit patterns via
+// math.Float64bits), so two blocks share storage only when every scalar is
+// bit-identical — reading a block through the view returns exactly the
+// bytes the dense store held, which is what makes deduplicated kernels
+// bit-identical to their dense counterparts by construction.
+//
+// Edge-based Jacobians repeat blocks wherever geometry and state repeat
+// (symmetric dual faces, graded-mesh regularity — the observation behind
+// the repeated-block GEMM batching this package's solve kernels borrow),
+// so the interesting quantity is Ratio: unique blocks over total slots.
+//
+// The view shares the source matrix's index structure (Ptr/Col/Diag) and
+// does not retain its value array; it stays valid until the source values
+// change, after which it must be rebuilt.
+type DedupBSR struct {
+	M    *BSR      // index structure of the source (values not referenced)
+	Uniq []float64 // unique block store, NumUnique()*BB scalars
+	Slot []int32   // per-slot index into Uniq, len NNZBlocks
+
+	// RunEnd[k] is the exclusive end of the maximal run of consecutive
+	// slots starting at or covering k that share Slot[k], clipped so runs
+	// never cross a row boundary, the diagonal slot, or the slot after it.
+	// The triangular-solve segments [Ptr[i],Diag[i]) and (Diag[i],Ptr[i+1])
+	// can therefore iterate run-by-run (blas4.GemvSubN) without clipping.
+	RunEnd []int32
+}
+
+// NewDedupBSR builds the deduplicated view of m's current values.
+func NewDedupBSR(m *BSR) *DedupBSR {
+	nb := m.NNZBlocks()
+	d := &DedupBSR{
+		M:      m,
+		Slot:   make([]int32, nb),
+		RunEnd: make([]int32, nb),
+	}
+	seen := make(map[[BB]uint64]int32, nb)
+	var key [BB]uint64
+	for k := 0; k < nb; k++ {
+		blk := m.Val[k*BB : k*BB+BB]
+		for t := 0; t < BB; t++ {
+			key[t] = math.Float64bits(blk[t])
+		}
+		u, ok := seen[key]
+		if !ok {
+			u = int32(len(seen))
+			seen[key] = u
+			d.Uniq = append(d.Uniq, blk...)
+		}
+		d.Slot[k] = u
+	}
+	d.buildRuns()
+	return d
+}
+
+// buildRuns fills RunEnd with segment-clipped maximal same-block runs.
+func (d *DedupBSR) buildRuns() {
+	m := d.M
+	for i := 0; i < m.N; i++ {
+		segs := [3][2]int32{
+			{m.Ptr[i], m.Diag[i]},
+			{m.Diag[i], m.Diag[i] + 1},
+			{m.Diag[i] + 1, m.Ptr[i+1]},
+		}
+		for _, seg := range segs {
+			for k := seg[0]; k < seg[1]; {
+				e := k + 1
+				for e < seg[1] && d.Slot[e] == d.Slot[k] {
+					e++
+				}
+				for t := k; t < e; t++ {
+					d.RunEnd[t] = e
+				}
+				k = e
+			}
+		}
+	}
+}
+
+// Block returns slot k's 4x4 block from the unique store. The scalars are
+// bit-identical to the dense store's at build time.
+func (d *DedupBSR) Block(k int32) []float64 {
+	u := d.Slot[k]
+	return d.Uniq[u*BB : u*BB+BB]
+}
+
+// NumUnique returns the number of distinct blocks.
+func (d *DedupBSR) NumUnique() int { return len(d.Uniq) / BB }
+
+// Ratio returns unique blocks over total slots (1.0 = nothing repeated).
+func (d *DedupBSR) Ratio() float64 {
+	if len(d.Slot) == 0 {
+		return 1
+	}
+	return float64(d.NumUnique()) / float64(len(d.Slot))
+}
+
+// ExpandInto writes the dense value array back out of the deduplicated
+// store. val must have len NNZBlocks*BB. The round trip source -> view ->
+// ExpandInto is bit-exact.
+func (d *DedupBSR) ExpandInto(val []float64) {
+	for k := range d.Slot {
+		u := d.Slot[k]
+		copy(val[k*BB:k*BB+BB], d.Uniq[u*BB:u*BB+BB])
+	}
+}
+
+// StoreBytes is the modeled resident size of the deduplicated value store:
+// the unique blocks plus one 4-byte slot index per block entry (the dense
+// store is NNZBlocks*BB*8 bytes with no index).
+func (d *DedupBSR) StoreBytes() int64 {
+	return int64(d.NumUnique())*BB*8 + int64(len(d.Slot))*4
+}

@@ -25,7 +25,36 @@ type Factor struct {
 	updPtr []int32
 	updSrc []int32
 	updDst []int32
+
+	// Dedup mode (EnableDedup): after each numeric factorization the
+	// factor values are content-deduplicated into dd, and the triangular
+	// solves read blocks through it run-by-run (blas4.GemvSubN). srcDD is
+	// the deduplicated view of the source Jacobian, rebuilt by copyValues
+	// and read during value transfer; it also carries the source store's
+	// unique-block ratio for the byte accounting. Both views hold bit-
+	// identical scalars to the dense stores, so dedup mode never changes a
+	// result bit.
+	dedup bool
+	dd    *DedupBSR
+	srcDD *DedupBSR
 }
+
+// EnableDedup switches content-deduplicated stores on or off. The switch
+// takes effect at the next factorization; disabling also drops the views.
+func (f *Factor) EnableDedup(on bool) {
+	f.dedup = on
+	if !on {
+		f.dd, f.srcDD = nil, nil
+	}
+}
+
+// Dedup returns the deduplicated view of the factor values (nil until a
+// factorization has run with dedup enabled).
+func (f *Factor) Dedup() *DedupBSR { return f.dd }
+
+// SourceDedup returns the deduplicated view of the source matrix values
+// seen by the last copyValues (nil until then).
+func (f *Factor) SourceDedup() *DedupBSR { return f.srcDD }
 
 // SymbolicILU computes the ILU(level) fill pattern of a. Level 0 returns
 // the pattern of a itself. For level k > 0, fill entries with level-of-fill
@@ -148,10 +177,19 @@ func (f *Factor) buildUpdateSchedule() {
 }
 
 // copyValues writes a's values into the (possibly larger) factor pattern.
+// In dedup mode the source is first content-deduplicated and the transfer
+// reads through the unique store — bit-identical values, since the store
+// holds exactly the source's bytes.
 func (f *Factor) copyValues(a *BSR) error {
 	m := f.M
 	if m.N != a.N {
 		return fmt.Errorf("sparse: factor size %d != matrix size %d", m.N, a.N)
+	}
+	f.dd = nil // stale after this point, whatever happens next
+	src := a.Block
+	if f.dedup {
+		f.srcDD = NewDedupBSR(a)
+		src = f.srcDD.Block
 	}
 	m.Zero()
 	for i := int32(0); i < int32(a.N); i++ {
@@ -160,10 +198,18 @@ func (f *Factor) copyValues(a *BSR) error {
 			if slot < 0 {
 				return fmt.Errorf("sparse: factor pattern misses entry (%d,%d)", i, a.Col[k])
 			}
-			blas4.Copy(m.Block(slot), a.Block(k))
+			blas4.Copy(m.Block(slot), src(k))
 		}
 	}
 	return nil
+}
+
+// refreshDedup rebuilds the factor-store view after a numeric
+// factorization. Must run with no concurrent solver threads.
+func (f *Factor) refreshDedup() {
+	if f.dedup {
+		f.dd = NewDedupBSR(f.M)
+	}
 }
 
 // FactorizeILU computes the block ILU factorization of a on f's pattern
@@ -187,6 +233,7 @@ func (f *Factor) FactorizeILU(a *BSR) error {
 			return err
 		}
 	}
+	f.refreshDedup()
 	return nil
 }
 
@@ -203,10 +250,10 @@ func (f *Factor) factorRow(i int32) error {
 		blas4.Copy(lik, tmp[:])
 		// Apply the prescheduled updates of this pivot: entries outside
 		// the pattern were already dropped symbolically (the "incomplete").
+		// L_ik is the repeated block of its whole update run, so the
+		// batched kernel hoists it once across the list.
 		lo, hi := f.updPtr[ki], f.updPtr[ki+1]
-		for u := lo; u < hi; u++ {
-			blas4.GemmSub(lik, m.Block(f.updSrc[u]), m.Block(f.updDst[u]))
-		}
+		blas4.GemmSubN(lik, m.Val, f.updSrc[lo:hi], f.updDst[lo:hi])
 	}
 	d := m.Block(m.Diag[i])
 	if !blas4.Invert(d) {
@@ -229,23 +276,58 @@ func (f *Factor) Solve(b, x []float64) {
 	}
 	// Forward: x_i = b_i - sum_{j<i} L_ij x_j
 	for i := 0; i < n; i++ {
-		xi := x[i*B : i*B+B]
-		for k := m.Ptr[i]; k < m.Diag[i]; k++ {
-			j := int(m.Col[k])
-			blas4.GemvSub(m.Block(k), x[j*B:j*B+B], xi)
-		}
+		f.fwdRow(int32(i), x)
 	}
 	// Backward: x_i = invD_i * (x_i - sum_{j>i} U_ij x_j)
 	for i := n - 1; i >= 0; i-- {
-		xi := x[i*B : i*B+B]
-		for k := m.Diag[i] + 1; k < m.Ptr[i+1]; k++ {
-			j := int(m.Col[k])
-			blas4.GemvSub(m.Block(k), x[j*B:j*B+B], xi)
+		f.bwdRow(int32(i), x)
+	}
+}
+
+// fwdRow applies row i of the forward substitution in place. With a live
+// dedup view the lower segment iterates run-by-run so each repeated block
+// is loaded once (blas4.GemvSubN); the accumulation order over columns is
+// the dense loop's, so the result is bit-identical either way.
+func (f *Factor) fwdRow(i int32, x []float64) {
+	m := f.M
+	xi := x[int(i)*B : int(i)*B+B]
+	if dd := f.dd; dd != nil {
+		for k := m.Ptr[i]; k < m.Diag[i]; {
+			e := dd.RunEnd[k]
+			blas4.GemvSubN(dd.Block(k), x, m.Col[k:e], xi)
+			k = e
+		}
+		return
+	}
+	for k := m.Ptr[i]; k < m.Diag[i]; k++ {
+		j := int(m.Col[k])
+		blas4.GemvSub(m.Block(k), x[j*B:j*B+B], xi)
+	}
+}
+
+// bwdRow applies row i of the backward substitution in place, including
+// the pre-inverted diagonal product.
+func (f *Factor) bwdRow(i int32, x []float64) {
+	m := f.M
+	xi := x[int(i)*B : int(i)*B+B]
+	if dd := f.dd; dd != nil {
+		for k := m.Diag[i] + 1; k < m.Ptr[i+1]; {
+			e := dd.RunEnd[k]
+			blas4.GemvSubN(dd.Block(k), x, m.Col[k:e], xi)
+			k = e
 		}
 		var tmp [B]float64
-		blas4.Gemv(m.Block(m.Diag[i]), xi, tmp[:])
+		blas4.Gemv(dd.Block(m.Diag[i]), xi, tmp[:])
 		copy(xi, tmp[:])
+		return
 	}
+	for k := m.Diag[i] + 1; k < m.Ptr[i+1]; k++ {
+		j := int(m.Col[k])
+		blas4.GemvSub(m.Block(k), x[j*B:j*B+B], xi)
+	}
+	var tmp [B]float64
+	blas4.Gemv(m.Block(m.Diag[i]), xi, tmp[:])
+	copy(xi, tmp[:])
 }
 
 // FactorizeILUFullWorkspace is the naive ILU variant using a length-N block
@@ -293,5 +375,6 @@ func (f *Factor) FactorizeILUFullWorkspace(a *BSR) error {
 			return fmt.Errorf("sparse: singular diagonal block at row %d", i)
 		}
 	}
+	f.refreshDedup()
 	return nil
 }

@@ -1,7 +1,6 @@
 package sparse
 
 import (
-	"fun3d/internal/blas4"
 	"fun3d/internal/par"
 )
 
@@ -109,12 +108,7 @@ func (f *Factor) SolveLevel(p *par.Pool, s *LevelSchedule, b, x []float64) {
 			lo, hi := int(s.FwdOffsets[l]), int(s.FwdOffsets[l+1])
 			clo, chi := par.Chunk(hi-lo, nw, tid)
 			for t := lo + clo; t < lo+chi; t++ {
-				i := s.FwdOrder[t]
-				xi := x[int(i)*B : int(i)*B+B]
-				for k := m.Ptr[i]; k < m.Diag[i]; k++ {
-					j := int(m.Col[k])
-					blas4.GemvSub(m.Block(k), x[j*B:j*B+B], xi)
-				}
+				f.fwdRow(s.FwdOrder[t], x)
 			}
 			bar.Wait(&sense)
 		}
@@ -123,15 +117,7 @@ func (f *Factor) SolveLevel(p *par.Pool, s *LevelSchedule, b, x []float64) {
 			lo, hi := int(s.BwdOffsets[l]), int(s.BwdOffsets[l+1])
 			clo, chi := par.Chunk(hi-lo, nw, tid)
 			for t := lo + clo; t < lo+chi; t++ {
-				i := s.BwdOrder[t]
-				xi := x[int(i)*B : int(i)*B+B]
-				for k := m.Diag[i] + 1; k < m.Ptr[i+1]; k++ {
-					j := int(m.Col[k])
-					blas4.GemvSub(m.Block(k), x[j*B:j*B+B], xi)
-				}
-				var tmp [B]float64
-				blas4.Gemv(m.Block(m.Diag[i]), xi, tmp[:])
-				copy(xi, tmp[:])
+				f.bwdRow(s.BwdOrder[t], x)
 			}
 			bar.Wait(&sense)
 		}
@@ -166,6 +152,7 @@ func (f *Factor) FactorizeILULevel(p *par.Pool, s *LevelSchedule, a *BSR) error 
 			return err
 		}
 	}
+	f.refreshDedup()
 	return nil
 }
 

@@ -1,7 +1,6 @@
 package sparse
 
 import (
-	"fun3d/internal/blas4"
 	"fun3d/internal/par"
 )
 
@@ -183,11 +182,7 @@ func (f *Factor) SolveP2P(p *par.Pool, s *P2PSchedule, b, x []float64) {
 			for _, w := range s.fwdWaits[s.fwdPtr[i]:s.fwdPtr[i+1]] {
 				s.fwdFlags[w.thread].WaitAtLeast(w.count)
 			}
-			xi := x[int(i)*B : int(i)*B+B]
-			for k := m.Ptr[i]; k < m.Diag[i]; k++ {
-				j := int(m.Col[k])
-				blas4.GemvSub(m.Block(k), x[j*B:j*B+B], xi)
-			}
+			f.fwdRow(i, x)
 			done++
 			s.fwdFlags[tid].Set(done)
 		}
@@ -196,14 +191,7 @@ func (f *Factor) SolveP2P(p *par.Pool, s *P2PSchedule, b, x []float64) {
 			for _, w := range s.bwdWaits[s.bwdPtr[i]:s.bwdPtr[i+1]] {
 				s.bwdFlags[w.thread].WaitAtLeast(w.count)
 			}
-			xi := x[int(i)*B : int(i)*B+B]
-			for k := m.Diag[i] + 1; k < m.Ptr[i+1]; k++ {
-				j := int(m.Col[k])
-				blas4.GemvSub(m.Block(k), x[j*B:j*B+B], xi)
-			}
-			var tmp [B]float64
-			blas4.Gemv(m.Block(m.Diag[i]), xi, tmp[:])
-			copy(xi, tmp[:])
+			f.bwdRow(i, x)
 			done++
 			s.bwdFlags[tid].Set(done)
 		}
@@ -238,5 +226,6 @@ func (f *Factor) FactorizeILUP2P(p *par.Pool, s *P2PSchedule, a *BSR) error {
 			return err
 		}
 	}
+	f.refreshDedup()
 	return nil
 }
