@@ -40,6 +40,7 @@ func main() {
 		baseline = flag.Bool("baseline", false, "baseline kernel rates instead of optimized")
 		order    = flag.String("order", "rcm", "vertex ordering before decomposition: natural, rcm, morton, hilbert")
 		fused    = flag.Bool("fused", false, "rescale the flux rate by the measured fused-pipeline speedup")
+		staged   = flag.Bool("staged", false, "rescale the flux rate by the measured staged-pipeline speedup")
 		natural  = flag.Bool("natural", false, "natural-block decomposition instead of multilevel")
 		steps    = flag.Int("steps", 0, "fixed pseudo-time steps (0 = run to convergence)")
 		fill     = flag.Int("fill", 0, "ILU fill level per rank")
@@ -108,6 +109,9 @@ func main() {
 		}
 		rates = opt
 	}
+	if *fused && *staged {
+		fatal(fmt.Errorf("-fused and -staged are mutually exclusive ladder rungs"))
+	}
 	if *fused {
 		// The simulated numerics are first-order, so the fused pipeline
 		// enters as a rate calibration: measure three-sweep vs fused
@@ -119,6 +123,17 @@ func main() {
 		fmt.Printf("fused pipeline: %.0fns/edge vs three-sweep %.0fns/edge (%.2fX)\n",
 			1e9*fu, 1e9*un, un/fu)
 		rates.FluxPerEdge *= fu / un
+	}
+	if *staged {
+		// Same first-order rescaling convention as -fused, calibrated
+		// against the hierarchical staged pipeline instead.
+		un, st, err := perfmodel.MeasureStaged(sample, *tpr)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("staged pipeline: %.0fns/edge vs three-sweep %.0fns/edge (%.2fX)\n",
+			1e9*st, 1e9*un, un/st)
+		rates.FluxPerEdge *= st / un
 	}
 	fmt.Printf("rates: flux=%.0fns/edge ilu=%.0fns/blk trsv=%.1fns/blk\n",
 		1e9*rates.FluxPerEdge, 1e9*rates.ILUPerBlock, 1e9*rates.TRSVPerBlock)
@@ -192,6 +207,7 @@ func main() {
 			"baseline":         *baseline,
 			"order":            kind.String(),
 			"fused":            *fused,
+			"staged":           *staged,
 			"fill":             *fill,
 			"steps":            res.Steps,
 			"time_axis":        "virtual",

@@ -36,8 +36,10 @@ func main() {
 		dedup    = flag.Bool("dedup", false, "content-deduplicate the preconditioner block stores (bit-identical results)")
 		order2   = flag.Bool("order2", false, "second-order residual with limiter")
 		fused    = flag.Bool("fused", false, "cache-blocked fused residual pipeline (implies -order2)")
+		staged   = flag.Bool("staged", false, "hierarchical staged residual pipeline with per-tile SoA buffers (implies -order2)")
 		order    = flag.String("order", "", "vertex ordering: natural, rcm, morton, hilbert (default rcm; overrides -no-rcm)")
-		tileEdge = flag.Int("tile-edges", 0, "edges per tile for the fused pipeline (0 = default)")
+		tileEdge = flag.Int("tile-edges", 0, "edges per tile for the fused/staged pipelines (0 = default)")
+		innerTE  = flag.Int("inner-tile-edges", 0, "edges per inner (L2) tile for the staged pipeline (0 = default)")
 		pfdist   = flag.Int("pfdist", 0, "flux prefetch lookahead distance in edges (0 = default)")
 		alpha    = flag.Float64("alpha", 3.06, "angle of attack (degrees)")
 		cfl      = flag.Float64("cfl", 10, "initial CFL number")
@@ -101,7 +103,16 @@ func main() {
 		cfg.SecondOrder = true
 		cfg.Limiter = true
 	}
+	if *staged {
+		if *fused {
+			fatal(fmt.Errorf("-fused and -staged are mutually exclusive ladder rungs"))
+		}
+		cfg.Staged = true
+		cfg.SecondOrder = true
+		cfg.Limiter = true
+	}
 	cfg.TileEdges = *tileEdge
+	cfg.InnerTileEdges = *innerTE
 	cfg.PFDist = *pfdist
 
 	solver, err := fun3d.NewSolver(m, cfg)

@@ -40,6 +40,7 @@ func main() {
 		steps    = flag.Int("steps", 200, "default max pseudo-time steps per job")
 		order2   = flag.Bool("order2", true, "second-order residual with limiter")
 		fused    = flag.Bool("fused", false, "cache-blocked fused residual pipeline (implies -order2)")
+		staged   = flag.Bool("staged", false, "hierarchical staged residual pipeline (implies -order2)")
 		dedup    = flag.Bool("dedup", false, "content-deduplicate the preconditioner block stores (bit-identical results)")
 		warm     = flag.Bool("warm", true, "build the shared mesh artifact before serving")
 	)
@@ -49,10 +50,14 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
+	if *fused && *staged {
+		fatal(fmt.Errorf("-fused and -staged are mutually exclusive ladder rungs"))
+	}
 	cfg := fun3d.Optimized(*threads)
-	cfg.SecondOrder = *order2 || *fused
+	cfg.SecondOrder = *order2 || *fused || *staged
 	cfg.Limiter = cfg.SecondOrder
 	cfg.Fused = *fused
+	cfg.Staged = *staged
 	cfg.Dedup = *dedup
 
 	eng := service.NewEngine(service.EngineConfig{

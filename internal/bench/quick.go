@@ -50,6 +50,19 @@ func quick(o *Options) error {
 	agg.Merge(appF.Prof)
 	appF.Close()
 
+	// A short staged-pipeline solve contributes the staged gather/scatter
+	// byte accounting behind the tile_staged_bytes_per_edge benchdiff gate.
+	// Both sides of that rate are exact functions of the two-level tiling,
+	// so the gate holds exactly across machines.
+	cfgS := cfg
+	cfgS.Staged = true
+	appS, _, err := solveOnce(o, m, cfgS, newton.Options{MaxSteps: 2, CFL0: o.CFL0})
+	if err != nil {
+		return err
+	}
+	agg.Merge(appS.Prof)
+	appS.Close()
+
 	// A one-step dedup solve contributes the deduplicated ILU/TRSV byte
 	// accounting behind the ilu_bytes_per_row benchdiff gate. One step, so
 	// the factorization it books is the freestream step-1 Jacobian — the
@@ -123,6 +136,7 @@ func quick(o *Options) error {
 		"threads":       o.MaxThreads,
 		"newton_steps":  3,
 		"fused_steps":   2,
+		"staged_steps":  2,
 		"dedup_steps":   1,
 		"ranks":         2,
 		"cfl0":          o.CFL0,

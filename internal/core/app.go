@@ -68,9 +68,18 @@ type Config struct {
 	// single-sweep pipeline (the ladder's `+fused` rung). Requires
 	// SecondOrder, Limiter and AoS node data.
 	Fused bool
-	// TileEdges overrides the fused pipeline's edge-tile size
+	// TileEdges overrides the fused/staged pipelines' outer edge-tile size
 	// (0 = tile.DefaultEdgesPerTile).
 	TileEdges int
+	// Staged runs the second-order limited residual as the hierarchical
+	// staged pipeline (the ladder's `+staged` rung): LLC outer spans of L2
+	// inner tiles with dense per-tile SoA staging, tile-interior SIMD
+	// batching, and coloring-based parallelism. Requires SecondOrder,
+	// Limiter and AoS node data; mutually exclusive with Fused.
+	Staged bool
+	// InnerTileEdges overrides the staged pipeline's inner (L2) tile size
+	// (0 = tile.DefaultInnerEdgesPerTile).
+	InnerTileEdges int
 	// PFDist overrides the flux prefetch lookahead distance in edges
 	// (0 = flux.DefaultPFDist). Only meaningful with Prefetch.
 	PFDist int
@@ -182,12 +191,14 @@ func NewAppFromArtifact(art *Artifact, cfg Config) (*App, error) {
 	}
 	app.QInf = physics.FreeStream(cfg.AlphaDeg)
 	app.Kern = flux.NewKernels(app.Mesh, cfg.Beta, app.QInf, app.Pool, art.Part, flux.Config{
-		Strategy:    art.Spec.Strategy,
-		SoANodeData: cfg.SoANodeData,
-		SIMD:        cfg.SIMD,
-		Prefetch:    cfg.Prefetch,
-		PFDist:      cfg.PFDist,
-		TileEdges:   cfg.TileEdges,
+		Strategy:       art.Spec.Strategy,
+		SoANodeData:    cfg.SoANodeData,
+		SIMD:           cfg.SIMD,
+		Prefetch:       cfg.Prefetch,
+		PFDist:         cfg.PFDist,
+		TileEdges:      cfg.TileEdges,
+		Staged:         cfg.Staged,
+		InnerTileEdges: cfg.InnerTileEdges,
 	})
 	if art.Cover != nil {
 		app.Kern.SetCover(art.Cover)
@@ -266,6 +277,7 @@ func (app *App) Run(opt newton.Options) (RunResult, error) {
 	opt.SecondOrder = app.Cfg.SecondOrder
 	opt.Limiter = app.Cfg.Limiter
 	opt.Fused = app.Cfg.Fused
+	opt.Staged = app.Cfg.Staged
 	if app.Cfg.PipelinedGMRES {
 		opt.Pipelined = true
 	}
@@ -353,7 +365,7 @@ func (app *App) Recycle() {
 // Describe summarizes the configuration for logs and reports.
 func (app *App) Describe() string {
 	c := app.Cfg
-	return fmt.Sprintf("threads=%d strategy=%v soa=%v simd=%v prefetch=%v order=%v sched=%v ilu=%d sub=%d dedup=%v pvec=%v order2=%v fused=%v",
+	return fmt.Sprintf("threads=%d strategy=%v soa=%v simd=%v prefetch=%v order=%v sched=%v ilu=%d sub=%d dedup=%v pvec=%v order2=%v fused=%v staged=%v",
 		c.Threads, c.Strategy, c.SoANodeData, c.SIMD, c.Prefetch, app.Order.Kind, c.Sched,
-		c.FillLevel, max(1, c.Subdomains), c.Dedup, c.ParallelVecOps, c.SecondOrder, c.Fused)
+		c.FillLevel, max(1, c.Subdomains), c.Dedup, c.ParallelVecOps, c.SecondOrder, c.Fused, c.Staged)
 }

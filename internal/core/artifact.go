@@ -25,9 +25,14 @@ type ArtifactSpec struct {
 	Strategy      flux.Strategy
 	PartitionSeed uint64
 	// Fused/TileEdges shape the fused pipeline's edge-tile cover.
-	// TileEdges is the resolved span size (0 when not fused).
+	// TileEdges is the resolved span size (0 when neither fused nor staged).
 	Fused     bool
 	TileEdges int
+	// Staged/InnerTileEdges shape the staged pipeline's two-level tile
+	// hierarchy. InnerTileEdges is the resolved inner size (0 when not
+	// staged).
+	Staged         bool
+	InnerTileEdges int
 }
 
 // SpecOf resolves cfg's structural fields into an ArtifactSpec, applying
@@ -39,6 +44,7 @@ func SpecOf(cfg Config) ArtifactSpec {
 		Strategy:      cfg.Strategy,
 		PartitionSeed: cfg.PartitionSeed,
 		Fused:         cfg.Fused,
+		Staged:        cfg.Staged,
 	}
 	if s.Threads < 1 {
 		s.Threads = 1
@@ -54,10 +60,16 @@ func SpecOf(cfg Config) ArtifactSpec {
 			s.Order = reorder.KindNatural
 		}
 	}
-	if s.Fused {
+	if s.Fused || s.Staged {
 		s.TileEdges = cfg.TileEdges
 		if s.TileEdges <= 0 {
 			s.TileEdges = tile.DefaultEdgesPerTile
+		}
+	}
+	if s.Staged {
+		s.InnerTileEdges = cfg.InnerTileEdges
+		if s.InnerTileEdges <= 0 {
+			s.InnerTileEdges = tile.DefaultInnerEdgesPerTile
 		}
 	}
 	return s
@@ -79,8 +91,8 @@ type Artifact struct {
 	// Part is the per-thread owner-writes decomposition (trivial for
 	// Sequential/Atomic).
 	Part *flux.Partition
-	// Cover is the fused pipeline's tiling + owned-cover CSRs (nil unless
-	// Spec.Fused).
+	// Cover is the fused/staged pipelines' tiling + owned-cover CSRs (nil
+	// unless Spec.Fused or Spec.Staged; hierarchical when Spec.Staged).
 	Cover *flux.Cover
 	// jacPattern is the zero-valued first-order Jacobian pattern; per-App
 	// Jacobians are structure-shared clones of it.
@@ -96,6 +108,17 @@ func validateCfg(cfg Config) error {
 		}
 		if !cfg.SecondOrder || !cfg.Limiter {
 			return fmt.Errorf("core: Fused requires SecondOrder and Limiter")
+		}
+	}
+	if cfg.Staged {
+		if cfg.SoANodeData {
+			return fmt.Errorf("core: Staged requires AoS node data")
+		}
+		if !cfg.SecondOrder || !cfg.Limiter {
+			return fmt.Errorf("core: Staged requires SecondOrder and Limiter")
+		}
+		if cfg.Fused {
+			return fmt.Errorf("core: Staged and Fused are mutually exclusive ladder rungs")
 		}
 	}
 	return nil
@@ -119,8 +142,8 @@ func BuildArtifact(m *mesh.Mesh, cfg Config) (*Artifact, error) {
 	if err != nil {
 		return nil, err
 	}
-	if art.Spec.Fused {
-		art.Cover = flux.BuildCover(art.Mesh, art.Part, art.Spec.TileEdges)
+	if art.Spec.Fused || art.Spec.Staged {
+		art.Cover = flux.BuildCover(art.Mesh, art.Part, art.Spec.TileEdges, art.Spec.InnerTileEdges)
 	}
 	art.jacPattern = sparse.NewBSRFromAdj(art.Mesh.AdjPtr, art.Mesh.Adj)
 	return art, nil

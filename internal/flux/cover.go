@@ -29,10 +29,13 @@ type Cover struct {
 
 // BuildCover precomputes the fused pipeline's shared structure for a mesh,
 // a partition, and a tile size (<= 0 selects tile.DefaultEdgesPerTile).
-// part may be nil or ownerless; the per-thread owned lists are built only
-// when the partition carries vertex ownership.
-func BuildCover(m *mesh.Mesh, part *Partition, edgesPerTile int) *Cover {
-	c := &Cover{Tiling: tile.New(m, edgesPerTile)}
+// innerEdgesPerTile > 0 additionally builds the two-level hierarchy (inner
+// tiles, staging index maps, phase-B lists, tile coloring) the staged
+// pipeline consumes; 0 builds the flat tiling. part may be nil or
+// ownerless; the per-thread owned lists are built only when the partition
+// carries vertex ownership.
+func BuildCover(m *mesh.Mesh, part *Partition, edgesPerTile, innerEdgesPerTile int) *Cover {
+	c := &Cover{Tiling: tile.NewHier(m, edgesPerTile, innerEdgesPerTile)}
 	if part != nil && part.Owner != nil {
 		c.buildOwned(part)
 	}

@@ -52,16 +52,25 @@ func (k *Kernels) SetCover(c *Cover) {
 		panic(fmt.Sprintf("flux: shared cover has %d edges/tile, kernels want %d",
 			c.Tiling.EdgesPerTile, k.effectiveTileEdges()))
 	}
+	if it := k.effectiveInnerTileEdges(); it > 0 && c.Tiling.InnerEdgesPerTile != it {
+		panic(fmt.Sprintf("flux: shared cover has %d edges/inner-tile, staged kernels want %d",
+			c.Tiling.InnerEdgesPerTile, it))
+	}
 	k.cover = c
 	k.sharedCover = true
 }
 
 // coverOrBuild returns the cover, building a private one on first use when
-// none was injected. A shared cover is never rebuilt: its tile size was
-// validated by SetCover and its owned lists were built for this partition.
+// none was injected (and rebuilding a private one whose outer or inner tile
+// size no longer matches the config). A shared cover is never rebuilt: its
+// tile sizes were validated by SetCover and its owned lists were built for
+// this partition.
 func (k *Kernels) coverOrBuild() *Cover {
-	if k.cover == nil || (!k.sharedCover && k.cover.Tiling.EdgesPerTile != k.effectiveTileEdges()) {
-		k.cover = BuildCover(k.M, k.Part, k.Cfg.TileEdges)
+	stale := k.cover != nil && !k.sharedCover &&
+		(k.cover.Tiling.EdgesPerTile != k.effectiveTileEdges() ||
+			(k.effectiveInnerTileEdges() > 0 && k.cover.Tiling.InnerEdgesPerTile != k.effectiveInnerTileEdges()))
+	if k.cover == nil || stale {
+		k.cover = BuildCover(k.M, k.Part, k.Cfg.TileEdges, k.effectiveInnerTileEdges())
 	}
 	return k.cover
 }

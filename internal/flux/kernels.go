@@ -31,6 +31,15 @@ type Config struct {
 	// TileEdges is the edge-span size of the fused residual pipeline's
 	// cache blocking (ResidualFused); <= 0 selects tile.DefaultEdgesPerTile.
 	TileEdges int
+	// Staged enables the hierarchical staged residual pipeline
+	// (ResidualStaged): LLC outer spans subdivided into L2 inner tiles whose
+	// cover vertices are gathered into dense tile-local SoA staging buffers,
+	// swept entirely on staged data, and scattered back once per tile.
+	Staged bool
+	// InnerTileEdges is the inner (L2) tile size of the staged pipeline's
+	// two-level hierarchy; <= 0 selects tile.DefaultInnerEdgesPerTile. Only
+	// meaningful with Staged.
+	InnerTileEdges int
 }
 
 // W is the SIMD batch width (the paper's AVX 4-wide double).
@@ -70,6 +79,14 @@ type Kernels struct {
 	sharedCover bool // cover was injected; never rebuilt or mutated
 	fusedGrad   []float64
 	fusedPhi    []float64
+
+	// Staged-pipeline state (staged.go): per-worker dense staging buffers,
+	// the per-outer-span edge-flux buffer the phase-B scatter reads, and the
+	// SIMD batch counter (updated with atomic.AddInt64) the staged
+	// conformance tests observe.
+	stagedWS      []stagedWS
+	stagedF       []float64
+	stagedBatches int64
 }
 
 // NewKernels constructs the kernel set. pool may be nil only for
@@ -97,6 +114,12 @@ func (k *Kernels) PoisonScratch() {
 	}
 	for i := range k.fusedPhi {
 		k.fusedPhi[i] = nan
+	}
+	for w := range k.stagedWS {
+		k.stagedWS[w].poison(nan)
+	}
+	for i := range k.stagedF {
+		k.stagedF[i] = nan
 	}
 }
 

@@ -1,0 +1,530 @@
+package flux
+
+import (
+	"math"
+	"sync/atomic"
+
+	"fun3d/internal/geom"
+	"fun3d/internal/physics"
+	"fun3d/internal/tile"
+)
+
+// This file implements the hierarchical staged residual pipeline: the fused
+// gradient→limiter→flux sweep of fused.go, restructured over a two-level
+// tiling (LLC outer spans subdivided into L2 inner tiles, see package tile)
+// so that every inner tile GATHERS its cover vertices' state and geometry
+// into a dense tile-local SoA staging buffer once, computes entirely on
+// staged data — which makes the W-wide SIMD edge batching of Config.SIMD
+// applicable inside the fused sweep, since the batched flux computes read
+// only the dense staging planes — and SCATTERS back once per tile.
+//
+// Bit-identity with the fused and three-sweep paths (tolerance 0, pinned by
+// TestResidualStagedConformance) rests on two facts:
+//
+//  1. Every accumulator must see its terms in ascending edge id — the
+//     repo-wide IEEE operation order. A cover vertex that is INNER-CLOSED
+//     (every incident edge inside one inner tile) accumulates its full
+//     residual in the staging buffer in that order and is written back once,
+//     exactly. Gradients follow the fused prefix/scatter/suffix scheme at
+//     the inner-tile level: closed rows come from the in-tile scatter alone;
+//     open (halo) rows gather their below-tile prefix, ride the scatter, and
+//     gather their above-tile suffix — the full ascending incident list.
+//
+//  2. A vertex shared BETWEEN inner tiles cannot sum per-tile partial
+//     residuals without changing the IEEE reduction tree. Instead the flux
+//     phase stores every edge's flux into a per-outer-span buffer F
+//     (disjoint per-edge writes), and after all of a span's tiles complete,
+//     "phase B" applies each shared vertex's in-span fluxes from F in
+//     ascending edge order. Spans are processed in ascending order, so each
+//     phase-B vertex sees its global incident list ascending.
+//
+// Parallelism is greedy tile coloring instead of the fused path's
+// closed/open ownership bookkeeping: no two same-color tiles of a span
+// share a cover vertex, so a color group's tiles gather, compute, publish
+// phi, and scatter closed residuals unguarded in parallel. Phase B writes
+// only res[v] of distinct vertices and reads only F, so it parallelizes
+// per vertex. The result is ONE deterministic algorithm for every Strategy
+// and worker count — bit-identical to the deterministic strategies'
+// fused/three-sweep results, and agreeing with Atomic/Colored to within
+// their usual reassociation rounding.
+
+// stagedWS is one worker's dense tile-local staging area, sized for the
+// largest inner-tile cover. q and phi are 4 SoA planes of stride cap
+// (q[c*cap+l]); grad keeps the global [l*12 + comp*3 + dim] row layout so
+// the finish/limiter tails run the exact operation sequence of their
+// global-array counterparts; res is AoS rows.
+type stagedWS struct {
+	cap     int
+	q       []float64
+	x, y, z []float64
+	vol     []float64
+	grad    []float64
+	phi     []float64
+	res     []float64
+}
+
+func newStagedWS(cap int) stagedWS {
+	return stagedWS{
+		cap:  cap,
+		q:    make([]float64, 4*cap),
+		x:    make([]float64, cap),
+		y:    make([]float64, cap),
+		z:    make([]float64, cap),
+		vol:  make([]float64, cap),
+		grad: make([]float64, 12*cap),
+		phi:  make([]float64, 4*cap),
+		res:  make([]float64, 4*cap),
+	}
+}
+
+func (ws *stagedWS) poison(nan float64) {
+	for _, s := range [][]float64{ws.q, ws.x, ws.y, ws.z, ws.vol, ws.grad, ws.phi, ws.res} {
+		for i := range s {
+			s[i] = nan
+		}
+	}
+}
+
+// effectiveInnerTileEdges resolves the inner tile size: 0 unless the staged
+// pipeline is enabled (flat tilings carry no hierarchy).
+func (k *Kernels) effectiveInnerTileEdges() int {
+	if !k.Cfg.Staged {
+		return 0
+	}
+	if k.Cfg.InnerTileEdges > 0 {
+		return k.Cfg.InnerTileEdges
+	}
+	return tile.DefaultInnerEdgesPerTile
+}
+
+// ensureStaged sizes the per-worker staging buffers and the per-span flux
+// buffer for the tiling.
+func (k *Kernels) ensureStaged(t *tile.Tiling) {
+	nw := 1
+	if k.Pool != nil {
+		nw = k.Pool.Size()
+	}
+	if len(k.stagedWS) != nw || k.stagedWS[0].cap < t.MaxInnerCover {
+		k.stagedWS = make([]stagedWS, nw)
+		for i := range k.stagedWS {
+			k.stagedWS[i] = newStagedWS(t.MaxInnerCover)
+		}
+	}
+	fw := t.EdgesPerTile
+	if ne := k.M.NumEdges(); fw > ne {
+		fw = ne
+	}
+	if len(k.stagedF) < fw*4 {
+		k.stagedF = make([]float64, fw*4)
+	}
+}
+
+// StagedSIMDBatches returns the cumulative number of W-wide tile-interior
+// edge batches the staged flux phase has computed (0 unless Cfg.SIMD) —
+// the observable the conformance tests use to prove the batched path runs.
+func (k *Kernels) StagedSIMDBatches() int64 {
+	return atomic.LoadInt64(&k.stagedBatches)
+}
+
+// ResidualStaged evaluates the full second-order limited residual
+// res = R(q) with the hierarchical staged pipeline. kVenk is the
+// Venkatakrishnan constant; with frozenPhi the limiter field published by
+// the previous unfrozen call (staged or fused — both share fusedPhi) is
+// gathered instead of recomputed, the Newton matvec convention. Requires
+// AoS node data and a hierarchical tiling (Cfg.Staged); q and res are nv*4
+// AoS vectors.
+func (k *Kernels) ResidualStaged(q, res []float64, kVenk float64, frozenPhi bool) {
+	if k.Cfg.SoANodeData {
+		panic("flux: ResidualStaged requires AoS node data")
+	}
+	t := k.Tiling()
+	if t.InnerEdgesPerTile == 0 {
+		panic("flux: ResidualStaged requires a hierarchical tiling (set Cfg.Staged)")
+	}
+	_, phiGlobal := k.fusedShared()
+	k.ensureStaged(t)
+	// Zero res directly: the staged pipeline has one deterministic
+	// accumulation scheme for every strategy, so it bypasses the
+	// Begin/End strategy plumbing (Atomic's End would overwrite res with
+	// its atomic accumulators).
+	for i := range res {
+		res[i] = 0
+	}
+	F := k.stagedF
+	for si := range t.Spans {
+		sp := t.Spans[si]
+		// Phase A: color group by color group, tiles within a group in
+		// parallel (they share no cover vertex).
+		glo, ghi := t.ColorGroupsOf(si)
+		for g := glo; g < ghi; g++ {
+			tiles := t.ColorGroup(g)
+			if k.Pool == nil {
+				ws := &k.stagedWS[0]
+				for _, ti := range tiles {
+					k.stagedTile(ws, q, res, phiGlobal, F, t, int(ti), sp.Lo, kVenk, frozenPhi)
+				}
+			} else {
+				k.Pool.ParallelFor(len(tiles), func(tid, lo, hi int) {
+					ws := &k.stagedWS[tid]
+					for i := lo; i < hi; i++ {
+						k.stagedTile(ws, q, res, phiGlobal, F, t, int(tiles[i]), sp.Lo, kVenk, frozenPhi)
+					}
+				})
+			}
+		}
+		// Phase B: the span's inter-tile shared vertices apply their
+		// in-span fluxes from F in ascending edge order. Independent per
+		// vertex (disjoint res rows, F read-only).
+		pb := t.PhaseBOf(si)
+		phaseB := func(lo, hi int) {
+			for i := lo; i < hi; i++ {
+				v := pb[i]
+				rv := res[v*4 : v*4+4]
+				for _, e := range edgeSubRange(t.Inc(v), sp.Lo, sp.Hi) {
+					f := F[(int(e)-sp.Lo)*4 : (int(e)-sp.Lo)*4+4]
+					if k.M.EV1[e] == v {
+						for c := 0; c < 4; c++ {
+							rv[c] += f[c]
+						}
+					} else {
+						for c := 0; c < 4; c++ {
+							rv[c] -= f[c]
+						}
+					}
+				}
+			}
+		}
+		if k.Pool == nil {
+			phaseB(0, len(pb))
+		} else {
+			k.Pool.ParallelFor(len(pb), func(_, lo, hi int) { phaseB(lo, hi) })
+		}
+	}
+	if k.Pool == nil {
+		k.boundarySeq(q, res)
+	} else {
+		k.boundaryAligned(q, res)
+	}
+}
+
+// stagedTile runs one inner tile end to end: gather the cover's state and
+// geometry into the staging planes, compute gradients (in-tile scatter for
+// closed rows, prefix/scatter/suffix for the halo) and the limiter on
+// staged data, publish phi, then the flux of the tile's edges into the
+// span flux buffer F and the local residual rows, scattering the
+// inner-closed rows back to res exactly once.
+func (k *Kernels) stagedTile(ws *stagedWS, q, res, phiGlobal, F []float64, t *tile.Tiling, ti, spanLo int, kVenk float64, frozenPhi bool) {
+	m := k.M
+	cov := t.InnerCoverOf(ti)
+	sp := t.Inner[ti]
+	cap := ws.cap
+	// Gather: dense SoA planes of the cover's state, coordinates, volume —
+	// and, when the limiter is frozen, the published phi.
+	for l, v := range cov {
+		i := int(v) * 4
+		ws.q[l] = q[i]
+		ws.q[cap+l] = q[i+1]
+		ws.q[2*cap+l] = q[i+2]
+		ws.q[3*cap+l] = q[i+3]
+		c := m.Coords[v]
+		ws.x[l], ws.y[l], ws.z[l] = c.X, c.Y, c.Z
+		ws.vol[l] = m.Vol[v]
+	}
+	if frozenPhi {
+		for l, v := range cov {
+			i := int(v) * 4
+			ws.phi[l] = phiGlobal[i]
+			ws.phi[cap+l] = phiGlobal[i+1]
+			ws.phi[2*cap+l] = phiGlobal[i+2]
+			ws.phi[3*cap+l] = phiGlobal[i+3]
+		}
+	}
+	closed := t.InnerClosedOf(ti)
+	open := t.InnerOpenOf(ti)
+	// Gradient phase. Closed rows start at zero and receive only the
+	// in-tile scatter; open rows gather their below-tile prefix first.
+	for _, l := range closed {
+		g := ws.grad[int(l)*12 : int(l)*12+12]
+		for i := range g {
+			g[i] = 0
+		}
+	}
+	for _, l := range open {
+		k.stagedGradHalo(ws, q, int(l), cov[l], t, sp.Lo, true)
+	}
+	for e := sp.Lo; e < sp.Hi; e++ {
+		la, lb := int(t.LA[e]), int(t.LB[e])
+		n := geom.Vec3{X: m.ENX[e], Y: m.ENY[e], Z: m.ENZ[e]}
+		ga := ws.grad[la*12 : la*12+12]
+		gb := ws.grad[lb*12 : lb*12+12]
+		for c := 0; c < 4; c++ {
+			avg := 0.5 * (ws.q[c*cap+la] + ws.q[c*cap+lb])
+			ga[c*3] += n.X * avg
+			ga[c*3+1] += n.Y * avg
+			ga[c*3+2] += n.Z * avg
+			gb[c*3] -= n.X * avg
+			gb[c*3+1] -= n.Y * avg
+			gb[c*3+2] -= n.Z * avg
+		}
+	}
+	for _, l := range closed {
+		k.stagedFinishGrad(ws, int(l), cov[l], t)
+		if !frozenPhi {
+			k.stagedLimiterVertex(ws, q, int(l), cov[l], kVenk)
+		}
+	}
+	for _, l := range open {
+		k.stagedGradHalo(ws, q, int(l), cov[l], t, sp.Hi, false)
+		k.stagedFinishGrad(ws, int(l), cov[l], t)
+		if !frozenPhi {
+			k.stagedLimiterVertex(ws, q, int(l), cov[l], kVenk)
+		}
+	}
+	if !frozenPhi {
+		// Publish phi for later frozen evaluations. Tiles covering the same
+		// vertex compute bitwise-equal phi (the limiter depends only on q,
+		// geometry, and the vertex's complete gradient), and same-color
+		// tiles share no cover vertex, so the writes are race-free.
+		for l, v := range cov {
+			i := int(v) * 4
+			phiGlobal[i] = ws.phi[l]
+			phiGlobal[i+1] = ws.phi[cap+l]
+			phiGlobal[i+2] = ws.phi[2*cap+l]
+			phiGlobal[i+3] = ws.phi[3*cap+l]
+		}
+	}
+	// Flux phase: per edge, the flux from staged data goes to the span
+	// buffer (each edge belongs to exactly one tile — disjoint writes) and
+	// accumulates into the local residual rows in ascending edge order.
+	lres := ws.res[:len(cov)*4]
+	for i := range lres {
+		lres[i] = 0
+	}
+	if k.Cfg.SIMD {
+		k.stagedFluxSIMD(ws, F, t, sp.Lo, sp.Hi, spanLo)
+	} else {
+		k.stagedFlux(ws, F, t, sp.Lo, sp.Hi, spanLo)
+	}
+	// Scatter: an inner-closed vertex's local row saw its entire incident
+	// edge set (ascending, from zero — the sequential path's exact chain),
+	// and no other tile or phase touches it, so a plain store finishes it.
+	for _, l := range closed {
+		v := cov[l]
+		rl := ws.res[int(l)*4 : int(l)*4+4]
+		rv := res[v*4 : v*4+4]
+		rv[0], rv[1], rv[2], rv[3] = rl[0], rl[1], rl[2], rl[3]
+	}
+}
+
+// stagedGradHalo accumulates an open (halo) row's out-of-tile incident
+// edges from the GLOBAL arrays (the far endpoint is generally outside the
+// tile cover): the ascending prefix below lo (zeroing the row first) when
+// prefix, else the ascending suffix at or above the bound.
+func (k *Kernels) stagedGradHalo(ws *stagedWS, q []float64, l int, v int32, t *tile.Tiling, bound int, prefix bool) {
+	m := k.M
+	g := ws.grad[l*12 : l*12+12]
+	inc := t.Inc(v)
+	if prefix {
+		for i := range g {
+			g[i] = 0
+		}
+	} else {
+		for i := len(inc) - 1; i >= 0; i-- {
+			if int(inc[i]) < bound {
+				inc = inc[i+1:]
+				break
+			}
+		}
+	}
+	for _, e := range inc {
+		if prefix && int(e) >= bound {
+			break
+		}
+		a, b := m.EV1[e], m.EV2[e]
+		n := geom.Vec3{X: m.ENX[e], Y: m.ENY[e], Z: m.ENZ[e]}
+		if a == v {
+			for c := 0; c < 4; c++ {
+				avg := 0.5 * (q[int(a)*4+c] + q[int(b)*4+c])
+				g[c*3] += n.X * avg
+				g[c*3+1] += n.Y * avg
+				g[c*3+2] += n.Z * avg
+			}
+		} else {
+			for c := 0; c < 4; c++ {
+				avg := 0.5 * (q[int(a)*4+c] + q[int(b)*4+c])
+				g[c*3] -= n.X * avg
+				g[c*3+1] -= n.Y * avg
+				g[c*3+2] -= n.Z * avg
+			}
+		}
+	}
+}
+
+// stagedFinishGrad is finishGradVertex on staged data: boundary closure in
+// BNodes index order (reading the staged state) and the staged 1/Vol scale.
+func (k *Kernels) stagedFinishGrad(ws *stagedWS, l int, v int32, t *tile.Tiling) {
+	m := k.M
+	cap := ws.cap
+	g := ws.grad[l*12 : l*12+12]
+	lo, hi := t.BNRange(v)
+	for i := lo; i < hi; i++ {
+		n := m.BNodes[i].Normal
+		for c := 0; c < 4; c++ {
+			qv := ws.q[c*cap+l]
+			g[c*3] += n.X * qv
+			g[c*3+1] += n.Y * qv
+			g[c*3+2] += n.Z * qv
+		}
+	}
+	inv := 1 / ws.vol[l]
+	for i := 0; i < 12; i++ {
+		g[i] *= inv
+	}
+}
+
+// stagedLimiterVertex is limiterVertex reading the vertex's own state,
+// gradient, coordinates, and volume from the staging buffer (bitwise copies
+// of the global values) and its neighbors — which are generally outside the
+// tile cover — from the global arrays, writing the staged phi planes.
+func (k *Kernels) stagedLimiterVertex(ws *stagedWS, q []float64, l int, v int32, kVenk float64) {
+	m := k.M
+	cap := ws.cap
+	eps2 := math.Pow(kVenk, 3) * ws.vol[l]
+	g := ws.grad[l*12 : l*12+12]
+	xv := geom.Vec3{X: ws.x[l], Y: ws.y[l], Z: ws.z[l]}
+	for c := 0; c < 4; c++ {
+		qv := ws.q[c*cap+l]
+		dmax, dmin := 0.0, 0.0
+		for _, w := range m.Neighbors(int(v)) {
+			d := q[int(w)*4+c] - qv
+			if d > dmax {
+				dmax = d
+			}
+			if d < dmin {
+				dmin = d
+			}
+		}
+		p := 1.0
+		for _, w := range m.Neighbors(int(v)) {
+			dx := geom.Mid(xv, m.Coords[w]).Sub(xv)
+			d2 := g[c*3]*dx.X + g[c*3+1]*dx.Y + g[c*3+2]*dx.Z
+			var lim float64
+			switch {
+			case d2 > 1e-14:
+				lim = venkat(dmax, d2, eps2)
+			case d2 < -1e-14:
+				lim = venkat(dmin, d2, eps2)
+			default:
+				lim = 1
+			}
+			if lim < p {
+				p = lim
+			}
+		}
+		ws.phi[c*cap+l] = p
+	}
+}
+
+// stagedReconstruct is the MUSCL extrapolation on staging planes.
+func (ws *stagedWS) stagedReconstruct(l int, dx geom.Vec3) physics.State {
+	cap := ws.cap
+	g := ws.grad[l*12 : l*12+12]
+	var out physics.State
+	for c := 0; c < 4; c++ {
+		d := g[c*3]*dx.X + g[c*3+1]*dx.Y + g[c*3+2]*dx.Z
+		d *= ws.phi[c*cap+l]
+		out[c] = ws.q[c*cap+l] + d
+	}
+	return out
+}
+
+// stagedEdgeFlux computes edge e's Roe flux entirely from staged data.
+func (k *Kernels) stagedEdgeFlux(ws *stagedWS, e int32, la, lb int) physics.State {
+	m := k.M
+	n := geom.Vec3{X: m.ENX[e], Y: m.ENY[e], Z: m.ENZ[e]}
+	xa := geom.Vec3{X: ws.x[la], Y: ws.y[la], Z: ws.z[la]}
+	xb := geom.Vec3{X: ws.x[lb], Y: ws.y[lb], Z: ws.z[lb]}
+	mid := geom.Mid(xa, xb)
+	qa := ws.stagedReconstruct(la, mid.Sub(xa))
+	qb := ws.stagedReconstruct(lb, mid.Sub(xb))
+	return physics.RoeFlux(qa, qb, n, k.Beta)
+}
+
+// stagedFlux is the scalar tile-edge flux loop: store to the span flux
+// buffer, accumulate the local residual rows.
+func (k *Kernels) stagedFlux(ws *stagedWS, F []float64, t *tile.Tiling, lo, hi, spanLo int) {
+	for e := lo; e < hi; e++ {
+		la, lb := int(t.LA[e]), int(t.LB[e])
+		f := k.stagedEdgeFlux(ws, int32(e), la, lb)
+		fe := F[(e-spanLo)*4 : (e-spanLo)*4+4]
+		ra := ws.res[la*4 : la*4+4]
+		rb := ws.res[lb*4 : lb*4+4]
+		for c := 0; c < 4; c++ {
+			fe[c] = f[c]
+			ra[c] += f[c]
+			rb[c] -= f[c]
+		}
+	}
+}
+
+// stagedFluxSIMD processes the tile's edges in W-wide batches: a compute
+// phase filling the flux buffer from the dense staging planes (the batched
+// lanes read no mutable state, so the batch is dependency-free by
+// construction), then a scalar write-out in ascending edge order — the
+// same per-accumulator IEEE sequence as the scalar loop. The scalar tail
+// handles the remainder.
+func (k *Kernels) stagedFluxSIMD(ws *stagedWS, F []float64, t *tile.Tiling, lo, hi, spanLo int) {
+	var fbuf [W]physics.State
+	var av, bv [W]int32
+	e := lo
+	batches := int64(0)
+	for ; e+W <= hi; e += W {
+		for l := 0; l < W; l++ {
+			av[l], bv[l] = t.LA[e+l], t.LB[e+l]
+			fbuf[l] = k.stagedEdgeFlux(ws, int32(e+l), int(av[l]), int(bv[l]))
+		}
+		batches++
+		for l := 0; l < W; l++ {
+			ee := e + l
+			fe := F[(ee-spanLo)*4 : (ee-spanLo)*4+4]
+			ra := ws.res[av[l]*4 : av[l]*4+4]
+			rb := ws.res[bv[l]*4 : bv[l]*4+4]
+			f := &fbuf[l]
+			for c := 0; c < 4; c++ {
+				fe[c] = f[c]
+				ra[c] += f[c]
+				rb[c] -= f[c]
+			}
+		}
+	}
+	k.stagedFlux(ws, F, t, e, hi, spanLo)
+	if batches > 0 {
+		atomic.AddInt64(&k.stagedBatches, batches)
+	}
+}
+
+// ResidualStagedBytes models the DRAM traffic of one staged evaluation,
+// split into the flux phase, the gather side (staging-buffer fills plus the
+// halo gradient's out-of-tile edge reads), and the scatter side (phi
+// publication, closed-residual stores, the span flux buffer, and the
+// phase-B application). All terms are exact functions of the tiling, so
+// the derived tile_staged_bytes_per_edge rate is machine-independent —
+// benchdiff gates it exactly.
+//
+// Flux: endpoint ids (8B) and normal (24B) per edge; state, gradient, and
+// phi reads hit the staging planes. Gather: per inner-cover visit the
+// vertex's state (32B), coordinates (24B), and volume (8B); per
+// out-of-tile halo gradient edge its ids, normal, and far-endpoint state
+// (8B+24B+32B). Scatter: per inner-cover visit the phi publication (32B);
+// per inner-closed vertex the residual store (32B); per edge the span-
+// buffer flux store (32B); per phase-B edge visit the flux read-back
+// (32B); per phase-B vertex the residual read-modify-write (64B).
+func (k *Kernels) ResidualStagedBytes() (fluxBytes, gatherBytes, scatterBytes int64) {
+	t := k.Tiling()
+	ne := int64(k.M.NumEdges())
+	fluxBytes = ne * (8 + 24)
+	gatherBytes = t.InnerVertexVisits*(32+24+8) + t.InnerOpenGatherEdgeVisits*(8+24+32)
+	scatterBytes = t.InnerVertexVisits*32 + int64(len(t.InnerClosed))*32 +
+		ne*32 + t.PhaseBEdgeVisits*32 + int64(len(t.PhaseB))*64
+	return fluxBytes, gatherBytes, scatterBytes
+}

@@ -1,0 +1,198 @@
+package flux
+
+import (
+	"fmt"
+	"testing"
+
+	"fun3d/internal/par"
+	"fun3d/internal/physics"
+)
+
+// TestResidualStagedConformance is the ISSUE's correctness bar: across all
+// threading strategies, pool sizes, outer/inner tile sizes and the SIMD
+// variant, the hierarchical staged pipeline must reproduce BOTH the
+// three-sweep residual and the fused residual — bit-identical (tolerance 0)
+// for the deterministic strategies, within rounding for Atomic/Colored
+// (whose unfused forms are already reassociated).
+func TestResidualStagedConformance(t *testing.T) {
+	m := wingMesh(t)
+	nv := m.NumVertices()
+	qInf := physics.FreeStream(3)
+	q := perturbedState(nv, qInf, 0.1, 42)
+
+	strategies := append([]Strategy{Sequential}, conformanceStrategies...)
+	for _, nw := range poolSizes {
+		pool := par.NewPool(nw)
+		for _, s := range strategies {
+			if s == Sequential && nw > 1 {
+				continue
+			}
+			for _, cfg := range []Config{
+				{Strategy: s, Staged: true, TileEdges: 150, InnerTileEdges: 64},
+				{Strategy: s, Staged: true},
+				{Strategy: s, Staged: true, SIMD: true, TileEdges: 777, InnerTileEdges: 150},
+			} {
+				name := fmt.Sprintf("%v-nw%d-tile%d-inner%d-simd%v", s, nw, cfg.TileEdges, cfg.InnerTileEdges, cfg.SIMD)
+				t.Run(name, func(t *testing.T) {
+					part, err := NewPartition(m, nw, s, 17)
+					if err != nil {
+						t.Fatal(err)
+					}
+					p := pool
+					if s == Sequential {
+						p = nil
+					}
+					k := NewKernels(m, beta, qInf, p, part, cfg)
+					want, _, _ := threeSweep(k, q)
+					got := make([]float64, nv*4)
+					k.ResidualStaged(q, got, kVenkTest, false)
+
+					tol := 0.0
+					if !exactStrategy(s) {
+						tol = 1e-12 * (maxAbs(want) + 1)
+					}
+					if d := maxAbsDiff(got, want); d > tol {
+						t.Errorf("staged vs three-sweep differs by %.3e (tol %.3e)", d, tol)
+					}
+
+					// Against the fused pipeline on its own kernels (the
+					// staged kernels hold a hierarchical tiling; fused runs
+					// on its flat counterpart at the same outer size).
+					cfgF := cfg
+					cfgF.Staged = false
+					cfgF.InnerTileEdges = 0
+					kf := NewKernels(m, beta, qInf, p, part, cfgF)
+					wantF := make([]float64, nv*4)
+					kf.ResidualFused(q, wantF, kVenkTest, false)
+					if d := maxAbsDiff(got, wantF); d > tol {
+						t.Errorf("staged vs fused differs by %.3e (tol %.3e)", d, tol)
+					}
+				})
+			}
+		}
+		pool.Close()
+	}
+}
+
+// TestResidualStagedFrozenLimiter checks the Newton-matvec convention on
+// the staged path: a frozen evaluation gathers the phi published by the
+// previous unfrozen call while recomputing gradients at the new state.
+func TestResidualStagedFrozenLimiter(t *testing.T) {
+	m := wingMesh(t)
+	nv := m.NumVertices()
+	qInf := physics.FreeStream(3)
+	q := perturbedState(nv, qInf, 0.1, 42)
+	q2 := perturbedState(nv, qInf, 0.1, 99)
+
+	for _, s := range []Strategy{Sequential, ReplicateMETIS} {
+		t.Run(s.String(), func(t *testing.T) {
+			nw := 1
+			var pool *par.Pool
+			if s != Sequential {
+				nw = 4
+				pool = par.NewPool(nw)
+				defer pool.Close()
+			}
+			part, err := NewPartition(m, nw, s, 17)
+			if err != nil {
+				t.Fatal(err)
+			}
+			k := NewKernels(m, beta, qInf, pool, part,
+				Config{Strategy: s, Staged: true, TileEdges: 300, InnerTileEdges: 100})
+
+			// Reference: phi from q, gradient and flux from q2.
+			_, _, phi := threeSweep(k, q)
+			grad2 := make([]float64, nv*12)
+			k.Gradient(q2, grad2)
+			want := make([]float64, nv*4)
+			k.Residual(q2, grad2, phi, want)
+
+			scratch := make([]float64, nv*4)
+			k.ResidualStaged(q, scratch, kVenkTest, false) // publishes phi
+			got := make([]float64, nv*4)
+			k.ResidualStaged(q2, got, kVenkTest, true)
+			if d := maxAbsDiff(got, want); d != 0 {
+				t.Errorf("frozen staged differs by %.3e", d)
+			}
+		})
+	}
+}
+
+// TestStagedSIMDBatchesExecute pins the acceptance criterion that the
+// W-wide batching demonstrably runs on tile-interior edges in the staged
+// path: with SIMD on, the batch counter advances by the exact number of
+// full W-batches the inner tiles contain; with SIMD off it stays zero.
+func TestStagedSIMDBatchesExecute(t *testing.T) {
+	m := wingMesh(t)
+	nv := m.NumVertices()
+	qInf := physics.FreeStream(3)
+	q := perturbedState(nv, qInf, 0.1, 7)
+	part := &Partition{NW: 1}
+
+	k := NewKernels(m, beta, qInf, nil, part,
+		Config{Strategy: Sequential, Staged: true, SIMD: true, TileEdges: 1000, InnerTileEdges: 300})
+	res := make([]float64, nv*4)
+	k.ResidualStaged(q, res, kVenkTest, false)
+
+	tl := k.Tiling()
+	want := int64(0)
+	for _, sp := range tl.Inner {
+		want += int64((sp.Hi - sp.Lo) / W)
+	}
+	if want == 0 {
+		t.Fatal("test mesh yields no full SIMD batches")
+	}
+	if got := k.StagedSIMDBatches(); got != want {
+		t.Errorf("StagedSIMDBatches() = %d, want %d", got, want)
+	}
+
+	kOff := NewKernels(m, beta, qInf, nil, part,
+		Config{Strategy: Sequential, Staged: true, TileEdges: 1000, InnerTileEdges: 300})
+	kOff.ResidualStaged(q, res, kVenkTest, false)
+	if got := kOff.StagedSIMDBatches(); got != 0 {
+		t.Errorf("scalar staged path counted %d SIMD batches", got)
+	}
+}
+
+// TestStagedPoisonedScratch: a poisoned kernel (the instance pool's recycle
+// convention) must still produce the exact staged residual — every staging
+// plane is fully rewritten before it is read.
+func TestStagedPoisonedScratch(t *testing.T) {
+	m := wingMesh(t)
+	nv := m.NumVertices()
+	qInf := physics.FreeStream(3)
+	q := perturbedState(nv, qInf, 0.1, 21)
+	part := &Partition{NW: 1}
+	cfg := Config{Strategy: Sequential, Staged: true, TileEdges: 500, InnerTileEdges: 128}
+
+	k := NewKernels(m, beta, qInf, nil, part, cfg)
+	want := make([]float64, nv*4)
+	k.ResidualStaged(q, want, kVenkTest, false)
+
+	k.PoisonScratch()
+	got := make([]float64, nv*4)
+	k.ResidualStaged(q, got, kVenkTest, false)
+	if d := maxAbsDiff(got, want); d != 0 {
+		t.Errorf("poisoned staged kernel differs by %.3e", d)
+	}
+}
+
+// TestResidualStagedBytesModel: the staged staging overhead must stay
+// bounded — total modeled staged traffic at the default tile sizes must
+// still be well under the three-sweep model, or the ladder rung would be
+// a regression by construction.
+func TestResidualStagedBytesModel(t *testing.T) {
+	m := wingMesh(t)
+	k := NewKernels(m, beta, physics.FreeStream(3), nil, &Partition{NW: 1},
+		Config{Strategy: Sequential, Staged: true})
+	fb, gb, sb := k.ResidualStagedBytes()
+	staged := fb + gb + sb
+	unfused := k.ResidualBytes(true, true) + k.GradientBytes()
+	if staged*2 > unfused {
+		t.Fatalf("staged model %d B not <= half of three-sweep %d B", staged, unfused)
+	}
+	t.Logf("bytes/edge: staged %.0f (flux %.0f gather %.0f scatter %.0f), three-sweep %.0f",
+		float64(staged)/float64(m.NumEdges()), float64(fb)/float64(m.NumEdges()),
+		float64(gb)/float64(m.NumEdges()), float64(sb)/float64(m.NumEdges()),
+		float64(unfused)/float64(m.NumEdges()))
+}

@@ -62,6 +62,13 @@ type Options struct {
 	// otherwise the three-sweep path runs.
 	Fused bool
 
+	// Staged evaluates the second-order limited residual with the
+	// hierarchical staged pipeline (flux.Kernels.ResidualStaged): dense
+	// per-tile SoA staging over a two-level tiling, tile-interior SIMD, and
+	// coloring-based parallelism. Same preconditions as Fused; takes
+	// precedence over it.
+	Staged bool
+
 	// Ctx, when non-nil, is checked at every pseudo-time step boundary;
 	// once done, Solve returns ErrCanceled with the history so far. The
 	// state vector is left at the last completed step, so a canceled solve
@@ -188,6 +195,24 @@ var ErrCanceled = errors.New("newton: canceled")
 // phi must already be current when frozen is true (linear-solve mode).
 func (st *Stepper) residual(q, out []float64, opt *Options, frozenLimiter bool) {
 	ne := int64(st.K.M.NumEdges())
+	if opt.Staged && opt.SecondOrder && opt.Limiter && !st.K.Cfg.SoANodeData {
+		// Hierarchical staged sweep: gather each inner tile's cover into a
+		// dense staging buffer, compute gradient/limiter/flux on staged
+		// data, scatter once per tile. The byte models split the staged
+		// traffic into flux, gather, and scatter terms; the staged counters
+		// feed the exact tile_staged_bytes_per_edge CI gate.
+		st.Prof.Time(prof.Flux, func() { st.K.ResidualStaged(q, out, opt.VenkK, frozenLimiter) })
+		fb, gb, sb := st.K.ResidualStagedBytes()
+		st.Prof.Inc(prof.FluxEdges, ne)
+		st.Prof.Inc(prof.GradEdges, ne)
+		st.Prof.AddBytes(prof.Flux, fb+sb)
+		st.Prof.AddBytes(prof.Gradient, gb)
+		st.Prof.Inc(prof.StagedEdges, ne)
+		st.Prof.Inc(prof.StagedGatherBytes, gb)
+		st.Prof.Inc(prof.StagedScatterBytes, sb)
+		st.Prof.Inc(prof.ResidualSweeps, 1)
+		return
+	}
 	if opt.Fused && opt.SecondOrder && opt.Limiter && !st.K.Cfg.SoANodeData {
 		// Single cache-blocked sweep: gradient, limiter and flux per edge
 		// tile. One sweep instead of three; the byte models split the

@@ -167,6 +167,50 @@ func MeasureFused(m *mesh.Mesh, threads int) (unfused, fused float64, err error)
 	return unfused, fused, nil
 }
 
+// MeasureStaged calibrates the second-order limited residual evaluation
+// against the hierarchical staged pipeline on the sample mesh m, returning
+// seconds per edge for the three-sweep path and the staged sweep. Like
+// MeasureFused, the ratio rescales Rates.FluxPerEdge for cluster
+// simulations of the `+staged` rung — the simulator's numerics stay
+// first-order.
+func MeasureStaged(m *mesh.Mesh, threads int) (unfused, staged float64, err error) {
+	var pool *par.Pool
+	if threads > 1 {
+		pool = par.NewPool(threads)
+		defer pool.Close()
+	}
+	strategy := flux.Sequential
+	if pool != nil {
+		strategy = flux.ReplicateMETIS
+	}
+	part, err := flux.NewPartition(m, max(1, threads), strategy, 7)
+	if err != nil {
+		return 0, 0, err
+	}
+	cfg := flux.Config{Strategy: strategy, SIMD: true, Staged: true}
+	qInf := physics.FreeStream(3.06)
+	k := flux.NewKernels(m, 5, qInf, pool, part, cfg)
+
+	nv := m.NumVertices()
+	q := make([]float64, nv*4)
+	for v := 0; v < nv; v++ {
+		copy(q[v*4:v*4+4], qInf[:])
+		q[v*4] += 1e-3 * float64(v%17)
+	}
+	res := make([]float64, nv*4)
+	grad := make([]float64, nv*12)
+	phi := make([]float64, nv*4)
+	const kVenk = 5.0
+	ne := m.NumEdges()
+	unfused = perUnit(func() {
+		k.Gradient(q, grad)
+		k.Limiter(q, grad, phi, kVenk)
+		k.Residual(q, grad, phi, res)
+	}, ne)
+	staged = perUnit(func() { k.ResidualStaged(q, res, kVenk, false) }, ne)
+	return unfused, staged, nil
+}
+
 // DeriveOptimized applies the paper's measured single-node cache+SIMD
 // kernel gains to a set of (baseline) rates. Go cannot express AVX
 // intrinsics or hardware prefetch, so the Fig 9-11 simulations use the

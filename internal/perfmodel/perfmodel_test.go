@@ -43,6 +43,22 @@ func TestMeasureThreadedOptimized(t *testing.T) {
 	}
 }
 
+func TestMeasureStagedProducesPositiveRates(t *testing.T) {
+	m, err := mesh.Generate(mesh.SpecTiny())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, threads := range []int{1, 2} {
+		un, st, err := MeasureStaged(m, threads)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if un <= 0 || un > 1e-3 || st <= 0 || st > 1e-3 {
+			t.Fatalf("threads=%d: staged rates out of range: unfused %v staged %v", threads, un, st)
+		}
+	}
+}
+
 func TestStreamTriad(t *testing.T) {
 	bw := StreamTriad(nil, 1<<18)
 	// Any machine this runs on moves more than 100 MB/s and less than 10 TB/s.

@@ -134,6 +134,17 @@ func NewArtifact(experiment string, m *Metrics) *Artifact {
 			a.Rates["ilu_bytes_per_row"] = float64(b) / float64(rows)
 		}
 	}
+	// Modeled staging traffic per edge swept by the hierarchical staged
+	// pipeline: gather-side (staging-buffer fills + halo gradient reads)
+	// plus scatter-side (phi publication, closed-residual stores, span flux
+	// buffer, phase-B application) bytes over staged edge evaluations. Both
+	// sides are exact functions of the two-level tiling, so benchdiff gates
+	// the rate exactly, like residual_bytes_per_edge.
+	if se := m.Counter(StagedEdges); se > 0 {
+		if b := m.Counter(StagedGatherBytes) + m.Counter(StagedScatterBytes); b > 0 {
+			a.Rates["tile_staged_bytes_per_edge"] = float64(b) / float64(se)
+		}
+	}
 	// Multi-solve service throughput. Jobs per second of batch wall clock
 	// is the headline figure but machine-dependent; steps per job is exact
 	// (service batches run fixed step counts), so it is the one benchdiff

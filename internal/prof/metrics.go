@@ -71,6 +71,18 @@ const (
 	// rate benchdiff gates on (both sides deterministic, like
 	// residual_bytes_per_edge).
 	ILURows
+	// StagedEdges counts edges swept by the staged hierarchical residual
+	// pipeline (a subset of FluxEdges).
+	StagedEdges
+	// StagedGatherBytes counts the staged pipeline's modeled gather-side
+	// traffic: staging-buffer fills plus halo-gradient edge reads.
+	StagedGatherBytes
+	// StagedScatterBytes counts the staged pipeline's modeled scatter-side
+	// traffic: phi publication, closed-residual stores, the span flux
+	// buffer, and the phase-B application. (Gather+scatter)/StagedEdges is
+	// the tile_staged_bytes_per_edge rate benchdiff gates on — both sides
+	// deterministic functions of the tiling.
+	StagedScatterBytes
 	numCounters
 )
 
@@ -120,6 +132,12 @@ func (c Counter) String() string {
 		return "service_solve_steps"
 	case ILURows:
 		return "ilu_rows"
+	case StagedEdges:
+		return "staged_edges"
+	case StagedGatherBytes:
+		return "staged_gather_bytes"
+	case StagedScatterBytes:
+		return "staged_scatter_bytes"
 	}
 	return fmt.Sprintf("Counter(%d)", int(c))
 }

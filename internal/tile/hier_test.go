@@ -1,0 +1,280 @@
+package tile
+
+import (
+	"fmt"
+	"testing"
+
+	"fun3d/internal/mesh"
+)
+
+// hierMeshes yields every deterministic mesh generator the hierarchy
+// property tests run on: the tiny wing plus a scaled-down C-mesh (full C/D
+// are experiment-sized). Generation is deterministic, so the properties
+// pin real structure, not a lucky sample.
+func hierMeshes(t testing.TB) map[string]*mesh.Mesh {
+	t.Helper()
+	specs := map[string]mesh.GenSpec{
+		"tiny":    mesh.SpecTiny(),
+		"c-tenth": mesh.ScaleSpec(mesh.SpecC(), 0.1),
+	}
+	out := make(map[string]*mesh.Mesh, len(specs))
+	for name, spec := range specs {
+		m, err := mesh.Generate(spec)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		out[name] = m
+	}
+	return out
+}
+
+var hierSizes = []struct{ outer, inner int }{
+	{1 << 15, 1 << 12}, // the defaults
+	{1000, 64},         // many inner tiles per span
+	{150, 150},         // inner == outer (one inner tile per span)
+	{777, 1000},        // inner > outer (clamped to the span)
+	{1 << 20, 97},      // one span, odd inner size
+}
+
+// TestInnerTilesPartitionAndNest: every edge lies in exactly one inner
+// tile, inner tiles are contiguous, ascending, and nest inside their outer
+// span — the two-level tiling is a partition refinement.
+func TestInnerTilesPartitionAndNest(t *testing.T) {
+	for name, m := range hierMeshes(t) {
+		for _, sz := range hierSizes {
+			t.Run(fmt.Sprintf("%s-%d-%d", name, sz.outer, sz.inner), func(t *testing.T) {
+				tl := NewHier(m, sz.outer, sz.inner)
+				next := 0
+				for si := range tl.Spans {
+					lo, hi := tl.InnerTilesOf(si)
+					if lo != next {
+						t.Fatalf("span %d inner tiles start at %d, want %d", si, lo, next)
+					}
+					edge := tl.Spans[si].Lo
+					for ti := lo; ti < hi; ti++ {
+						sp := tl.Inner[ti]
+						if sp.Lo != edge {
+							t.Fatalf("inner tile %d starts at %d, want %d", ti, sp.Lo, edge)
+						}
+						if sp.Hi <= sp.Lo || sp.Hi > tl.Spans[si].Hi {
+							t.Fatalf("inner tile %d = %+v escapes span %+v", ti, sp, tl.Spans[si])
+						}
+						edge = sp.Hi
+					}
+					if edge != tl.Spans[si].Hi {
+						t.Fatalf("span %d inner tiles end at %d, want %d", si, edge, tl.Spans[si].Hi)
+					}
+					next = hi
+				}
+				if next != tl.NumInnerTiles() {
+					t.Fatalf("spans account for %d inner tiles, have %d", next, tl.NumInnerTiles())
+				}
+			})
+		}
+	}
+}
+
+// TestStagingMapRoundTrips: the global->local map (LA/LB) composed with
+// the local->global map (the sorted inner cover) is the identity on every
+// edge's endpoints — gather-by-cover then index-by-LA/LB reads exactly the
+// staged copy of the right global vertex.
+func TestStagingMapRoundTrips(t *testing.T) {
+	for name, m := range hierMeshes(t) {
+		for _, sz := range hierSizes {
+			t.Run(fmt.Sprintf("%s-%d-%d", name, sz.outer, sz.inner), func(t *testing.T) {
+				tl := NewHier(m, sz.outer, sz.inner)
+				for ti := range tl.Inner {
+					cov := tl.InnerCoverOf(ti)
+					for i := 1; i < len(cov); i++ {
+						if cov[i] <= cov[i-1] {
+							t.Fatalf("tile %d cover not sorted/unique at %d", ti, i)
+						}
+					}
+					sp := tl.Inner[ti]
+					for e := sp.Lo; e < sp.Hi; e++ {
+						la, lb := tl.LA[e], tl.LB[e]
+						if cov[la] != m.EV1[e] || cov[lb] != m.EV2[e] {
+							t.Fatalf("edge %d: cover[LA]=%d cover[LB]=%d, want EV1=%d EV2=%d",
+								e, cov[la], cov[lb], m.EV1[e], m.EV2[e])
+						}
+					}
+					if len(cov) > tl.MaxInnerCover {
+						t.Fatalf("tile %d cover %d exceeds MaxInnerCover %d", ti, len(cov), tl.MaxInnerCover)
+					}
+				}
+			})
+		}
+	}
+}
+
+// TestInnerClosedOpenPartition: per inner tile the closed and open local
+// index lists partition [0, len(cover)), and membership matches the
+// definition — closed iff every incident edge is inside the tile.
+func TestInnerClosedOpenPartition(t *testing.T) {
+	for name, m := range hierMeshes(t) {
+		for _, sz := range hierSizes {
+			t.Run(fmt.Sprintf("%s-%d-%d", name, sz.outer, sz.inner), func(t *testing.T) {
+				tl := NewHier(m, sz.outer, sz.inner)
+				for ti := range tl.Inner {
+					cov := tl.InnerCoverOf(ti)
+					sp := tl.Inner[ti]
+					seen := make(map[int32]bool, len(cov))
+					check := func(list []int32, wantClosed bool) {
+						for _, l := range list {
+							if int(l) >= len(cov) || seen[l] {
+								t.Fatalf("tile %d local index %d out of range or duplicated", ti, l)
+							}
+							seen[l] = true
+							closed := true
+							for _, e := range tl.Inc(cov[l]) {
+								if int(e) < sp.Lo || int(e) >= sp.Hi {
+									closed = false
+									break
+								}
+							}
+							if closed != wantClosed {
+								t.Fatalf("tile %d vertex %d: closed=%v in %v list", ti, cov[l], closed, wantClosed)
+							}
+						}
+					}
+					check(tl.InnerClosedOf(ti), true)
+					check(tl.InnerOpenOf(ti), false)
+					if len(seen) != len(cov) {
+						t.Fatalf("tile %d: closed+open = %d, cover = %d", ti, len(seen), len(cov))
+					}
+				}
+			})
+		}
+	}
+}
+
+// TestTileColoringValid: the greedy coloring's contract — the color groups
+// of each span partition its inner tiles, and no two tiles in one group
+// share a cover vertex (the unguarded-scatter precondition).
+func TestTileColoringValid(t *testing.T) {
+	for name, m := range hierMeshes(t) {
+		for _, sz := range hierSizes {
+			t.Run(fmt.Sprintf("%s-%d-%d", name, sz.outer, sz.inner), func(t *testing.T) {
+				tl := NewHier(m, sz.outer, sz.inner)
+				nv := m.NumVertices()
+				owner := make([]int, nv)
+				for si := range tl.Spans {
+					lo, hi := tl.InnerTilesOf(si)
+					seenTiles := make(map[int32]bool, hi-lo)
+					glo, ghi := tl.ColorGroupsOf(si)
+					for g := glo; g < ghi; g++ {
+						for i := range owner {
+							owner[i] = -1
+						}
+						for _, ti := range tl.ColorGroup(g) {
+							if int(ti) < lo || int(ti) >= hi || seenTiles[ti] {
+								t.Fatalf("span %d group %d: tile %d outside span or duplicated", si, g, ti)
+							}
+							seenTiles[ti] = true
+							for _, v := range tl.InnerCoverOf(int(ti)) {
+								if o := owner[v]; o >= 0 {
+									t.Fatalf("span %d group %d: tiles %d and %d share vertex %d", si, g, o, ti, v)
+								}
+								owner[v] = int(ti)
+							}
+						}
+					}
+					if len(seenTiles) != hi-lo {
+						t.Fatalf("span %d: coloring covers %d of %d tiles", si, len(seenTiles), hi-lo)
+					}
+				}
+			})
+		}
+	}
+}
+
+// TestPhaseBListsComplete: per outer span, the phase-B list is exactly the
+// span's cover minus the vertices inner-closed somewhere, sorted ascending
+// — and PhaseBEdgeVisits counts their in-span incident edges.
+func TestPhaseBListsComplete(t *testing.T) {
+	for name, m := range hierMeshes(t) {
+		for _, sz := range hierSizes {
+			t.Run(fmt.Sprintf("%s-%d-%d", name, sz.outer, sz.inner), func(t *testing.T) {
+				tl := NewHier(m, sz.outer, sz.inner)
+				innerClosed := make(map[int32]bool)
+				for ti := range tl.Inner {
+					cov := tl.InnerCoverOf(ti)
+					for _, l := range tl.InnerClosedOf(ti) {
+						innerClosed[cov[l]] = true
+					}
+				}
+				var visits int64
+				for si, sp := range tl.Spans {
+					pb := tl.PhaseBOf(si)
+					var want []int32
+					for _, v := range tl.CoverOf(si) {
+						if !innerClosed[v] {
+							want = append(want, v)
+						}
+					}
+					if len(pb) != len(want) {
+						t.Fatalf("span %d: %d phase-B vertices, want %d", si, len(pb), len(want))
+					}
+					for i := range pb {
+						if pb[i] != want[i] {
+							t.Fatalf("span %d phase-B[%d] = %d, want %d", si, i, pb[i], want[i])
+						}
+					}
+					for _, v := range pb {
+						for _, e := range tl.Inc(v) {
+							if int(e) >= sp.Lo && int(e) < sp.Hi {
+								visits++
+							}
+						}
+					}
+				}
+				if visits != tl.PhaseBEdgeVisits {
+					t.Fatalf("PhaseBEdgeVisits = %d, recount %d", tl.PhaseBEdgeVisits, visits)
+				}
+			})
+		}
+	}
+}
+
+// TestReplicationLevels: the two-level replication report — the flat
+// constructor stays at inner replication 1.0, the hierarchical one reports
+// inner >= outer >= 1 (inner tiles refine spans, so their total cover can
+// only grow), and String carries both figures.
+func TestReplicationLevels(t *testing.T) {
+	m, err := mesh.Generate(mesh.SpecTiny())
+	if err != nil {
+		t.Fatal(err)
+	}
+	flat := New(m, 1000)
+	if o, i := flat.ReplicationLevels(); i != 1 || o != flat.Replication() {
+		t.Fatalf("flat ReplicationLevels() = %v, %v", o, i)
+	}
+	h := NewHier(m, 1000, 64)
+	o, i := h.ReplicationLevels()
+	if o < 1 || i < o {
+		t.Fatalf("hier ReplicationLevels() = %v, %v: want inner >= outer >= 1", o, i)
+	}
+	var wantInner int64
+	for ti := range h.Inner {
+		wantInner += int64(len(h.InnerCoverOf(ti)))
+	}
+	if h.InnerVertexVisits != wantInner {
+		t.Fatalf("InnerVertexVisits = %d, recount %d", h.InnerVertexVisits, wantInner)
+	}
+	s := h.String()
+	if want := fmt.Sprintf("inner-replication=%.3f", i); !contains(s, want) {
+		t.Fatalf("String() = %q missing %q", s, want)
+	}
+	if fs := flat.String(); contains(fs, "inner") {
+		t.Fatalf("flat String() = %q mentions the hierarchy", fs)
+	}
+}
+
+func contains(s, sub string) bool {
+	for i := 0; i+len(sub) <= len(s); i++ {
+		if s[i:i+len(sub)] == sub {
+			return true
+		}
+	}
+	return false
+}

@@ -29,6 +29,13 @@ import (
 // inside a modern last-level cache slice per core.
 const DefaultEdgesPerTile = 1 << 15
 
+// DefaultInnerEdgesPerTile is the default inner (second-level) tile size of
+// the hierarchical tiling: 4096 edges stage roughly 150-250 KB of dense
+// per-tile vertex planes — inside a modern per-core L2 — so the staged
+// gather/compute/scatter sweep runs out of L2 while the enclosing outer
+// span keeps the global arrays LLC-resident.
+const DefaultInnerEdgesPerTile = 1 << 12
+
 // Span is a half-open contiguous range of edge ids.
 type Span struct {
 	Lo, Hi int
@@ -81,11 +88,89 @@ type Tiling struct {
 	// (below the span) and suffix (above it) and take the in-span
 	// contributions from the span scatter itself.
 	OpenGatherEdgeVisits int64
+
+	// Two-level hierarchy, built by NewHier when innerEdgesPerTile > 0 and
+	// zero-valued on flat tilings: each outer span is subdivided into
+	// L2-sized inner tiles whose cover vertices are staged into dense
+	// tile-local buffers by the staged residual pipeline.
+
+	// InnerEdgesPerTile is the inner tile size (0 = no hierarchy).
+	InnerEdgesPerTile int
+	// Inner lists every inner tile's edge span, ascending; the inner tiles
+	// of outer span s are Inner[InnerPtr[s]:InnerPtr[s+1]], and each nests
+	// inside Spans[s].
+	Inner    []Span
+	InnerPtr []int32
+
+	// CSR of covering vertices per inner tile, sorted ascending: the
+	// local->global index map of tile ti's staging buffer is
+	// InnerCover[InnerCoverPtr[ti]:InnerCoverPtr[ti+1]] (local index l
+	// holds global vertex InnerCoverOf(ti)[l]).
+	InnerCoverPtr []int32
+	InnerCover    []int32
+
+	// LA/LB materialize the global->local half of the staging map: edge e
+	// lives in exactly one inner tile, and LA[e]/LB[e] are the local cover
+	// indices of its endpoints EV1[e]/EV2[e] within that tile.
+	LA, LB []int32
+
+	// InnerClosedPtr/InnerClosed is the CSR, per inner tile, of LOCAL cover
+	// indices whose vertex has its entire incident-edge set inside the
+	// inner tile: its gradient and residual accumulate fully in the staging
+	// buffer and scatter back exactly once. InnerOpenPtr/InnerOpen is the
+	// complement (vertices shared with other inner tiles); together they
+	// partition [0, len(InnerCoverOf(ti))).
+	InnerClosedPtr []int32
+	InnerClosed    []int32
+	InnerOpenPtr   []int32
+	InnerOpen      []int32
+
+	// PhaseBPtr/PhaseB is the CSR, per OUTER span, of the cover vertices
+	// that are not inner-closed anywhere (global ids, sorted ascending).
+	// Their edge fluxes cannot be summed per-tile without changing the
+	// IEEE reduction tree, so the staged pipeline stores per-edge fluxes
+	// and applies each such vertex's in-span contributions afterwards in
+	// ascending edge order — the deterministic "phase B" scatter.
+	PhaseBPtr []int32
+	PhaseB    []int32
+
+	// Greedy inner-tile coloring, per outer span: no two tiles in the same
+	// color group share a cover vertex, so a group's tile scatters run
+	// unguarded in parallel. Span s's groups are
+	// [SpanColorPtr[s], SpanColorPtr[s+1]); group g's tiles are
+	// ColorTiles[ColorPtr[g]:ColorPtr[g+1]] (inner tile ids).
+	SpanColorPtr []int32
+	ColorPtr     []int32
+	ColorTiles   []int32
+
+	// MaxInnerCover is the largest inner-tile cover — the staging buffer
+	// capacity one worker needs.
+	MaxInnerCover int
+	// InnerVertexVisits is the total inner cover size over all inner tiles;
+	// against NumVertices it is the second-level gather replication.
+	InnerVertexVisits int64
+	// InnerOpenGatherEdgeVisits counts inner-open vertices' out-of-inner-
+	// tile incident edges — the redundant halo-gather edge traffic of the
+	// staged gradient (the inner-level analogue of OpenGatherEdgeVisits).
+	InnerOpenGatherEdgeVisits int64
+	// PhaseBEdgeVisits counts the per-edge flux reads the phase-B scatter
+	// performs (one per in-span incident edge of each phase-B vertex).
+	PhaseBEdgeVisits int64
 }
 
-// New builds the tiling for m with the given span size (<= 0 selects
-// DefaultEdgesPerTile).
+// New builds the flat (single-level) tiling for m with the given span size
+// (<= 0 selects DefaultEdgesPerTile).
 func New(m *mesh.Mesh, edgesPerTile int) *Tiling {
+	return NewHier(m, edgesPerTile, 0)
+}
+
+// NewHier builds the tiling for m with the given outer span size (<= 0
+// selects DefaultEdgesPerTile) and, when innerEdgesPerTile > 0, the
+// two-level hierarchy: each outer span subdivided into inner tiles of at
+// most innerEdgesPerTile edges, with the staging index maps, closed/open
+// partition, phase-B vertex lists, and greedy tile coloring the staged
+// residual pipeline consumes.
+func NewHier(m *mesh.Mesh, edgesPerTile, innerEdgesPerTile int) *Tiling {
 	if edgesPerTile <= 0 {
 		edgesPerTile = DefaultEdgesPerTile
 	}
@@ -174,7 +259,172 @@ func New(m *mesh.Mesh, edgesPerTile int) *Tiling {
 		t.ClosedPtr[ti+1] = int32(len(t.Closed))
 		t.OpenPtr[ti+1] = int32(len(t.Open))
 	}
+	if innerEdgesPerTile > 0 {
+		t.buildInner(m, innerEdgesPerTile)
+	}
 	return t
+}
+
+// buildInner subdivides the outer spans into inner tiles and precomputes
+// everything the staged pipeline needs: per-tile sorted covers (the
+// local->global map), the per-edge LA/LB local endpoint indices (the
+// global->local map), the inner closed/open partition, the per-span phase-B
+// vertex lists, and a greedy tile coloring in which no two same-color tiles
+// of a span share a cover vertex.
+func (t *Tiling) buildInner(m *mesh.Mesh, innerEdgesPerTile int) {
+	nv, ne := m.NumVertices(), m.NumEdges()
+	t.InnerEdgesPerTile = innerEdgesPerTile
+	t.InnerPtr = make([]int32, len(t.Spans)+1)
+	for si, sp := range t.Spans {
+		for lo := sp.Lo; lo < sp.Hi; lo += innerEdgesPerTile {
+			hi := lo + innerEdgesPerTile
+			if hi > sp.Hi {
+				hi = sp.Hi
+			}
+			t.Inner = append(t.Inner, Span{Lo: lo, Hi: hi})
+		}
+		t.InnerPtr[si+1] = int32(len(t.Inner))
+	}
+	nt := len(t.Inner)
+
+	// Covers, local index maps, and the closed/open partition. stamp marks
+	// cover membership per tile; local holds each cover vertex's position
+	// in the sorted cover while the tile's edges are translated.
+	t.InnerCoverPtr = make([]int32, nt+1)
+	t.InnerClosedPtr = make([]int32, nt+1)
+	t.InnerOpenPtr = make([]int32, nt+1)
+	t.LA = make([]int32, ne)
+	t.LB = make([]int32, ne)
+	stamp := make([]int, nv)
+	local := make([]int32, nv)
+	// innerClosed marks vertices closed in some inner tile — the phase-B
+	// exclusion test.
+	innerClosed := make([]bool, nv)
+	for i := range stamp {
+		stamp[i] = -1
+	}
+	for ti, sp := range t.Inner {
+		start := len(t.InnerCover)
+		for e := sp.Lo; e < sp.Hi; e++ {
+			if v := m.EV1[e]; stamp[v] != ti {
+				stamp[v] = ti
+				t.InnerCover = append(t.InnerCover, v)
+			}
+			if v := m.EV2[e]; stamp[v] != ti {
+				stamp[v] = ti
+				t.InnerCover = append(t.InnerCover, v)
+			}
+		}
+		cov := t.InnerCover[start:]
+		sort.Slice(cov, func(i, j int) bool { return cov[i] < cov[j] })
+		t.InnerCoverPtr[ti+1] = int32(len(t.InnerCover))
+		t.InnerVertexVisits += int64(len(cov))
+		if len(cov) > t.MaxInnerCover {
+			t.MaxInnerCover = len(cov)
+		}
+		for l, v := range cov {
+			local[v] = int32(l)
+		}
+		for e := sp.Lo; e < sp.Hi; e++ {
+			t.LA[e] = local[m.EV1[e]]
+			t.LB[e] = local[m.EV2[e]]
+		}
+		for l, v := range cov {
+			// Incident lists are ascending, so the whole list is inside
+			// the inner tile iff its first and last entries are.
+			inc := t.IncEdge[t.IncPtr[v]:t.IncPtr[v+1]]
+			if int(inc[0]) >= sp.Lo && int(inc[len(inc)-1]) < sp.Hi {
+				t.InnerClosed = append(t.InnerClosed, int32(l))
+				innerClosed[v] = true
+			} else {
+				t.InnerOpen = append(t.InnerOpen, int32(l))
+				for _, e := range inc {
+					if int(e) < sp.Lo || int(e) >= sp.Hi {
+						t.InnerOpenGatherEdgeVisits++
+					}
+				}
+			}
+		}
+		t.InnerClosedPtr[ti+1] = int32(len(t.InnerClosed))
+		t.InnerOpenPtr[ti+1] = int32(len(t.InnerOpen))
+	}
+
+	// Phase-B lists: each outer span's cover vertices that are not
+	// inner-closed anywhere. (A vertex closed in inner tile T has every
+	// incident edge inside T, so it appears in exactly one span's cover
+	// and never needs phase B.)
+	t.PhaseBPtr = make([]int32, len(t.Spans)+1)
+	for si, sp := range t.Spans {
+		for _, v := range t.CoverOf(si) {
+			if innerClosed[v] {
+				continue
+			}
+			t.PhaseB = append(t.PhaseB, v)
+			inc := t.IncEdge[t.IncPtr[v]:t.IncPtr[v+1]]
+			for _, e := range inc {
+				if int(e) >= sp.Lo && int(e) < sp.Hi {
+					t.PhaseBEdgeVisits++
+				}
+			}
+		}
+		t.PhaseBPtr[si+1] = int32(len(t.PhaseB))
+	}
+
+	t.colorInner(nv)
+}
+
+// colorInner greedily colors each outer span's inner tiles so that no two
+// same-color tiles share a cover vertex: tiles are taken in order and each
+// gets the lowest color absent from all of its cover vertices' already-
+// colored tiles. Same-color tiles can then scatter phi and closed residuals
+// unguarded in parallel — the ownership-free replacement for the fused
+// pipeline's per-thread closed/open cover bookkeeping.
+func (t *Tiling) colorInner(nv int) {
+	// A vertex is covered by at most deg(v) inner tiles of one span, and
+	// mesh degrees are far below 64, so a single mask word suffices.
+	mask := make([]uint64, nv)
+	epoch := make([]int32, nv)
+	for i := range epoch {
+		epoch[i] = -1
+	}
+	t.SpanColorPtr = make([]int32, len(t.Spans)+1)
+	var groups [][]int32
+	for si := range t.Spans {
+		spanGroupBase := len(groups)
+		for ti := int(t.InnerPtr[si]); ti < int(t.InnerPtr[si+1]); ti++ {
+			var forbidden uint64
+			cov := t.InnerCoverOf(ti)
+			for _, v := range cov {
+				if epoch[v] == int32(si) {
+					forbidden |= mask[v]
+				}
+			}
+			c := 0
+			for forbidden&(1<<uint(c)) != 0 {
+				c++
+				if c >= 64 {
+					panic("tile: inner tile coloring needs more than 64 colors (vertex degree > 64?)")
+				}
+			}
+			for _, v := range cov {
+				if epoch[v] != int32(si) {
+					epoch[v] = int32(si)
+					mask[v] = 0
+				}
+				mask[v] |= 1 << uint(c)
+			}
+			for spanGroupBase+c >= len(groups) {
+				groups = append(groups, nil)
+			}
+			groups[spanGroupBase+c] = append(groups[spanGroupBase+c], int32(ti))
+		}
+		t.SpanColorPtr[si+1] = int32(len(groups))
+	}
+	t.ColorPtr = make([]int32, len(groups)+1)
+	for g, tiles := range groups {
+		t.ColorTiles = append(t.ColorTiles, tiles...)
+		t.ColorPtr[g+1] = int32(len(t.ColorTiles))
+	}
 }
 
 // NumTiles returns the number of edge spans.
@@ -207,8 +457,54 @@ func (t *Tiling) BNRange(v int32) (int, int) {
 	return int(t.BNPtr[v]), int(t.BNPtr[v+1])
 }
 
+// NumInnerTiles returns the number of inner tiles (0 on flat tilings).
+func (t *Tiling) NumInnerTiles() int { return len(t.Inner) }
+
+// InnerTilesOf returns the half-open inner-tile id range of outer span s.
+func (t *Tiling) InnerTilesOf(s int) (int, int) {
+	return int(t.InnerPtr[s]), int(t.InnerPtr[s+1])
+}
+
+// InnerCoverOf returns the sorted cover of inner tile ti — the
+// local->global map of its staging buffer (do not modify).
+func (t *Tiling) InnerCoverOf(ti int) []int32 {
+	return t.InnerCover[t.InnerCoverPtr[ti]:t.InnerCoverPtr[ti+1]]
+}
+
+// InnerClosedOf returns the LOCAL cover indices of inner tile ti whose
+// vertex has every incident edge inside the tile (sorted ascending; do not
+// modify).
+func (t *Tiling) InnerClosedOf(ti int) []int32 {
+	return t.InnerClosed[t.InnerClosedPtr[ti]:t.InnerClosedPtr[ti+1]]
+}
+
+// InnerOpenOf returns the LOCAL cover indices of inner tile ti's halo —
+// vertices shared with other inner tiles (sorted ascending; do not modify).
+func (t *Tiling) InnerOpenOf(ti int) []int32 {
+	return t.InnerOpen[t.InnerOpenPtr[ti]:t.InnerOpenPtr[ti+1]]
+}
+
+// PhaseBOf returns outer span s's phase-B vertices: cover vertices not
+// inner-closed anywhere, global ids sorted ascending (do not modify).
+func (t *Tiling) PhaseBOf(s int) []int32 {
+	return t.PhaseB[t.PhaseBPtr[s]:t.PhaseBPtr[s+1]]
+}
+
+// ColorGroupsOf returns the half-open color-group id range of outer span s.
+func (t *Tiling) ColorGroupsOf(s int) (int, int) {
+	return int(t.SpanColorPtr[s]), int(t.SpanColorPtr[s+1])
+}
+
+// ColorGroup returns the inner tile ids of color group g (no two share a
+// cover vertex; do not modify).
+func (t *Tiling) ColorGroup(g int) []int32 {
+	return t.ColorTiles[t.ColorPtr[g]:t.ColorPtr[g+1]]
+}
+
 // Replication is the redundant-compute factor of the halo gather: total
 // vertex visits over distinct vertices (1.0 = no tile boundary overlap).
+// On hierarchical tilings this is the OUTER-level factor; see
+// ReplicationLevels for both.
 func (t *Tiling) Replication() float64 {
 	nv := len(t.IncPtr) - 1
 	if nv == 0 {
@@ -217,7 +513,31 @@ func (t *Tiling) Replication() float64 {
 	return float64(t.VertexVisits) / float64(nv)
 }
 
+// InnerReplication is the second-level gather replication: total inner-tile
+// cover visits over distinct vertices. It is what the staged pipeline
+// actually pays per sweep (every inner cover vertex is gathered into a
+// staging buffer), so it is always >= Replication(). 1.0 on flat tilings.
+func (t *Tiling) InnerReplication() float64 {
+	nv := len(t.IncPtr) - 1
+	if nv == 0 || t.InnerEdgesPerTile == 0 {
+		return 1
+	}
+	return float64(t.InnerVertexVisits) / float64(nv)
+}
+
+// ReplicationLevels returns the per-level gather replication factors:
+// outer (LLC span covers over distinct vertices) and inner (staging-buffer
+// gathers over distinct vertices; 1.0 on flat tilings).
+func (t *Tiling) ReplicationLevels() (outer, inner float64) {
+	return t.Replication(), t.InnerReplication()
+}
+
 func (t *Tiling) String() string {
-	return fmt.Sprintf("tiles=%d edges/tile=%d replication=%.3f",
-		t.NumTiles(), t.EdgesPerTile, t.Replication())
+	if t.InnerEdgesPerTile == 0 {
+		return fmt.Sprintf("tiles=%d edges/tile=%d replication=%.3f",
+			t.NumTiles(), t.EdgesPerTile, t.Replication())
+	}
+	return fmt.Sprintf("tiles=%d edges/tile=%d replication=%.3f inner-tiles=%d edges/inner=%d inner-replication=%.3f",
+		t.NumTiles(), t.EdgesPerTile, t.Replication(),
+		t.NumInnerTiles(), t.InnerEdgesPerTile, t.InnerReplication())
 }
