@@ -9,6 +9,8 @@
 //	clustersim -ranks 8 -threads-per-rank 4    # hybrid MPI+threads
 //	clustersim -ranks 16 -overlap              # nonblocking halo, interior overlap
 //	clustersim -ranks 64 -allreduce flat       # linear collective cost model
+//	clustersim -ranks 256 -allreduce hierarchical -topology fattree
+//	                                           # SMP-aware collective on the fat-tree hop model
 //	clustersim -mesh d -ranks 256 -steps 3
 //	clustersim -ranks 16 -json run.json        # machine-readable artifact
 //	clustersim -ranks 8 -noise 0.5             # deterministic straggler noise
@@ -35,7 +37,12 @@ func main() {
 		rpn      = flag.Int("ranks-per-node", 16, "ranks per node (network locality)")
 		tpr      = flag.Int("threads-per-rank", 1, "threads per rank (hybrid mode: real pool-threaded kernels)")
 		overlap  = flag.Bool("overlap", false, "overlap halo exchange with interior-edge compute")
-		allred   = flag.String("allreduce", "tree", "Allreduce cost model: tree, flat")
+		allred   = flag.String("allreduce", "tree", "Allreduce cost model: tree, flat, hierarchical")
+		topo     = flag.String("topology", "flat", "interconnect hop model: flat, fattree, dragonfly")
+		podSize  = flag.Int("pod-size", 16, "nodes per fat-tree leaf pod")
+		grpSize  = flag.Int("group-size", 16, "nodes per dragonfly group")
+		hopLat   = flag.Float64("hop-latency", 1.0e-6, "added latency per extra switch hop, seconds")
+		place    = flag.String("placement", "block", "rank-to-node placement: block, roundrobin")
 		gmres    = flag.String("gmres", "classical", "GMRES variant: classical, pipelined (one Allreduce per iteration)")
 		baseline = flag.Bool("baseline", false, "baseline kernel rates instead of optimized")
 		order    = flag.String("order", "rcm", "vertex ordering before decomposition: natural, rcm, morton, hilbert")
@@ -140,13 +147,19 @@ func main() {
 
 	net := fun3d.StampedeNetwork()
 	net.RanksPerNode = *rpn
-	switch *allred {
-	case "tree":
-		net.Algo = fun3d.AllreduceTree
-	case "flat":
-		net.Algo = fun3d.AllreduceFlat
-	default:
-		fatal(fmt.Errorf("unknown allreduce algorithm %q", *allred))
+	if net.Algo, err = fun3d.ParseAllreduce(*allred); err != nil {
+		fatal(err)
+	}
+	if net.Topo, err = fun3d.ParseTopology(*topo); err != nil {
+		fatal(err)
+	}
+	if net.Place, err = fun3d.ParsePlacement(*place); err != nil {
+		fatal(err)
+	}
+	net.PodSize = *podSize
+	net.GroupSize = *grpSize
+	if net.Topo != fun3d.TopoFlat {
+		net.HopLatency = *hopLat
 	}
 	switch *gmres {
 	case "classical", "pipelined":
@@ -186,7 +199,8 @@ func main() {
 	fmt.Printf("||R|| %.3e -> %.3e\n", res.RNorm0, res.RNormFinal)
 	fmt.Printf("virtual time      %.4fs\n", res.Time)
 	fmt.Printf("  compute         %.4fs\n", res.ComputeTime)
-	fmt.Printf("  allreduce       %.4fs (%d collectives)\n", res.AllreduceTime, res.Allreduces)
+	fmt.Printf("  allreduce       %.4fs (%d collectives, %d stages, %d hops)\n",
+		res.AllreduceTime, res.Allreduces, res.AllreduceStages, res.AllreduceHops)
 	fmt.Printf("  point-to-point  %.4fs (%d msgs, %.1f MB)\n", res.PtPTime, res.Msgs, float64(res.Bytes)/1e6)
 	fmt.Printf("communication fraction: %.1f%%\n", 100*res.CommFraction())
 	if *noise > 0 || *mtbf > 0 {
@@ -203,6 +217,8 @@ func main() {
 			"threads_per_rank": *tpr,
 			"overlap":          *overlap,
 			"allreduce":        *allred,
+			"topology":         *topo,
+			"placement":        *place,
 			"gmres":            *gmres,
 			"baseline":         *baseline,
 			"order":            kind.String(),

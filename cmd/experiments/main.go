@@ -39,6 +39,7 @@ func main() {
 		cfl      = flag.Float64("cfl", 10, "initial CFL for solve-based experiments")
 		gmres    = flag.String("gmres", "classical", "GMRES variant: classical, pipelined (one Allreduce per iteration)")
 		pfdist   = flag.Int("pfdist", 0, "flux prefetch lookahead distance in edges (0 = kernel default)")
+		topo     = flag.String("topology", "", "interconnect hop model for the scaling campaign: flat, fattree, dragonfly")
 		scaleOpt = flag.Float64("scale", 1, "scale factor on the single-node mesh")
 		jsonOut  = flag.Bool("json", false, "write BENCH_<experiment>.json artifacts to the current directory")
 		jsonDir  = flag.String("json-dir", "", "directory for JSON artifacts (implies -json)")
@@ -59,6 +60,7 @@ func main() {
 		ClusterSteps: *steps,
 		GMRES:        *gmres,
 		PFDist:       *pfdist,
+		Topology:     *topo,
 	}
 	if *jsonDir != "" {
 		opt.JSONDir = *jsonDir

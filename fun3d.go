@@ -232,12 +232,49 @@ type Network = perfmodel.Network
 // AllreduceAlgo selects the collective cost model of a Network.
 type AllreduceAlgo = perfmodel.AllreduceAlgo
 
-// Allreduce cost models: recursive-doubling tree (the MPI default) and the
-// flat linear gather+broadcast the paper's scaling discussion warns about.
+// Allreduce cost models: recursive-doubling tree (the MPI default), the
+// flat linear gather+broadcast the paper's scaling discussion warns about,
+// and the SMP-aware hierarchical algorithm (shared-memory intra-node
+// reduction + inter-node recursive doubling over node leaders).
 const (
 	AllreduceTree = perfmodel.AllreduceTree
 	AllreduceFlat = perfmodel.AllreduceFlat
+	AllreduceHier = perfmodel.AllreduceHier
 )
+
+// ParseAllreduce parses "tree", "flat" or "hierarchical".
+func ParseAllreduce(s string) (AllreduceAlgo, error) { return perfmodel.ParseAllreduce(s) }
+
+// Topology selects a Network's interconnect hop model.
+type Topology = perfmodel.Topology
+
+// The available topologies: hop-blind flat crossbar, two-level fat-tree
+// (leaf/spine pods), and dragonfly groups with all-to-all global links.
+const (
+	TopoFlat      = perfmodel.TopoFlat
+	TopoFatTree   = perfmodel.TopoFatTree
+	TopoDragonfly = perfmodel.TopoDragonfly
+)
+
+// ParseTopology parses "flat", "fattree"/"fat-tree" or "dragonfly".
+func ParseTopology(s string) (Topology, error) { return perfmodel.ParseTopology(s) }
+
+// Placement selects how ranks map to nodes: contiguous blocks or round-robin.
+type Placement = perfmodel.Placement
+
+// The available rank placements.
+const (
+	PlaceBlock      = perfmodel.PlaceBlock
+	PlaceRoundRobin = perfmodel.PlaceRoundRobin
+)
+
+// ParsePlacement parses "block", "roundrobin" or "rr".
+func ParsePlacement(s string) (Placement, error) { return perfmodel.ParsePlacement(s) }
+
+// CollectiveCost is a modeled collective's cost breakdown: seconds plus the
+// structural stage and switch-hop counts (exact functions of algorithm,
+// topology, placement, and rank count).
+type CollectiveCost = perfmodel.CollectiveCost
 
 // KernelRates are calibrated per-unit kernel costs.
 type KernelRates = perfmodel.Rates
@@ -245,6 +282,11 @@ type KernelRates = perfmodel.Rates
 // StampedeNetwork returns fabric parameters approximating the paper's
 // TACC Stampede system.
 func StampedeNetwork() Network { return perfmodel.Stampede() }
+
+// StampedeFatTreeNetwork is StampedeNetwork with the fabric's fat-tree
+// topology made explicit: 16-node leaf pods and a per-hop latency, so
+// cross-pod stages cost more than neighbor stages.
+func StampedeFatTreeNetwork() Network { return perfmodel.StampedeFatTree() }
 
 // MeasureRates calibrates kernel rates by running the real kernels on m.
 func MeasureRates(m *Mesh, threads int, optimized bool) (KernelRates, error) {
@@ -257,4 +299,28 @@ func MeasureRates(m *Mesh, threads int, optimized bool) (KernelRates, error) {
 // cfg.Net.
 func SimulateCluster(m *Mesh, cfg ClusterConfig) (ClusterResult, error) {
 	return mpisim.Solve(m, cfg)
+}
+
+// ClusterSpec pins the structural inputs a ClusterArtifact is built from
+// (rank count, partitioner, ILU fill level, seed).
+type ClusterSpec = mpisim.ClusterSpec
+
+// ClusterArtifact is the immutable, shareable part of a simulated cluster
+// run: the decomposition plus every rank's local mesh, Jacobian sparsity,
+// and symbolic ILU template. Build it once per rank count and run any
+// number of (possibly concurrent) SimulateClusterArtifact sweeps over it —
+// the artifact is the expensive part of SimulateCluster at scale.
+type ClusterArtifact = mpisim.Artifact
+
+// BuildClusterArtifact decomposes m per spec and precomputes every rank's
+// structural state.
+func BuildClusterArtifact(m *Mesh, spec ClusterSpec) (*ClusterArtifact, error) {
+	return mpisim.BuildArtifact(m, spec)
+}
+
+// SimulateClusterArtifact runs one simulated cluster solve over a prebuilt
+// artifact. cfg's structural fields must match the artifact's spec;
+// results are bit-identical to SimulateCluster on the same mesh and config.
+func SimulateClusterArtifact(art *ClusterArtifact, cfg ClusterConfig) (ClusterResult, error) {
+	return mpisim.SolveArtifact(art, cfg)
 }

@@ -61,6 +61,11 @@ type Options struct {
 	// it as a sanity check.
 	PFDist int
 
+	// Topology overrides the scaling campaign's interconnect hop model:
+	// "flat", "fattree", or "dragonfly" (empty = the campaign default,
+	// fattree).
+	Topology string
+
 	// Quick shrinks everything for CI-style runs.
 	Quick bool
 }
@@ -144,6 +149,7 @@ var registry = map[string]func(*Options) error{
 	"overlap":           overlap,
 	"quick":             quick,
 	"allreduce-scaling": allreduceScaling,
+	"scaling":           scaling,
 	"faults":            faults,
 	"locality":          locality,
 	"precond":           precondExp,
@@ -159,7 +165,7 @@ func Run(name string, opt Options) error {
 	if name == "all" {
 		for _, n := range []string{"table1", "table2", "fig5", "fig6a", "fig6b",
 			"fig7a", "fig7b", "fig8a", "fig8b", "fig9", "fig10", "fig11", "overlap",
-			"allreduce-scaling", "faults", "locality", "precond", "service", "quick"} {
+			"allreduce-scaling", "scaling", "faults", "locality", "precond", "service", "quick"} {
 			if err := Run(n, opt); err != nil {
 				return fmt.Errorf("%s: %w", n, err)
 			}

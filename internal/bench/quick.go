@@ -112,6 +112,34 @@ func quick(o *Options) error {
 	fmt.Fprintf(o.Out, "   fault mini-run: %d faults, %d restarts, %d recomputed steps\n",
 		rf.FaultsInjected, rf.Restarts, rf.RecomputedSteps)
 
+	// A scaling mini-sweep contributes the collective stage/hop counters
+	// behind the collective_stages_per_allreduce benchdiff gate: four ranks
+	// on two simulated nodes of a fat tree, one step per collective
+	// algorithm, on the same pinned synthetic rates as the fault mini-run —
+	// every stage and hop count is an exact function of (algo, topology,
+	// rank count), so the gate holds exactly across machines.
+	for _, algo := range []perfmodel.AllreduceAlgo{
+		perfmodel.AllreduceTree, perfmodel.AllreduceFlat, perfmodel.AllreduceHier,
+	} {
+		net := perfmodel.StampedeFatTree()
+		net.RanksPerNode = 2
+		net.Algo = algo
+		rs, err := mpisim.Solve(m, mpisim.Config{
+			Ranks:    4,
+			Natural:  true,
+			Rates:    faultRates(),
+			Net:      net,
+			MaxSteps: 1,
+			RelTol:   1e-30,
+			CFL0:     o.CFL0,
+			Seed:     11,
+		})
+		if err != nil {
+			return err
+		}
+		agg.Merge(rs.Metrics)
+	}
+
 	// A two-job service mini-run contributes the multi-solve counters and
 	// the Service batch clock. Both jobs run exactly 2 fixed steps, so the
 	// service_steps_per_job gate sees 2.0 on any machine.
@@ -139,6 +167,7 @@ func quick(o *Options) error {
 		"staged_steps":  2,
 		"dedup_steps":   1,
 		"ranks":         2,
+		"scaling_ranks": 4,
 		"cfl0":          o.CFL0,
 		"fault_seed":    uint64(7),
 		"service_jobs":  2,

@@ -1,0 +1,6 @@
+//go:build !race
+
+package mpisim
+
+// bigScaleRanks is the full 16k-rank acceptance scale.
+const bigScaleRanks = 16384

@@ -1,0 +1,8 @@
+//go:build race
+
+package mpisim
+
+// bigScaleRanks under the race detector: the runtime caps simultaneously
+// live goroutines at 8192 in race mode, so the smoke test runs at the
+// largest power of four that leaves headroom for the harness.
+const bigScaleRanks = 2048

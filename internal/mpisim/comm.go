@@ -144,6 +144,12 @@ type Rank struct {
 	BytesSent    int
 	Allreduces   int
 	BytesReduced int // Allreduce payload bytes contributed by this rank
+	// Collective structure (from perfmodel.CollectiveCost): message stages
+	// executed and switch hops traversed by this rank's collectives —
+	// deterministic functions of (algo, topology, placement, size), summed
+	// over calls.
+	AllreduceStages int
+	AllreduceHops   int
 }
 
 // NewRank returns the handle for rank id. Call exactly once per id.
@@ -222,7 +228,7 @@ func (r *Rank) Wait(req *Request) []float64 {
 		r.fp.check(r)
 	}
 	e := r.comm.boxes[r.id].get(req.from, req.tag)
-	ptp := r.comm.net.PtP(req.from, r.id, 8*len(e.data))
+	ptp := r.comm.net.PtP(req.from, r.id, r.comm.size, 8*len(e.data))
 	if r.fp != nil {
 		jitter := r.fp.ptpDelay(r.id, r.Clock, ptp)
 		ptp += jitter
@@ -263,6 +269,7 @@ type reducer struct {
 	slots   [2]struct { // completed generations, indexed by gen parity
 		result []float64
 		maxClk float64
+		cost   perfmodel.CollectiveCost
 	}
 }
 
@@ -331,6 +338,10 @@ func (r *Rank) Allreduce(vals []float64) []float64 {
 		slot := &red.slots[myGen%2]
 		slot.result = out
 		slot.maxClk = red.curMax
+		// The collective's cost is a pure function of (size, bytes, model);
+		// the last arriver computes it once per generation and every
+		// participant applies the same breakdown.
+		slot.cost = r.comm.net.AllreduceBreakdown(r.comm.size, 8*len(vals))
 		red.curMax = 0
 		red.count = 0
 		red.gen++
@@ -354,16 +365,19 @@ func (r *Rank) Allreduce(vals []float64) []float64 {
 	slot := &red.slots[myGen%2]
 	result := slot.result
 	maxClk := slot.maxClk
+	cost := slot.cost
 	red.mu.Unlock()
 
 	// All ranks leave at the synchronized time plus the collective cost.
-	done := maxClk + r.comm.net.Allreduce(r.comm.size, 8*len(vals))
+	done := maxClk + cost.Seconds
 	if done > r.Clock {
 		r.AllreduceTime += done - r.Clock
 		r.Clock = done
 	}
 	r.Allreduces++
 	r.BytesReduced += 8 * len(vals)
+	r.AllreduceStages += cost.Stages
+	r.AllreduceHops += cost.Hops
 	out := append([]float64(nil), result...)
 	return out
 }

@@ -1,0 +1,208 @@
+package mpisim
+
+import (
+	"runtime"
+	"sync"
+	"testing"
+
+	"fun3d/internal/mesh"
+	"fun3d/internal/perfmodel"
+)
+
+// An empty Flush must be a no-op: no collective issued, nil returned. The
+// count is pinned exactly — a regression that made the empty flush issue a
+// zero-length Allreduce would read 2 here (and desynchronize any rank pair
+// where only one side's queue happened to be empty).
+func TestReduceQueueEmptyFlushIssuesNoCollective(t *testing.T) {
+	const R = 2
+	c := NewComm(R, testNet())
+	var wg sync.WaitGroup
+	errs := make([]string, R)
+	for i := 0; i < R; i++ {
+		rk := c.NewRank(i)
+		wg.Add(1)
+		go func(i int, rk *Rank) {
+			defer wg.Done()
+			q := rk.NewReduceQueue()
+			if out := q.Flush(); out != nil {
+				errs[i] = "empty flush returned a payload"
+				return
+			}
+			q.Push(float64(i + 1))
+			out := q.Flush()
+			if len(out) != 1 || out[0] != 3 {
+				errs[i] = "flush payload wrong"
+				return
+			}
+			if out := q.Flush(); out != nil {
+				errs[i] = "second empty flush returned a payload"
+				return
+			}
+			if rk.Allreduces != 1 {
+				errs[i] = "collective count not exactly 1"
+			}
+		}(i, rk)
+	}
+	wg.Wait()
+	for i, e := range errs {
+		if e != "" {
+			t.Fatalf("rank %d: %s", i, e)
+		}
+	}
+}
+
+// Every participant of a collective books the same stage/hop breakdown,
+// and the counts match the cost model exactly: 4 ranks on 2 nodes of a
+// fat tree (nodes share a pod) give tree = 1 intra + 1 inter stage,
+// flat = 2(p-1) stages, hierarchical = 2 intra + 1 inter.
+func TestCollectiveStageHopBookkeeping(t *testing.T) {
+	cases := []struct {
+		algo         perfmodel.AllreduceAlgo
+		stages, hops int
+	}{
+		{perfmodel.AllreduceTree, 2, 1},
+		{perfmodel.AllreduceFlat, 6, 4},
+		{perfmodel.AllreduceHier, 3, 1},
+	}
+	const R, calls = 4, 3
+	for _, tc := range cases {
+		net := perfmodel.StampedeFatTree()
+		net.RanksPerNode = 2
+		net.Algo = tc.algo
+		if c := net.AllreduceBreakdown(R, 8); c.Stages != tc.stages || c.Hops != tc.hops {
+			t.Fatalf("%v: model gives %d stages %d hops, test expects %d/%d",
+				tc.algo, c.Stages, c.Hops, tc.stages, tc.hops)
+		}
+		c := NewComm(R, net)
+		ranks := make([]*Rank, R)
+		var wg sync.WaitGroup
+		for i := 0; i < R; i++ {
+			ranks[i] = c.NewRank(i)
+			wg.Add(1)
+			go func(rk *Rank) {
+				defer wg.Done()
+				for k := 0; k < calls; k++ {
+					rk.Allreduce([]float64{1})
+				}
+			}(ranks[i])
+		}
+		wg.Wait()
+		for i, rk := range ranks {
+			if rk.AllreduceStages != calls*tc.stages || rk.AllreduceHops != calls*tc.hops {
+				t.Fatalf("%v rank %d: booked %d stages %d hops, want %d/%d",
+					tc.algo, i, rk.AllreduceStages, rk.AllreduceHops,
+					calls*tc.stages, calls*tc.hops)
+			}
+		}
+	}
+}
+
+// SolveArtifact over a shared artifact — including two solves running
+// concurrently — must be bit-identical to Solve on the same mesh/config,
+// and a config whose structural fields disagree with the artifact must be
+// rejected.
+func TestArtifactReuseBitIdentical(t *testing.T) {
+	m, err := mesh.Generate(mesh.SpecTiny())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := Config{
+		Ranks: 4, Rates: testRates(), Net: testNet(),
+		MaxSteps: 2, RelTol: 1e-30, CFL0: 20, Seed: 11,
+	}
+	ref, err := Solve(m, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	art, err := BuildArtifact(m, ClusterSpec{Ranks: 4, Seed: 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var r1, r2 Result
+	var e1, e2 error
+	var wg sync.WaitGroup
+	wg.Add(2)
+	go func() { defer wg.Done(); r1, e1 = SolveArtifact(art, cfg) }()
+	go func() { defer wg.Done(); r2, e2 = SolveArtifact(art, cfg) }()
+	wg.Wait()
+	if e1 != nil || e2 != nil {
+		t.Fatal(e1, e2)
+	}
+	for _, r := range []Result{r1, r2} {
+		if len(r.History) != len(ref.History) {
+			t.Fatalf("history length %d vs %d", len(r.History), len(ref.History))
+		}
+		for i := range r.History {
+			if r.History[i] != ref.History[i] {
+				t.Fatalf("history[%d]: %v != %v (not bit-identical)", i, r.History[i], ref.History[i])
+			}
+		}
+		if r.Time != ref.Time || r.LinearIters != ref.LinearIters ||
+			r.Allreduces != ref.Allreduces || r.AllreduceStages != ref.AllreduceStages {
+			t.Fatalf("artifact run diverged: %+v vs %+v", r, ref)
+		}
+	}
+	bad := cfg
+	bad.Ranks = 8
+	if _, err := SolveArtifact(art, bad); err == nil {
+		t.Fatal("mismatched spec not rejected")
+	}
+}
+
+// TestBigScaleSmoke is the 16k-rank acceptance run (bigScaleRanks shrinks
+// under the race detector, which caps simultaneously-live goroutines):
+// one pseudo-time step over bigScaleRanks real ranks on the fat-tree
+// hierarchical collective, sharing one artifact's structure. Asserted
+// ceilings pin the per-rank memory fix — before structure sharing, per-rank
+// deep copies of the index structures made this configuration unrunnable.
+func TestBigScaleSmoke(t *testing.T) {
+	m, err := mesh.Generate(mesh.GenSpec{NX: 28, NY: 26, NZ: 24, Shuffle: true, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.NumVertices() < bigScaleRanks {
+		t.Fatalf("mesh too small: %d vertices for %d ranks", m.NumVertices(), bigScaleRanks)
+	}
+	baseGoroutines := runtime.NumGoroutine()
+	art, err := BuildArtifact(m, ClusterSpec{Ranks: bigScaleRanks, Natural: true, Seed: 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	runtime.GC()
+	var before runtime.MemStats
+	runtime.ReadMemStats(&before)
+
+	net := perfmodel.StampedeFatTree()
+	net.RanksPerNode = 16
+	net.Algo = perfmodel.AllreduceHier
+	res, err := SolveArtifact(art, Config{
+		Ranks: bigScaleRanks, Natural: true, Rates: testRates(), Net: net,
+		MaxSteps: 1, RelTol: 1e-30, CFL0: 20, Seed: 11,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Steps != 1 || res.Allreduces == 0 {
+		t.Fatalf("smoke run did no work: %+v", res)
+	}
+	wantStages := net.AllreduceBreakdown(bigScaleRanks, 8).Stages
+	if res.AllreduceStages != res.Allreduces*wantStages {
+		t.Fatalf("stage accounting: %d stages over %d collectives, want %d each",
+			res.AllreduceStages, res.Allreduces, wantStages)
+	}
+
+	// Post-run heap growth over the shared artifact stays bounded: the
+	// per-rank value arrays are the only O(ranks) state left alive.
+	runtime.GC()
+	var after runtime.MemStats
+	runtime.ReadMemStats(&after)
+	const heapCeiling = 1 << 30 // 1 GiB growth across the whole run
+	if after.HeapAlloc > before.HeapAlloc && after.HeapAlloc-before.HeapAlloc > heapCeiling {
+		t.Fatalf("heap grew %d MiB over the run (ceiling %d MiB)",
+			(after.HeapAlloc-before.HeapAlloc)>>20, heapCeiling>>20)
+	}
+	// All rank goroutines (and pool workers) must have exited.
+	if g := runtime.NumGoroutine(); g > baseGoroutines+64 {
+		t.Fatalf("goroutine leak: %d live, baseline %d", g, baseGoroutines)
+	}
+}

@@ -145,6 +145,12 @@ type Result struct {
 	Msgs       int
 	Bytes      int
 	Allreduces int
+	// AllreduceStages and AllreduceHops break the collectives down
+	// structurally: message stages executed and switch hops traversed,
+	// summed over calls (deterministic functions of the collective
+	// algorithm, topology, placement, and rank count).
+	AllreduceStages int
+	AllreduceHops   int
 
 	// Fault-injection accounting (zero on fault-free runs). NoiseTime is
 	// the per-rank average of injected straggler/jitter seconds, a subset
@@ -190,10 +196,16 @@ func (r Result) CommFraction() float64 {
 // agree on every reported number.
 func Solve(m *mesh.Mesh, cfg Config) (Result, error) {
 	cfg.defaults()
-	subs, err := Decompose(m, cfg.Ranks, cfg.Natural, cfg.Seed)
+	art, err := BuildArtifact(m, specOf(&cfg))
 	if err != nil {
 		return Result{}, err
 	}
+	return solve(art, cfg)
+}
+
+// solve is the supervisor loop shared by Solve and SolveArtifact; cfg has
+// defaults applied and matches art.Spec.
+func solve(art *Artifact, cfg Config) (Result, error) {
 	fp := newFaultPlan(&cfg)
 	var store *ckptStore
 	if fp.crashes() {
@@ -204,7 +216,7 @@ func Solve(m *mesh.Mesh, cfg Config) (Result, error) {
 	restarts, faults, recomputed := 0, 0, 0
 
 	for {
-		workers, results, err := runAttempt(subs, &cfg, fp, store, resume)
+		workers, results, err := runAttempt(art, &cfg, fp, store, resume)
 		if err != nil {
 			return Result{}, err
 		}
@@ -284,7 +296,7 @@ func Solve(m *mesh.Mesh, cfg Config) (Result, error) {
 // partial work past the checkpoint is abandoned — it is sampled at an
 // arbitrary abort point and would make the books racy; the recovery delay
 // models its cost instead). Worker pools are closed before return.
-func runAttempt(subs []*Subdomain, cfg *Config, fp *FaultPlan, store *ckptStore, resume float64) (workers []*worker, results []rankResult, err error) {
+func runAttempt(art *Artifact, cfg *Config, fp *FaultPlan, store *ckptStore, resume float64) (workers []*worker, results []rankResult, err error) {
 	comm := NewComm(cfg.Ranks, cfg.Net)
 	workers = make([]*worker, cfg.Ranks)
 	results = make([]rankResult, cfg.Ranks)
@@ -312,9 +324,11 @@ func runAttempt(subs []*Subdomain, cfg *Config, fp *FaultPlan, store *ckptStore,
 			rk.BytesSent = st.BytesSent
 			rk.Allreduces = st.Allreduces
 			rk.BytesReduced = st.BytesReduced
+			rk.AllreduceStages = st.AllreduceStages
+			rk.AllreduceHops = st.AllreduceHops
 		}
 		rk.Clock = resume
-		w, werr := newWorker(rk, subs[r], cfg)
+		w, werr := newWorker(rk, art, cfg)
 		if werr != nil {
 			return nil, nil, werr
 		}
@@ -373,8 +387,12 @@ func finish(cfg *Config, workers []*worker, results []rankResult, restarts, faul
 		out.Metrics.Merge(w.met)
 	}
 	out.Allreduces = workers[0].rank.Allreduces
+	out.AllreduceStages = workers[0].rank.AllreduceStages
+	out.AllreduceHops = workers[0].rank.AllreduceHops
 	out.Metrics.Inc(prof.AllreduceCalls, int64(workers[0].rank.Allreduces))
 	out.Metrics.Inc(prof.AllreduceBytes, int64(workers[0].rank.BytesReduced))
+	out.Metrics.Inc(prof.CollectiveStages, int64(out.AllreduceStages))
+	out.Metrics.Inc(prof.CollectiveHops, int64(out.AllreduceHops))
 	out.Metrics.Inc(prof.GMRESIters, int64(out.LinearIters))
 	out.Metrics.Inc(prof.NewtonSteps, int64(out.Steps))
 	n := float64(cfg.Ranks)
@@ -455,7 +473,13 @@ func (w *worker) compute(k prof.Kernel, seconds float64) {
 	w.met.Add(k, vdur(seconds))
 }
 
-func newWorker(rank *Rank, sub *Subdomain, cfg *Config) (*worker, error) {
+// newWorker builds rank `rank.id`'s solver state over the shared artifact.
+// The subdomain, local mesh, Jacobian sparsity, and ILU schedule are the
+// artifact's read-only templates; only the value arrays are per-worker
+// (structure-shared clones) — at 16384 ranks the index structure would
+// otherwise be rebuilt and duplicated per rank per attempt.
+func newWorker(rank *Rank, art *Artifact, cfg *Config) (*worker, error) {
+	sub := art.Subs[rank.id]
 	w := &worker{rank: rank, sub: sub, cfg: cfg, rates: cfg.Rates, met: &prof.Metrics{}}
 	w.vecRates = cfg.Rates
 	if cfg.VecRates != nil {
@@ -468,23 +492,13 @@ func newWorker(rank *Rank, sub *Subdomain, cfg *Config) (*worker, error) {
 	w.rp = make([]float64, nl)
 	w.qp = make([]float64, nl)
 	w.dt = make([]float64, sub.NOwned)
-	var err error
-	w.jac, err = sparse.NewBSRFromPattern(sub.JacRows)
-	if err != nil {
-		return nil, err
-	}
-	pat, err := sparse.SymbolicILU(w.jac, cfg.FillLevel)
-	if err != nil {
-		return nil, err
-	}
-	w.factor, err = sparse.NewFactorPattern(pat)
-	if err != nil {
-		return nil, err
-	}
+	w.jac = art.jacTmpl[rank.id].CloneStructure()
+	w.factor = art.facTmpl[rank.id].CloneStructure()
 	w.factor.EnableDedup(cfg.Dedup)
 	for v := 0; v < sub.NLocal; v++ {
 		copy(w.q[v*4:v*4+4], w.qInf[:])
 	}
+	w.lm = art.locals[rank.id]
 	if err := w.setupKernels(); err != nil {
 		return nil, err
 	}
@@ -493,11 +507,10 @@ func newWorker(rank *Rank, sub *Subdomain, cfg *Config) (*worker, error) {
 	return w, nil
 }
 
-// setupKernels builds the rank's view of the shared-memory stack: the
-// subdomain as a local mesh, the flux kernel set, and — for hybrid ranks —
-// the thread pool, owner-writes partition, and P2P solve schedule.
+// setupKernels builds the rank's view of the shared-memory stack: the flux
+// kernel set over the artifact's local mesh, and — for hybrid ranks — the
+// thread pool, owner-writes partition, and P2P solve schedule.
 func (w *worker) setupKernels() error {
-	w.lm = w.sub.LocalMesh()
 	nthreads := w.cfg.ThreadsPerRank
 	if nthreads < 1 {
 		nthreads = 1

@@ -1,0 +1,400 @@
+package perfmodel
+
+import "fmt"
+
+// Network is a LogGP-style interconnect model with an explicit rank-to-node
+// mapping and a switch-hop topology. Defaults approximate the paper's
+// Stampede fabric (Mellanox FDR InfiniBand, 2-level fat tree).
+//
+// The zero values of the topology fields reproduce the topology-blind model
+// earlier revisions used: TopoFlat charges every inter-node message the same
+// base Latency (HopLatency only matters on multi-hop topologies), and
+// PlaceBlock is the contiguous rank-to-node mapping.
+type Network struct {
+	Latency      float64 // seconds per inter-node point-to-point message (one switch)
+	Bandwidth    float64 // bytes/sec per node link (NIC)
+	RanksPerNode int     // ranks sharing a node (intra-node messages are cheaper)
+	IntraLatency float64 // seconds for intra-node messages
+
+	// IntraBandwidth is the shared-memory bandwidth intra-node collective
+	// stages move payload at (0 = fall back to Bandwidth).
+	IntraBandwidth float64
+
+	// Algo selects the Allreduce cost model (default AllreduceTree).
+	Algo AllreduceAlgo
+
+	// Topo selects the switch topology hops are counted on (default
+	// TopoFlat: every node pair is one switch apart).
+	Topo Topology
+	// PodSize is the fat-tree pod width in nodes: pairs within a pod cross
+	// one leaf switch, pairs across pods go leaf-spine-leaf (0 = 16).
+	PodSize int
+	// GroupSize is the dragonfly group width in nodes: pairs within a group
+	// cross one local switch, pairs across groups go local-global-local
+	// (0 = 16).
+	GroupSize int
+	// HopLatency is the extra latency per switch hop beyond the first (the
+	// base Latency already includes one traversal). 0 keeps multi-hop
+	// messages at the base latency — the topology-blind behavior.
+	HopLatency float64
+
+	// Place maps ranks to nodes (default PlaceBlock).
+	Place Placement
+}
+
+// AllreduceAlgo selects the collective algorithm whose cost the Allreduce
+// model charges. The numerics are unaffected (the simulator always reduces
+// deterministically in rank order); only the virtual time differs — which
+// is the point of the Fig 10/11 Allreduce-wall experiment.
+type AllreduceAlgo int
+
+const (
+	// AllreduceTree is recursive doubling: ceil(log2 p) exchange stages in
+	// a single combined phase, the classic MPI implementation and the
+	// default. Stages whose partners share a node are cheap; inter-node
+	// stages contend for the node link (every rank on the node exchanges
+	// off-node simultaneously), which is what the hierarchical algorithm
+	// removes.
+	AllreduceTree AllreduceAlgo = iota
+	// AllreduceFlat is the naive linear algorithm: every rank sends to a
+	// root which then broadcasts, costing O(p) latency phases. It models
+	// the worst-case collective the paper's Allreduce wall extrapolates
+	// from, and makes the latency term's growth with p visible at small
+	// scales.
+	AllreduceFlat
+	// AllreduceHier is the SMP-aware hierarchical algorithm: ranks on a
+	// node combine through one shared-memory reduction stage, one leader
+	// per node runs uncontended inter-node recursive doubling, and a final
+	// shared-memory stage publishes the result node-locally. Two intra
+	// stages regardless of node width, and no NIC contention — the
+	// mixed-mode recovery the PETSc strong-scaling literature reports when
+	// flat-MPI collectives collapse.
+	AllreduceHier
+)
+
+// String names the algorithm for reports and flag values.
+func (a AllreduceAlgo) String() string {
+	switch a {
+	case AllreduceFlat:
+		return "flat"
+	case AllreduceHier:
+		return "hierarchical"
+	default:
+		return "tree"
+	}
+}
+
+// ParseAllreduce parses "tree", "flat", or "hierarchical" ("hier").
+func ParseAllreduce(s string) (AllreduceAlgo, error) {
+	switch s {
+	case "tree":
+		return AllreduceTree, nil
+	case "flat":
+		return AllreduceFlat, nil
+	case "hierarchical", "hier":
+		return AllreduceHier, nil
+	}
+	return 0, fmt.Errorf("perfmodel: unknown allreduce algorithm %q (want tree, flat, or hierarchical)", s)
+}
+
+// Topology selects the switch graph node-to-node hop counts are derived
+// from.
+type Topology int
+
+const (
+	// TopoFlat is a single-switch crossbar: every node pair is one hop.
+	TopoFlat Topology = iota
+	// TopoFatTree is a two-level fat tree: nodes within a pod share a leaf
+	// switch (1 hop); cross-pod pairs go leaf-spine-leaf (3 hops).
+	TopoFatTree
+	// TopoDragonfly is a dragonfly: nodes within a group share a local
+	// switch (1 hop); cross-group pairs go local-global-local (3 hops).
+	TopoDragonfly
+)
+
+// String names the topology for reports and flag values.
+func (t Topology) String() string {
+	switch t {
+	case TopoFatTree:
+		return "fattree"
+	case TopoDragonfly:
+		return "dragonfly"
+	default:
+		return "flat"
+	}
+}
+
+// ParseTopology parses "flat", "fattree" ("fat-tree"), or "dragonfly".
+func ParseTopology(s string) (Topology, error) {
+	switch s {
+	case "flat":
+		return TopoFlat, nil
+	case "fattree", "fat-tree":
+		return TopoFatTree, nil
+	case "dragonfly":
+		return TopoDragonfly, nil
+	}
+	return 0, fmt.Errorf("perfmodel: unknown topology %q (want flat, fattree, or dragonfly)", s)
+}
+
+// Placement maps ranks onto nodes.
+type Placement int
+
+const (
+	// PlaceBlock fills nodes contiguously: rank r lives on node
+	// r/RanksPerNode (the MPI default and the paper's configuration).
+	PlaceBlock Placement = iota
+	// PlaceRoundRobin deals ranks across nodes cyclically: rank r lives on
+	// node r mod nodes(p). Neighboring ranks land on different nodes, so
+	// the low recursive-doubling stages — cheap under block placement —
+	// cross the fabric.
+	PlaceRoundRobin
+)
+
+// String names the placement for reports and flag values.
+func (p Placement) String() string {
+	if p == PlaceRoundRobin {
+		return "roundrobin"
+	}
+	return "block"
+}
+
+// ParsePlacement parses "block" or "roundrobin" ("rr").
+func ParsePlacement(s string) (Placement, error) {
+	switch s {
+	case "block":
+		return PlaceBlock, nil
+	case "roundrobin", "rr":
+		return PlaceRoundRobin, nil
+	}
+	return 0, fmt.Errorf("perfmodel: unknown placement %q (want block or roundrobin)", s)
+}
+
+// Stampede returns the default fabric parameters: ~2.5 us MPI latency,
+// ~6 GB/s effective per-node link bandwidth, ~25 GB/s shared-memory
+// bandwidth, 16 ranks per node.
+func Stampede() Network {
+	return Network{
+		Latency: 2.5e-6, Bandwidth: 6e9, RanksPerNode: 16,
+		IntraLatency: 0.6e-6, IntraBandwidth: 25e9,
+	}
+}
+
+// StampedeFatTree returns the Stampede parameters on an explicit two-level
+// fat tree: 16-node pods, with cross-pod messages paying two extra switch
+// traversals at ~1 us each — the configuration the 16k-rank scaling
+// campaign runs on.
+func StampedeFatTree() Network {
+	n := Stampede()
+	n.Topo = TopoFatTree
+	n.PodSize = 16
+	n.HopLatency = 1.0e-6
+	return n
+}
+
+func (n Network) ranksPerNode() int {
+	if n.RanksPerNode < 1 {
+		return 1
+	}
+	return n.RanksPerNode
+}
+
+func (n Network) intraBandwidth() float64 {
+	if n.IntraBandwidth > 0 {
+		return n.IntraBandwidth
+	}
+	return n.Bandwidth
+}
+
+func (n Network) podSize() int {
+	if n.PodSize < 1 {
+		return 16
+	}
+	return n.PodSize
+}
+
+func (n Network) groupSize() int {
+	if n.GroupSize < 1 {
+		return 16
+	}
+	return n.GroupSize
+}
+
+// Nodes returns the node count a communicator of p ranks occupies.
+func (n Network) Nodes(p int) int {
+	r := n.ranksPerNode()
+	return (p + r - 1) / r
+}
+
+// NodeOf maps a rank to its node under the configured placement; p is the
+// communicator size (round-robin placement needs it to know the node
+// count).
+func (n Network) NodeOf(rank, p int) int {
+	if n.Place == PlaceRoundRobin {
+		return rank % n.Nodes(p)
+	}
+	return rank / n.ranksPerNode()
+}
+
+// Hops returns the switch traversals between two nodes on the configured
+// topology: 0 on the same node, 1 across one switch, 3 for
+// leaf-spine-leaf / local-global-local routes.
+func (n Network) Hops(a, b int) int {
+	if a == b {
+		return 0
+	}
+	switch n.Topo {
+	case TopoFatTree:
+		if a/n.podSize() == b/n.podSize() {
+			return 1
+		}
+		return 3
+	case TopoDragonfly:
+		if a/n.groupSize() == b/n.groupSize() {
+			return 1
+		}
+		return 3
+	default:
+		return 1
+	}
+}
+
+// interLatency is the latency of one inter-node message over the given
+// switch-hop count: the base Latency covers the first switch, HopLatency
+// each one beyond it.
+func (n Network) interLatency(hops int) float64 {
+	if hops < 1 {
+		hops = 1
+	}
+	return n.Latency + float64(hops-1)*n.HopLatency
+}
+
+// PtP returns the modeled time for one point-to-point message of the given
+// size between two ranks of a p-rank communicator. Same-node pairs pay the
+// shared-memory latency; inter-node pairs pay the base latency plus the
+// topology's extra switch hops.
+func (n Network) PtP(from, to, p, bytes int) float64 {
+	a, b := n.NodeOf(from, p), n.NodeOf(to, p)
+	lat := n.IntraLatency
+	if a != b {
+		lat = n.interLatency(n.Hops(a, b))
+	}
+	return lat + float64(bytes)/n.Bandwidth
+}
+
+// CollectiveCost is one collective's modeled cost with its structural
+// breakdown: message stages executed (intra- plus inter-node) and switch
+// hops traversed by the inter-node stages. Stages and Hops are exact
+// functions of (algo, topology, placement, p), so derived per-collective
+// rates hold exactly across machines.
+type CollectiveCost struct {
+	Seconds float64
+	Stages  int
+	Hops    int
+}
+
+// Allreduce returns the modeled time of an allreduce over p ranks of the
+// given payload — the term the paper identifies as the Krylov scaling
+// bottleneck ("90%+ of the communication overhead").
+func (n Network) Allreduce(p, bytes int) float64 {
+	return n.AllreduceBreakdown(p, bytes).Seconds
+}
+
+// AllreduceBreakdown returns the modeled cost of an allreduce over p ranks
+// with its stage/hop breakdown under the configured algorithm, topology,
+// and placement. One rank (or fewer) costs nothing.
+func (n Network) AllreduceBreakdown(p, bytes int) CollectiveCost {
+	if p <= 1 {
+		return CollectiveCost{}
+	}
+	switch n.Algo {
+	case AllreduceFlat:
+		return n.allreduceFlat(p, bytes)
+	case AllreduceHier:
+		return n.allreduceHier(p, bytes)
+	default:
+		return n.allreduceTree(p, bytes)
+	}
+}
+
+// allreduceTree models single-phase recursive doubling: ceil(log2 p)
+// pairwise exchange stages, each moving the full payload both ways
+// simultaneously, after which every rank holds the result — there is no
+// separate broadcast phase (the double-count an earlier revision charged).
+// Rank 0's partner chain is the cost representative: for power-of-two p
+// every rank's schedule is structurally identical, and the simulator
+// synchronizes all ranks on one collective cost anyway. Stages whose
+// partner shares rank 0's node run at shared-memory cost; inter-node
+// stages pay the topology's hop latency plus an r-fold NIC-contention
+// bandwidth term — all r ranks of a node exchange off-node payload through
+// one link in those stages.
+func (n Network) allreduceTree(p, bytes int) CollectiveCost {
+	var c CollectiveCost
+	b := float64(bytes)
+	cont := float64(min(n.ranksPerNode(), p))
+	home := n.NodeOf(0, p)
+	for s := 1; s < p; s <<= 1 {
+		c.Stages++
+		partner := n.NodeOf(s, p)
+		if partner == home {
+			c.Seconds += n.IntraLatency + b/n.intraBandwidth()
+			continue
+		}
+		h := n.Hops(home, partner)
+		c.Hops += h
+		c.Seconds += n.interLatency(h) + cont*b/n.Bandwidth
+	}
+	return c
+}
+
+// allreduceFlat models a linear reduce-to-root followed by a linear
+// broadcast: the root handles p-1 messages each way, serialized. Peers on
+// the root's node pay intra-node latency; the rest pay the hop-dependent
+// fabric latency. The O(p) latency term is what makes this algorithm
+// collapse at scale, in contrast with the tree's O(log p).
+func (n Network) allreduceFlat(p, bytes int) CollectiveCost {
+	var c CollectiveCost
+	home := n.NodeOf(0, p)
+	t := 0.0
+	for q := 1; q < p; q++ {
+		node := n.NodeOf(q, p)
+		if node == home {
+			t += n.IntraLatency
+			continue
+		}
+		h := n.Hops(home, node)
+		c.Hops += h
+		t += n.interLatency(h)
+	}
+	t += float64(p-1) * float64(bytes) / n.Bandwidth
+	c.Seconds = 2 * t // gather + broadcast phases
+	c.Stages = 2 * (p - 1)
+	c.Hops *= 2
+	return c
+}
+
+// allreduceHier models the SMP-aware hierarchical algorithm. Up: every
+// rank deposits its contribution in node-shared memory and the node leader
+// combines them — one intra stage whose bandwidth term reads r payloads
+// through the shared-memory system, not log2(r) message exchanges. Across:
+// the leaders (one per node, so the node link is uncontended) run
+// recursive doubling over node IDs, paying per-stage hop latency. Down:
+// the leader publishes and r ranks read — the second intra stage.
+func (n Network) allreduceHier(p, bytes int) CollectiveCost {
+	var c CollectiveCost
+	b := float64(bytes)
+	r := min(n.ranksPerNode(), p)
+	intra := n.IntraLatency + float64(r)*b/n.intraBandwidth()
+	c.Seconds += intra // up: shared reduction into the leader
+	c.Stages++
+	nodes := n.Nodes(p)
+	for s := 1; s < nodes; s <<= 1 {
+		h := n.Hops(0, s)
+		c.Hops += h
+		c.Seconds += n.interLatency(h) + b/n.Bandwidth
+		c.Stages++
+	}
+	c.Seconds += intra // down: node-local publication
+	c.Stages++
+	return c
+}

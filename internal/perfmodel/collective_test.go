@@ -1,0 +1,215 @@
+package perfmodel
+
+import (
+	"fmt"
+	"testing"
+)
+
+// collectiveNets enumerates the model matrix the property tests sweep:
+// every algorithm on every topology under both placements.
+func collectiveNets() []Network {
+	var nets []Network
+	for _, algo := range []AllreduceAlgo{AllreduceTree, AllreduceFlat, AllreduceHier} {
+		for _, topo := range []Topology{TopoFlat, TopoFatTree, TopoDragonfly} {
+			for _, place := range []Placement{PlaceBlock, PlaceRoundRobin} {
+				n := StampedeFatTree()
+				n.Algo = algo
+				n.Topo = topo
+				n.Place = place
+				nets = append(nets, n)
+			}
+		}
+	}
+	return nets
+}
+
+func netName(n Network) string {
+	return fmt.Sprintf("%v/%v/%v", n.Algo, n.Topo, n.Place)
+}
+
+func TestAllreduceTrivialCommunicatorIsFree(t *testing.T) {
+	for _, n := range collectiveNets() {
+		for _, p := range []int{-1, 0, 1} {
+			c := n.AllreduceBreakdown(p, 1024)
+			if c.Seconds != 0 || c.Stages != 0 || c.Hops != 0 {
+				t.Fatalf("%s: p=%d should be free, got %+v", netName(n), p, c)
+			}
+		}
+	}
+}
+
+// Cost must not decrease as the communicator doubles: the property is weak
+// (hierarchical cost is flat while extra ranks fill existing nodes) but
+// must hold for every algorithm, topology, and placement.
+func TestAllreduceMonotoneInRanks(t *testing.T) {
+	for _, n := range collectiveNets() {
+		prev := 0.0
+		for p := 2; p <= 1<<14; p *= 2 {
+			c := n.Allreduce(p, 8)
+			if c < prev {
+				t.Fatalf("%s: cost decreased at p=%d: %v < %v", netName(n), p, c, prev)
+			}
+			if c <= 0 {
+				t.Fatalf("%s: non-positive cost at p=%d: %v", netName(n), p, c)
+			}
+			prev = c
+		}
+	}
+}
+
+func TestAllreduceMonotoneInBytes(t *testing.T) {
+	for _, n := range collectiveNets() {
+		for _, p := range []int{2, 17, 64, 4096} {
+			prev := n.Allreduce(p, 8)
+			for _, bytes := range []int{64, 1 << 12, 1 << 20} {
+				c := n.Allreduce(p, bytes)
+				if c < prev {
+					t.Fatalf("%s: p=%d cost decreased with payload %d: %v < %v",
+						netName(n), p, bytes, c, prev)
+				}
+				prev = c
+			}
+		}
+	}
+}
+
+// Beyond one node the hierarchical algorithm must never lose to the flat
+// linear one: two shared-memory stages plus log(nodes) uncontended
+// exchanges against 2(p-1) serialized latencies.
+func TestHierarchicalBeatsFlatBeyondOneNode(t *testing.T) {
+	for _, topo := range []Topology{TopoFlat, TopoFatTree, TopoDragonfly} {
+		hier := StampedeFatTree()
+		hier.Topo = topo
+		hier.Algo = AllreduceHier
+		flat := hier
+		flat.Algo = AllreduceFlat
+		for _, p := range []int{17, 32, 256, 4096, 16384} {
+			for _, bytes := range []int{8, 1 << 12} {
+				h, f := hier.Allreduce(p, bytes), flat.Allreduce(p, bytes)
+				if h > f {
+					t.Fatalf("topo %v: hierarchical %v > flat %v at p=%d bytes=%d",
+						topo, h, f, p, bytes)
+				}
+			}
+		}
+	}
+}
+
+// Stage counts are exact structural functions of (algo, p, nodes).
+func TestAllreduceStageCounts(t *testing.T) {
+	n := StampedeFatTree()
+	n.RanksPerNode = 16
+	log2ceil := func(v int) int {
+		s := 0
+		for x := 1; x < v; x <<= 1 {
+			s++
+		}
+		return s
+	}
+	for _, p := range []int{2, 3, 16, 17, 64, 1000, 4096, 16384} {
+		n.Algo = AllreduceTree
+		if got, want := n.AllreduceBreakdown(p, 8).Stages, log2ceil(p); got != want {
+			t.Fatalf("tree p=%d: %d stages, want %d", p, got, want)
+		}
+		n.Algo = AllreduceFlat
+		if got, want := n.AllreduceBreakdown(p, 8).Stages, 2*(p-1); got != want {
+			t.Fatalf("flat p=%d: %d stages, want %d", p, got, want)
+		}
+		n.Algo = AllreduceHier
+		if got, want := n.AllreduceBreakdown(p, 8).Stages, 2+log2ceil(n.Nodes(p)); got != want {
+			t.Fatalf("hier p=%d: %d stages, want %d", p, got, want)
+		}
+	}
+}
+
+func TestTopologyHops(t *testing.T) {
+	n := StampedeFatTree() // 16-node pods
+	if h := n.Hops(3, 3); h != 0 {
+		t.Fatalf("same node: %d hops", h)
+	}
+	if h := n.Hops(0, 15); h != 1 {
+		t.Fatalf("fat-tree same pod: %d hops, want 1", h)
+	}
+	if h := n.Hops(0, 16); h != 3 {
+		t.Fatalf("fat-tree cross pod: %d hops, want 3 (leaf-spine-leaf)", h)
+	}
+	n.Topo = TopoDragonfly
+	n.GroupSize = 8
+	if h := n.Hops(1, 7); h != 1 {
+		t.Fatalf("dragonfly same group: %d hops, want 1", h)
+	}
+	if h := n.Hops(1, 9); h != 3 {
+		t.Fatalf("dragonfly cross group: %d hops, want 3 (local-global-local)", h)
+	}
+	n.Topo = TopoFlat
+	if h := n.Hops(0, 500); h != 1 {
+		t.Fatalf("flat crossbar: %d hops, want 1", h)
+	}
+}
+
+// Extra switch hops must surface as extra point-to-point latency, and a
+// zero HopLatency must reproduce the topology-blind behavior.
+func TestHopLatencyAffectsPtP(t *testing.T) {
+	n := StampedeFatTree()
+	const p = 1 << 10
+	samePod := n.PtP(0, 16*n.RanksPerNode-1, p, 100) // last rank of pod 0
+	crossPod := n.PtP(0, 16*n.RanksPerNode, p, 100)  // first rank of pod 1
+	if crossPod <= samePod {
+		t.Fatalf("cross-pod PtP %v not dearer than same-pod %v", crossPod, samePod)
+	}
+	if diff, want := crossPod-samePod, 2*n.HopLatency; diff < want-1e-12 || diff > want+1e-12 {
+		t.Fatalf("cross-pod premium %v, want two extra hops = %v", diff, want)
+	}
+	n.HopLatency = 0
+	if a, b := n.PtP(0, 16*n.RanksPerNode, p, 100), n.PtP(0, n.RanksPerNode, p, 100); a != b {
+		t.Fatalf("zero HopLatency should be topology-blind: %v != %v", a, b)
+	}
+}
+
+// Round-robin placement spreads neighboring ranks across nodes, so the
+// cheap low-order recursive-doubling stages cross the fabric: tree cost
+// under round-robin must be at least the block-placement cost.
+func TestRoundRobinPlacement(t *testing.T) {
+	n := Stampede()
+	const p = 64
+	if got := n.NodeOf(17, p); got != 1 {
+		t.Fatalf("block: rank 17 on node %d, want 1", got)
+	}
+	n.Place = PlaceRoundRobin
+	if nodes := n.Nodes(p); nodes != 4 {
+		t.Fatalf("64 ranks / 16 per node = %d nodes, want 4", nodes)
+	}
+	if got := n.NodeOf(17, p); got != 1 {
+		t.Fatalf("round-robin: rank 17 on node %d, want 17 mod 4 = 1", got)
+	}
+	if got := n.NodeOf(4, p); got != 0 {
+		t.Fatalf("round-robin: rank 4 on node %d, want 0", got)
+	}
+	block := Stampede()
+	for _, bytes := range []int{8, 1 << 12} {
+		rr, bl := n.Allreduce(p, bytes), block.Allreduce(p, bytes)
+		// At p=64 both placements see the same stage mix in a different
+		// order, so allow summation-order noise in the comparison.
+		if rr < bl*(1-1e-12) {
+			t.Fatalf("round-robin tree %v cheaper than block %v at %d bytes", rr, bl, bytes)
+		}
+	}
+}
+
+// The tree model is a single combined phase: its cost must stay below the
+// old double-counted formulation's 2x and, at tiny payloads, be dominated
+// by per-stage latencies alone.
+func TestTreeSinglePhaseCost(t *testing.T) {
+	n := Stampede() // flat topology: every inter-node stage is one hop
+	const p = 4096  // 4 intra + 8 inter stages at 16 ranks/node
+	c := n.AllreduceBreakdown(p, 8)
+	latOnly := 4*n.IntraLatency + 8*n.Latency
+	if c.Seconds < latOnly {
+		t.Fatalf("tree cost %v below its own latency floor %v", c.Seconds, latOnly)
+	}
+	// The bandwidth term at 8 bytes is tiny; anything near 2x the latency
+	// floor means a phase is being double-charged.
+	if c.Seconds > 1.5*latOnly {
+		t.Fatalf("tree cost %v looks double-counted (latency floor %v)", c.Seconds, latOnly)
+	}
+}

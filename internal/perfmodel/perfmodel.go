@@ -303,106 +303,6 @@ func StreamTriad(pool *par.Pool, elems int) float64 {
 	return float64(elems) * 3 * 8 / best
 }
 
-// Network is a LogGP-style interconnect model. Defaults approximate the
-// paper's Stampede fabric (Mellanox FDR InfiniBand, 2-level fat tree).
-type Network struct {
-	Latency      float64 // seconds per point-to-point message
-	Bandwidth    float64 // bytes/sec per link
-	RanksPerNode int     // ranks sharing a node (intra-node messages are cheaper)
-	IntraLatency float64 // seconds for intra-node messages
-
-	// Algo selects the Allreduce cost model (default AllreduceTree).
-	Algo AllreduceAlgo
-}
-
-// AllreduceAlgo selects the collective algorithm whose cost the Allreduce
-// model charges. The numerics are unaffected (the simulator always reduces
-// deterministically in rank order); only the virtual time differs — which
-// is the point of the Fig 10/11 Allreduce-wall experiment.
-type AllreduceAlgo int
-
-const (
-	// AllreduceTree is recursive doubling: 2*ceil(log2 p) latency phases,
-	// the classic MPI implementation and the default.
-	AllreduceTree AllreduceAlgo = iota
-	// AllreduceFlat is the naive linear algorithm: every rank sends to a
-	// root which then broadcasts, costing O(p) latency phases. It models
-	// the worst-case collective the paper's Allreduce wall extrapolates
-	// from, and makes the latency term's growth with p visible at small
-	// scales.
-	AllreduceFlat
-)
-
-// String names the algorithm for reports and flag values.
-func (a AllreduceAlgo) String() string {
-	switch a {
-	case AllreduceFlat:
-		return "flat"
-	default:
-		return "tree"
-	}
-}
-
-// Stampede returns the default fabric parameters: ~2.5 us MPI latency,
-// ~6 GB/s effective per-rank bandwidth, 16 ranks per node.
-func Stampede() Network {
-	return Network{Latency: 2.5e-6, Bandwidth: 6e9, RanksPerNode: 16, IntraLatency: 0.6e-6}
-}
-
-// PtP returns the modeled time for one point-to-point message of the given
-// size between the two ranks.
-func (n Network) PtP(from, to, bytes int) float64 {
-	lat := n.Latency
-	if n.RanksPerNode > 0 && from/n.RanksPerNode == to/n.RanksPerNode {
-		lat = n.IntraLatency
-	}
-	return lat + float64(bytes)/n.Bandwidth
-}
-
-// Allreduce returns the modeled time of an allreduce over p ranks of the
-// given payload: a recursive-doubling tree costs 2*ceil(log2 p) latency
-// phases plus bandwidth terms. This is the term the paper identifies as
-// the Krylov scaling bottleneck ("90%+ of the communication overhead").
-func (n Network) Allreduce(p, bytes int) float64 {
-	if p <= 1 {
-		return 0
-	}
-	if n.Algo == AllreduceFlat {
-		return n.allreduceFlat(p, bytes)
-	}
-	stages := 0
-	for s := 1; s < p; s <<= 1 {
-		stages++
-	}
-	// Stages within a node are cheap; stages crossing nodes pay full
-	// latency. With r ranks/node, log2(r) stages stay local.
-	local := 0
-	if n.RanksPerNode > 1 {
-		for s := 1; s < n.RanksPerNode && s < p; s <<= 1 {
-			local++
-		}
-	}
-	remote := stages - local
-	t := float64(local)*n.IntraLatency + float64(remote)*n.Latency
-	t += 2 * float64(stages) * float64(bytes) / n.Bandwidth
-	return 2 * t // reduce + broadcast phases
-}
-
-// allreduceFlat models a linear reduce-to-root followed by a linear
-// broadcast: the root handles p-1 messages each way, serialized. Peers on
-// the root's node pay intra-node latency; the rest pay the full fabric
-// latency. The O(p) latency term is what makes this algorithm collapse at
-// scale, in contrast with the tree's O(log p).
-func (n Network) allreduceFlat(p, bytes int) float64 {
-	intra := 0
-	if n.RanksPerNode > 1 {
-		intra = n.RanksPerNode - 1
-		if intra > p-1 {
-			intra = p - 1
-		}
-	}
-	remote := (p - 1) - intra
-	t := float64(intra)*n.IntraLatency + float64(remote)*n.Latency
-	t += float64(p-1) * float64(bytes) / n.Bandwidth
-	return 2 * t // gather + broadcast phases
-}
+// The Network interconnect model — topology, rank placement, and the
+// collective cost models (tree, flat, SMP-aware hierarchical) — lives in
+// collective.go.

@@ -75,12 +75,12 @@ func TestStreamTriad(t *testing.T) {
 
 func TestNetworkPtP(t *testing.T) {
 	n := Stampede()
-	intra := n.PtP(0, 1, 1000)  // same node
-	inter := n.PtP(0, 16, 1000) // different node
+	intra := n.PtP(0, 1, 32, 1000)  // same node
+	inter := n.PtP(0, 16, 32, 1000) // different node
 	if intra >= inter {
 		t.Fatalf("intra-node %v should be cheaper than inter-node %v", intra, inter)
 	}
-	if big, small := n.PtP(0, 16, 1<<20), n.PtP(0, 16, 1); big <= small {
+	if big, small := n.PtP(0, 16, 32, 1<<20), n.PtP(0, 16, 32, 1); big <= small {
 		t.Fatal("bandwidth term missing")
 	}
 }

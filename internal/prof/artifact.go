@@ -145,6 +145,19 @@ func NewArtifact(experiment string, m *Metrics) *Artifact {
 			a.Rates["tile_staged_bytes_per_edge"] = float64(b) / float64(se)
 		}
 	}
+	// Collective structure per call: message stages (and switch hops) per
+	// simulated Allreduce. Both sides are exact functions of the collective
+	// algorithm, topology, placement, and rank count — never of machine
+	// speed — so benchdiff gates the stages rate exactly: a change means
+	// the collective cost model or its wiring changed, not the host.
+	if calls := m.Counter(AllreduceCalls); calls > 0 {
+		if s := m.Counter(CollectiveStages); s > 0 {
+			a.Rates["collective_stages_per_allreduce"] = float64(s) / float64(calls)
+		}
+		if h := m.Counter(CollectiveHops); h > 0 {
+			a.Rates["collective_hops_per_allreduce"] = float64(h) / float64(calls)
+		}
+	}
 	// Multi-solve service throughput. Jobs per second of batch wall clock
 	// is the headline figure but machine-dependent; steps per job is exact
 	// (service batches run fixed step counts), so it is the one benchdiff

@@ -83,6 +83,15 @@ const (
 	// the tile_staged_bytes_per_edge rate benchdiff gates on — both sides
 	// deterministic functions of the tiling.
 	StagedScatterBytes
+	// CollectiveStages counts the message stages executed by the simulated
+	// collectives (intra- plus inter-node; see
+	// perfmodel.CollectiveCost.Stages). Divided by AllreduceCalls it is the
+	// stages-per-collective figure benchdiff gates on — an exact function
+	// of (algorithm, topology, placement, rank count).
+	CollectiveStages
+	// CollectiveHops counts the switch hops traversed by the simulated
+	// collectives' inter-node stages (perfmodel.CollectiveCost.Hops).
+	CollectiveHops
 	numCounters
 )
 
@@ -138,6 +147,10 @@ func (c Counter) String() string {
 		return "staged_gather_bytes"
 	case StagedScatterBytes:
 		return "staged_scatter_bytes"
+	case CollectiveStages:
+		return "collective_stages"
+	case CollectiveHops:
+		return "collective_hops"
 	}
 	return fmt.Sprintf("Counter(%d)", int(c))
 }

@@ -151,6 +151,22 @@ func NewFactorPattern(rows [][]int32) (*Factor, error) {
 	return f, nil
 }
 
+// CloneStructure returns a factor that SHARES this one's symbolic work —
+// the BSR index structure (via BSR.CloneStructure) and the precomputed
+// elimination schedule, both read-only after construction — but owns fresh
+// zero values. Many solver instances over one decomposition each
+// factorize into a structure-shared clone, so the symbolic ILU and the
+// update schedule are computed once per subdomain, not once per attempt.
+// Dedup mode is per-clone: enable it on the clone if wanted.
+func (f *Factor) CloneStructure() *Factor {
+	return &Factor{
+		M:      f.M.CloneStructure(),
+		updPtr: f.updPtr,
+		updSrc: f.updSrc,
+		updDst: f.updDst,
+	}
+}
+
 // buildUpdateSchedule resolves, once, every (pivot, update) index pair the
 // numeric factorization will touch.
 func (f *Factor) buildUpdateSchedule() {
