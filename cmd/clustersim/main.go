@@ -42,7 +42,7 @@ func main() {
 		podSize  = flag.Int("pod-size", 16, "nodes per fat-tree leaf pod")
 		grpSize  = flag.Int("group-size", 16, "nodes per dragonfly group")
 		hopLat   = flag.Float64("hop-latency", 1.0e-6, "added latency per extra switch hop, seconds")
-		place    = flag.String("placement", "block", "rank-to-node placement: block, roundrobin")
+		place    = flag.String("placement", "block", "rank-to-node placement: block, roundrobin, locality (halo-graph-driven)")
 		gmres    = flag.String("gmres", "classical", "GMRES variant: classical, pipelined (one Allreduce per iteration)")
 		baseline = flag.Bool("baseline", false, "baseline kernel rates instead of optimized")
 		order    = flag.String("order", "rcm", "vertex ordering before decomposition: natural, rcm, morton, hilbert")
@@ -201,7 +201,14 @@ func main() {
 	fmt.Printf("  compute         %.4fs\n", res.ComputeTime)
 	fmt.Printf("  allreduce       %.4fs (%d collectives, %d stages, %d hops)\n",
 		res.AllreduceTime, res.Allreduces, res.AllreduceStages, res.AllreduceHops)
-	fmt.Printf("  point-to-point  %.4fs (%d msgs, %.1f MB)\n", res.PtPTime, res.Msgs, float64(res.Bytes)/1e6)
+	hopsPerMsg := 0.0
+	if res.Msgs > 0 {
+		hopsPerMsg = float64(res.PtPHops) / float64(res.Msgs)
+	}
+	fmt.Printf("  point-to-point  %.4fs (%d msgs, %.1f MB, %.2f hops/msg)\n",
+		res.PtPTime, res.Msgs, float64(res.Bytes)/1e6, hopsPerMsg)
+	fmt.Printf("  route books     cross-node %.1f MB, cross-pod %.1f MB\n",
+		float64(res.PtPCrossNodeBytes)/1e6, float64(res.PtPCrossPodBytes)/1e6)
 	fmt.Printf("communication fraction: %.1f%%\n", 100*res.CommFraction())
 	if *noise > 0 || *mtbf > 0 {
 		fmt.Printf("faults: %d injected, %d restarts, %d recomputed steps, %.4fs straggler noise/rank\n",

@@ -40,6 +40,7 @@ func main() {
 		gmres    = flag.String("gmres", "classical", "GMRES variant: classical, pipelined (one Allreduce per iteration)")
 		pfdist   = flag.Int("pfdist", 0, "flux prefetch lookahead distance in edges (0 = kernel default)")
 		topo     = flag.String("topology", "", "interconnect hop model for the scaling campaign: flat, fattree, dragonfly")
+		place    = flag.String("placement", "", "rank-to-node placement for the scaling campaign: block, roundrobin, locality (halo-graph-driven)")
 		scaleOpt = flag.Float64("scale", 1, "scale factor on the single-node mesh")
 		jsonOut  = flag.Bool("json", false, "write BENCH_<experiment>.json artifacts to the current directory")
 		jsonDir  = flag.String("json-dir", "", "directory for JSON artifacts (implies -json)")
@@ -61,6 +62,7 @@ func main() {
 		GMRES:        *gmres,
 		PFDist:       *pfdist,
 		Topology:     *topo,
+		Placement:    *place,
 	}
 	if *jsonDir != "" {
 		opt.JSONDir = *jsonDir

@@ -259,16 +259,19 @@ const (
 // ParseTopology parses "flat", "fattree"/"fat-tree" or "dragonfly".
 func ParseTopology(s string) (Topology, error) { return perfmodel.ParseTopology(s) }
 
-// Placement selects how ranks map to nodes: contiguous blocks or round-robin.
+// Placement selects how ranks map to nodes: contiguous blocks, round-robin,
+// or the graph-driven locality mapping (an explicit rank->node table built
+// from the decomposition's halo traffic graph).
 type Placement = perfmodel.Placement
 
 // The available rank placements.
 const (
 	PlaceBlock      = perfmodel.PlaceBlock
 	PlaceRoundRobin = perfmodel.PlaceRoundRobin
+	PlaceLocality   = perfmodel.PlaceLocality
 )
 
-// ParsePlacement parses "block", "roundrobin" or "rr".
+// ParsePlacement parses "block", "roundrobin"/"rr" or "locality".
 func ParsePlacement(s string) (Placement, error) { return perfmodel.ParsePlacement(s) }
 
 // CollectiveCost is a modeled collective's cost breakdown: seconds plus the

@@ -66,6 +66,12 @@ type Options struct {
 	// fattree).
 	Topology string
 
+	// Placement overrides the scaling campaign's rank→node mapping:
+	// "block", "roundrobin", or "locality" (empty = the campaign default,
+	// block). The placement experiment sweeps all three regardless — it IS
+	// the comparison.
+	Placement string
+
 	// Quick shrinks everything for CI-style runs.
 	Quick bool
 }
@@ -150,6 +156,7 @@ var registry = map[string]func(*Options) error{
 	"quick":             quick,
 	"allreduce-scaling": allreduceScaling,
 	"scaling":           scaling,
+	"placement":         placement,
 	"faults":            faults,
 	"locality":          locality,
 	"precond":           precondExp,
@@ -165,7 +172,7 @@ func Run(name string, opt Options) error {
 	if name == "all" {
 		for _, n := range []string{"table1", "table2", "fig5", "fig6a", "fig6b",
 			"fig7a", "fig7b", "fig8a", "fig8b", "fig9", "fig10", "fig11", "overlap",
-			"allreduce-scaling", "scaling", "faults", "locality", "precond", "service", "quick"} {
+			"allreduce-scaling", "scaling", "placement", "faults", "locality", "precond", "service", "quick"} {
 			if err := Run(n, opt); err != nil {
 				return fmt.Errorf("%s: %w", n, err)
 			}

@@ -22,8 +22,8 @@ func quickOpts(buf *strings.Builder) Options {
 
 func TestExperimentsRegistry(t *testing.T) {
 	names := Experiments()
-	if len(names) != 20 {
-		t.Fatalf("expected 20 experiments, got %v", names)
+	if len(names) != 21 {
+		t.Fatalf("expected 21 experiments, got %v", names)
 	}
 	if err := Run("nonsense", Options{Out: &strings.Builder{}}); err == nil {
 		t.Fatal("unknown experiment accepted")

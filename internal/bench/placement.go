@@ -1,0 +1,158 @@
+package bench
+
+import (
+	"fmt"
+
+	"fun3d/internal/mesh"
+	"fun3d/internal/mpisim"
+	"fun3d/internal/perfmodel"
+	"fun3d/internal/prof"
+)
+
+// placement reruns the scaling campaign's axes — the same mesh, rank
+// counts, pinned rates, and collective algorithms — across the three rank
+// placements: block, round-robin, and the graph-driven locality mapping
+// (partition.MapLocality over the decomposition's halo traffic graph).
+// Placement only moves virtual time and route classification, never
+// numerics, so the solver trajectory is bit-identical across all three —
+// enforced here, along with the acceptance bar that locality strictly
+// cuts modeled cross-pod halo bytes below both formulaic placements at
+// >= 1024 ranks on the fat tree. One artifact and one locality table are
+// built per rank count and shared across every combination.
+func placement(o *Options) error {
+	header(o, "Placement: rank->node mapping x collective algorithm at scale",
+		"the mixed-mode strong-scaling regime (Lange et al.): once on-node traffic is optimized the halo network term dominates, and it is priced by where neighboring subdomains land on the fabric")
+
+	rates := scalingRates()
+	net, err := scalingNet(o)
+	if err != nil {
+		return err
+	}
+
+	rankCounts := scalingRanks
+	spec := mesh.GenSpec{NX: 28, NY: 26, NZ: 24, Shuffle: true, Seed: 7}
+	if o.Quick {
+		rankCounts = scalingQuickRanks
+		spec = mesh.SpecTiny()
+		// Shrink the node/pod geometry with the mesh: 16 ranks on the full
+		// campaign's 16-per-node nodes would be a single node with nothing
+		// to place.
+		net.RanksPerNode = 4
+		net.PodSize = 2
+	}
+	m, err := mesh.Generate(spec)
+	if err != nil {
+		return err
+	}
+
+	placements := []perfmodel.Placement{
+		perfmodel.PlaceBlock, perfmodel.PlaceRoundRobin, perfmodel.PlaceLocality,
+	}
+	algos := []perfmodel.AllreduceAlgo{
+		perfmodel.AllreduceFlat, perfmodel.AllreduceTree, perfmodel.AllreduceHier,
+	}
+
+	w := table(o)
+	fmt.Fprintln(w, "ranks\tnodes\tallreduce\tplacement\ttime\thops/msg\tcross-node MB\tcross-pod MB")
+	agg := &prof.Metrics{}
+	series := map[string][]float64{}
+	for _, p := range rankCounts {
+		art, err := mpisim.BuildArtifact(m, mpisim.ClusterSpec{Ranks: p, Natural: true, Seed: 11})
+		if err != nil {
+			return err
+		}
+		// One locality table per rank count, shared across the collective
+		// algorithms (the mapping depends only on the traffic graph and the
+		// fabric geometry, not on the collective).
+		locTable, err := mpisim.LocalityTable(art.Subs, net)
+		if err != nil {
+			return err
+		}
+		crossPod := map[perfmodel.Placement]int{}
+		for _, algo := range algos {
+			var ref mpisim.Result
+			for pi, place := range placements {
+				cfg := scalingConfig(o, p, rates, net)
+				cfg.Net.Algo = algo
+				cfg.Net.Place = place
+				if place == perfmodel.PlaceLocality {
+					cfg.Net.NodeTable = locTable
+				}
+				r, err := mpisim.SolveArtifact(art, cfg)
+				if err != nil {
+					return err
+				}
+				if pi == 0 {
+					ref = r
+				} else if !sameTrajectory(r, ref) {
+					return fmt.Errorf("placement: %d ranks %v: %v placement changed the solver trajectory", p, algo, place)
+				}
+				hopsPerMsg := 0.0
+				if r.Msgs > 0 {
+					hopsPerMsg = float64(r.PtPHops) / float64(r.Msgs)
+				}
+				fmt.Fprintf(w, "%d\t%d\t%s\t%s\t%.4fs\t%.2f\t%.2f\t%.2f\n",
+					p, net.Nodes(p), algo, place, r.Time, hopsPerMsg,
+					float64(r.PtPCrossNodeBytes)/1e6, float64(r.PtPCrossPodBytes)/1e6)
+				key := algo.String() + "_" + place.String()
+				series["time_"+key] = append(series["time_"+key], r.Time)
+				// The route books depend only on the placement, not the
+				// collective algorithm — record them once per placement.
+				if algo == algos[0] {
+					pk := place.String()
+					series["hops_per_msg_"+pk] = append(series["hops_per_msg_"+pk], hopsPerMsg)
+					series["cross_node_bytes_"+pk] = append(series["cross_node_bytes_"+pk], float64(r.PtPCrossNodeBytes))
+					series["cross_pod_bytes_"+pk] = append(series["cross_pod_bytes_"+pk], float64(r.PtPCrossPodBytes))
+					crossPod[place] = r.PtPCrossPodBytes
+				}
+				agg.Merge(r.Metrics)
+			}
+		}
+		// The acceptance bar: at campaign scale on the fat tree, locality
+		// must strictly beat both formulaic placements on cross-pod bytes.
+		if p >= 1024 && net.Topo == perfmodel.TopoFatTree {
+			loc := crossPod[perfmodel.PlaceLocality]
+			if loc >= crossPod[perfmodel.PlaceBlock] || loc >= crossPod[perfmodel.PlaceRoundRobin] {
+				return fmt.Errorf("placement: %d ranks: locality cross-pod bytes %d not strictly below block %d and round-robin %d",
+					p, loc, crossPod[perfmodel.PlaceBlock], crossPod[perfmodel.PlaceRoundRobin])
+			}
+		}
+	}
+	fmt.Fprintln(w, "(virtual seconds on pinned synthetic rates; identical numerics across placements per algorithm)")
+	if err := w.Flush(); err != nil {
+		return err
+	}
+
+	cfgOut := map[string]any{
+		"rank_counts":    rankCounts,
+		"ranks_per_node": net.RanksPerNode,
+		"pod_size":       net.PodSize,
+		"topology":       net.Topo.String(),
+		"placements":     []string{"block", "roundrobin", "locality"},
+		"allreduce":      []string{"flat", "tree", "hierarchical"},
+		"cluster_steps":  1,
+		"rates":          "synthetic (pinned)",
+		"time_axis":      "virtual",
+		"traffic_matrix": "mpisim.TrafficGraph (halo send bytes per exchange)",
+	}
+	for k, v := range series {
+		cfgOut[k] = v
+	}
+	return emit(o, "placement", agg, m, cfgOut, nil)
+}
+
+// sameTrajectory reports whether two runs followed bit-identical solver
+// trajectories and issued identical traffic.
+func sameTrajectory(a, b mpisim.Result) bool {
+	if a.Steps != b.Steps || a.LinearIters != b.LinearIters ||
+		a.Msgs != b.Msgs || a.Bytes != b.Bytes || a.Allreduces != b.Allreduces ||
+		len(a.History) != len(b.History) {
+		return false
+	}
+	for i := range a.History {
+		if a.History[i] != b.History[i] {
+			return false
+		}
+	}
+	return true
+}

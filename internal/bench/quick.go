@@ -140,6 +140,37 @@ func quick(o *Options) error {
 		agg.Merge(rs.Metrics)
 	}
 
+	// A placement mini-sweep contributes the point-to-point route counters
+	// (ptp_hops, ptp_cross_node_bytes, ptp_cross_pod_bytes) behind the
+	// ptp_hops_per_message benchdiff gate: four ranks on four single-rank
+	// fat-tree nodes split across two pods, one step per placement. Hops
+	// and boundary-crossing bytes are exact functions of (decomposition,
+	// placement, topology), so the gate holds exactly across machines.
+	for _, place := range []perfmodel.Placement{
+		perfmodel.PlaceBlock, perfmodel.PlaceRoundRobin, perfmodel.PlaceLocality,
+	} {
+		net := perfmodel.StampedeFatTree()
+		net.RanksPerNode = 1
+		net.PodSize = 2
+		net.Place = place
+		rp, err := mpisim.Solve(m, mpisim.Config{
+			Ranks:    4,
+			Natural:  true,
+			Rates:    faultRates(),
+			Net:      net,
+			MaxSteps: 1,
+			RelTol:   1e-30,
+			CFL0:     o.CFL0,
+			Seed:     11,
+		})
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(o.Out, "   placement mini-run %v: %d hops, %d cross-node B, %d cross-pod B\n",
+			place, rp.PtPHops, rp.PtPCrossNodeBytes, rp.PtPCrossPodBytes)
+		agg.Merge(rp.Metrics)
+	}
+
 	// A two-job service mini-run contributes the multi-solve counters and
 	// the Service batch clock. Both jobs run exactly 2 fixed steps, so the
 	// service_steps_per_job gate sees 2.0 on any machine.
@@ -161,17 +192,19 @@ func quick(o *Options) error {
 		return err
 	}
 	return emit(o, "quick", agg, m, map[string]any{
-		"threads":       o.MaxThreads,
-		"newton_steps":  3,
-		"fused_steps":   2,
-		"staged_steps":  2,
-		"dedup_steps":   1,
-		"ranks":         2,
-		"scaling_ranks": 4,
-		"cfl0":          o.CFL0,
-		"fault_seed":    uint64(7),
-		"service_jobs":  2,
-		"service_steps": 2,
+		"threads":         o.MaxThreads,
+		"newton_steps":    3,
+		"fused_steps":     2,
+		"staged_steps":    2,
+		"dedup_steps":     1,
+		"ranks":           2,
+		"scaling_ranks":   4,
+		"placement_ranks": 4,
+		"placements":      []string{"block", "roundrobin", "locality"},
+		"cfl0":            o.CFL0,
+		"fault_seed":      uint64(7),
+		"service_jobs":    2,
+		"service_steps":   2,
 	}, nil)
 }
 

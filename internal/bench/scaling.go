@@ -126,6 +126,13 @@ func scalingNet(o *Options) (perfmodel.Network, error) {
 		}
 		net.Topo = topo
 	}
+	if o.Placement != "" {
+		place, err := perfmodel.ParsePlacement(o.Placement)
+		if err != nil {
+			return net, err
+		}
+		net.Place = place
+	}
 	return net, nil
 }
 

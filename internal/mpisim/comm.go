@@ -150,6 +150,14 @@ type Rank struct {
 	// over calls.
 	AllreduceStages int
 	AllreduceHops   int
+	// Point-to-point route books (kept by the receiver): switch hops
+	// traversed by received messages, and the received bytes that crossed
+	// a node or a pod/group boundary — deterministic functions of
+	// (decomposition, placement, topology), the quantities the placement
+	// experiment drives down.
+	PtPHops           int
+	PtPCrossNodeBytes int
+	PtPCrossPodBytes  int
 }
 
 // NewRank returns the handle for rank id. Call exactly once per id.
@@ -228,7 +236,16 @@ func (r *Rank) Wait(req *Request) []float64 {
 		r.fp.check(r)
 	}
 	e := r.comm.boxes[r.id].get(req.from, req.tag)
-	ptp := r.comm.net.PtP(req.from, r.id, r.comm.size, 8*len(e.data))
+	bytes := 8 * len(e.data)
+	rt := r.comm.net.RouteOf(req.from, r.id, r.comm.size)
+	ptp := r.comm.net.RouteCost(rt, bytes)
+	r.PtPHops += rt.Hops
+	if rt.CrossNode {
+		r.PtPCrossNodeBytes += bytes
+		if rt.CrossPod {
+			r.PtPCrossPodBytes += bytes
+		}
+	}
 	if r.fp != nil {
 		jitter := r.fp.ptpDelay(r.id, r.Clock, ptp)
 		ptp += jitter

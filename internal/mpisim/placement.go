@@ -1,0 +1,63 @@
+package mpisim
+
+import (
+	"fmt"
+
+	"fun3d/internal/partition"
+	"fun3d/internal/perfmodel"
+)
+
+// haloBytesPerVertex is the wire size of one interface vertex per halo
+// exchange: the 4-component state in float64 (see haloBegin's packing).
+const haloBytesPerVertex = 32
+
+// TrafficGraph exports the decomposition's inter-rank halo traffic matrix
+// as a directed CSR graph: vertex r is rank r, and edge r→p carries the
+// bytes rank r sends rank p in ONE halo exchange (every exchange moves the
+// same interface set, so one exchange's volume is the whole run's traffic
+// shape). This is the input the locality mapper packs onto the fabric.
+func TrafficGraph(subs []*Subdomain) *partition.Graph {
+	p := len(subs)
+	ptr := make([]int32, p+1)
+	for r, s := range subs {
+		n := 0
+		for _, idx := range s.SendIdx {
+			if len(idx) > 0 {
+				n++
+			}
+		}
+		ptr[r+1] = ptr[r] + int32(n)
+	}
+	adj := make([]int32, ptr[p])
+	ew := make([]int32, ptr[p])
+	for r, s := range subs {
+		at := ptr[r]
+		for i, peer := range s.Neighbors {
+			if len(s.SendIdx[i]) == 0 {
+				continue
+			}
+			adj[at] = int32(peer)
+			ew[at] = int32(haloBytesPerVertex * len(s.SendIdx[i]))
+			at++
+		}
+	}
+	return &partition.Graph{Ptr: ptr, Adj: adj, EW: ew}
+}
+
+// LocalityTable computes the rank→node table for a locality placement of
+// this decomposition on the given network: the halo traffic graph mapped
+// onto net's node/pod geometry by partition.MapLocality. The result plugs
+// into Network.NodeTable; solve does this automatically when
+// cfg.Net.Place is PlaceLocality and no table was supplied.
+func LocalityTable(subs []*Subdomain, net perfmodel.Network) ([]int32, error) {
+	p := len(subs)
+	perNode := net.RanksPerNode
+	if perNode < 1 {
+		perNode = 1
+	}
+	tbl, err := partition.MapLocality(TrafficGraph(subs), net.Nodes(p), perNode, net.LocalityDomain())
+	if err != nil {
+		return nil, fmt.Errorf("mpisim: locality placement: %w", err)
+	}
+	return tbl, nil
+}

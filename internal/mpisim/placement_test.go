@@ -1,0 +1,170 @@
+package mpisim
+
+import (
+	"testing"
+
+	"fun3d/internal/mesh"
+	"fun3d/internal/partition"
+	"fun3d/internal/perfmodel"
+)
+
+func placementNet(ranksPerNode, podSize int) perfmodel.Network {
+	net := perfmodel.StampedeFatTree()
+	net.RanksPerNode = ranksPerNode
+	net.PodSize = podSize
+	return net
+}
+
+// The satellite property, on the wing mesh: locality placement never
+// prices above block under the hop model, and its table is a valid
+// surjective assignment — every rank placed, every node occupied, node
+// capacity respected. Checked across rank counts and both decomposition
+// strategies (multilevel and natural over the shuffled wing mesh produce
+// very different halo graphs).
+func TestLocalityPlacementProperty(t *testing.T) {
+	m, err := mesh.Generate(mesh.SpecTiny())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, natural := range []bool{false, true} {
+		for _, ranks := range []int{4, 8, 16, 23} {
+			subs, err := Decompose(m, ranks, natural, 11)
+			if err != nil {
+				t.Fatal(err)
+			}
+			net := placementNet(2, 2)
+			tbl, err := LocalityTable(subs, net)
+			if err != nil {
+				t.Fatal(err)
+			}
+			nodes := net.Nodes(ranks)
+			if len(tbl) != ranks {
+				t.Fatalf("natural=%v ranks=%d: table covers %d ranks", natural, ranks, len(tbl))
+			}
+			fill := make([]int, nodes)
+			for r, nd := range tbl {
+				if nd < 0 || int(nd) >= nodes {
+					t.Fatalf("natural=%v ranks=%d: rank %d on node %d outside [0,%d)",
+						natural, ranks, r, nd, nodes)
+				}
+				fill[nd]++
+			}
+			for nd, c := range fill {
+				if c == 0 {
+					t.Fatalf("natural=%v ranks=%d: node %d empty (not surjective)", natural, ranks, nd)
+				}
+				if c > net.RanksPerNode {
+					t.Fatalf("natural=%v ranks=%d: node %d holds %d ranks, capacity %d",
+						natural, ranks, nd, c, net.RanksPerNode)
+				}
+			}
+			g := TrafficGraph(subs)
+			pod := net.LocalityDomain()
+			loc := partition.PlacementHopBytes(g, tbl, pod)
+			blk := partition.PlacementHopBytes(g, partition.BlockTable(ranks, net.RanksPerNode), pod)
+			if loc > blk {
+				t.Fatalf("natural=%v ranks=%d: locality hop bytes %d above block %d",
+					natural, ranks, loc, blk)
+			}
+		}
+	}
+}
+
+// The partition package's hop pricing must agree with the network model's
+// route classification edge by edge — they encode the same 0/1/3 fabric
+// independently, and the placement experiment relies on both.
+func TestPlacementHopBytesMatchesRouteModel(t *testing.T) {
+	m, err := mesh.Generate(mesh.SpecTiny())
+	if err != nil {
+		t.Fatal(err)
+	}
+	const ranks = 12
+	subs, err := Decompose(m, ranks, false, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := TrafficGraph(subs)
+	for _, topo := range []perfmodel.Topology{perfmodel.TopoFlat, perfmodel.TopoFatTree, perfmodel.TopoDragonfly} {
+		net := placementNet(2, 2)
+		net.Topo = topo
+		tbl, err := LocalityTable(subs, net)
+		if err != nil {
+			t.Fatal(err)
+		}
+		net.Place = perfmodel.PlaceLocality
+		net.NodeTable = tbl
+		var want int64
+		for v := int32(0); v < int32(ranks); v++ {
+			for i := g.Ptr[v]; i < g.Ptr[v+1]; i++ {
+				rt := net.RouteOf(int(v), int(g.Adj[i]), ranks)
+				want += int64(g.EW[i]) * int64(rt.Hops)
+			}
+		}
+		if got := partition.PlacementHopBytes(g, tbl, net.LocalityDomain()); got != want {
+			t.Fatalf("topo %v: PlacementHopBytes %d, route model sums %d", topo, got, want)
+		}
+	}
+}
+
+// Placement moves virtual time and traffic classification, never numerics:
+// the solver trajectory must be bit-identical across block, round-robin,
+// and locality placements, and the route books must nest (cross-pod ⊆
+// cross-node ⊆ all halo bytes). Locality must not book more cross-pod
+// bytes than block on the same decomposition.
+func TestPlacementTrajectoryInvariant(t *testing.T) {
+	m, err := mesh.Generate(mesh.SpecTiny())
+	if err != nil {
+		t.Fatal(err)
+	}
+	const ranks = 8
+	art, err := BuildArtifact(m, ClusterSpec{Ranks: ranks, Seed: 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := Config{
+		Ranks: ranks, Rates: testRates(),
+		MaxSteps: 2, RelTol: 1e-30, CFL0: 20, Seed: 11,
+	}
+	results := map[perfmodel.Placement]Result{}
+	for _, place := range []perfmodel.Placement{perfmodel.PlaceBlock, perfmodel.PlaceRoundRobin, perfmodel.PlaceLocality} {
+		cfg := base
+		cfg.Net = placementNet(2, 2)
+		cfg.Net.Place = place
+		res, err := SolveArtifact(art, cfg)
+		if err != nil {
+			t.Fatalf("%v: %v", place, err)
+		}
+		results[place] = res
+	}
+	ref := results[perfmodel.PlaceBlock]
+	for place, res := range results {
+		if len(res.History) != len(ref.History) {
+			t.Fatalf("%v: history length %d vs %d", place, len(res.History), len(ref.History))
+		}
+		for i := range res.History {
+			if res.History[i] != ref.History[i] {
+				t.Fatalf("%v: history[%d] %v != %v (placement changed numerics)",
+					place, i, res.History[i], ref.History[i])
+			}
+		}
+		if res.Msgs != ref.Msgs || res.Bytes != ref.Bytes {
+			t.Fatalf("%v: traffic %d msgs/%d bytes vs %d/%d (placement changed the exchange)",
+				place, res.Msgs, res.Bytes, ref.Msgs, ref.Bytes)
+		}
+		if res.PtPCrossPodBytes > res.PtPCrossNodeBytes || res.PtPCrossNodeBytes > res.Bytes {
+			t.Fatalf("%v: route books do not nest: cross-pod %d, cross-node %d, total %d",
+				place, res.PtPCrossPodBytes, res.PtPCrossNodeBytes, res.Bytes)
+		}
+		if res.PtPCrossNodeBytes > 0 && res.PtPHops == 0 {
+			t.Fatalf("%v: cross-node bytes booked with zero hops", place)
+		}
+	}
+	loc, blk := results[perfmodel.PlaceLocality], results[perfmodel.PlaceBlock]
+	if loc.PtPCrossPodBytes > blk.PtPCrossPodBytes {
+		t.Fatalf("locality books %d cross-pod bytes, block %d — mapper made it worse",
+			loc.PtPCrossPodBytes, blk.PtPCrossPodBytes)
+	}
+	if blk.PtPCrossNodeBytes == 0 {
+		t.Fatal("block placement booked no cross-node bytes: test exercises nothing")
+	}
+}

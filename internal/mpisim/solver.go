@@ -151,6 +151,13 @@ type Result struct {
 	// algorithm, topology, placement, and rank count).
 	AllreduceStages int
 	AllreduceHops   int
+	// Point-to-point route books summed over ranks: switch hops traversed
+	// by halo messages, and the halo bytes whose endpoints straddled a
+	// node or a pod/group boundary — the volumes topology-aware placement
+	// drives down.
+	PtPHops           int
+	PtPCrossNodeBytes int
+	PtPCrossPodBytes  int
 
 	// Fault-injection accounting (zero on fault-free runs). NoiseTime is
 	// the per-rank average of injected straggler/jitter seconds, a subset
@@ -206,6 +213,17 @@ func Solve(m *mesh.Mesh, cfg Config) (Result, error) {
 // solve is the supervisor loop shared by Solve and SolveArtifact; cfg has
 // defaults applied and matches art.Spec.
 func solve(art *Artifact, cfg Config) (Result, error) {
+	// A locality placement without an explicit table gets one computed
+	// from this decomposition's halo traffic graph. cfg is a copy, so the
+	// table lives only for this run; callers sweeping placements over one
+	// artifact can precompute a table once and pass it in via Net.NodeTable.
+	if cfg.Net.Place == perfmodel.PlaceLocality && cfg.Net.NodeTable == nil {
+		tbl, err := LocalityTable(art.Subs, cfg.Net)
+		if err != nil {
+			return Result{}, err
+		}
+		cfg.Net.NodeTable = tbl
+	}
 	fp := newFaultPlan(&cfg)
 	var store *ckptStore
 	if fp.crashes() {
@@ -326,6 +344,9 @@ func runAttempt(art *Artifact, cfg *Config, fp *FaultPlan, store *ckptStore, res
 			rk.BytesReduced = st.BytesReduced
 			rk.AllreduceStages = st.AllreduceStages
 			rk.AllreduceHops = st.AllreduceHops
+			rk.PtPHops = st.PtPHops
+			rk.PtPCrossNodeBytes = st.PtPCrossNodeBytes
+			rk.PtPCrossPodBytes = st.PtPCrossPodBytes
 		}
 		rk.Clock = resume
 		w, werr := newWorker(rk, art, cfg)
@@ -384,6 +405,12 @@ func finish(cfg *Config, workers []*worker, results []rankResult, restarts, faul
 		w.met.Add(prof.Halo, vdur(rk.PtPTime))
 		w.met.Inc(prof.HaloMsgs, int64(rk.MsgsSent))
 		w.met.Inc(prof.HaloBytes, int64(rk.BytesSent))
+		w.met.Inc(prof.PtPHops, int64(rk.PtPHops))
+		w.met.Inc(prof.PtPCrossNodeBytes, int64(rk.PtPCrossNodeBytes))
+		w.met.Inc(prof.PtPCrossPodBytes, int64(rk.PtPCrossPodBytes))
+		out.PtPHops += rk.PtPHops
+		out.PtPCrossNodeBytes += rk.PtPCrossNodeBytes
+		out.PtPCrossPodBytes += rk.PtPCrossPodBytes
 		out.Metrics.Merge(w.met)
 	}
 	out.Allreduces = workers[0].rank.Allreduces

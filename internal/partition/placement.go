@@ -1,0 +1,431 @@
+package partition
+
+import "fmt"
+
+// This file maps an inter-rank traffic graph onto a hierarchical fabric:
+// ranks pack into nodes, nodes pack into pods, and the objective is the
+// hop-weighted byte volume the switch fabric must carry. The graph is the
+// halo traffic matrix mpisim exports at decomposition time (vertex = rank,
+// directed edge weight = bytes sent per halo exchange), so the mapping is
+// computed once per decomposition and handed to the network model as an
+// explicit rank→node table.
+
+// refinePasses bounds the pairwise-swap polish loops. Refinement converges
+// (each applied swap strictly lowers the objective) so this is a cost
+// ceiling, not a quality knob.
+const refinePasses = 4
+
+// hopWeight mirrors the network model's switch-hop count: 0 for node-local
+// traffic, 1 within a pod/group (leaf switch), 3 across pods
+// (leaf-spine-leaf). podSize <= 0 means a single-tier fabric: every
+// inter-node message is one hop. Keep in sync with perfmodel.Network.Hops;
+// the mpisim tests cross-check the two.
+func hopWeight(a, b int32, podSize int) int64 {
+	if a == b {
+		return 0
+	}
+	if podSize <= 0 || int(a)/podSize == int(b)/podSize {
+		return 1
+	}
+	return 3
+}
+
+// BlockTable returns the contiguous rank→node table the network model's
+// block placement implies: rank r lives on node r/perNode, with the last
+// node underfull when ranks do not divide evenly. It is the guardrail
+// candidate inside MapLocality and the reference layout the placement
+// experiment compares against.
+func BlockTable(p, perNode int) []int32 {
+	if perNode < 1 {
+		perNode = 1
+	}
+	t := make([]int32, p)
+	for r := range t {
+		t[r] = int32(r / perNode)
+	}
+	return t
+}
+
+// PlacementHopBytes prices a rank→node table against the hop model: the
+// sum over every directed edge of its byte weight times the switch hops
+// between the endpoints' nodes. This is the mapper's objective and the
+// quantity the locality property test pins (locality never above block).
+func PlacementHopBytes(g *Graph, table []int32, podSize int) int64 {
+	var total int64
+	n := g.NumVertices()
+	for v := int32(0); v < int32(n); v++ {
+		a := table[v]
+		for i := g.Ptr[v]; i < g.Ptr[v+1]; i++ {
+			total += int64(g.edgeWeight(i)) * hopWeight(a, table[g.Adj[i]], podSize)
+		}
+	}
+	return total
+}
+
+// MapLocality computes a rank→node table for the traffic graph g: nodes
+// node slots of perNode ranks each (the last underfull when ranks do not
+// divide evenly), grouped so heavily-communicating ranks share a node and
+// heavily-communicating nodes share a pod of podSize nodes (podSize <= 0:
+// single-tier fabric, skip the pod phase). nodes must equal
+// ceil(ranks/perNode) — the table must be surjective onto the node set the
+// network model derives from the rank count.
+//
+// The mapper is greedy max-connectivity grouping (the same frontier the
+// multilevel partitioner's region growing uses) followed by pairwise-swap
+// refinement at each tier, and is guarded: if the result prices above the
+// block table under PlacementHopBytes, the block table is returned
+// instead, so locality placement never loses to block by construction.
+// Deterministic for a given graph.
+func MapLocality(g *Graph, nodes, perNode, podSize int) ([]int32, error) {
+	p := g.NumVertices()
+	if p == 0 {
+		return nil, fmt.Errorf("placement: empty traffic graph")
+	}
+	if perNode < 1 {
+		return nil, fmt.Errorf("placement: %d ranks per node < 1", perNode)
+	}
+	if want := (p + perNode - 1) / perNode; nodes != want {
+		return nil, fmt.Errorf("placement: %d nodes for %d ranks at %d per node, want %d",
+			nodes, p, perNode, want)
+	}
+	block := BlockTable(p, perNode)
+	if nodes <= 1 {
+		return block, nil
+	}
+
+	// The objective is symmetric in the endpoints (hops are), so fold the
+	// directed traffic into an undirected working graph once; all grouping
+	// and refinement run on it with exact deltas.
+	sym := symmetrize(g)
+
+	// Tier 1: ranks into nodes, minimizing inter-node bytes.
+	nodeOf := mapGroups(sym, groupSizes(p, nodes, perNode))
+	refineSwaps(sym, nodeOf, nodes, 0)
+
+	// Tier 2: nodes into pods, minimizing cross-pod bytes on the
+	// contracted node graph, then renumber nodes so each pod occupies a
+	// contiguous block of node ids (the network model derives pod as
+	// node/podSize). A final rank-level pass polishes under the true
+	// 0/1/3 hop costs.
+	if podSize > 0 && nodes > podSize {
+		nodeG := contract(sym, nodeOf, nodes)
+		npods := (nodes + podSize - 1) / podSize
+		podOf := mapGroups(nodeG, groupSizes(nodes, npods, podSize))
+		refineSwaps(nodeG, podOf, npods, 0)
+		renumberByPod(nodeOf, podOf, nodes)
+		refineSwaps(sym, nodeOf, nodes, podSize)
+	}
+
+	if PlacementHopBytes(g, nodeOf, podSize) >= PlacementHopBytes(g, block, podSize) {
+		return block, nil
+	}
+	return nodeOf, nil
+}
+
+// groupSizes splits n items into groups slots of size each, the last
+// underfull — matching the block layout's node occupancy.
+func groupSizes(n, groups, size int) []int {
+	sizes := make([]int, groups)
+	for i := range sizes {
+		sizes[i] = size
+		if rest := n - i*size; rest < size {
+			sizes[i] = rest
+		}
+	}
+	return sizes
+}
+
+// symmetrize folds a directed graph into an undirected one: each directed
+// edge contributes its weight to both endpoints' rows, and parallel edges
+// merge. Self-loops are dropped (node-local traffic never crosses the
+// fabric).
+func symmetrize(g *Graph) *Graph {
+	n := g.NumVertices()
+	deg := make([]int32, n)
+	for v := int32(0); v < int32(n); v++ {
+		for i := g.Ptr[v]; i < g.Ptr[v+1]; i++ {
+			if u := g.Adj[i]; u != v {
+				deg[v]++
+				deg[u]++
+			}
+		}
+	}
+	ptr := make([]int32, n+1)
+	for v := 0; v < n; v++ {
+		ptr[v+1] = ptr[v] + deg[v]
+	}
+	adj := make([]int32, ptr[n])
+	ew := make([]int32, ptr[n])
+	fill := make([]int32, n)
+	copy(fill, ptr[:n])
+	for v := int32(0); v < int32(n); v++ {
+		for i := g.Ptr[v]; i < g.Ptr[v+1]; i++ {
+			u := g.Adj[i]
+			if u == v {
+				continue
+			}
+			w := g.edgeWeight(i)
+			adj[fill[v]], ew[fill[v]] = u, w
+			fill[v]++
+			adj[fill[u]], ew[fill[u]] = v, w
+			fill[u]++
+		}
+	}
+	// Merge parallel edges per row (insertion sort: rows are short).
+	outPtr := make([]int32, n+1)
+	out := 0
+	for v := 0; v < n; v++ {
+		lo, hi := int(ptr[v]), int(ptr[v+1])
+		for i := lo + 1; i < hi; i++ {
+			a, w := adj[i], ew[i]
+			j := i
+			for j > lo && adj[j-1] > a {
+				adj[j], ew[j] = adj[j-1], ew[j-1]
+				j--
+			}
+			adj[j], ew[j] = a, w
+		}
+		for i := lo; i < hi; {
+			j := i
+			var wsum int32
+			for j < hi && adj[j] == adj[i] {
+				wsum += ew[j]
+				j++
+			}
+			adj[out], ew[out] = adj[i], wsum
+			out++
+			i = j
+		}
+		outPtr[v+1] = int32(out)
+	}
+	return &Graph{Ptr: outPtr, Adj: adj[:out], EW: ew[:out]}
+}
+
+// contract collapses g down to one vertex per group, merging edge weights;
+// intra-group edges vanish.
+func contract(g *Graph, groupOf []int32, ngroups int) *Graph {
+	w := make(map[int64]int64)
+	n := g.NumVertices()
+	for v := int32(0); v < int32(n); v++ {
+		a := groupOf[v]
+		for i := g.Ptr[v]; i < g.Ptr[v+1]; i++ {
+			b := groupOf[g.Adj[i]]
+			if a == b {
+				continue
+			}
+			w[int64(a)<<32|int64(b)] += int64(g.edgeWeight(i))
+		}
+	}
+	ptr := make([]int32, ngroups+1)
+	for key := range w {
+		ptr[key>>32+1]++
+	}
+	for i := 0; i < ngroups; i++ {
+		ptr[i+1] += ptr[i]
+	}
+	adj := make([]int32, len(w))
+	ew := make([]int32, len(w))
+	fill := make([]int32, ngroups)
+	copy(fill, ptr[:ngroups])
+	for key, wt := range w {
+		a, b := int32(key>>32), int32(key&0xffffffff)
+		if wt > 1<<30 {
+			wt = 1 << 30 // clamp: contracted weights only steer grouping
+		}
+		adj[fill[a]], ew[fill[a]] = b, int32(wt)
+		fill[a]++
+	}
+	// Map iteration order is random; sort rows for determinism.
+	cg := &Graph{Ptr: ptr, Adj: adj, EW: ew}
+	for v := 0; v < ngroups; v++ {
+		lo, hi := int(ptr[v]), int(ptr[v+1])
+		for i := lo + 1; i < hi; i++ {
+			a, wt := adj[i], ew[i]
+			j := i
+			for j > lo && adj[j-1] > a {
+				adj[j], ew[j] = adj[j-1], ew[j-1]
+				j--
+			}
+			adj[j], ew[j] = a, wt
+		}
+	}
+	return cg
+}
+
+// mapGroups packs vertices into len(sizes) groups of exactly sizes[i]
+// vertices each by greedy max-connectivity growth: each group seeds with
+// the heaviest-degree unassigned vertex and absorbs, while below target,
+// the unassigned vertex most connected to it — the same frontier heap the
+// partitioner's region growing uses. Deterministic: ties break toward the
+// lower vertex index.
+func mapGroups(g *Graph, sizes []int) []int32 {
+	n := g.NumVertices()
+	group := make([]int32, n)
+	for i := range group {
+		group[i] = -1
+	}
+	deg := make([]int64, n)
+	for v := int32(0); v < int32(n); v++ {
+		for i := g.Ptr[v]; i < g.Ptr[v+1]; i++ {
+			deg[v] += int64(g.edgeWeight(i))
+		}
+	}
+	conn := make([]int64, n)
+	var heap connHeap
+	for gi, size := range sizes {
+		heap.items = heap.items[:0]
+		for i := range conn {
+			conn[i] = 0
+		}
+		filled := 0
+		absorb := func(v int32) {
+			group[v] = int32(gi)
+			filled++
+			for i := g.Ptr[v]; i < g.Ptr[v+1]; i++ {
+				u := g.Adj[i]
+				if group[u] >= 0 {
+					continue
+				}
+				conn[u] += int64(g.edgeWeight(i))
+				heap.push(connItem{u, conn[u]})
+			}
+		}
+		for filled < size {
+			pick := int32(-1)
+			for len(heap.items) > 0 {
+				it := heap.pop()
+				if group[it.v] < 0 && conn[it.v] == it.c {
+					pick = it.v
+					break
+				}
+			}
+			if pick < 0 {
+				// Frontier dry (disconnected remainder): reseed with the
+				// heaviest unassigned vertex.
+				var best int64 = -1
+				for v := int32(0); v < int32(n); v++ {
+					if group[v] < 0 && deg[v] > best {
+						best, pick = deg[v], v
+					}
+				}
+				if pick < 0 {
+					break
+				}
+			}
+			absorb(pick)
+		}
+	}
+	return group
+}
+
+// refineSwaps polishes a grouping by pairwise swaps: for each vertex, find
+// the foreign group it talks to most, price swapping it against every
+// member of that group under the hop model, and apply the best strictly
+// improving swap. Swaps preserve every group's size exactly, so capacity
+// invariants survive refinement untouched.
+func refineSwaps(g *Graph, group []int32, ngroups, podSize int) {
+	n := g.NumVertices()
+	members := make([][]int32, ngroups)
+	pos := make([]int32, n)
+	for v := int32(0); v < int32(n); v++ {
+		gi := group[v]
+		pos[v] = int32(len(members[gi]))
+		members[gi] = append(members[gi], v)
+	}
+	conn := make([]int64, ngroups)
+	var touched []int32
+	for pass := 0; pass < refinePasses; pass++ {
+		improved := false
+		for v := int32(0); v < int32(n); v++ {
+			home := group[v]
+			touched = touched[:0]
+			for i := g.Ptr[v]; i < g.Ptr[v+1]; i++ {
+				p := group[g.Adj[i]]
+				if conn[p] == 0 {
+					touched = append(touched, p)
+				}
+				conn[p] += int64(g.edgeWeight(i))
+			}
+			target, targetConn := int32(-1), int64(0)
+			for _, p := range touched {
+				if p != home && (conn[p] > targetConn || (conn[p] == targetConn && target >= 0 && p < target)) {
+					target, targetConn = p, conn[p]
+				}
+			}
+			for _, p := range touched {
+				conn[p] = 0
+			}
+			if target < 0 {
+				continue
+			}
+			bestU, bestDelta := int32(-1), int64(0)
+			for _, u := range members[target] {
+				if d := swapDelta(g, group, v, u, podSize); d < bestDelta {
+					bestDelta, bestU = d, u
+				}
+			}
+			if bestU >= 0 {
+				members[home][pos[v]], members[target][pos[bestU]] = bestU, v
+				pos[v], pos[bestU] = pos[bestU], pos[v]
+				group[v], group[bestU] = target, home
+				improved = true
+			}
+		}
+		if !improved {
+			break
+		}
+	}
+}
+
+// swapDelta prices exchanging the groups of v and u: the change in
+// hop-weighted bytes over both vertices' incident edges. The v–u edge
+// itself keeps its endpoints' group pair and contributes no delta.
+func swapDelta(g *Graph, group []int32, v, u int32, podSize int) int64 {
+	a, b := group[v], group[u]
+	var d int64
+	for i := g.Ptr[v]; i < g.Ptr[v+1]; i++ {
+		x := g.Adj[i]
+		if x == u || x == v {
+			continue
+		}
+		gx := group[x]
+		d += int64(g.edgeWeight(i)) * (hopWeight(b, gx, podSize) - hopWeight(a, gx, podSize))
+	}
+	for i := g.Ptr[u]; i < g.Ptr[u+1]; i++ {
+		x := g.Adj[i]
+		if x == v || x == u {
+			continue
+		}
+		gx := group[x]
+		d += int64(g.edgeWeight(i)) * (hopWeight(a, gx, podSize) - hopWeight(b, gx, podSize))
+	}
+	return d
+}
+
+// renumberByPod relabels node ids so pod k owns the contiguous id block
+// [k*podSize, ...): the network model derives pod membership as
+// node/podSize, so the pod grouping must be encoded in the id order.
+// Within a pod, nodes keep their relative order (determinism).
+func renumberByPod(nodeOf []int32, podOf []int32, nodes int) {
+	order := make([]int32, nodes)
+	for i := range order {
+		order[i] = int32(i)
+	}
+	// Stable sort by pod (insertion sort: node counts are modest).
+	for i := 1; i < nodes; i++ {
+		v := order[i]
+		j := i
+		for j > 0 && podOf[order[j-1]] > podOf[v] {
+			order[j] = order[j-1]
+			j--
+		}
+		order[j] = v
+	}
+	newID := make([]int32, nodes)
+	for rank, old := range order {
+		newID[old] = int32(rank)
+	}
+	for v := range nodeOf {
+		nodeOf[v] = newID[nodeOf[v]]
+	}
+}

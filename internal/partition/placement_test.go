@@ -1,0 +1,199 @@
+package partition
+
+import "testing"
+
+// buildGraph assembles a directed CSR graph from an edge list.
+func buildGraph(n int, edges [][3]int32) *Graph {
+	ptr := make([]int32, n+1)
+	for _, e := range edges {
+		ptr[e[0]+1]++
+	}
+	for i := 0; i < n; i++ {
+		ptr[i+1] += ptr[i]
+	}
+	adj := make([]int32, len(edges))
+	ew := make([]int32, len(edges))
+	fill := make([]int32, n)
+	copy(fill, ptr[:n])
+	for _, e := range edges {
+		adj[fill[e[0]]], ew[fill[e[0]]] = e[1], e[2]
+		fill[e[0]]++
+	}
+	return &Graph{Ptr: ptr, Adj: adj, EW: ew}
+}
+
+// sym adds both directions of each undirected (u,v,w) edge.
+func symEdges(edges [][3]int32) [][3]int32 {
+	out := make([][3]int32, 0, 2*len(edges))
+	for _, e := range edges {
+		out = append(out, e, [3]int32{e[1], e[0], e[2]})
+	}
+	return out
+}
+
+func TestBlockTableUneven(t *testing.T) {
+	tbl := BlockTable(18, 16)
+	if len(tbl) != 18 {
+		t.Fatalf("table length %d", len(tbl))
+	}
+	for r, want := range map[int]int32{0: 0, 15: 0, 16: 1, 17: 1} {
+		if tbl[r] != want {
+			t.Fatalf("rank %d on node %d, want %d", r, tbl[r], want)
+		}
+	}
+}
+
+// Heavy pairs placed at opposite ends of the index space: block splits
+// every pair across nodes, locality must reunite them.
+func TestMapLocalityReunitesHeavyPairs(t *testing.T) {
+	const p = 8
+	edges := symEdges([][3]int32{
+		{0, 7, 1000}, {1, 6, 1000}, {2, 5, 1000}, {3, 4, 1000},
+		// Weak ring so the graph is connected.
+		{0, 1, 1}, {1, 2, 1}, {2, 3, 1}, {3, 4, 1}, {4, 5, 1}, {5, 6, 1}, {6, 7, 1},
+	})
+	g := buildGraph(p, edges)
+	const perNode, nodes, podSize = 2, 4, 2
+	tbl, err := MapLocality(g, nodes, perNode, podSize)
+	if err != nil {
+		t.Fatal(err)
+	}
+	validateTable(t, tbl, nodes, perNode)
+	for _, pair := range [][2]int{{0, 7}, {1, 6}, {2, 5}, {3, 4}} {
+		if tbl[pair[0]] != tbl[pair[1]] {
+			t.Errorf("heavy pair %v split: nodes %d vs %d", pair, tbl[pair[0]], tbl[pair[1]])
+		}
+	}
+	loc := PlacementHopBytes(g, tbl, podSize)
+	blk := PlacementHopBytes(g, BlockTable(p, perNode), podSize)
+	if loc >= blk {
+		t.Fatalf("locality hop bytes %d not below block %d", loc, blk)
+	}
+}
+
+// Uneven rank counts: the last node is underfull, every node still
+// occupied, capacity respected.
+func TestMapLocalityUnevenSurjective(t *testing.T) {
+	const p = 11
+	var edges [][3]int32
+	for v := int32(0); v < p; v++ {
+		edges = append(edges, [3]int32{v, (v + 1) % p, 10}, [3]int32{(v + 1) % p, v, 10})
+	}
+	g := buildGraph(p, edges)
+	const perNode = 4
+	nodes := (p + perNode - 1) / perNode // 3, last holds 3 ranks
+	tbl, err := MapLocality(g, nodes, perNode, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	validateTable(t, tbl, nodes, perNode)
+}
+
+func validateTable(t *testing.T, tbl []int32, nodes, perNode int) {
+	t.Helper()
+	fill := make([]int, nodes)
+	for r, nd := range tbl {
+		if nd < 0 || int(nd) >= nodes {
+			t.Fatalf("rank %d on node %d outside [0,%d)", r, nd, nodes)
+		}
+		fill[nd]++
+	}
+	for nd, c := range fill {
+		if c == 0 {
+			t.Fatalf("node %d empty: table not surjective", nd)
+		}
+		if c > perNode {
+			t.Fatalf("node %d holds %d ranks, capacity %d", nd, c, perNode)
+		}
+	}
+}
+
+func TestMapLocalityErrors(t *testing.T) {
+	g := buildGraph(4, symEdges([][3]int32{{0, 1, 1}, {1, 2, 1}, {2, 3, 1}}))
+	if _, err := MapLocality(g, 2, 0, 2); err == nil {
+		t.Fatal("perNode 0 accepted")
+	}
+	if _, err := MapLocality(g, 3, 2, 2); err == nil {
+		t.Fatal("node count mismatching ceil(p/perNode) accepted")
+	}
+	if _, err := MapLocality(&Graph{Ptr: []int32{0}}, 0, 2, 2); err == nil {
+		t.Fatal("empty graph accepted")
+	}
+}
+
+// Pinned hop arithmetic on a 4-rank line over 2 nodes of 2, pod width 1
+// (every node its own pod → every inter-node edge is cross-pod).
+func TestEvaluatePlacedPinned(t *testing.T) {
+	g := buildGraph(4, [][3]int32{
+		{0, 1, 10}, {1, 0, 10}, // intra-node on block
+		{1, 2, 7}, // node 0 → node 1, cross-pod
+		{3, 2, 5}, // intra-node
+	})
+	q := EvaluatePlaced(g, []int32{0, 0, 1, 1}, 1)
+	if q.Nodes != 2 || q.Pods != 2 {
+		t.Fatalf("nodes=%d pods=%d, want 2/2", q.Nodes, q.Pods)
+	}
+	if q.TotalBytes != 32 || q.NodeCut != 7 || q.PodCut != 7 || q.HopBytes != 21 {
+		t.Fatalf("got %v", q)
+	}
+	// Same table, pod width 2: one pod, the cut edge costs 1 hop.
+	q = EvaluatePlaced(g, []int32{0, 0, 1, 1}, 2)
+	if q.Pods != 1 || q.PodCut != 0 || q.HopBytes != 7 || q.NodeCut != 7 {
+		t.Fatalf("pod width 2: got %v", q)
+	}
+	// Single-tier fabric (podSize 0) matches pod width covering all nodes.
+	q0 := EvaluatePlaced(g, []int32{0, 0, 1, 1}, 0)
+	if q0.Pods != 1 || q0.PodCut != 0 || q0.HopBytes != 7 {
+		t.Fatalf("flat: got %v", q0)
+	}
+	// PlacementHopBytes agrees with EvaluatePlaced on every pod width.
+	for _, ps := range []int{0, 1, 2} {
+		if hb := PlacementHopBytes(g, []int32{0, 0, 1, 1}, ps); hb != EvaluatePlaced(g, []int32{0, 0, 1, 1}, ps).HopBytes {
+			t.Fatalf("pod width %d: PlacementHopBytes %d != EvaluatePlaced", ps, hb)
+		}
+	}
+}
+
+// The guardrail: on a graph whose block layout is already optimal (heavy
+// chain pairs aligned with contiguous ids), locality must never price
+// above block.
+func TestMapLocalityGuardrail(t *testing.T) {
+	const p = 8
+	edges := symEdges([][3]int32{
+		{0, 1, 100}, {2, 3, 100}, {4, 5, 100}, {6, 7, 100},
+		{1, 2, 1}, {3, 4, 1}, {5, 6, 1},
+	})
+	g := buildGraph(p, edges)
+	tbl, err := MapLocality(g, 4, 2, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	validateTable(t, tbl, 4, 2)
+	if loc, blk := PlacementHopBytes(g, tbl, 2), PlacementHopBytes(g, BlockTable(p, 2), 2); loc > blk {
+		t.Fatalf("locality %d above block %d", loc, blk)
+	}
+}
+
+// Pod contiguity: after the pod phase, heavily-communicating nodes must
+// share a pod, i.e. land in the same node-id block of podSize.
+func TestMapLocalityPodGrouping(t *testing.T) {
+	// 8 ranks, 1 per node, 4 nodes per... no: 8 nodes of 1 rank, pod
+	// width 2. Heavy rank pairs (0,4),(1,5),(2,6),(3,7) must share pods.
+	const p = 8
+	edges := symEdges([][3]int32{
+		{0, 4, 500}, {1, 5, 500}, {2, 6, 500}, {3, 7, 500},
+		{0, 1, 1}, {1, 2, 1}, {2, 3, 1}, {4, 5, 1}, {5, 6, 1}, {6, 7, 1},
+	})
+	g := buildGraph(p, edges)
+	tbl, err := MapLocality(g, 8, 1, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	validateTable(t, tbl, 8, 1)
+	for _, pair := range [][2]int{{0, 4}, {1, 5}, {2, 6}, {3, 7}} {
+		a, b := tbl[pair[0]]/2, tbl[pair[1]]/2
+		if a != b {
+			t.Errorf("heavy pair %v in pods %d vs %d", pair, a, b)
+		}
+	}
+}

@@ -54,6 +54,61 @@ func (q Quality) String() string {
 		q.Parts, q.EdgeCut, q.Imbalance, 100*q.Replication)
 }
 
+// PlacedQuality summarizes how a placed communication graph loads a
+// hierarchical fabric: the directed byte totals crossing node and pod
+// boundaries and the hop-weighted volume, so placement quality is
+// inspectable without running a solve.
+type PlacedQuality struct {
+	Nodes      int
+	Pods       int
+	TotalBytes int64 // all directed edge bytes
+	NodeCut    int64 // bytes whose endpoints sit on different nodes
+	PodCut     int64 // bytes whose endpoints sit in different pods
+	HopBytes   int64 // bytes x switch hops (0 intra-node, 1 intra-pod, 3 cross-pod)
+}
+
+// EvaluatePlaced prices the directed graph g under the rank→node table
+// nodeOf and pod width podSize (<= 0: single-tier fabric, no pod cut).
+// Unlike Evaluate, directed edges are counted once each — traffic graphs
+// carry per-direction byte weights.
+func EvaluatePlaced(g *Graph, nodeOf []int32, podSize int) PlacedQuality {
+	var q PlacedQuality
+	for _, nd := range nodeOf {
+		if int(nd) >= q.Nodes {
+			q.Nodes = int(nd) + 1
+		}
+	}
+	q.Pods = 1
+	if podSize > 0 {
+		q.Pods = (q.Nodes + podSize - 1) / podSize
+	}
+	n := g.NumVertices()
+	for v := int32(0); v < int32(n); v++ {
+		a := nodeOf[v]
+		for i := g.Ptr[v]; i < g.Ptr[v+1]; i++ {
+			w := int64(g.edgeWeight(i))
+			b := nodeOf[g.Adj[i]]
+			q.TotalBytes += w
+			if a == b {
+				continue
+			}
+			q.NodeCut += w
+			if podSize > 0 && int(a)/podSize != int(b)/podSize {
+				q.PodCut += w
+				q.HopBytes += 3 * w
+			} else {
+				q.HopBytes += w
+			}
+		}
+	}
+	return q
+}
+
+func (q PlacedQuality) String() string {
+	return fmt.Sprintf("nodes=%d pods=%d bytes=%d node-cut=%d pod-cut=%d hop-bytes=%d",
+		q.Nodes, q.Pods, q.TotalBytes, q.NodeCut, q.PodCut, q.HopBytes)
+}
+
 // FromMesh builds a partitioning graph from CSR adjacency with unit
 // weights (vertex work in the edge loops is proportional to degree, so we
 // weight vertices by degree+1 to balance edge work rather than vertex

@@ -40,6 +40,15 @@ type Network struct {
 
 	// Place maps ranks to nodes (default PlaceBlock).
 	Place Placement
+
+	// NodeTable, when non-nil, is an explicit rank-to-node assignment
+	// consulted ahead of the formulaic placements: rank r lives on node
+	// NodeTable[r]. PlaceLocality runs on such a table — mpisim computes one
+	// from the decomposition's halo traffic matrix — but any placement can
+	// carry one (a pinned table reproduces an external scheduler's layout).
+	// The table must cover every rank of the communicator and use node ids
+	// in [0, Nodes(p)).
+	NodeTable []int32
 }
 
 // AllreduceAlgo selects the collective algorithm whose cost the Allreduce
@@ -149,25 +158,38 @@ const (
 	// the low recursive-doubling stages — cheap under block placement —
 	// cross the fabric.
 	PlaceRoundRobin
+	// PlaceLocality is the graph-driven placement: ranks are mapped onto
+	// nodes (and nodes onto pods) by the internal/partition locality mapper
+	// so that heavily-communicating rank groups share a node, then a pod,
+	// minimizing hops-weighted halo bytes. It requires an explicit
+	// NodeTable; with a nil table it degrades to PlaceBlock (the table's
+	// construction needs the traffic matrix, which only the decomposition
+	// layer has).
+	PlaceLocality
 )
 
 // String names the placement for reports and flag values.
 func (p Placement) String() string {
-	if p == PlaceRoundRobin {
+	switch p {
+	case PlaceRoundRobin:
 		return "roundrobin"
+	case PlaceLocality:
+		return "locality"
 	}
 	return "block"
 }
 
-// ParsePlacement parses "block" or "roundrobin" ("rr").
+// ParsePlacement parses "block", "roundrobin" ("rr"), or "locality".
 func ParsePlacement(s string) (Placement, error) {
 	switch s {
 	case "block":
 		return PlaceBlock, nil
 	case "roundrobin", "rr":
 		return PlaceRoundRobin, nil
+	case "locality":
+		return PlaceLocality, nil
 	}
-	return 0, fmt.Errorf("perfmodel: unknown placement %q (want block or roundrobin)", s)
+	return 0, fmt.Errorf("perfmodel: unknown placement %q (want block, roundrobin, or locality)", s)
 }
 
 // Stampede returns the default fabric parameters: ~2.5 us MPI latency,
@@ -228,12 +250,30 @@ func (n Network) Nodes(p int) int {
 
 // NodeOf maps a rank to its node under the configured placement; p is the
 // communicator size (round-robin placement needs it to know the node
-// count).
+// count). An explicit NodeTable covering the rank wins over any formulaic
+// placement.
 func (n Network) NodeOf(rank, p int) int {
+	if rank >= 0 && rank < len(n.NodeTable) {
+		return int(n.NodeTable[rank])
+	}
 	if n.Place == PlaceRoundRobin {
 		return rank % n.Nodes(p)
 	}
 	return rank / n.ranksPerNode()
+}
+
+// LocalityDomain returns the node-grouping width the topology's hop model
+// distinguishes: the pod width on the fat tree, the group width on the
+// dragonfly, and 0 on the flat crossbar (where every inter-node route is
+// one hop and grouping buys nothing).
+func (n Network) LocalityDomain() int {
+	switch n.Topo {
+	case TopoFatTree:
+		return n.podSize()
+	case TopoDragonfly:
+		return n.groupSize()
+	}
+	return 0
 }
 
 // Hops returns the switch traversals between two nodes on the configured
@@ -269,17 +309,50 @@ func (n Network) interLatency(hops int) float64 {
 	return n.Latency + float64(hops-1)*n.HopLatency
 }
 
+// Route classifies one inter-rank message's path on the topology: switch
+// traversals and whether the endpoints straddle a node or a pod/group
+// boundary. It is an exact function of (placement, topology, rank pair) —
+// the halo books sum routes into the per-message hop and cross-pod byte
+// accounting the placement experiment reads.
+type Route struct {
+	Hops      int  // switch traversals (0 for node-local messages)
+	CrossNode bool // endpoints on different nodes
+	CrossPod  bool // endpoints in different pods/groups (never on TopoFlat)
+}
+
+// RouteOf returns the route a message from rank `from` to rank `to` takes
+// in a p-rank communicator under the configured placement and topology.
+func (n Network) RouteOf(from, to, p int) Route {
+	a, b := n.NodeOf(from, p), n.NodeOf(to, p)
+	if a == b {
+		return Route{}
+	}
+	rt := Route{Hops: n.Hops(a, b), CrossNode: true}
+	switch n.Topo {
+	case TopoFatTree:
+		rt.CrossPod = a/n.podSize() != b/n.podSize()
+	case TopoDragonfly:
+		rt.CrossPod = a/n.groupSize() != b/n.groupSize()
+	}
+	return rt
+}
+
+// RouteCost returns the modeled seconds for one message of the given size
+// over an already-classified route.
+func (n Network) RouteCost(rt Route, bytes int) float64 {
+	lat := n.IntraLatency
+	if rt.CrossNode {
+		lat = n.interLatency(rt.Hops)
+	}
+	return lat + float64(bytes)/n.Bandwidth
+}
+
 // PtP returns the modeled time for one point-to-point message of the given
 // size between two ranks of a p-rank communicator. Same-node pairs pay the
 // shared-memory latency; inter-node pairs pay the base latency plus the
 // topology's extra switch hops.
 func (n Network) PtP(from, to, p, bytes int) float64 {
-	a, b := n.NodeOf(from, p), n.NodeOf(to, p)
-	lat := n.IntraLatency
-	if a != b {
-		lat = n.interLatency(n.Hops(a, b))
-	}
-	return lat + float64(bytes)/n.Bandwidth
+	return n.RouteCost(n.RouteOf(from, to, p), bytes)
 }
 
 // CollectiveCost is one collective's modeled cost with its structural

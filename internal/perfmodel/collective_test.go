@@ -196,6 +196,112 @@ func TestRoundRobinPlacement(t *testing.T) {
 	}
 }
 
+// Round-robin placement when ranks do not divide evenly into nodes: the
+// node count is ceil(p/rpn) (last node underfull under block), and the
+// modulo mapping must target exactly that node set — an off-by-one here
+// silently shifts every collective's stage classification.
+func TestNodeOfRoundRobinUnevenRanks(t *testing.T) {
+	n := Stampede() // 16 ranks per node
+	const p = 18    // 2 nodes; block leaves node 1 with only ranks {16,17}
+	if nodes := n.Nodes(p); nodes != 2 {
+		t.Fatalf("ceil(18/16) = %d nodes, want 2", nodes)
+	}
+	// Block: contiguous fill, last node underfull.
+	for rank, want := range map[int]int{0: 0, 15: 0, 16: 1, 17: 1} {
+		if got := n.NodeOf(rank, p); got != want {
+			t.Fatalf("block: rank %d on node %d, want %d", rank, got, want)
+		}
+	}
+	// Round-robin: modulo over the same 2-node set.
+	n.Place = PlaceRoundRobin
+	for rank, want := range map[int]int{0: 0, 1: 1, 15: 1, 16: 0, 17: 1} {
+		if got := n.NodeOf(rank, p); got != want {
+			t.Fatalf("round-robin: rank %d on node %d, want %d", rank, got, want)
+		}
+	}
+	// A second uneven shape: 17 ranks at 4 per node = 5 nodes.
+	n.RanksPerNode = 4
+	const q = 17
+	if nodes := n.Nodes(q); nodes != 5 {
+		t.Fatalf("ceil(17/4) = %d nodes, want 5", nodes)
+	}
+	for rank, want := range map[int]int{4: 4, 9: 4, 16: 1} {
+		if got := n.NodeOf(rank, q); got != want {
+			t.Fatalf("round-robin 17/4: rank %d on node %d, want %d", rank, got, want)
+		}
+	}
+	n.Place = PlaceBlock
+	if got := n.NodeOf(16, q); got != 4 {
+		t.Fatalf("block 17/4: rank 16 on node %d, want 4 (underfull last node)", got)
+	}
+}
+
+// Hops(a,a) must be zero on every topology: a self-route that charges a
+// switch traversal would tax node-local messages with fabric latency.
+func TestHopsSelfIsZero(t *testing.T) {
+	for _, topo := range []Topology{TopoFlat, TopoFatTree, TopoDragonfly} {
+		n := StampedeFatTree()
+		n.Topo = topo
+		for _, a := range []int{0, 5, 17, 1000} {
+			if h := n.Hops(a, a); h != 0 {
+				t.Fatalf("topo %v: Hops(%d,%d) = %d, want 0", topo, a, a, h)
+			}
+		}
+	}
+}
+
+// An explicit NodeTable overrides the formulaic placements, and RouteOf
+// classifies node and pod crossings from the mapped nodes.
+func TestNodeTableAndRoutes(t *testing.T) {
+	n := StampedeFatTree()
+	n.RanksPerNode = 2
+	n.PodSize = 2 // nodes {0,1} pod 0, {2,3} pod 1
+	const p = 8
+	// Table inverts the block order: ranks 0,1 land on the LAST node.
+	n.NodeTable = []int32{3, 3, 2, 2, 1, 1, 0, 0}
+	n.Place = PlaceLocality
+	if got := n.NodeOf(0, p); got != 3 {
+		t.Fatalf("table: rank 0 on node %d, want 3", got)
+	}
+	if rt := n.RouteOf(0, 1, p); rt.Hops != 0 || rt.CrossNode || rt.CrossPod {
+		t.Fatalf("same table node: %+v", rt)
+	}
+	if rt := n.RouteOf(0, 2, p); rt.Hops != 1 || !rt.CrossNode || rt.CrossPod {
+		t.Fatalf("same pod (nodes 3,2): %+v", rt)
+	}
+	if rt := n.RouteOf(0, 6, p); rt.Hops != 3 || !rt.CrossNode || !rt.CrossPod {
+		t.Fatalf("cross pod (nodes 3,0): %+v", rt)
+	}
+	// RouteCost must agree with PtP on every pair.
+	for from := 0; from < p; from++ {
+		for to := 0; to < p; to++ {
+			if a, b := n.PtP(from, to, p, 64), n.RouteCost(n.RouteOf(from, to, p), 64); a != b {
+				t.Fatalf("PtP(%d,%d) %v != RouteCost %v", from, to, a, b)
+			}
+		}
+	}
+	// On the flat crossbar no route is ever cross-pod.
+	n.Topo = TopoFlat
+	if rt := n.RouteOf(0, 6, p); rt.CrossPod || rt.Hops != 1 {
+		t.Fatalf("flat topology route: %+v", rt)
+	}
+	// A locality placement with NO table degrades to block.
+	n.NodeTable = nil
+	if got, want := n.NodeOf(5, p), 5/2; got != want {
+		t.Fatalf("locality sans table: rank 5 on node %d, want block's %d", got, want)
+	}
+}
+
+func TestParsePlacementLocality(t *testing.T) {
+	pl, err := ParsePlacement("locality")
+	if err != nil || pl != PlaceLocality {
+		t.Fatalf("ParsePlacement(locality) = %v, %v", pl, err)
+	}
+	if s := PlaceLocality.String(); s != "locality" {
+		t.Fatalf("PlaceLocality.String() = %q", s)
+	}
+}
+
 // The tree model is a single combined phase: its cost must stay below the
 // old double-counted formulation's 2x and, at tiny payloads, be dominated
 // by per-stage latencies alone.

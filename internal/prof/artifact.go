@@ -158,6 +158,16 @@ func NewArtifact(experiment string, m *Metrics) *Artifact {
 			a.Rates["collective_hops_per_allreduce"] = float64(h) / float64(calls)
 		}
 	}
+	// Point-to-point route structure: switch hops per halo message. Like
+	// the collective stage rate, both sides are exact functions of the
+	// decomposition, placement, and topology — a change means the route
+	// model, the placement mapper, or their wiring changed, never the
+	// host — so benchdiff gates it exactly.
+	if msgs := m.Counter(HaloMsgs); msgs > 0 {
+		if h := m.Counter(PtPHops); h > 0 {
+			a.Rates["ptp_hops_per_message"] = float64(h) / float64(msgs)
+		}
+	}
 	// Multi-solve service throughput. Jobs per second of batch wall clock
 	// is the headline figure but machine-dependent; steps per job is exact
 	// (service batches run fixed step counts), so it is the one benchdiff

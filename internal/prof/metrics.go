@@ -92,6 +92,18 @@ const (
 	// CollectiveHops counts the switch hops traversed by the simulated
 	// collectives' inter-node stages (perfmodel.CollectiveCost.Hops).
 	CollectiveHops
+	// PtPHops counts the switch hops traversed by point-to-point halo
+	// messages (perfmodel.Route.Hops, booked by the receiver). Divided by
+	// HaloMsgs it is the ptp_hops_per_message figure benchdiff gates on —
+	// an exact function of (decomposition, placement, topology).
+	PtPHops
+	// PtPCrossNodeBytes counts the halo payload bytes whose endpoints sat
+	// on different nodes (a subset of HaloBytes).
+	PtPCrossNodeBytes
+	// PtPCrossPodBytes counts the halo payload bytes whose endpoints sat
+	// in different pods/groups (a subset of PtPCrossNodeBytes) — the
+	// volume locality placement minimizes.
+	PtPCrossPodBytes
 	numCounters
 )
 
@@ -151,6 +163,12 @@ func (c Counter) String() string {
 		return "collective_stages"
 	case CollectiveHops:
 		return "collective_hops"
+	case PtPHops:
+		return "ptp_hops"
+	case PtPCrossNodeBytes:
+		return "ptp_cross_node_bytes"
+	case PtPCrossPodBytes:
+		return "ptp_cross_pod_bytes"
 	}
 	return fmt.Sprintf("Counter(%d)", int(c))
 }
